@@ -1,0 +1,38 @@
+"""Ablation — elastic EC scaling (Section V.B.4 future work).
+
+"The scaling (at EC) must be just enough to ensure saturation of the
+download bandwidth." Sweeps the EC pool size over the same workload and
+checks the diminishing-returns knee the analytic policy predicts.
+"""
+
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.scaling import ec_scaling_sweep
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+SPEC = ExperimentSpec(bucket=Bucket.LARGE, n_batches=5,
+                      system=SystemConfig(seed=41))
+
+
+def test_ablation_ec_scaling(benchmark, save_artifact):
+    sweep = benchmark.pedantic(
+        ec_scaling_sweep, args=(SPEC,), kwargs=dict(ec_sizes=(1, 2, 3, 4, 6)),
+        rounds=1, iterations=1,
+    )
+    save_artifact("ablation_scaling.txt", sweep.render())
+    # Utilization collapses as machines idle behind the pipe.
+    assert sweep.ec_utils[0] > sweep.ec_utils[-1]
+    # Gains beyond the knee are marginal: the last doubling of the pool
+    # buys far less than the first extra instance did.
+    gains = sweep.marginal_gains()
+    assert gains[-1] < max(gains[0], 1.0)
+    # The analytic knee lies inside the swept range and past it makespan
+    # moves by <5%.
+    knee = sweep.predicted_knee
+    assert sweep.ec_sizes[0] <= knee <= sweep.ec_sizes[-1]
+    at_knee = min(
+        mk for n, mk in zip(sweep.ec_sizes, sweep.makespans) if n >= knee
+    )
+    beyond = [mk for n, mk in zip(sweep.ec_sizes, sweep.makespans) if n > knee]
+    if beyond:
+        assert min(beyond) > at_knee * 0.95

@@ -1,0 +1,56 @@
+"""Baseline comparison — why the learned, slackness-aware schedulers matter.
+
+Not a paper figure; it substantiates the paper's premise that naive
+policies fail in the transfer~compute regime. A coin-flip burster ignores
+both models; a queue-depth threshold ignores transfer costs entirely and
+floods the thin pipe. Both lose to Greedy/Op on makespan AND on
+ordered-data availability.
+"""
+
+import numpy as np
+
+from repro.experiments.config import HIGH_VARIATION_SPEC
+from repro.experiments.runner import run_comparison
+from repro.metrics.oo import ordered_data_series
+from repro.metrics.sla import summarize
+
+NAMES = ("Greedy", "Op", "RandomBurst", "Threshold")
+
+
+def _collect():
+    rows = {}
+    for seed in (42, 43, 44):
+        traces = run_comparison(
+            HIGH_VARIATION_SPEC.with_seed(seed), scheduler_names=NAMES
+        )
+        start = min(t.arrival_time for t in traces.values())
+        end = max(t.end_time for t in traces.values())
+        for name, trace in traces.items():
+            s = summarize(trace)
+            oo = ordered_data_series(trace, tolerance=0, start=start, end=end)
+            rows.setdefault(name, []).append(
+                (s.makespan_s, oo.area(), s.burst_ratio)
+            )
+    return {
+        name: tuple(float(np.mean([r[i] for r in v])) for i in range(3))
+        for name, v in rows.items()
+    }
+
+
+def test_baselines_lose_to_learned_schedulers(benchmark, save_artifact):
+    means = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    lines = [
+        f"{name:12s} makespan={mk:8.1f}s oo0_area={oo / 1e6:7.3f} burst={b:.3f}"
+        for name, (mk, oo, b) in means.items()
+    ]
+    save_artifact("baselines.txt", "\n".join(lines))
+    for learned in ("Greedy", "Op"):
+        for naive in ("RandomBurst", "Threshold"):
+            assert means[learned][0] < means[naive][0], (
+                f"{naive} beat {learned} on makespan"
+            )
+            assert means[learned][1] > means[naive][1], (
+                f"{naive} beat {learned} on ordered availability"
+            )
+    # The threshold policy's failure mode: it floods the pipe.
+    assert means["Threshold"][2] > 2 * means["Op"][2]

@@ -1,0 +1,50 @@
+"""Figure 10 — relative OO difference vs IC-only, tol_limit=4, large bucket.
+
+Shape criteria: "the Order Preserving scheduler and the Size Interval
+Bandwidth Splitting scheduler show higher OO metric w.r.t. the Greedy
+scheduler (almost at all points of time)", and SIBS shows "a sharp increase
+in the data availability ... towards the end of the execution time".
+"""
+
+import numpy as np
+
+from repro.experiments.config import HIGH_VARIATION_SPEC
+from repro.experiments.figures import fig10_oo_relative
+from repro.experiments.svg_plot import line_chart_svg
+
+
+def _mean_rel_over_seeds(seeds=(42, 43, 44)):
+    acc = {}
+    for seed in seeds:
+        r = fig10_oo_relative(spec=HIGH_VARIATION_SPEC, seed=seed)
+        for name, m in r.mean_relative.items():
+            acc.setdefault(name, []).append(m)
+    return {name: float(np.mean(v)) for name, v in acc.items()}
+
+
+def test_fig10_oo_relative(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        fig10_oo_relative, kwargs=dict(seed=43), rounds=1, iterations=1
+    )
+    save_artifact("fig10_oo_relative.txt", result.render())
+    save_artifact("fig10_oo_relative.svg", line_chart_svg(
+        result.times - result.times[0], result.relative,
+        title="Fig 10 — relative OO difference vs ICOnly (tol=4, large)",
+        x_label="time (s)", y_label="relative difference",
+    ))
+    assert result.tolerance == 4
+    assert set(result.relative) == {"Greedy", "Op", "OpSIBS"}
+
+
+def test_fig10_ordering_over_seeds(benchmark, save_artifact):
+    means = benchmark.pedantic(_mean_rel_over_seeds, rounds=1, iterations=1)
+    save_artifact(
+        "fig10_mean_relative.txt",
+        "\n".join(f"{k}: {v:+.4f}" for k, v in means.items()),
+    )
+    # Op and SIBS sit above Greedy relative to the IC-only baseline.
+    assert means["Op"] > means["Greedy"]
+    assert means["OpSIBS"] > means["Greedy"]
+    # All bursting schedulers improve on the baseline overall.
+    for name in ("Greedy", "Op", "OpSIBS"):
+        assert means[name] > 0.0

@@ -1,0 +1,40 @@
+"""Figure 3 — quadratic response surface model for processing time.
+
+Regenerates the QRSM fit on synthetic production data and times the full
+train+evaluate cycle. Shape criterion: the quadratic family explains the
+bulk of processing-time variance out of sample (the residual is the
+irreducible lognormal noise of the environment).
+"""
+
+from repro.experiments.figures import fig3_qrsm
+from repro.experiments.svg_plot import line_chart_svg
+
+
+def test_fig3_qrsm(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        fig3_qrsm, kwargs=dict(n_train=400, n_test=200, seed=7),
+        rounds=3, iterations=1,
+    )
+    save_artifact("fig3_qrsm.txt", result.render())
+    save_artifact("fig3_qrsm.svg", line_chart_svg(
+        result.surface_sizes,
+        {"predicted": result.surface_pred, "true mean": result.surface_true},
+        title="Fig 3 — QRSM response vs document size",
+        x_label="document size (MB)", y_label="processing time (s)",
+    ))
+    assert result.r_squared_train > 0.85
+    assert result.r_squared_test > 0.75
+    # The 1-D size slice of the surface tracks the true mean response.
+    import numpy as np
+    rel = np.abs(result.surface_pred - result.surface_true) / result.surface_true
+    assert float(np.median(rel)) < 0.15
+
+
+def test_fig3_qrsm_l1_linear_program(benchmark, save_artifact):
+    """The paper-faithful LP (least absolute deviations) variant."""
+    result = benchmark.pedantic(
+        fig3_qrsm, kwargs=dict(n_train=150, n_test=100, seed=7, method="l1"),
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig3_qrsm_l1.txt", result.render())
+    assert result.r_squared_test > 0.7

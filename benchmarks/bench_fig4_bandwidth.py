@@ -1,0 +1,43 @@
+"""Figure 4 — time-of-day bandwidth model (4a) and thread tuning (4b).
+
+Runs 48 simulated hours of probes + calibration transfers. Shape criteria:
+the learned hourly bandwidth tracks the true diurnal curve, and the
+hill-climbed thread counts sit near the saturation knee in the bins the
+workload exercised.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig4_bandwidth
+from repro.experiments.svg_plot import line_chart_svg
+
+
+def test_fig4_bandwidth_and_threads(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        fig4_bandwidth, kwargs=dict(n_days=2.0, seed=11), rounds=1, iterations=1
+    )
+    save_artifact("fig4_bandwidth.txt", result.render())
+    save_artifact("fig4a_bandwidth.svg", line_chart_svg(
+        result.hours, {"true": result.true_mbps, "learned": result.learned_mbps},
+        title="Fig 4a — time-of-day bandwidth", x_label="hour of day",
+        y_label="MB/s",
+    ))
+    save_artifact("fig4b_threads.svg", line_chart_svg(
+        result.hours,
+        {"tuned": result.threads_per_hour.astype(float),
+         "optimal": result.optimal_threads_per_hour.astype(float)},
+        title="Fig 4b — transfer threads per hour", x_label="hour of day",
+        y_label="threads",
+    ))
+    # 4a: learned curve within ~25% of truth on average.
+    valid = ~np.isnan(result.learned_mbps)
+    assert valid.sum() >= 20  # almost every hourly bin got data
+    rel = np.abs(
+        result.learned_mbps[valid] - result.true_mbps[valid]
+    ) / result.true_mbps[valid]
+    assert float(np.mean(rel)) < 0.25
+    # 4b: tuned thread counts follow the knee within +/-3 in most bins.
+    close = np.abs(result.threads_per_hour - result.optimal_threads_per_hour) <= 3
+    assert close.mean() > 0.6
+    # The knee moves with time of day (the figure's whole point).
+    assert result.optimal_threads_per_hour.max() > result.optimal_threads_per_hour.min()

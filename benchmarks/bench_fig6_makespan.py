@@ -1,0 +1,34 @@
+"""Figure 6 — makespan comparison of the schedulers per workload bucket.
+
+Shape criteria (Section V.B.1): "Cloudbursting improves the performance by
+10 percent over IC-only scheduler" on the heavily loaded large bucket,
+and "the makespan for the greedy and the order-preserving scheduler is
+almost same".
+"""
+
+from repro.experiments.figures import fig6_makespan
+from repro.experiments.svg_plot import bar_chart_svg
+
+
+def test_fig6_makespan(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        fig6_makespan, kwargs=dict(seeds=(42, 43, 44)), rounds=1, iterations=1
+    )
+    save_artifact("fig6_makespan.txt", result.render())
+    labels, values = [], []
+    for bucket in result.buckets:
+        for sched in result.schedulers:
+            labels.append(f"{bucket}/{sched}")
+            values.append(result.makespans[bucket][sched])
+    save_artifact("fig6_makespan.svg", bar_chart_svg(
+        labels, values, title="Fig 6 — makespan by scheduler", x_label="seconds",
+    ))
+    gains = result.improvement_vs_ic
+    # Bursting beats IC-only by roughly the paper's ~10% on the large bucket.
+    assert 5.0 < gains["large"]["Greedy"] < 30.0
+    assert 5.0 < gains["large"]["Op"] < 30.0
+    # Greedy ~ Op.
+    mk = result.makespans["large"]
+    assert 0.9 < mk["Greedy"] / mk["Op"] < 1.1
+    # Bursting never hurts on uniform either.
+    assert gains["uniform"]["Op"] > 0.0

@@ -1,0 +1,62 @@
+"""Seed robustness — the headline shapes are not single-seed artifacts.
+
+Runs the Fig. 6 / Table I comparison over ten independent seeds and
+asserts the headline orderings hold in the aggregate (means) and in a
+clear majority of individual seeds. The artifact records the full
+distribution (mean +/- std) for the report.
+"""
+
+import numpy as np
+
+from repro.experiments.config import DEFAULT_SPEC
+from repro.experiments.runner import run_comparison
+from repro.metrics.sla import summarize
+from repro.workload.distributions import Bucket
+
+SEEDS = tuple(range(42, 52))
+
+
+def _collect():
+    per_seed = []
+    for seed in SEEDS:
+        traces = run_comparison(
+            DEFAULT_SPEC.with_bucket(Bucket.LARGE).with_seed(seed),
+            scheduler_names=("ICOnly", "Greedy", "Op"),
+        )
+        row = {name: summarize(trace) for name, trace in traces.items()}
+        per_seed.append(row)
+    return per_seed
+
+
+def test_headline_shapes_hold_across_ten_seeds(benchmark, save_artifact):
+    per_seed = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    gains_greedy = [
+        100 * (r["ICOnly"].makespan_s - r["Greedy"].makespan_s) / r["ICOnly"].makespan_s
+        for r in per_seed
+    ]
+    gains_op = [
+        100 * (r["ICOnly"].makespan_s - r["Op"].makespan_s) / r["ICOnly"].makespan_s
+        for r in per_seed
+    ]
+    bursts_op = [r["Op"].burst_ratio for r in per_seed]
+
+    lines = [
+        f"gain vs ICOnly over {len(SEEDS)} seeds (large bucket):",
+        f"  Greedy: mean {np.mean(gains_greedy):5.1f}%  std {np.std(gains_greedy):4.1f}%  "
+        f"min {min(gains_greedy):5.1f}%",
+        f"  Op    : mean {np.mean(gains_op):5.1f}%  std {np.std(gains_op):4.1f}%  "
+        f"min {min(gains_op):5.1f}%",
+        f"  Op burst ratio: mean {np.mean(bursts_op):.3f}  "
+        f"range [{min(bursts_op):.3f}, {max(bursts_op):.3f}]",
+    ]
+    save_artifact("seed_robustness.txt", "\n".join(lines))
+
+    # Mean gains in the paper's neighbourhood.
+    assert 5.0 < np.mean(gains_greedy) < 30.0
+    assert 5.0 < np.mean(gains_op) < 30.0
+    # Bursting wins in >= 9 of 10 seeds for each scheduler.
+    assert sum(g > 0 for g in gains_greedy) >= 9
+    assert sum(g > 0 for g in gains_op) >= 9
+    # Burst ratio stays inside the paper's band on every seed.
+    assert all(0.05 < b < 0.40 for b in bursts_op)

@@ -1,0 +1,53 @@
+"""Per-job fairness — what order preservation costs small jobs.
+
+Not a paper figure; it quantifies a trade-off the paper leaves implicit.
+Slowdown (response / processing demand, the stretch metric of the paper's
+ref. [8]) per size class shows the two sides of the Op design: Greedy
+freely bursts small jobs ahead of their turn, roughly halving their p95
+stretch, while Op's slackness discipline keeps them in line behind the
+large jobs — better ordered-data availability (Figs. 9-10), worse
+small-job stretch. Applications pick their side via the scheduler.
+"""
+
+import numpy as np
+
+from repro.experiments.config import DEFAULT_SPEC
+from repro.experiments.runner import run_comparison
+from repro.metrics.slowdown import slowdown_by_size
+from repro.workload.distributions import Bucket
+
+NAMES = ("ICOnly", "Greedy", "Op", "OpSIBS")
+
+
+def _collect():
+    acc = {}
+    for seed in (42, 43, 44, 45, 46):
+        traces = run_comparison(
+            DEFAULT_SPEC.with_bucket(Bucket.UNIFORM).with_seed(seed),
+            scheduler_names=NAMES,
+        )
+        for name, trace in traces.items():
+            by = slowdown_by_size(trace)
+            acc.setdefault(name, []).append(
+                (by["small"].p95, by["large"].p95, by["small"].mean)
+            )
+    return {
+        name: tuple(float(np.mean([r[i] for r in v])) for i in range(3))
+        for name, v in acc.items()
+    }
+
+
+def test_slowdown_fairness(benchmark, save_artifact):
+    means = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    lines = [
+        f"{name:8s} small_p95={v[0]:6.2f} large_p95={v[1]:6.2f} small_mean={v[2]:6.2f}"
+        for name, v in means.items()
+    ]
+    save_artifact("slowdown_fairness.txt", "\n".join(lines))
+    # Greedy's freedom to burst small jobs early buys them stretch...
+    assert means["Greedy"][0] < means["Op"][0] * 0.8
+    # ...while Op never does worse than the no-bursting baseline.
+    assert means["Op"][0] <= means["ICOnly"][0] * 1.1
+    # Large jobs are fine everywhere (they ARE the queue).
+    for name in NAMES:
+        assert means[name][1] < means[name][0]

@@ -1,0 +1,64 @@
+"""Design-space sweeps: where cloud bursting pays and where it stops.
+
+Not a paper figure — these map the crossovers the paper's framing implies:
+
+* below some pipe bandwidth the round trip never fits any slack and the
+  bursting gain collapses toward zero (the "thin pipe" limit);
+* gains saturate once the EC's compute (not the pipe) binds;
+* at low arrival rates the IC never saturates and there is nothing worth
+  bursting ("during periods of low demand ... it may be optimal to carry
+  out all the processing on the private cloud").
+"""
+
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.sweeps import arrival_rate_sweep, bandwidth_sweep, tolerance_sweep
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+SPEC = ExperimentSpec(bucket=Bucket.LARGE, n_batches=5,
+                      system=SystemConfig(seed=61))
+
+
+def test_sweep_bandwidth_crossover(benchmark, save_artifact):
+    sweep = benchmark.pedantic(
+        bandwidth_sweep, args=(SPEC,), kwargs=dict(scales=(0.1, 0.25, 0.5, 1.0, 2.0)),
+        rounds=1, iterations=1,
+    )
+    save_artifact("sweep_bandwidth.txt", sweep.render())
+    # Thin-pipe limit: at 10% bandwidth the gain has collapsed.
+    assert sweep.gains_pct[0] < 5.0
+    # At the default pipe, the paper's ~10% gain is back.
+    assert sweep.gains_pct[3] > 8.0
+    # Gains are (weakly) monotone in pipe width up to saturation.
+    assert sweep.gains_pct == sorted(sweep.gains_pct)
+    # Doubling the pipe past the default buys little: EC compute binds.
+    assert sweep.gains_pct[4] - sweep.gains_pct[3] < 5.0
+    # Burst ratio grows with the pipe.
+    assert sweep.burst_ratios[0] < sweep.burst_ratios[3]
+
+
+def test_sweep_arrival_rate(benchmark, save_artifact):
+    sweep = benchmark.pedantic(
+        arrival_rate_sweep, args=(SPEC,), kwargs=dict(mean_jobs=(5.0, 15.0, 20.0)),
+        rounds=1, iterations=1,
+    )
+    save_artifact("sweep_arrival_rate.txt", sweep.render())
+    # Light load: IC unsaturated, bursting buys nothing.
+    assert sweep.ic_only_utils[0] < 0.7
+    assert abs(sweep.gains_pct[0]) < 3.0
+    # Heavy load: saturated IC, bursting pays ~the paper's margin.
+    assert sweep.ic_only_utils[1] > 0.85
+    assert sweep.gains_pct[1] > 8.0
+
+
+def test_sweep_tolerance(benchmark, save_artifact):
+    sweep = benchmark.pedantic(
+        tolerance_sweep, args=(SPEC,), rounds=1, iterations=1
+    )
+    save_artifact("sweep_tolerance.txt", sweep.render())
+    # Section V.B.2: availability rises monotonically with tolerance...
+    assert sweep.areas == sorted(sweep.areas)
+    # ...with diminishing returns (last doubling adds less than the first).
+    first = sweep.areas[1] - sweep.areas[0]
+    last = sweep.areas[-1] - sweep.areas[-2]
+    assert last <= first

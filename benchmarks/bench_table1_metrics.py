@@ -1,0 +1,48 @@
+"""Table I — IC-util / EC-util / burst ratio / speedup, Greedy vs Op.
+
+Shape criteria mirror the paper's table: Op drives the EC harder than
+Greedy on the uniform bucket (46.6% vs 17.7% in the paper) and bursts a
+larger fraction of jobs there (0.26 vs 0.17); burst ratios live in the
+0.1-0.3 band; speedups are of the same order as the paper's 5.6-6.8x on
+an 8+2-machine testbed.
+"""
+
+from repro.experiments.config import DEFAULT_SPEC
+from repro.experiments.gantt import gantt_svg
+from repro.experiments.runner import run_one
+from repro.experiments.tables import table1_metrics
+from repro.workload.distributions import Bucket
+
+
+def _row(result, bucket, scheduler):
+    for row in result.rows:
+        if row["bucket"] == bucket and row["scheduler"] == scheduler:
+            return row
+    raise KeyError((bucket, scheduler))
+
+
+def test_table1_metrics(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        table1_metrics, kwargs=dict(seeds=(42, 43, 44)), rounds=1, iterations=1
+    )
+    save_artifact("table1_metrics.txt", result.render())
+    # A Gantt chart of one representative Op run (large bucket) as a
+    # companion artifact for the table.
+    trace = run_one("Op", DEFAULT_SPEC.with_bucket(Bucket.LARGE))
+    save_artifact("gantt_op_large.svg", gantt_svg(trace))
+
+    greedy_u = _row(result, "uniform", "Greedy")
+    op_u = _row(result, "uniform", "Op")
+    greedy_l = _row(result, "large", "Greedy")
+    op_l = _row(result, "large", "Op")
+
+    # Op exploits the EC more than Greedy on uniform (paper: 46.6 vs 17.7).
+    assert op_u["ec_util_%"] > greedy_u["ec_util_%"]
+    assert op_u["burst_ratio"] > greedy_u["burst_ratio"]
+    # Burst ratios in the paper's band.
+    for row in (greedy_u, op_u, greedy_l, op_l):
+        assert 0.05 < row["burst_ratio"] < 0.40
+        assert 4.0 < row["speedup"] < 10.0
+        assert row["ic_util_%"] > row["ec_util_%"]
+    # Large jobs yield the higher speedup (computation dominates transfer).
+    assert op_l["speedup"] > op_u["speedup"]

@@ -1,0 +1,40 @@
+"""Substrate credibility — the simulator vs closed-form queueing theory.
+
+Not a paper figure: this bench validates the discrete-event substrate
+itself. The IC-only configuration is an M^[X]/G/c queue (Poisson batch
+arrivals, general service, c FCFS machines); at moderate load the
+simulated utilization must match the offered load and the mean queueing
+delay must sit within the Allen-Cunneen approximation's usual band.
+"""
+
+from repro.analysis.queueing import compare_ic_only_with_theory
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import build_workload, run_one
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+
+def _compare():
+    results = []
+    for seed in (7, 8, 9):
+        spec = ExperimentSpec(
+            bucket=Bucket.SMALL, n_batches=12,
+            system=SystemConfig(seed=seed),
+        ).with_seed(seed)
+        batches = build_workload(spec)
+        trace = run_one("ICOnly", spec, batches=batches)
+        results.append(compare_ic_only_with_theory(trace, batches))
+    return results
+
+
+def test_theory_validation(benchmark, save_artifact):
+    results = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    save_artifact(
+        "theory_validation.txt", "\n\n".join(r.render() for r in results)
+    )
+    for cmp in results:
+        assert 0.85 < cmp.utilization_ratio < 1.15
+        # Within-batch + D/G/c theory slightly over-counts (service-time
+        # variability drains batches faster than the E[S]-quantum model);
+        # the band catches gross simulator errors, not approximation slack.
+        assert 0.5 < cmp.wait_ratio < 1.5

@@ -1,0 +1,33 @@
+"""Benchmark fixtures: artifact directory for rendered figures/tables.
+
+Every benchmark regenerates one of the paper's figures or tables and saves
+the ASCII rendering under ``benchmarks/results/`` so the reproduction
+artifacts survive the run (the pytest-benchmark table only records
+timings).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """Write one rendered artifact; returns the path."""
+
+    def _save(name: str, content: str) -> Path:
+        path = results_dir / name
+        path.write_text(content + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Elastic external cloud: pay for the pipe, not for idle machines.
+
+The paper's introduction argues that hybrid clouds let "remote computation
+... completely be scaled down during periods of low demand without
+incurring processing or more importantly, bandwidth costs", and
+Section V.B.4 states the policy: scale the EC "just enough to ensure
+saturation of the download bandwidth".
+
+This example runs the same workload three ways — a small static pool, a
+large static pool, and the queue-driven autoscaler — and compares makespan
+against rented machine-seconds (the pay-as-you-go cost proxy). It also
+prints the analytic saturation knee the autoscaler should hover around.
+
+Run:  python examples/elastic_scaling.py
+"""
+
+from repro import Bucket, summarize
+from repro.experiments import ExperimentSpec, build_workload, run_one
+from repro.experiments.scaling import ec_instances_for_saturation
+from repro.sim.autoscale import ECAutoScaler
+from repro.sim.environment import SystemConfig
+from repro.workload.stats import workload_stats
+
+
+def main() -> None:
+    spec = ExperimentSpec(
+        bucket=Bucket.LARGE, n_batches=6,
+        system=SystemConfig(seed=77, ec_machines=6),
+    )
+    batches = build_workload(spec)
+    stats = workload_stats(batches)
+    print(stats.render())
+
+    knee = ec_instances_for_saturation(
+        download_mbps=spec.system.down_base_mbps,
+        upload_mbps=spec.system.up_base_mbps,
+        mean_proc_time_s=stats.mean_proc_s,
+        mean_input_mb=stats.mean_size_mb,
+        mean_output_mb=stats.mean_output_mb,
+    )
+    print(f"\nanalytic saturation knee: {knee} EC instance(s)\n")
+
+    rows = []
+
+    # Two static pools bracketing the knee.
+    for n in (2, 6):
+        sized = spec.with_system(ec_machines=n)
+        trace = run_one("Op", sized, batches=batches)
+        cost = n * (trace.end_time - trace.arrival_time)
+        rows.append((f"static x{n}", trace.makespan, cost, n))
+
+    # The autonomic pool.
+    scalers = []
+
+    def hook(env):
+        scalers.append(
+            ECAutoScaler(env.sim, env.ec, min_instances=1, max_instances=6,
+                         interval_s=60.0, knee=None)
+        )
+
+    trace = run_one("Op", spec, batches=batches, env_hook=hook)
+    summary = scalers[0].summary()
+    rows.append(("autoscaled", trace.makespan, summary["rented_machine_s"],
+                 summary["final_pool"]))
+
+    print(f"{'pool':>12} {'makespan_s':>11} {'rented machine-s':>17} {'final size':>11}")
+    for name, mk, cost, size in rows:
+        print(f"{name:>12} {mk:>11.1f} {cost:>17.0f} {size:>11}")
+
+    print(f"\nautoscaler actions: {summary['scale_ups']} up, "
+          f"{summary['scale_downs']} down")
+    print("reading: the autoscaler tracks the knee — near-static-x6 makespan")
+    print("at a fraction of its rented machine-seconds, and it idles the pool")
+    print("entirely once the burst drains (the paper's low-demand argument).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare all four schedulers over the identical workload.
+
+Replays one seeded workload (choose the bucket on the command line) through
+IC-only, Greedy, Order-Preserving and Op+SIBS, then prints a Table-I style
+metric table, the completion-series peak statistics behind Figs. 7-8, and
+the ordered-data availability behind Figs. 9-10.
+
+Run:  python examples/scheduler_comparison.py [small|uniform|large]
+"""
+
+import sys
+
+from repro import Bucket, ordered_data_series, peak_stats, summarize
+from repro.experiments import DEFAULT_SPEC, run_comparison
+from repro.experiments.ascii_plot import multi_line_plot, render_table
+from repro.metrics.series import completion_series
+
+
+def main() -> None:
+    bucket = Bucket(sys.argv[1]) if len(sys.argv) > 1 else Bucket.LARGE
+    spec = DEFAULT_SPEC.with_bucket(bucket)
+    print(f"bucket={bucket.value}: running 4 schedulers over the same workload...")
+    traces = run_comparison(spec)
+
+    # Table-I style metrics.
+    rows = []
+    base = traces["ICOnly"].makespan
+    for name, trace in traces.items():
+        s = summarize(trace)
+        rows.append(
+            {
+                "scheduler": name,
+                "makespan_s": round(s.makespan_s, 1),
+                "vs_ICOnly": f"{100 * (base - s.makespan_s) / base:+.1f}%",
+                "speedup": round(s.speedup, 2),
+                "ic_util_%": round(100 * s.ic_util, 1),
+                "ec_util_%": round(100 * s.ec_util, 1),
+                "burst": round(s.burst_ratio, 3),
+            }
+        )
+    print(render_table(rows, title="\nSLA metrics (Table I)"))
+
+    # Peaks and valleys of the completion series (Figs. 7-8).
+    print("\nIn-order consumption stalls (completion-series peaks):")
+    for name, trace in traces.items():
+        p = peak_stats(trace)
+        print(
+            f"  {name:8s} peaks={p.n_peaks:3d} valleys={p.n_valleys:3d} "
+            f"max_wait={p.max_wait_s:7.1f}s"
+        )
+
+    # Response-time series for the two headline schedulers.
+    series = {}
+    for name in ("Greedy", "Op"):
+        cs = completion_series(traces[name])
+        series[name] = cs.response_times
+    ids = completion_series(traces["Greedy"]).ids
+    print()
+    print(
+        multi_line_plot(
+            ids,
+            series,
+            title=f"response time vs job id — bucket={bucket.value} (Figs. 7/8)",
+        )
+    )
+
+    # Ordered-data availability on a common horizon (Figs. 9-10).
+    start = min(t.arrival_time for t in traces.values())
+    end = max(t.end_time for t in traces.values())
+    print("\nordered-data availability area (tolerance 4, MMB*s — higher is better):")
+    for name, trace in traces.items():
+        oo = ordered_data_series(trace, tolerance=4, start=start, end=end)
+        print(f"  {name:8s} {oo.area() / 1e6:8.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The tolerance-limit trade-off: ordering strictness vs data availability.
+
+Section V.B.2: "increasing the tolerance limit increases the data output
+availability, but at the cost of more out of order completions. Thus the
+tolerance limit can be considered as a tradeoff parameter ... and may be
+specified according to the application requirements."
+
+Sweeps the tolerance limit t_l over one Greedy run (the scheduler with the
+most disorder) and shows how much ordered data the downstream stage could
+consume at each setting, plus the half-availability time.
+
+Run:  python examples/sla_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro import Bucket, ordered_data_series
+from repro.experiments import DEFAULT_SPEC, run_one
+from repro.experiments.ascii_plot import multi_line_plot
+
+
+def half_availability_time(series) -> float:
+    """First sample at which half of the total output is consumable."""
+    target = 0.5 * series.final_mb
+    idx = np.argmax(series.ordered_mb >= target)
+    return float(series.times[idx] - series.times[0])
+
+
+def main() -> None:
+    spec = DEFAULT_SPEC.with_bucket(Bucket.LARGE)
+    print("running Greedy on the large bucket...")
+    trace = run_one("Greedy", spec)
+
+    tolerances = [0, 1, 2, 4, 8, 16]
+    series = {
+        f"t_l={t}": ordered_data_series(trace, tolerance=t, sampling_interval=60.0)
+        for t in tolerances
+    }
+
+    first = next(iter(series.values()))
+    print()
+    print(multi_line_plot(
+        first.times - first.times[0],
+        {name: s.ordered_mb for name, s in series.items()},
+        title="ordered output (MB) vs time for increasing tolerance limits",
+        height=18,
+    ))
+
+    print("\ntolerance  availability-area(MMB*s)  time-to-half-output(s)")
+    base_area = None
+    for name, s in series.items():
+        area = s.area() / 1e6
+        if base_area is None:
+            base_area = area
+        print(f"  {name:7s}  {area:10.3f} ({100 * (area / base_area - 1):+5.1f}%)"
+              f"          {half_availability_time(s):8.0f}")
+
+    print("\nreading: every extra unit of tolerance releases output the strict")
+    print("consumer would have held back behind stragglers — availability rises")
+    print("monotonically, and the application chooses how much disorder the")
+    print("downstream stage (press / workflow engine) can absorb.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so editable installs go through `setup.py develop` (see pyproject.toml for
+all metadata)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Analytic models used to cross-validate the simulator."""
+
+from .queueing import (
+    TheoryComparison,
+    allen_cunneen_wait,
+    batch_arrival_scv,
+    within_batch_wait,
+    compare_ic_only_with_theory,
+    erlang_c,
+    mmc_wait,
+    offered_load,
+    utilization,
+)
+
+__all__ = [
+    "offered_load", "utilization", "erlang_c", "mmc_wait",
+    "batch_arrival_scv", "allen_cunneen_wait", "within_batch_wait",
+    "TheoryComparison", "compare_ic_only_with_theory",
+]

@@ -1,0 +1,225 @@
+"""Analytic queueing cross-checks for the simulator.
+
+A reproduction built on a simulator should show that the simulator itself
+is trustworthy. The IC-only configuration is a classic batch-arrival
+multi-server queue — ``M^[X]/G/c`` with Poisson batch arrivals (the
+paper's λ=15-per-3-minutes process), generally distributed service times,
+and ``c`` FCFS machines — for which standard approximations exist. This
+module implements them so tests can check the simulator against theory:
+
+* :func:`offered_load` / :func:`utilization` — exact in steady state;
+* :func:`erlang_c` — the M/M/c waiting probability;
+* :func:`mmc_wait` — exact M/M/c mean waiting time;
+* :func:`allen_cunneen_wait` — the Allen–Cunneen G/G/c approximation,
+  correcting M/M/c by the arrival/service variability
+  ``(C_a^2 + C_s^2)/2``. Batch arrivals enter through the arrival
+  variability: for batches of size ``B`` arriving as a Poisson process,
+  the job-arrival process has ``C_a^2 = (Var[B] + E[B]^2 + E[B]) / E[B]``
+  ... which for Poisson-sized batches (Var = E) reduces to ``E[B] + 2``.
+
+These are approximations; the validation tests assert agreement within a
+factor band rather than equality (Allen–Cunneen is typically within tens
+of percent for moderate utilization).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "offered_load",
+    "utilization",
+    "erlang_c",
+    "mmc_wait",
+    "batch_arrival_scv",
+    "allen_cunneen_wait",
+    "within_batch_wait",
+    "TheoryComparison",
+    "compare_ic_only_with_theory",
+]
+
+
+def offered_load(arrival_rate: float, mean_service_s: float) -> float:
+    """``a = λ E[S]`` in Erlangs (machines-worth of work per second)."""
+    if arrival_rate < 0 or mean_service_s <= 0:
+        raise ValueError("rates must be non-negative, service positive")
+    return arrival_rate * mean_service_s
+
+
+def utilization(arrival_rate: float, mean_service_s: float, c: int) -> float:
+    """``ρ = λ E[S] / c``; the system is stable iff ρ < 1."""
+    if c < 1:
+        raise ValueError("need at least one server")
+    return offered_load(arrival_rate, mean_service_s) / c
+
+
+def erlang_c(a: float, c: int) -> float:
+    """P(wait) for M/M/c with offered load ``a`` Erlangs (Erlang C).
+
+    Computed with the numerically stable iterative form of the Erlang B
+    recursion followed by the B->C transform.
+    """
+    if c < 1:
+        raise ValueError("need at least one server")
+    if a <= 0:
+        return 0.0
+    rho = a / c
+    if rho >= 1.0:
+        return 1.0
+    # Erlang B recursion: B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1)).
+    b = 1.0
+    for k in range(1, c + 1):
+        b = a * b / (k + a * b)
+    return b / (1.0 - rho * (1.0 - b))
+
+
+def mmc_wait(arrival_rate: float, mean_service_s: float, c: int) -> float:
+    """Exact mean queueing delay ``Wq`` for M/M/c (seconds)."""
+    a = offered_load(arrival_rate, mean_service_s)
+    rho = a / c
+    if rho >= 1.0:
+        return math.inf
+    pw = erlang_c(a, c)
+    return pw * mean_service_s / (c * (1.0 - rho))
+
+
+def batch_arrival_scv(mean_batch: float, var_batch: float) -> float:
+    """Squared coefficient of variation of the job inter-arrival process
+    when batches of random size arrive as a Poisson process.
+
+    For a compound Poisson job stream, the index of dispersion of counts
+    is ``I = (Var[B] + E[B]^2) / E[B] + ...``; the standard G/G/c plug-in
+    uses ``C_a^2 = (Var[B] + E[B]^2 + E[B]) / E[B] - 1``. With
+    Poisson-distributed batch sizes (Var = E) this is ``E[B] + 1``.
+    """
+    if mean_batch <= 0 or var_batch < 0:
+        raise ValueError("batch size moments invalid")
+    return (var_batch + mean_batch**2 + mean_batch) / mean_batch - 1.0
+
+
+def allen_cunneen_wait(
+    arrival_rate: float,
+    mean_service_s: float,
+    c: int,
+    ca2: float,
+    cs2: float,
+) -> float:
+    """Allen–Cunneen G/G/c mean-wait approximation.
+
+        Wq ≈ Wq(M/M/c) * (C_a^2 + C_s^2) / 2
+    """
+    if ca2 < 0 or cs2 < 0:
+        raise ValueError("squared CVs cannot be negative")
+    return mmc_wait(arrival_rate, mean_service_s, c) * (ca2 + cs2) / 2.0
+
+
+def within_batch_wait(
+    mean_batch: float, c: int, mean_service_s: float, max_batch: int = 400
+) -> float:
+    """Mean within-batch queueing delay for simultaneous batch arrivals.
+
+    The generator releases whole batches at deterministic epochs (the
+    paper's every-3-minutes schedule), so even an otherwise idle pool
+    queues a batch internally: with service times ≈ ``E[S]``, the ``r``-th
+    job of a batch (0-indexed) waits ≈ ``floor(r / c) * E[S]``. Averaging
+    over jobs and over the Poisson batch-size distribution:
+
+        W_within = E[S] * E[ sum_{r<B} floor(r/c) ] / E[B]
+
+    At moderate load and a batch interval longer than the batch drain time
+    this term dominates the total wait (cross-batch congestion ≈ 0), which
+    is exactly what the validation benchmark observes.
+    """
+    if mean_batch <= 0 or c < 1 or mean_service_s <= 0:
+        raise ValueError("invalid batch/server/service parameters")
+    from scipy.stats import poisson
+
+    expected_sum = 0.0
+    for b in range(1, max_batch):
+        p = poisson.pmf(b, mean_batch)
+        if p < 1e-12 and b > mean_batch:
+            break
+        expected_sum += p * sum(r // c for r in range(b))
+    return mean_service_s * expected_sum / mean_batch
+
+
+@dataclass
+class TheoryComparison:
+    """Simulated vs analytic values for an IC-only run."""
+
+    sim_utilization: float
+    theory_utilization: float
+    sim_mean_wait_s: float
+    theory_mean_wait_s: float
+
+    @property
+    def utilization_ratio(self) -> float:
+        if self.theory_utilization == 0:
+            return math.inf
+        return self.sim_utilization / self.theory_utilization
+
+    @property
+    def wait_ratio(self) -> float:
+        if self.theory_mean_wait_s == 0:
+            return math.inf
+        return self.sim_mean_wait_s / self.theory_mean_wait_s
+
+    def render(self) -> str:
+        return (
+            "IC-only vs M^[X]/G/c theory\n"
+            f"  utilization: sim {self.sim_utilization:.3f} vs theory "
+            f"{self.theory_utilization:.3f} (ratio {self.utilization_ratio:.2f})\n"
+            f"  mean wait  : sim {self.sim_mean_wait_s:.1f}s vs Allen-Cunneen "
+            f"{self.theory_mean_wait_s:.1f}s (ratio {self.wait_ratio:.2f})"
+        )
+
+
+def compare_ic_only_with_theory(trace, batches) -> TheoryComparison:
+    """Compare one IC-only run against the analytic model.
+
+    Theory assumes steady state; the finite run includes ramp-up and
+    drain, so utilization is computed over the arrival span only and the
+    comparison is expected to hold within a band, not exactly.
+    """
+    from ..sim.tracing import RunTrace  # local import to stay layer-clean
+
+    assert isinstance(trace, RunTrace)
+    jobs = [j for b in batches for j in b.jobs]
+    services = np.array([j.true_proc_time for j in jobs])
+    mean_s = float(services.mean())
+    cs2 = float(services.var() / mean_s**2)
+
+    interval = batches[1].arrival_time - batches[0].arrival_time if len(batches) > 1 else 1.0
+    batch_sizes = np.array([len(b.jobs) for b in batches], dtype=float)
+    mean_batch = float(batch_sizes.mean())
+    arrival_rate = mean_batch / interval
+    ca2 = batch_arrival_scv(mean_batch, float(batch_sizes.var()))
+
+    c = trace.ic_machines
+    rho = utilization(arrival_rate, mean_s, c)
+    # Deterministic batch epochs: total wait = within-batch queueing plus
+    # cross-batch congestion. Batch releases are evenly spaced, so the
+    # cross-batch term is D/G/c-like (arrival variability ~ 0); near
+    # saturation it dominates (and diverges), at light load the
+    # within-batch term does.
+    cross = allen_cunneen_wait(arrival_rate, mean_s, c, 0.0, cs2)
+    theory_wait = within_batch_wait(mean_batch, c, mean_s) + min(cross, 1e9)
+
+    waits = [
+        r.exec_start - r.arrival_time
+        for r in trace.records
+        if r.exec_start is not None
+    ]
+    # Utilization over the busy horizon (arrival span + drain).
+    horizon = trace.end_time - trace.arrival_time
+    sim_util = trace.ic_busy_time / (c * horizon) if horizon > 0 else 0.0
+    return TheoryComparison(
+        sim_utilization=sim_util,
+        theory_utilization=min(rho, 1.0),
+        sim_mean_wait_s=float(np.mean(waits)) if waits else 0.0,
+        theory_mean_wait_s=theory_wait,
+    )

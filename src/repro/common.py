@@ -1,0 +1,19 @@
+"""Leaf definitions shared by the scheduler core and the simulator.
+
+Kept dependency-free to avoid import cycles: ``repro.core`` (schedulers)
+and ``repro.sim`` (environment) both need the placement vocabulary, while
+``repro.sim.environment`` also imports the schedulers' base types.
+"""
+
+__all__ = ["Placement"]
+
+
+class Placement:
+    """Where a job executed: the internal or the external cloud.
+
+    String constants (not an enum) so trace files serialise naturally and
+    records compare with plain ``==``.
+    """
+
+    IC = "IC"
+    EC = "EC"

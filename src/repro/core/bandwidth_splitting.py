@@ -1,0 +1,109 @@
+"""Order-Preserving scheduler with Size-Interval Bandwidth Splitting.
+
+Algorithm 3 (Section IV.C): "Instead of simply increasing the number of
+queues we partition the upload tasks into size intervals — namely small,
+medium and large buckets. This effectively isolates the small jobs from the
+large jobs and decreases the variance in each bucket, thereby improving the
+utilization of the EC."
+
+Per batch the scheduler:
+
+1. identifies *potential* burst candidates — jobs whose unloaded EC round
+   trip (``t_up + e_ec + t_down``) beats the time the IC would take to
+   reach them (``iload + rload / n``, lines 3-12);
+2. computes normalised *leftover* capacities of the three upload queues
+   from their current loads (``s = 1 - s_up / (s_up+m_up+l_up)``, ...,
+   line 13) — an emptier queue gets a wider slice;
+3. sorts the candidate sizes and partitions them in the leftover-capacity
+   ratio, taking the last element of the small and medium slices as the
+   queue upper bounds (lines 14-17).
+
+The placement logic itself is inherited from the Order-Preserving
+scheduler; only the upload-path queueing changes. The cross-queue policy
+("allow jobs in the lower queue to get uploaded via higher queues") lives
+in :class:`repro.sim.pipeline.TransferPipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..workload.document import Job
+from .base import BatchPlan, SystemState
+from .estimators import FinishTimeEstimator
+from .order_preserving import OrderPreservingScheduler
+
+__all__ = ["SizeIntervalSplittingScheduler", "compute_size_bounds"]
+
+
+def compute_size_bounds(
+    candidate_sizes: list[float],
+    queue_loads_mb: list[float],
+) -> Optional[tuple[float, float]]:
+    """Lines 13-17 of Algorithm 3: leftover-ratio partition of sorted sizes.
+
+    Returns ``(s_bound, m_bound)`` or ``None`` when there are too few
+    candidates to define three non-empty intervals.
+    """
+    if len(candidate_sizes) < 3:
+        return None
+    loads = list(queue_loads_mb)
+    if len(loads) != 3:
+        loads = [0.0, 0.0, 0.0]
+    total = sum(loads)
+    if total <= 0:
+        fractions = np.array([1 / 3, 1 / 3, 1 / 3])
+    else:
+        leftover = np.array([1.0 - load / total for load in loads])
+        fractions = leftover / leftover.sum()
+    sizes = np.sort(np.asarray(candidate_sizes, dtype=float))
+    n = len(sizes)
+    # Partition indices from cumulative fractions; each slice keeps at
+    # least one element so both bounds are defined.
+    end_s = int(np.clip(round(fractions[0] * n), 1, n - 2))
+    end_m = int(np.clip(round((fractions[0] + fractions[1]) * n), end_s + 1, n - 1))
+    s_bound = float(sizes[end_s - 1])
+    m_bound = float(sizes[end_m - 1])
+    if m_bound <= s_bound:
+        m_bound = s_bound + max(1.0, 0.05 * s_bound)
+    return (s_bound, m_bound)
+
+
+class SizeIntervalSplittingScheduler(OrderPreservingScheduler):
+    """Algorithm 3 layered on the Order-Preserving scheduler."""
+
+    name = "OpSIBS"
+
+    def __init__(self, estimator: FinishTimeEstimator, **op_kwargs) -> None:
+        super().__init__(estimator, **op_kwargs)
+
+    def wants_size_interval_queues(self) -> bool:
+        return True
+
+    def _burst_candidates(self, jobs: list[Job], state: SystemState) -> list[float]:
+        """Lines 1-12: sizes of jobs that could beat the IC to completion."""
+        n = max(1, len(state.ic_free))
+        # "iload: initial compute load in IC" — mean estimated remaining
+        # seconds per IC machine before this batch is considered.
+        iload = max(0.0, float(np.mean(state.ic_free)) - state.now)
+        rload = 0.0
+        sizes: list[float] = []
+        for job in jobs:
+            est_proc = self.estimator.est_proc_time(job)
+            t_ec = self.estimator.ec_round_trip_unloaded(job, state, est_proc)
+            if t_ec < iload + rload / n:
+                sizes.append(job.input_mb)
+                rload += est_proc / state.ic_speed
+        return sizes
+
+    def plan(self, jobs: list[Job], state: SystemState) -> BatchPlan:
+        chunked = self.prepare(jobs)
+        bounds = compute_size_bounds(
+            self._burst_candidates(chunked, state), state.upload_queue_loads_mb
+        )
+        # Placement is plain Order-Preserving over the already-chunked list.
+        plan = super().plan_prepared(chunked, state)
+        plan.upload_bounds = bounds
+        return plan

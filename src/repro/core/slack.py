@@ -1,0 +1,75 @@
+"""Slackness constraints (Section II.A, Eqs. 1-2).
+
+"Informally, slackness refers to time cushions available to certain jobs to
+make a round trip to an external compute cloud (EC) before their turn for
+local processing arrives."
+
+Equation 1 defines the slack of job ``j_i`` as ``max(T_i)`` where ``T_i``
+is the set of estimated completion times of the jobs preceding ``j_i``.
+Equation 2 states the burst feasibility constraint: the slack must cover
+the estimated round trip — upload (``s_i / l(t_i)``), remote execution
+(``t^e(i)``), and result download (``o_i / l(t_i + t')``).
+
+In Algorithm 2 the check is phrased on absolute times: burst ``j_i`` iff
+its estimated EC *finish time* ``ft^ec(j_i)`` does not exceed
+``slack(J, i)``. The two phrasings coincide because ``ft^ec`` is "now plus
+the round trip under current load". We implement the absolute-time form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["slack_time", "SlackLedger"]
+
+
+def slack_time(preceding_completions: Sequence[float], now: float) -> float:
+    """Eq. 1: ``slack(j_i) = max(T_i)``.
+
+    With no preceding work the cushion collapses to ``now`` — the job is
+    effectively at the head of the queue and must not be bursted ("just
+    bursting out from the head of the queue violates several SLAs").
+    """
+    if not preceding_completions:
+        return now
+    return max(max(preceding_completions), now)
+
+
+class SlackLedger:
+    """Running ``T_i`` pool for in-order batch scheduling.
+
+    Seeded with the estimated completion times of everything already in
+    the system; the Order-Preserving scheduler appends each decision's
+    estimated completion as it walks the batch, so job ``i``'s slack
+    reflects all preceding jobs — earlier batches *and* earlier positions
+    in this batch (Eq. 1's "first ``i`` jobs").
+    """
+
+    def __init__(self, pending_completions: Iterable[float], now: float) -> None:
+        self.now = now
+        self._max: Optional[float] = None
+        for t in pending_completions:
+            self._observe(t)
+
+    def _observe(self, completion: float) -> None:
+        if self._max is None or completion > self._max:
+            self._max = completion
+
+    @property
+    def slack(self) -> float:
+        """Current cushion for the next job in queue order."""
+        if self._max is None:
+            return self.now
+        return max(self._max, self.now)
+
+    def add(self, est_completion: float) -> None:
+        """Fold one scheduled job's estimated completion into the pool."""
+        self._observe(est_completion)
+
+    def can_burst(self, est_ec_completion: float, margin: float = 0.0) -> bool:
+        """Eq. 2 / Alg. 2 line 12: EC finish must fit inside the cushion.
+
+        ``margin`` (the paper's small ``tau``) optionally tolerates the
+        bursted job returning slightly after the preceding work drains.
+        """
+        return est_ec_completion <= self.slack + margin

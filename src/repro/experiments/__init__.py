@@ -1,0 +1,29 @@
+"""Experiment harness: specs, runner, and per-figure/table reproductions."""
+
+from .config import DEFAULT_SPEC, HIGH_VARIATION_SPEC, ExperimentSpec
+from .calibration import RegimeTarget, calibrate, measure_regime
+from .gantt import gantt_svg
+from .persistence import diff_comparisons, load_comparison, save_comparison
+from .report_md import generate_reproduction_report
+from .scaling import ec_instances_for_saturation, ec_scaling_sweep
+from .sweeps import arrival_rate_sweep, bandwidth_sweep, tolerance_sweep
+from .runner import (
+    PAPER_SCHEDULERS,
+    SCHEDULER_NAMES,
+    build_workload,
+    make_scheduler,
+    run_comparison,
+    run_one,
+)
+
+__all__ = [
+    "ExperimentSpec", "DEFAULT_SPEC", "HIGH_VARIATION_SPEC",
+    "SCHEDULER_NAMES", "PAPER_SCHEDULERS", "make_scheduler", "run_one", "run_comparison",
+    "build_workload",
+    "ec_instances_for_saturation", "ec_scaling_sweep",
+    "bandwidth_sweep", "arrival_rate_sweep", "tolerance_sweep",
+    "generate_reproduction_report",
+    "save_comparison", "load_comparison", "diff_comparisons",
+    "RegimeTarget", "calibrate", "measure_regime",
+    "gantt_svg",
+]

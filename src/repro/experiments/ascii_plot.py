@@ -1,0 +1,121 @@
+"""Terminal rendering of figures: line charts, bar charts and tables.
+
+The benchmark harness regenerates every paper figure as text so the
+"plots" land in CI logs and ``bench_output.txt`` without a display server.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "multi_line_plot", "bar_chart", "render_table"]
+
+
+def line_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one series as an ASCII line chart."""
+    return multi_line_plot(x, {y_label or "series": y}, width, height, title)
+
+
+def multi_line_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render several aligned series on one ASCII canvas.
+
+    Each series gets a marker from ``*+ox#@`` in insertion order; a legend
+    line maps markers back to names.
+    """
+    x = np.asarray(x, dtype=float)
+    if len(x) == 0 or not series:
+        return f"{title}\n(no data)"
+    markers = "*+ox#@%&"
+    ys = {name: np.asarray(v, dtype=float) for name, v in series.items()}
+    all_y = np.concatenate([v for v in ys.values() if len(v)])
+    if len(all_y) == 0:
+        return f"{title}\n(no data)"
+    y_min, y_max = float(np.nanmin(all_y)), float(np.nanmax(all_y))
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for k, (name, y) in enumerate(ys.items()):
+        marker = markers[k % len(markers)]
+        n = min(len(x), len(y))
+        for xi, yi in zip(x[:n], y[:n]):
+            if np.isnan(yi):
+                continue
+            col = int((xi - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yi - y_min) / (y_max - y_min) * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.1f} +" + "-" * width)
+    for row in canvas:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:>10.1f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<12.0f}" + " " * max(0, width - 24) + f"{x_max:>12.0f}")
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} {name}" for k, name in enumerate(ys)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.1f}",
+) -> str:
+    """Horizontal ASCII bar chart."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return f"{title}\n(no data)"
+    vmax = float(values.max()) if values.max() > 0 else 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / vmax * width))) if value > 0 else ""
+        lines.append(f"{str(label):>{label_w}} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict-rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = " | ".join(f"{c:>{widths[c]}}" for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    body = [
+        " | ".join(f"{str(r.get(c, '')):>{widths[c]}}" for c in columns) for r in rows
+    ]
+    lines = [title] if title else []
+    lines.extend([header, sep, *body])
+    return "\n".join(lines)

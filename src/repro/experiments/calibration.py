@@ -1,0 +1,119 @@
+"""Auto-calibration: solve testbed parameters for a target regime.
+
+The paper's regime is defined by two dimensionless ratios rather than by
+absolute numbers (see docs/calibration.md):
+
+* the **IC load factor** ``rho = offered work / IC capacity``, which
+  controls whether bursting has anything to relieve;
+* the **transfer/compute ratio** ``kappa = mean transfer time / mean
+  processing time``, the paper's "transfer time ... comparable to their
+  computational time".
+
+:func:`calibrate` takes a workload sample and a target ``(rho, kappa)``
+and returns the processing-time scale and pipe widths that hit them —
+useful when porting the reproduction to a different workload mix (e.g. a
+new bucket or a measured trace) without hand-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.environment import SystemConfig
+from ..workload.generator import Batch
+
+__all__ = ["RegimeTarget", "CalibrationResult", "measure_regime", "calibrate"]
+
+
+@dataclass(frozen=True)
+class RegimeTarget:
+    """The dimensionless operating point to hit."""
+
+    ic_load: float = 1.2        # offered work / IC capacity
+    transfer_compute: float = 0.8  # mean round-trip transfer / mean compute
+
+    def __post_init__(self) -> None:
+        if self.ic_load <= 0 or self.transfer_compute <= 0:
+            raise ValueError("regime ratios must be positive")
+
+
+@dataclass
+class CalibrationResult:
+    """Solved parameters plus the regime they produce."""
+
+    proc_scale: float
+    up_base_mbps: float
+    down_base_mbps: float
+    achieved_ic_load: float
+    achieved_transfer_compute: float
+
+    def apply(self, config: SystemConfig) -> SystemConfig:
+        """Return a config with the solved pipe widths installed.
+
+        The processing scale applies to the *workload* (scale
+        ``true_proc_time`` when generating), not to the config.
+        """
+        return replace(
+            config,
+            up_base_mbps=self.up_base_mbps,
+            down_base_mbps=self.down_base_mbps,
+        )
+
+    def render(self) -> str:
+        return (
+            f"calibration: proc_scale={self.proc_scale:.3f}, "
+            f"up={self.up_base_mbps:.2f} MB/s, down={self.down_base_mbps:.2f} MB/s "
+            f"-> ic_load={self.achieved_ic_load:.2f}, "
+            f"transfer/compute={self.achieved_transfer_compute:.2f}"
+        )
+
+
+def measure_regime(
+    batches: Sequence[Batch], config: SystemConfig
+) -> tuple[float, float]:
+    """The (ic_load, transfer_compute) ratios of a workload on a config."""
+    jobs = [j for b in batches for j in b.jobs]
+    if not jobs or len(batches) < 2:
+        raise ValueError("need a multi-batch workload to measure a regime")
+    mean_proc = float(np.mean([j.true_proc_time for j in jobs]))
+    mean_in = float(np.mean([j.input_mb for j in jobs]))
+    mean_out = float(np.mean([j.output_mb for j in jobs]))
+    interval = batches[1].arrival_time - batches[0].arrival_time
+    jobs_per_batch = len(jobs) / len(batches)
+    ic_capacity_per_batch = config.ic_machines * config.ic_speed * interval
+    ic_load = jobs_per_batch * mean_proc / ic_capacity_per_batch
+    transfer = mean_in / config.up_base_mbps + mean_out / config.down_base_mbps
+    return ic_load, transfer / mean_proc
+
+
+def calibrate(
+    batches: Sequence[Batch],
+    config: SystemConfig,
+    target: RegimeTarget = RegimeTarget(),
+) -> CalibrationResult:
+    """Solve (processing scale, pipe widths) hitting the target regime.
+
+    Closed form: ``ic_load`` is linear in the processing scale, and with
+    the down/up width ratio held at the config's, ``transfer_compute`` is
+    inversely linear in the pipe width.
+    """
+    ic_load0, tc0 = measure_regime(batches, config)
+    proc_scale = target.ic_load / ic_load0
+    # After scaling processing, the transfer/compute ratio becomes
+    # tc0 / proc_scale at the current pipe; widen/narrow the pipe to hit
+    # the target.
+    pipe_scale = (tc0 / proc_scale) / target.transfer_compute
+    up = config.up_base_mbps * pipe_scale
+    down = config.down_base_mbps * pipe_scale
+    achieved_load = ic_load0 * proc_scale
+    achieved_tc = (tc0 / pipe_scale) / proc_scale
+    return CalibrationResult(
+        proc_scale=proc_scale,
+        up_base_mbps=up,
+        down_base_mbps=down,
+        achieved_ic_load=achieved_load,
+        achieved_transfer_compute=achieved_tc,
+    )

@@ -1,0 +1,169 @@
+"""Command-line entry point: ``repro-experiment <target>``.
+
+Regenerates any paper figure/table from the terminal:
+
+    repro-experiment fig6
+    repro-experiment table1 --seeds 42 43 44
+    repro-experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from . import figures, tables
+
+__all__ = ["main"]
+
+
+def _render_fig7() -> str:
+    return "\n\n".join(f.render() for f in figures.fig7_completion())
+
+
+def _render_report() -> str:
+    from ..metrics.report import build_report
+    from ..workload.distributions import Bucket
+    from .config import DEFAULT_SPEC
+    from .runner import run_comparison
+
+    spec = DEFAULT_SPEC.with_bucket(Bucket.LARGE)
+    return build_report(run_comparison(spec)).render()
+
+
+def _render_scaling() -> str:
+    from ..workload.distributions import Bucket
+    from .config import DEFAULT_SPEC
+    from .scaling import ec_scaling_sweep
+
+    return ec_scaling_sweep(DEFAULT_SPEC.with_bucket(Bucket.LARGE)).render()
+
+
+def _render_sweeps() -> str:
+    from ..workload.distributions import Bucket
+    from .config import DEFAULT_SPEC
+    from .sweeps import arrival_rate_sweep, bandwidth_sweep, tolerance_sweep
+
+    spec = DEFAULT_SPEC.with_bucket(Bucket.LARGE)
+    return "\n\n".join([
+        bandwidth_sweep(spec).render(),
+        arrival_rate_sweep(spec).render(),
+        tolerance_sweep(spec).render(),
+    ])
+
+
+def _render_full_report() -> str:
+    from .report_md import generate_reproduction_report
+
+    path = generate_reproduction_report("reproduction_report.md")
+    return f"wrote {path} ({path.stat().st_size} bytes)"
+
+
+def _render_workload() -> str:
+    from .config import DEFAULT_SPEC
+    from .runner import build_workload
+    from ..workload.stats import workload_stats
+
+    return workload_stats(build_workload(DEFAULT_SPEC)).render()
+
+
+_TARGETS: dict[str, Callable[[], str]] = {
+    "fig3": lambda: figures.fig3_qrsm().render(),
+    "fig4": lambda: figures.fig4_bandwidth().render(),
+    "fig6": lambda: figures.fig6_makespan().render(),
+    "fig7": _render_fig7,
+    "fig8": lambda: figures.fig8_completion_large().render(),
+    "fig9": lambda: figures.fig9_oo_metric().render(),
+    "fig10": lambda: figures.fig10_oo_relative().render(),
+    "table1": lambda: tables.table1_metrics().render(),
+    "sibs": lambda: tables.sibs_optimization().render(),
+    # beyond the paper's figures:
+    "report": _render_report,
+    "scaling": _render_scaling,
+    "sweeps": _render_sweeps,
+    "workload": _render_workload,
+    "full-report": _render_full_report,
+}
+
+
+def _cmd_snapshot(args) -> int:
+    """Run the paper's comparison and persist it for regression tracking."""
+    from ..workload.distributions import Bucket
+    from .config import DEFAULT_SPEC
+    from .persistence import save_comparison
+    from .runner import run_comparison
+
+    spec = DEFAULT_SPEC.with_bucket(Bucket(args.bucket)).with_seed(args.seed)
+    traces = run_comparison(spec)
+    directory = save_comparison(
+        args.directory, traces,
+        metadata={"bucket": args.bucket, "seed": args.seed},
+    )
+    print(f"saved comparison snapshot to {directory}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    """Diff two snapshots; non-zero exit when metrics drifted."""
+    from .persistence import diff_comparisons
+
+    report = diff_comparisons(args.old, args.new)
+    drifted = False
+    for name, drift in report.items():
+        if not drift:
+            print(f"{name}: no drift")
+            continue
+        drifted = True
+        for metric, rel in drift.items():
+            print(f"{name}: {metric} changed {rel:+.1%}")
+    return 1 if drifted else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate figures/tables from the ICPP 2010 cloud-bursting paper.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    render = sub.add_parser(
+        "render", help="regenerate a figure/table (default command)"
+    )
+    render.add_argument("target", choices=[*_TARGETS, "all"])
+
+    snapshot = sub.add_parser(
+        "snapshot", help="run the scheduler comparison and persist it"
+    )
+    snapshot.add_argument("directory")
+    snapshot.add_argument("--bucket", default="large",
+                          choices=["small", "uniform", "large"])
+    snapshot.add_argument("--seed", type=int, default=42)
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    diff = sub.add_parser("diff", help="compare two persisted snapshots")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.set_defaults(func=_cmd_diff)
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Back-compat sugar: `repro-experiment fig6` == `repro-experiment render fig6`.
+    if argv and argv[0] in (*_TARGETS, "all"):
+        argv = ["render", *argv]
+    args = parser.parse_args(argv)
+
+    if args.command == "render":
+        targets = list(_TARGETS) if args.target == "all" else [args.target]
+        for name in targets:
+            print(f"=== {name} " + "=" * max(0, 70 - len(name)))
+            print(_TARGETS[name]())
+            print()
+        return 0
+    if args.command in ("snapshot", "diff"):
+        return args.func(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Experiment specifications shared by the runner, figures and benches.
+
+One :class:`ExperimentSpec` pins everything a comparison needs to be fair:
+the workload bucket and seed (all schedulers replay the *identical* batch
+sequence), the QRSM training set, and the testbed :class:`SystemConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..sim.environment import SystemConfig
+from ..workload.distributions import Bucket
+from ..workload.generator import WorkloadConfig
+
+__all__ = ["ExperimentSpec", "DEFAULT_SPEC", "HIGH_VARIATION_SPEC"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A fully pinned experiment (workload + testbed + training)."""
+
+    bucket: Bucket = Bucket.UNIFORM
+    n_batches: int = 6
+    batch_interval_s: float = 180.0
+    mean_jobs_per_batch: float = 15.0
+    workload_seed: int = 42
+    training_samples: int = 400
+    training_seed: int = 777
+    system: SystemConfig = field(default_factory=SystemConfig)
+
+    def workload_config(self) -> WorkloadConfig:
+        return WorkloadConfig(
+            bucket=self.bucket,
+            n_batches=self.n_batches,
+            batch_interval_s=self.batch_interval_s,
+            mean_jobs_per_batch=self.mean_jobs_per_batch,
+            seed=self.workload_seed,
+        )
+
+    def with_bucket(self, bucket: Bucket) -> "ExperimentSpec":
+        return replace(self, bucket=bucket)
+
+    def with_system(self, **kwargs) -> "ExperimentSpec":
+        return replace(self, system=replace(self.system, **kwargs))
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        """Re-seed workload and system together for replication runs."""
+        return replace(
+            self,
+            workload_seed=seed,
+            system=replace(self.system, seed=seed * 7919 + 1),
+        )
+
+
+#: Section V.A defaults: uniform bucket, 6 batches of ~15 jobs / 3 min.
+DEFAULT_SPEC = ExperimentSpec()
+
+#: Fig. 9's setting: large bucket under high network variation.
+HIGH_VARIATION_SPEC = ExperimentSpec(bucket=Bucket.LARGE).with_system(
+    bandwidth_variation=0.6
+)

@@ -1,0 +1,489 @@
+"""Per-figure reproductions of the paper's evaluation (Section V).
+
+Each ``figN_*`` function regenerates the data behind one figure and returns
+a small result object with the raw series plus a ``render()`` method that
+prints the figure as ASCII (so benchmark logs double as the figures).
+
+Conventions:
+
+* comparisons replay the identical workload across schedulers
+  (:func:`repro.experiments.runner.run_comparison`);
+* OO-metric series are integrated over a *common* horizon (first arrival to
+  the last completion among the compared runs) so a faster run is not
+  penalised for simply ending sooner;
+* multi-seed variants average scalar outcomes over replicated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..metrics.oo import OOSeries, ordered_data_series, relative_oo_difference
+from ..metrics.series import completion_series, peak_stats
+from ..metrics.sla import summarize
+from ..models.bandwidth import (
+    SECONDS_PER_DAY,
+    DiurnalBandwidthProfile,
+    TimeOfDayBandwidthEstimator,
+)
+from ..models.qrsm import QuadraticResponseSurface
+from ..models.threads import ThreadTuner, optimal_threads
+from ..sim.engine import Simulator
+from ..sim.network import CapacityProcess, FluidLink, ProbeService
+from ..sim.tracing import RunTrace
+from ..workload.distributions import Bucket
+from ..workload.generator import WorkloadGenerator
+from . import ascii_plot
+from .config import DEFAULT_SPEC, HIGH_VARIATION_SPEC, ExperimentSpec
+from .runner import run_comparison
+
+__all__ = [
+    "Fig3Result", "fig3_qrsm",
+    "Fig4Result", "fig4_bandwidth",
+    "Fig6Result", "fig6_makespan",
+    "CompletionFigure", "fig7_completion", "fig8_completion_large",
+    "Fig9Result", "fig9_oo_metric",
+    "Fig10Result", "fig10_oo_relative",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — QRSM for processing time
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig3Result:
+    """Fit quality of the quadratic response surface (Fig. 3).
+
+    Holds a 1-D slice of the surface (time vs size, other features
+    averaged out) plus the paper-style 2-D surface over size x colour
+    fraction (the feature pair with the strongest interaction term).
+    """
+
+    r_squared_train: float
+    r_squared_test: float
+    rmse_test: float
+    mean_time_s: float
+    n_train: int
+    n_test: int
+    surface_sizes: np.ndarray
+    surface_pred: np.ndarray
+    surface_true: np.ndarray
+    grid_sizes: np.ndarray = field(default_factory=lambda: np.array([]))
+    grid_colors: np.ndarray = field(default_factory=lambda: np.array([]))
+    grid_pred: np.ndarray = field(default_factory=lambda: np.array([[]]))
+
+    def render(self) -> str:
+        lines = [
+            "Figure 3 — Quadratic Response Surface Model for processing time",
+            f"  train R^2 = {self.r_squared_train:.4f}   "
+            f"test R^2 = {self.r_squared_test:.4f}   "
+            f"test RMSE = {self.rmse_test:.2f}s (mean time {self.mean_time_s:.1f}s)",
+        ]
+        lines.append(
+            ascii_plot.multi_line_plot(
+                self.surface_sizes,
+                {"predicted": self.surface_pred, "true mean": self.surface_true},
+                title="  processing time vs document size (other features at medians)",
+            )
+        )
+        if self.grid_pred.size:
+            lines.append("  predicted surface (s): document size (rows, MB) x "
+                         "colour fraction (cols)")
+            header = "  size\\clr " + " ".join(
+                f"{c:>6.2f}" for c in self.grid_colors
+            )
+            lines.append(header)
+            for size, row in zip(self.grid_sizes, self.grid_pred):
+                lines.append(
+                    f"  {size:>8.0f} " + " ".join(f"{v:>6.1f}" for v in row)
+                )
+        return "\n".join(lines)
+
+
+def fig3_qrsm(
+    n_train: int = 400,
+    n_test: int = 200,
+    seed: int = 7,
+    method: str = "lsq",
+) -> Fig3Result:
+    """Fit the QRSM on synthetic production data, evaluate out-of-sample."""
+    gen = WorkloadGenerator(bucket=Bucket.UNIFORM, seed=seed)
+    feats_train, y_train = gen.sample_training_set(n_train)
+    feats_test, y_test = gen.sample_training_set(n_test)
+    model = QuadraticResponseSurface(method=method)
+    model.fit(feats_train, y_train)
+
+    # 1-D slice of the response surface: vary size, pin other features by
+    # re-sampling documents of that size and averaging.
+    sizes = np.linspace(5, 295, 30)
+    pred, true = [], []
+    truth = gen.truth
+    for size in sizes:
+        docs = [gen.sample_features(size_mb=float(size)) for _ in range(20)]
+        pred.append(float(np.mean([model.predict(d) for d in docs])))
+        true.append(float(np.mean([truth.mean_time(d) for d in docs])))
+
+    # 2-D surface: predicted time over (size, colour fraction), the pair
+    # carrying the model's strongest interaction term, with the remaining
+    # features averaged over re-sampled documents of each size.
+    import dataclasses as _dc
+
+    grid_sizes = np.linspace(20, 280, 6)
+    grid_colors = np.linspace(0.0, 1.0, 5)
+    grid_pred = np.zeros((len(grid_sizes), len(grid_colors)))
+    for i, size in enumerate(grid_sizes):
+        docs = [gen.sample_features(size_mb=float(size)) for _ in range(12)]
+        for j, color in enumerate(grid_colors):
+            pinned = [_dc.replace(d, color_fraction=float(color)) for d in docs]
+            grid_pred[i, j] = float(np.mean([model.predict(d) for d in pinned]))
+
+    resid = model.residuals(feats_test, y_test)
+    return Fig3Result(
+        r_squared_train=model.r_squared(feats_train, y_train),
+        r_squared_test=model.r_squared(feats_test, y_test),
+        rmse_test=float(np.sqrt(np.mean(resid**2))),
+        mean_time_s=float(np.mean(y_test)),
+        n_train=n_train,
+        n_test=n_test,
+        surface_sizes=sizes,
+        surface_pred=np.array(pred),
+        surface_true=np.array(true),
+        grid_sizes=grid_sizes,
+        grid_colors=grid_colors,
+        grid_pred=grid_pred,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — time-of-day bandwidth model and thread tuning
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig4Result:
+    """Learned time-of-day bandwidth (4a) and converged threads (4b)."""
+
+    hours: np.ndarray
+    true_mbps: np.ndarray
+    learned_mbps: np.ndarray
+    threads_per_hour: np.ndarray
+    optimal_threads_per_hour: np.ndarray
+    mean_abs_error: float
+
+    def render(self) -> str:
+        parts = [
+            "Figure 4(a) — time-of-day bandwidth: learned vs true "
+            f"(mean abs err {self.mean_abs_error:.3f} MB/s)",
+            ascii_plot.multi_line_plot(
+                self.hours,
+                {"true": self.true_mbps, "learned": self.learned_mbps},
+                title="  effective bandwidth (MB/s) vs hour of day",
+            ),
+            "Figure 4(b) — threads used to saturate the pipe per hour",
+            ascii_plot.multi_line_plot(
+                self.hours,
+                {
+                    "tuned": self.threads_per_hour.astype(float),
+                    "optimal": self.optimal_threads_per_hour.astype(float),
+                },
+                title="  parallel transfer threads vs hour of day",
+            ),
+        ]
+        return "\n".join(parts)
+
+
+def fig4_bandwidth(
+    profile: Optional[DiurnalBandwidthProfile] = None,
+    variation: float = 0.2,
+    per_thread_mbps: float = 0.5,
+    probe_interval_s: float = 120.0,
+    n_days: float = 2.0,
+    seed: int = 11,
+) -> Fig4Result:
+    """Run probes + a stream of calibration transfers for ``n_days``.
+
+    A standalone network-only simulation: the probe service feeds the
+    time-of-day estimator, and a continuous sequence of 40 MB calibration
+    transfers feeds the thread tuner, which converges per hourly bin.
+    """
+    profile = profile if profile is not None else DiurnalBandwidthProfile(base_mbps=4.0)
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    capacity = CapacityProcess(sim, profile, rng, variation=variation, epoch_s=30.0)
+    link = FluidLink(sim, capacity, per_thread_mbps, name="uplink")
+    estimator = TimeOfDayBandwidthEstimator(alpha=0.3, n_bins=24)
+    tuner = ThreadTuner(initial_threads=4, max_threads=16, n_bins=24)
+    ProbeService(sim, link, estimator, interval_s=probe_interval_s)
+
+    def start_calibration_transfer() -> None:
+        threads = tuner.threads_for(sim.now)
+
+        def done(transfer) -> None:
+            own = transfer.achieved_mbps
+            if own is not None:
+                tuner.report(transfer.start_time, transfer.threads, own)
+            agg = transfer.aggregate_mbps
+            if agg is not None:
+                estimator.observe(transfer.start_time, agg)
+            sim.schedule(5.0, start_calibration_transfer)
+
+        link.start_transfer(40.0, threads, done, label="upload:cal")
+
+    start_calibration_transfer()
+    sim.run(until=n_days * SECONDS_PER_DAY)
+
+    hours = np.arange(24, dtype=float)
+    true = np.array([profile.mean_at(h * 3600.0) for h in hours])
+    learned = estimator.bin_values()
+    threads = tuner.bin_settings()
+    optimal = np.array(
+        [optimal_threads(profile.mean_at(h * 3600.0), per_thread_mbps, 16) for h in hours]
+    )
+    valid = ~np.isnan(learned)
+    mae = float(np.mean(np.abs(learned[valid] - true[valid]))) if valid.any() else np.nan
+    return Fig4Result(
+        hours=hours,
+        true_mbps=true,
+        learned_mbps=learned,
+        threads_per_hour=threads,
+        optimal_threads_per_hour=optimal,
+        mean_abs_error=mae,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — makespan comparison
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig6Result:
+    """Makespan of each scheduler per bucket (Fig. 6)."""
+
+    buckets: list[str]
+    schedulers: list[str]
+    makespans: dict[str, dict[str, float]]  # bucket -> scheduler -> seconds
+    improvement_vs_ic: dict[str, dict[str, float]]  # percent
+
+    def render(self) -> str:
+        parts = ["Figure 6 — makespan comparison (seconds; % gain vs ICOnly)"]
+        for bucket in self.buckets:
+            values = [self.makespans[bucket][s] for s in self.schedulers]
+            labels = [
+                f"{s} ({self.improvement_vs_ic[bucket][s]:+.1f}%)"
+                for s in self.schedulers
+            ]
+            parts.append(ascii_plot.bar_chart(labels, values, title=f"  bucket={bucket}"))
+        return "\n".join(parts)
+
+
+def fig6_makespan(
+    spec: ExperimentSpec = DEFAULT_SPEC,
+    buckets: Sequence[Bucket] = (Bucket.SMALL, Bucket.UNIFORM, Bucket.LARGE),
+    schedulers: Sequence[str] = ("ICOnly", "Greedy", "Op"),
+    seeds: Sequence[int] = (42, 43, 44),
+) -> Fig6Result:
+    makespans: dict[str, dict[str, float]] = {}
+    gains: dict[str, dict[str, float]] = {}
+    for bucket in buckets:
+        sums = {s: 0.0 for s in schedulers}
+        for seed in seeds:
+            traces = run_comparison(
+                spec.with_bucket(bucket).with_seed(seed), scheduler_names=schedulers
+            )
+            for s in schedulers:
+                sums[s] += traces[s].makespan
+        mk = {s: sums[s] / len(seeds) for s in schedulers}
+        base = mk.get("ICOnly", next(iter(mk.values())))
+        makespans[bucket.value] = mk
+        gains[bucket.value] = {s: 100.0 * (base - mk[s]) / base for s in schedulers}
+    return Fig6Result(
+        buckets=[b.value for b in buckets],
+        schedulers=list(schedulers),
+        makespans=makespans,
+        improvement_vs_ic=gains,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 & 8 — completion-time series (peaks and valleys)
+# ---------------------------------------------------------------------------
+@dataclass
+class CompletionFigure:
+    """Completion time vs queue position for Greedy vs Op (Figs. 7-8)."""
+
+    bucket: str
+    series: dict[str, tuple[np.ndarray, np.ndarray]]  # name -> (ids, t_c - arr)
+    peaks: dict[str, object]
+
+    def render(self) -> str:
+        parts = [f"Completion times by queue position — bucket={self.bucket}"]
+        first = next(iter(self.series.values()))
+        ids = first[0]
+        parts.append(
+            ascii_plot.multi_line_plot(
+                ids,
+                {name: resp for name, (_, resp) in self.series.items()},
+                title="  response time (s) vs job id",
+            )
+        )
+        for name, p in self.peaks.items():
+            parts.append(
+                f"  {name:8s}: peaks={p.n_peaks:3d} total_wait={p.total_wait_s:8.1f}s "
+                f"max_wait={p.max_wait_s:7.1f}s"
+            )
+        return "\n".join(parts)
+
+
+def _completion_figure(
+    bucket: Bucket, spec: ExperimentSpec, schedulers: Sequence[str], seed: int
+) -> CompletionFigure:
+    traces = run_comparison(
+        spec.with_bucket(bucket).with_seed(seed), scheduler_names=schedulers
+    )
+    series = {}
+    peaks = {}
+    for name, trace in traces.items():
+        cs = completion_series(trace)
+        series[name] = (cs.ids, cs.response_times)
+        peaks[name] = peak_stats(trace)
+    return CompletionFigure(bucket=bucket.value, series=series, peaks=peaks)
+
+
+def fig7_completion(
+    spec: ExperimentSpec = DEFAULT_SPEC,
+    schedulers: Sequence[str] = ("Greedy", "Op"),
+    seed: int = 42,
+) -> list[CompletionFigure]:
+    """Fig. 7: uniform and small job-size distributions."""
+    return [
+        _completion_figure(Bucket.UNIFORM, spec, schedulers, seed),
+        _completion_figure(Bucket.SMALL, spec, schedulers, seed),
+    ]
+
+
+def fig8_completion_large(
+    spec: ExperimentSpec = DEFAULT_SPEC,
+    schedulers: Sequence[str] = ("Greedy", "Op"),
+    seed: int = 42,
+) -> CompletionFigure:
+    """Fig. 8: the large bucket, where the peak effect is amplified."""
+    return _completion_figure(Bucket.LARGE, spec, schedulers, seed)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — OO metric under high network variation
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig9Result:
+    """Ordered-data availability o_t, large bucket, high variation."""
+
+    tolerance: int
+    sampling_interval: float
+    series: dict[str, OOSeries]
+    areas: dict[str, float]
+
+    def render(self) -> str:
+        first = next(iter(self.series.values()))
+        rel_times = first.times - first.times[0]
+        parts = [
+            f"Figure 9 — OO metric o_t (tol={self.tolerance}, "
+            f"sampling {self.sampling_interval:.0f}s), large bucket, high variation",
+            ascii_plot.multi_line_plot(
+                rel_times,
+                {name: s.ordered_mb for name, s in self.series.items()},
+                title="  ordered output available (MB) vs time (s)",
+            ),
+        ]
+        for name, area in self.areas.items():
+            parts.append(f"  {name:8s}: availability area = {area / 1e6:.3f} MMB*s")
+        return "\n".join(parts)
+
+
+def fig9_oo_metric(
+    spec: ExperimentSpec = HIGH_VARIATION_SPEC,
+    schedulers: Sequence[str] = ("Greedy", "Op"),
+    tolerance: int = 0,
+    sampling_interval: float = 120.0,
+    seed: int = 43,
+) -> Fig9Result:
+    traces = run_comparison(spec.with_seed(seed), scheduler_names=schedulers)
+    start = min(t.arrival_time for t in traces.values())
+    end = max(t.end_time for t in traces.values())
+    series = {
+        name: ordered_data_series(
+            trace, tolerance=tolerance, sampling_interval=sampling_interval,
+            start=start, end=end,
+        )
+        for name, trace in traces.items()
+    }
+    return Fig9Result(
+        tolerance=tolerance,
+        sampling_interval=sampling_interval,
+        series=series,
+        areas={name: s.area() for name, s in series.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — relative OO difference vs the IC-only baseline
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig10Result:
+    """Relative o_t difference w.r.t. ICOnly, tol_limit=4, large bucket."""
+
+    tolerance: int
+    times: np.ndarray
+    relative: dict[str, np.ndarray]
+    mean_relative: dict[str, float]
+
+    def render(self) -> str:
+        parts = [
+            f"Figure 10 — relative OO difference vs ICOnly (tol={self.tolerance}, large)",
+            ascii_plot.multi_line_plot(
+                self.times - self.times[0],
+                self.relative,
+                title="  (o_t - o_t^ICOnly) / o_t^ICOnly vs time (s)",
+            ),
+        ]
+        for name, m in self.mean_relative.items():
+            parts.append(f"  {name:8s}: mean relative difference = {m:+.4f}")
+        return "\n".join(parts)
+
+
+def fig10_oo_relative(
+    spec: ExperimentSpec = HIGH_VARIATION_SPEC,
+    schedulers: Sequence[str] = ("Greedy", "Op", "OpSIBS"),
+    tolerance: int = 4,
+    sampling_interval: float = 120.0,
+    seed: int = 43,
+) -> Fig10Result:
+    names = ["ICOnly", *[s for s in schedulers if s != "ICOnly"]]
+    traces = run_comparison(spec.with_seed(seed), scheduler_names=names)
+    start = min(t.arrival_time for t in traces.values())
+    end = max(t.end_time for t in traces.values())
+    series = {
+        name: ordered_data_series(
+            trace, tolerance=tolerance, sampling_interval=sampling_interval,
+            start=start, end=end,
+        )
+        for name, trace in traces.items()
+    }
+    baseline = series["ICOnly"]
+    relative = {
+        name: relative_oo_difference(s, baseline)
+        for name, s in series.items()
+        if name != "ICOnly"
+    }
+    # Skip warm-up samples where the baseline is still ~0 MB: the relative
+    # difference there is dominated by the epsilon denominator.
+    warm = baseline.ordered_mb > 0.05 * max(baseline.final_mb, 1.0)
+    mean_relative = {
+        name: float(np.mean(rel[warm])) if warm.any() else float(np.mean(rel))
+        for name, rel in relative.items()
+    }
+    return Fig10Result(
+        tolerance=tolerance,
+        times=baseline.times,
+        relative=relative,
+        mean_relative=mean_relative,
+    )

@@ -1,0 +1,146 @@
+"""Gantt rendering of a run trace.
+
+Turns a :class:`~repro.sim.tracing.RunTrace` into an SVG Gantt chart: one
+row per machine (IC above, EC below) with execution intervals, plus
+upload/download bars on transfer rows — the picture that makes a
+scheduling decision sequence legible at a glance. Pure SVG via
+:mod:`repro.experiments.svg_plot`'s canvas, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional
+
+from ..common import Placement
+from ..sim.tracing import JobRecord, RunTrace
+
+__all__ = ["gantt_svg"]
+
+_ROW_H = 18
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 96, 16, 40, 28
+
+_IC_COLOR = "#0072B2"
+_EC_COLOR = "#E69F00"
+_UP_COLOR = "#009E73"
+_DOWN_COLOR = "#CC79A7"
+
+
+def _bar(x0: float, x1: float, y: float, color: str, title: str) -> str:
+    width = max(0.5, x1 - x0)
+    return (
+        f'<rect x="{x0:.1f}" y="{y:.1f}" width="{width:.1f}" height="{_ROW_H - 4}" '
+        f'fill="{color}" fill-opacity="0.85"><title>{html.escape(title)}</title></rect>'
+    )
+
+
+def gantt_svg(
+    trace: RunTrace,
+    width: int = 960,
+    max_jobs_labelled: int = 60,
+    title: Optional[str] = None,
+) -> str:
+    """Render the run as an SVG Gantt chart string.
+
+    Rows: every IC machine, every EC machine (discovered from the records'
+    ``machine`` fields), then one ``upload`` and one ``download`` row
+    aggregating the transfer intervals.
+    """
+    records = [r for r in trace.records if r.completion_time is not None]
+    if not records:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40">'
+            "<text x='8' y='24' font-family='sans-serif'>empty trace</text></svg>"
+        )
+    t0 = trace.arrival_time
+    t1 = max(r.completion_time for r in records)
+    span = max(1.0, t1 - t0)
+
+    machines = sorted(
+        {r.machine for r in records if r.machine},
+        key=lambda m: (not m.startswith("ic"), m),
+    )
+    rows: list[str] = machines + ["upload", "download"]
+    height = _MARGIN_T + _MARGIN_B + _ROW_H * len(rows)
+    plot_w = width - _MARGIN_L - _MARGIN_R
+
+    def px(t: float) -> float:
+        return _MARGIN_L + (t - t0) / span * plot_w
+
+    def py(row: int) -> float:
+        return _MARGIN_T + row * _ROW_H + 2
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    heading = title or f"Gantt — {trace.scheduler_name} ({len(records)} jobs)"
+    parts.append(
+        f'<text x="{width / 2}" y="20" font-size="14" text-anchor="middle" '
+        f'font-family="sans-serif" fill="#111">{html.escape(heading)}</text>'
+    )
+
+    # Row labels + separators.
+    for k, name in enumerate(rows):
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{py(k) + _ROW_H - 7}" font-size="10" '
+            f'text-anchor="end" font-family="sans-serif" fill="#555">'
+            f"{html.escape(name)}</text>"
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py(k) - 2}" x2="{width - _MARGIN_R}" '
+            f'y2="{py(k) - 2}" stroke="#eee"/>'
+        )
+
+    row_of = {name: k for k, name in enumerate(rows)}
+    label_budget = max_jobs_labelled
+
+    for rec in records:
+        tag = f"job {rec.job_id}" + (f".{rec.sub_id}" if rec.sub_id else "")
+        if rec.machine and rec.exec_start is not None and rec.exec_end is not None:
+            color = _IC_COLOR if rec.placement == Placement.IC else _EC_COLOR
+            y = py(row_of[rec.machine])
+            parts.append(
+                _bar(px(rec.exec_start), px(rec.exec_end), y, color,
+                     f"{tag} exec [{rec.exec_start - t0:.0f}, {rec.exec_end - t0:.0f}]s")
+            )
+            if label_budget > 0 and (rec.exec_end - rec.exec_start) / span > 0.02:
+                label_budget -= 1
+                parts.append(
+                    f'<text x="{px(rec.exec_start) + 2:.1f}" y="{y + _ROW_H - 7}" '
+                    f'font-size="8" font-family="sans-serif" fill="white">'
+                    f"{rec.job_id}</text>"
+                )
+        if rec.upload_start is not None and rec.upload_end is not None:
+            parts.append(
+                _bar(px(rec.upload_start), px(rec.upload_end), py(row_of["upload"]),
+                     _UP_COLOR, f"{tag} upload {rec.input_mb:.0f}MB")
+            )
+        if rec.download_start is not None and rec.download_end is not None:
+            parts.append(
+                _bar(px(rec.download_start), px(rec.download_end),
+                     py(row_of["download"]), _DOWN_COLOR,
+                     f"{tag} download {rec.output_mb:.0f}MB")
+            )
+
+    # Time axis.
+    axis_y = height - _MARGIN_B + 12
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = t0 + frac * span
+        parts.append(
+            f'<text x="{px(t):.1f}" y="{axis_y}" font-size="10" text-anchor="middle" '
+            f'font-family="sans-serif" fill="#666">{t - t0:.0f}s</text>'
+        )
+    legend = [("IC exec", _IC_COLOR), ("EC exec", _EC_COLOR),
+              ("upload", _UP_COLOR), ("download", _DOWN_COLOR)]
+    lx = _MARGIN_L
+    for name, color in legend:
+        parts.append(f'<rect x="{lx}" y="26" width="10" height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{lx + 14}" y="35" font-size="10" font-family="sans-serif" '
+            f'fill="#444">{name}</text>'
+        )
+        lx += 80
+    parts.append("</svg>")
+    return "\n".join(parts)

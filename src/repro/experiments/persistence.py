@@ -1,0 +1,104 @@
+"""Result persistence: save, reload and diff whole comparisons.
+
+A released reproduction needs regression tracking: after a code change,
+did any scheduler's metrics drift? :func:`save_comparison` snapshots a
+``run_comparison`` result (full per-job traces plus the SLA summaries) to
+a directory; :func:`diff_comparisons` reports per-scheduler metric deltas
+between two snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Mapping, Optional
+
+from ..metrics.sla import summarize
+from ..sim.tracing import RunTrace
+
+__all__ = ["save_comparison", "load_comparison", "diff_comparisons"]
+
+_MANIFEST = "manifest.json"
+
+#: Metrics tracked by the diff, with the relative change that counts as
+#: drift for each.
+_TRACKED = {
+    "makespan_s": 0.01,
+    "speedup": 0.01,
+    "ic_util": 0.02,
+    "ec_util": 0.02,
+    "burst_ratio": 0.02,
+}
+
+
+def save_comparison(
+    directory: str | Path,
+    traces: Mapping[str, RunTrace],
+    metadata: Optional[dict] = None,
+) -> Path:
+    """Persist traces + summaries; returns the directory path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    summaries = {}
+    for name, trace in traces.items():
+        trace.to_json(directory / f"trace_{name}.json")
+        s = summarize(trace)
+        summaries[name] = {
+            "makespan_s": s.makespan_s,
+            "speedup": s.speedup,
+            "ic_util": s.ic_util,
+            "ec_util": s.ec_util,
+            "burst_ratio": s.burst_ratio,
+            "n_jobs": s.n_jobs,
+            "n_bursted": s.n_bursted,
+        }
+    manifest = {
+        "version": 1,
+        "schedulers": sorted(traces),
+        "summaries": summaries,
+        "metadata": metadata or {},
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_comparison(directory: str | Path) -> tuple[dict[str, RunTrace], dict]:
+    """Reload a saved comparison; returns (traces, manifest)."""
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    if manifest.get("version") != 1:
+        raise ValueError(f"unsupported snapshot version: {manifest.get('version')}")
+    traces = {
+        name: RunTrace.from_json(directory / f"trace_{name}.json")
+        for name in manifest["schedulers"]
+    }
+    return traces, manifest
+
+
+def diff_comparisons(
+    old_dir: str | Path, new_dir: str | Path
+) -> dict[str, dict[str, float]]:
+    """Per-scheduler relative metric changes between two snapshots.
+
+    Returns ``{scheduler: {metric: relative_change}}`` restricted to
+    metrics whose change exceeds the drift threshold (empty inner dict =
+    no drift). Schedulers present in only one snapshot appear under the
+    pseudo-metric ``"missing"``.
+    """
+    old = json.loads((Path(old_dir) / _MANIFEST).read_text())["summaries"]
+    new = json.loads((Path(new_dir) / _MANIFEST).read_text())["summaries"]
+    report: dict[str, dict[str, float]] = {}
+    for name in sorted(set(old) | set(new)):
+        if name not in old or name not in new:
+            report[name] = {"missing": 1.0}
+            continue
+        drift: dict[str, float] = {}
+        for metric, threshold in _TRACKED.items():
+            a, b = old[name][metric], new[name][metric]
+            base = max(abs(a), 1e-9)
+            rel = (b - a) / base
+            if abs(rel) > threshold:
+                drift[metric] = rel
+        report[name] = drift
+    return report

@@ -1,0 +1,98 @@
+"""One-command reproduction report.
+
+:func:`generate_reproduction_report` reruns every figure and table of the
+paper's evaluation and writes a single self-contained Markdown document —
+rendered ASCII figures, measured-vs-paper tables, and the workload
+characterisation — so a reviewer can regenerate the full evaluation with:
+
+    repro-experiment full-report
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..workload.distributions import Bucket
+from ..workload.stats import workload_stats
+from . import figures, tables
+from .config import DEFAULT_SPEC, HIGH_VARIATION_SPEC, ExperimentSpec
+from .runner import build_workload
+
+__all__ = ["generate_reproduction_report"]
+
+
+def _block(text: str) -> str:
+    return f"```text\n{text}\n```\n"
+
+
+def generate_reproduction_report(
+    path: str | Path = "reproduction_report.md",
+    spec: ExperimentSpec = DEFAULT_SPEC,
+    seeds: Sequence[int] = (42, 43, 44),
+    quick: bool = False,
+) -> Path:
+    """Run the full evaluation and write the Markdown report.
+
+    ``quick`` trims seeds and sample counts for smoke-testing; the real
+    report uses the defaults (a few seconds of wall time per figure).
+    """
+    seeds = tuple(seeds[:1]) if quick else tuple(seeds)
+    t0 = time.time()
+    sections: list[str] = []
+
+    sections.append(
+        "# Reproduction report — Optimizing SLAs for Autonomic Cloud "
+        "Bursting Schedulers (ICPP 2010)\n\n"
+        "Regenerated from scratch by `repro-experiment full-report`. "
+        "Shape criteria for every figure are asserted by "
+        "`pytest benchmarks/ --benchmark-only`.\n"
+    )
+
+    # Workload characterisation.
+    stats = workload_stats(build_workload(spec.with_bucket(Bucket.LARGE)))
+    sections.append("## Workload (large bucket)\n\n" + _block(stats.render()))
+
+    # Figures.
+    n_train = 150 if quick else 400
+    fig3 = figures.fig3_qrsm(n_train=n_train, n_test=100 if quick else 200)
+    sections.append("## Figure 3 — QRSM\n\n" + _block(fig3.render()))
+
+    fig4 = figures.fig4_bandwidth(n_days=0.5 if quick else 2.0)
+    sections.append("## Figure 4 — bandwidth & threads\n\n" + _block(fig4.render()))
+
+    fig6 = figures.fig6_makespan(spec=spec, seeds=seeds)
+    sections.append("## Figure 6 — makespan\n\n" + _block(fig6.render()))
+
+    fig7 = figures.fig7_completion(spec=spec, seed=seeds[0])
+    sections.append(
+        "## Figure 7 — completion series (uniform & small)\n\n"
+        + _block("\n\n".join(f.render() for f in fig7))
+    )
+
+    fig8 = figures.fig8_completion_large(spec=spec, seed=seeds[0])
+    sections.append("## Figure 8 — completion series (large)\n\n" + _block(fig8.render()))
+
+    fig9 = figures.fig9_oo_metric(spec=HIGH_VARIATION_SPEC, seed=seeds[0])
+    sections.append("## Figure 9 — OO metric under high variation\n\n" + _block(fig9.render()))
+
+    fig10 = figures.fig10_oo_relative(spec=HIGH_VARIATION_SPEC, seed=seeds[0])
+    sections.append("## Figure 10 — relative OO vs IC-only\n\n" + _block(fig10.render()))
+
+    # Tables.
+    t1 = tables.table1_metrics(spec=spec, seeds=seeds)
+    sections.append("## Table I — performance metrics\n\n" + _block(t1.render()))
+
+    sibs = tables.sibs_optimization(spec=spec, seeds=seeds)
+    sections.append("## Section V.B.4 — size-interval splitting\n\n" + _block(sibs.render()))
+
+    elapsed = time.time() - t0
+    sections.append(
+        f"---\n\n*Report generated in {elapsed:.1f}s of wall time "
+        f"(seeds {list(seeds)}, quick={quick}).*\n"
+    )
+
+    out = Path(path)
+    out.write_text("\n".join(sections))
+    return out

@@ -1,0 +1,130 @@
+"""Elastic EC scaling — Section V.B.4's future-work policy.
+
+"The Cloud Bursting efficiency can be improved by keeping the pipeline
+full. Due to the data intensive nature of the jobs, the scaling (at EC)
+must be just enough to ensure saturation of the download bandwidth."
+
+The steady-state argument: the EC can emit results no faster than the
+download pipe drains them. With mean standard processing time ``t_proc``
+per job, EC machine speed ``v``, and mean output size ``o`` MB per job, a
+pool of ``n`` machines produces at most ``n * v / t_proc`` jobs/s, i.e.
+``n * v * o / t_proc`` MB/s of results. Setting that equal to the
+effective download bandwidth ``d`` MB/s gives the knee:
+
+    n* = ceil(d * t_proc / (v * o))
+
+Fewer machines leave the pipe hungry; more leave machines idle waiting for
+the downlink (or, upstream, for the uplink — the same argument bounds
+useful EC capacity by ``u * t_proc / (v * s)`` with input sizes ``s``).
+
+:func:`ec_scaling_sweep` verifies the knee empirically by sweeping the EC
+pool size over full simulation runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.sla import summarize
+from ..workload.generator import Batch
+from .config import ExperimentSpec
+from .runner import build_workload, run_one
+
+__all__ = ["ec_instances_for_saturation", "ScalingSweepResult", "ec_scaling_sweep"]
+
+
+def ec_instances_for_saturation(
+    download_mbps: float,
+    upload_mbps: float,
+    mean_proc_time_s: float,
+    mean_input_mb: float,
+    mean_output_mb: float,
+    ec_speed: float = 1.0,
+    max_instances: int = 64,
+) -> int:
+    """Smallest EC pool that keeps both pipes saturated (the scaling knee).
+
+    Returns the binding constraint between the upload-fed and download-
+    drained pipelines: more machines than either bound only adds idle EC
+    capacity.
+    """
+    if min(download_mbps, upload_mbps, mean_proc_time_s,
+           mean_input_mb, mean_output_mb, ec_speed) <= 0:
+        raise ValueError("all rates and sizes must be positive")
+    by_download = download_mbps * mean_proc_time_s / (ec_speed * mean_output_mb)
+    by_upload = upload_mbps * mean_proc_time_s / (ec_speed * mean_input_mb)
+    knee = math.ceil(min(by_download, by_upload))
+    return max(1, min(max_instances, knee))
+
+
+@dataclass
+class ScalingSweepResult:
+    """Empirical EC-size sweep: makespan/EC-util per pool size."""
+
+    ec_sizes: list[int]
+    makespans: list[float]
+    ec_utils: list[float]
+    burst_ratios: list[float]
+    predicted_knee: int
+
+    def render(self) -> str:
+        lines = [
+            "Elastic EC scaling sweep (Sec. V.B.4) — "
+            f"predicted saturation knee: {self.predicted_knee} instance(s)",
+            f"{'EC size':>8} {'makespan_s':>11} {'EC util %':>10} {'burst':>7}",
+        ]
+        for n, mk, u, b in zip(self.ec_sizes, self.makespans, self.ec_utils,
+                               self.burst_ratios):
+            marker = "  <- knee" if n == self.predicted_knee else ""
+            lines.append(f"{n:>8} {mk:>11.1f} {100 * u:>10.1f} {b:>7.3f}{marker}")
+        return "\n".join(lines)
+
+    def marginal_gains(self) -> list[float]:
+        """Makespan saved by each extra instance (diminishing at the knee)."""
+        return [a - b for a, b in zip(self.makespans, self.makespans[1:])]
+
+
+def _workload_means(batches: Sequence[Batch]) -> tuple[float, float, float]:
+    jobs = [j for b in batches for j in b.jobs]
+    return (
+        float(np.mean([j.true_proc_time for j in jobs])),
+        float(np.mean([j.input_mb for j in jobs])),
+        float(np.mean([j.output_mb for j in jobs])),
+    )
+
+
+def ec_scaling_sweep(
+    spec: ExperimentSpec,
+    ec_sizes: Sequence[int] = (1, 2, 3, 4, 6),
+    scheduler: str = "Op",
+) -> ScalingSweepResult:
+    """Sweep the EC pool size over the same workload."""
+    batches = build_workload(spec)
+    t_proc, s_in, s_out = _workload_means(batches)
+    knee = ec_instances_for_saturation(
+        download_mbps=spec.system.down_base_mbps,
+        upload_mbps=spec.system.up_base_mbps,
+        mean_proc_time_s=t_proc,
+        mean_input_mb=s_in,
+        mean_output_mb=s_out,
+        ec_speed=spec.system.ec_speed,
+    )
+    makespans, utils, bursts = [], [], []
+    for n in ec_sizes:
+        sized = replace(spec, system=replace(spec.system, ec_machines=int(n)))
+        trace = run_one(scheduler, sized, batches=batches)
+        s = summarize(trace)
+        makespans.append(s.makespan_s)
+        utils.append(s.ec_util)
+        bursts.append(s.burst_ratio)
+    return ScalingSweepResult(
+        ec_sizes=list(ec_sizes),
+        makespans=makespans,
+        ec_utils=utils,
+        burst_ratios=bursts,
+        predicted_knee=knee,
+    )

@@ -1,0 +1,208 @@
+"""Dependency-free SVG rendering of figures.
+
+The benchmark harness emits every figure as ASCII (for logs) *and* as a
+standalone SVG file (for papers/readmes) — this module hand-writes the
+SVG so the repository needs no plotting dependency. Supported marks cover
+everything the reproduction plots: multi-series line charts, horizontal
+bar charts, and step series.
+
+The API mirrors :mod:`repro.experiments.ascii_plot`.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SvgCanvas", "line_chart_svg", "bar_chart_svg", "save_svg"]
+
+#: Color-blind-safe categorical palette (Okabe–Ito).
+PALETTE = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+]
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 36, 44
+
+
+@dataclass
+class SvgCanvas:
+    """Accumulates SVG elements with simple data-space scaling."""
+
+    width: int = 640
+    height: int = 360
+    x_min: float = 0.0
+    x_max: float = 1.0
+    y_min: float = 0.0
+    y_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.elements: list[str] = []
+        if self.x_max <= self.x_min:
+            self.x_max = self.x_min + 1.0
+        if self.y_max <= self.y_min:
+            self.y_max = self.y_min + 1.0
+
+    # -- coordinate transforms ------------------------------------------
+    def px(self, x: float) -> float:
+        span = self.width - _MARGIN_L - _MARGIN_R
+        return _MARGIN_L + (x - self.x_min) / (self.x_max - self.x_min) * span
+
+    def py(self, y: float) -> float:
+        span = self.height - _MARGIN_T - _MARGIN_B
+        return self.height - _MARGIN_B - (y - self.y_min) / (self.y_max - self.y_min) * span
+
+    # -- elements ---------------------------------------------------------
+    def add(self, element: str) -> None:
+        self.elements.append(element)
+
+    def text(self, x: float, y: float, s: str, size: int = 12,
+             anchor: str = "start", color: str = "#333") -> None:
+        self.add(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="sans-serif">{html.escape(s)}</text>'
+        )
+
+    def polyline(self, xs: Sequence[float], ys: Sequence[float], color: str,
+                 width: float = 1.8) -> None:
+        pts = " ".join(
+            f"{self.px(x):.1f},{self.py(y):.1f}"
+            for x, y in zip(xs, ys)
+            if np.isfinite(x) and np.isfinite(y)
+        )
+        self.add(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" stroke-linejoin="round"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, color: str) -> None:
+        self.add(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}"/>'
+        )
+
+    def axes(self, title: str = "", x_label: str = "", y_label: str = "",
+             n_ticks: int = 5) -> None:
+        left, right = _MARGIN_L, self.width - _MARGIN_R
+        top, bottom = _MARGIN_T, self.height - _MARGIN_B
+        self.add(
+            f'<rect x="{left}" y="{top}" width="{right - left}" '
+            f'height="{bottom - top}" fill="none" stroke="#999"/>'
+        )
+        for frac in np.linspace(0.0, 1.0, n_ticks):
+            xv = self.x_min + frac * (self.x_max - self.x_min)
+            yv = self.y_min + frac * (self.y_max - self.y_min)
+            self.text(self.px(xv), bottom + 16, f"{xv:g}", size=10, anchor="middle",
+                      color="#666")
+            self.text(left - 6, self.py(yv) + 4, f"{yv:g}", size=10, anchor="end",
+                      color="#666")
+            if 0.0 < frac < 1.0:
+                self.add(
+                    f'<line x1="{left}" y1="{self.py(yv):.1f}" x2="{right}" '
+                    f'y2="{self.py(yv):.1f}" stroke="#eee"/>'
+                )
+        if title:
+            self.text(self.width / 2, 20, title, size=14, anchor="middle",
+                      color="#111")
+        if x_label:
+            self.text(self.width / 2, self.height - 8, x_label, size=11,
+                      anchor="middle", color="#444")
+        if y_label:
+            self.add(
+                f'<text x="14" y="{self.height / 2:.1f}" font-size="11" '
+                f'text-anchor="middle" fill="#444" font-family="sans-serif" '
+                f'transform="rotate(-90 14 {self.height / 2:.1f})">'
+                f"{html.escape(y_label)}</text>"
+            )
+
+    def legend(self, names: Sequence[str]) -> None:
+        x = _MARGIN_L + 8
+        y = _MARGIN_T + 14
+        for k, name in enumerate(names):
+            color = PALETTE[k % len(PALETTE)]
+            self.add(
+                f'<line x1="{x}" y1="{y - 4}" x2="{x + 18}" y2="{y - 4}" '
+                f'stroke="{color}" stroke-width="3"/>'
+            )
+            self.text(x + 24, y, name, size=11)
+            y += 16
+
+    def render(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>\n'
+        )
+
+
+def line_chart_svg(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 360,
+) -> str:
+    """Multi-series line chart as an SVG string."""
+    x = np.asarray(x, dtype=float)
+    values = [np.asarray(v, dtype=float) for v in series.values()]
+    finite = [v[np.isfinite(v)] for v in values if len(v)]
+    all_y = np.concatenate(finite) if finite else np.array([0.0, 1.0])
+    if len(all_y) == 0:
+        all_y = np.array([0.0, 1.0])
+    canvas = SvgCanvas(
+        width=width, height=height,
+        x_min=float(x.min()) if len(x) else 0.0,
+        x_max=float(x.max()) if len(x) else 1.0,
+        y_min=float(min(0.0, all_y.min())),
+        y_max=float(all_y.max()) * 1.05 if all_y.max() > 0 else 1.0,
+    )
+    canvas.axes(title=title, x_label=x_label, y_label=y_label)
+    for k, (name, y) in enumerate(series.items()):
+        y = np.asarray(y, dtype=float)
+        n = min(len(x), len(y))
+        canvas.polyline(x[:n], y[:n], PALETTE[k % len(PALETTE)])
+    canvas.legend(list(series))
+    return canvas.render()
+
+
+def bar_chart_svg(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    x_label: str = "",
+    width: int = 640,
+    height: Optional[int] = None,
+) -> str:
+    """Horizontal bar chart as an SVG string."""
+    values = np.asarray(values, dtype=float)
+    n = len(values)
+    height = height if height is not None else _MARGIN_T + _MARGIN_B + 28 * max(1, n)
+    vmax = float(values.max()) if n and values.max() > 0 else 1.0
+    canvas = SvgCanvas(width=width, height=height, x_min=0.0, x_max=vmax,
+                       y_min=0.0, y_max=float(max(1, n)))
+    canvas.axes(title=title, x_label=x_label, n_ticks=5)
+    bar_h = (height - _MARGIN_T - _MARGIN_B) / max(1, n) * 0.7
+    for k, (label, value) in enumerate(zip(labels, values)):
+        y_top = canvas.py(n - k) + 0.15 * bar_h
+        canvas.rect(canvas.px(0.0), y_top, canvas.px(value) - canvas.px(0.0),
+                    bar_h, PALETTE[k % len(PALETTE)])
+        canvas.text(canvas.px(0.0) - 6, y_top + bar_h / 2 + 4, str(label),
+                    size=11, anchor="end")
+        canvas.text(canvas.px(value) + 4, y_top + bar_h / 2 + 4,
+                    f"{value:g}", size=10)
+    return canvas.render()
+
+
+def save_svg(svg: str, path: str | Path) -> Path:
+    """Write an SVG string to disk; returns the path."""
+    path = Path(path)
+    path.write_text(svg)
+    return path

@@ -1,0 +1,155 @@
+"""Parameter sweeps: where cloud bursting pays and where it stops paying.
+
+The paper fixes one testbed; these sweeps map the surrounding design
+space, answering the questions its introduction raises:
+
+* :func:`bandwidth_sweep` — vary the inter-cloud pipe. Below some
+  effective bandwidth the round trip never fits any slack and bursting
+  degenerates to IC-only (the crossover the paper's "thin pipe" framing
+  implies); above it, gains grow toward the EC's capacity share.
+* :func:`arrival_rate_sweep` — vary the offered load (λ). Bursting only
+  helps once the IC saturates; during "periods of low demand" the remote
+  side scales to zero, "without incurring processing or ... bandwidth
+  costs" (Section I).
+* :func:`tolerance_sweep` — the Section V.B.2 trade-off as a scalar
+  series: ordered-data availability area vs tolerance limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.oo import ordered_data_series
+from ..metrics.sla import summarize
+from .config import ExperimentSpec
+from .runner import build_workload, run_one
+
+__all__ = [
+    "BandwidthSweepResult", "bandwidth_sweep",
+    "ArrivalRateSweepResult", "arrival_rate_sweep",
+    "ToleranceSweepResult", "tolerance_sweep",
+]
+
+
+@dataclass
+class BandwidthSweepResult:
+    """Makespan gain of a bursting scheduler vs IC-only per pipe scale."""
+
+    scales: list[float]
+    up_mbps: list[float]
+    gains_pct: list[float]
+    burst_ratios: list[float]
+    scheduler: str
+
+    def render(self) -> str:
+        lines = [
+            f"bandwidth sweep — {self.scheduler} vs ICOnly",
+            f"{'pipe scale':>10} {'up MB/s':>8} {'gain %':>7} {'burst':>6}",
+        ]
+        for sc, up, g, b in zip(self.scales, self.up_mbps, self.gains_pct,
+                                self.burst_ratios):
+            lines.append(f"{sc:>10.2f} {up:>8.1f} {g:>7.1f} {b:>6.3f}")
+        return "\n".join(lines)
+
+
+def bandwidth_sweep(
+    spec: ExperimentSpec,
+    scales: Sequence[float] = (0.1, 0.25, 0.5, 1.0, 2.0),
+    scheduler: str = "Op",
+) -> BandwidthSweepResult:
+    """Scale both pipes; measure bursting's makespan gain and burst ratio."""
+    batches = build_workload(spec)
+    baseline = summarize(run_one("ICOnly", spec, batches=batches)).makespan_s
+    gains, bursts, ups = [], [], []
+    for scale in scales:
+        system = replace(
+            spec.system,
+            up_base_mbps=spec.system.up_base_mbps * scale,
+            down_base_mbps=spec.system.down_base_mbps * scale,
+        )
+        sized = replace(spec, system=system)
+        s = summarize(run_one(scheduler, sized, batches=batches))
+        gains.append(100.0 * (baseline - s.makespan_s) / baseline)
+        bursts.append(s.burst_ratio)
+        ups.append(system.up_base_mbps)
+    return BandwidthSweepResult(
+        scales=list(scales), up_mbps=ups, gains_pct=gains,
+        burst_ratios=bursts, scheduler=scheduler,
+    )
+
+
+@dataclass
+class ArrivalRateSweepResult:
+    """Bursting behaviour across offered loads."""
+
+    mean_jobs: list[float]
+    ic_only_utils: list[float]
+    gains_pct: list[float]
+    burst_ratios: list[float]
+    scheduler: str
+
+    def render(self) -> str:
+        lines = [
+            f"arrival-rate sweep — {self.scheduler} vs ICOnly",
+            f"{'jobs/batch':>10} {'IC-only util %':>15} {'gain %':>7} {'burst':>6}",
+        ]
+        for n, u, g, b in zip(self.mean_jobs, self.ic_only_utils,
+                              self.gains_pct, self.burst_ratios):
+            lines.append(f"{n:>10.1f} {100 * u:>15.1f} {g:>7.1f} {b:>6.3f}")
+        return "\n".join(lines)
+
+
+def arrival_rate_sweep(
+    spec: ExperimentSpec,
+    mean_jobs: Sequence[float] = (5.0, 10.0, 15.0, 20.0),
+    scheduler: str = "Op",
+) -> ArrivalRateSweepResult:
+    """Vary λ (mean jobs per batch); compare bursting against IC-only."""
+    utils, gains, bursts = [], [], []
+    for rate in mean_jobs:
+        sized = replace(spec, mean_jobs_per_batch=float(rate))
+        batches = build_workload(sized)
+        base = summarize(run_one("ICOnly", sized, batches=batches))
+        s = summarize(run_one(scheduler, sized, batches=batches))
+        utils.append(base.ic_util)
+        gains.append(100.0 * (base.makespan_s - s.makespan_s) / base.makespan_s)
+        bursts.append(s.burst_ratio)
+    return ArrivalRateSweepResult(
+        mean_jobs=list(mean_jobs), ic_only_utils=utils,
+        gains_pct=gains, burst_ratios=bursts, scheduler=scheduler,
+    )
+
+
+@dataclass
+class ToleranceSweepResult:
+    """Availability area vs tolerance limit for one trace."""
+
+    tolerances: list[int]
+    areas: list[float]
+    scheduler: str
+
+    def render(self) -> str:
+        base = self.areas[0] if self.areas and self.areas[0] > 0 else 1.0
+        lines = [f"tolerance sweep — {self.scheduler}",
+                 f"{'t_l':>4} {'area MMB*s':>11} {'vs strict':>9}"]
+        for t, a in zip(self.tolerances, self.areas):
+            lines.append(f"{t:>4} {a / 1e6:>11.3f} {100 * (a / base - 1):>+8.1f}%")
+        return "\n".join(lines)
+
+
+def tolerance_sweep(
+    spec: ExperimentSpec,
+    tolerances: Sequence[int] = (0, 1, 2, 4, 8, 16),
+    scheduler: str = "Greedy",
+) -> ToleranceSweepResult:
+    """Availability vs ordering strictness over a single run's trace."""
+    trace = run_one(scheduler, spec)
+    areas = [
+        ordered_data_series(trace, tolerance=int(t)).area() for t in tolerances
+    ]
+    return ToleranceSweepResult(
+        tolerances=[int(t) for t in tolerances], areas=areas, scheduler=scheduler
+    )

@@ -1,0 +1,45 @@
+"""SLA metrics: out-of-order availability, makespan, utilization, speedup,
+ticket compliance, and combined reports."""
+
+from .oo import OOSeries, max_id_in_order, ordered_data_series, relative_oo_difference
+from .report import ComparisonReport, SchedulerReport, build_report
+from .slowdown import SlowdownStats, slowdown_by_size, slowdown_stats, slowdowns
+from .tickets import (
+    FixedSlaTicket,
+    ProportionalTicket,
+    TicketReport,
+    lateness,
+    ticket_compliance,
+    ticket_report,
+)
+from .series import (
+    CompletionSeries,
+    PeakStats,
+    blocked_output_mbs,
+    completion_series,
+    in_order_waits,
+    peak_stats,
+)
+from .sla import (
+    SLASummary,
+    burst_ratio,
+    burst_ratio_per_batch,
+    ec_utilization,
+    ic_utilization,
+    makespan,
+    sequential_time,
+    speedup,
+    summarize,
+)
+
+__all__ = [
+    "OOSeries", "ordered_data_series", "relative_oo_difference", "max_id_in_order",
+    "CompletionSeries", "completion_series", "in_order_waits", "PeakStats", "peak_stats",
+    "blocked_output_mbs",
+    "FixedSlaTicket", "ProportionalTicket", "TicketReport",
+    "lateness", "ticket_compliance", "ticket_report",
+    "ComparisonReport", "SchedulerReport", "build_report",
+    "slowdowns", "slowdown_stats", "slowdown_by_size", "SlowdownStats",
+    "SLASummary", "summarize", "makespan", "sequential_time", "speedup",
+    "ic_utilization", "ec_utilization", "burst_ratio", "burst_ratio_per_batch",
+]

@@ -1,0 +1,113 @@
+"""One-stop SLA report for a set of runs.
+
+Combines every metric family (Section II SLAs, the OO availability
+metric, completion-series disorder, ticket compliance) into a single text
+report over one or more traces of the same workload — the artifact a
+production operator would read after a day of bursting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..sim.tracing import RunTrace
+from .oo import ordered_data_series
+from .series import blocked_output_mbs, peak_stats
+from .sla import SLASummary, summarize
+from .tickets import FixedSlaTicket, TicketPolicy, ticket_report
+
+__all__ = ["SchedulerReport", "ComparisonReport", "build_report"]
+
+
+@dataclass
+class SchedulerReport:
+    """All metrics for one run."""
+
+    sla: SLASummary
+    oo_area_strict: float
+    oo_area_tol4: float
+    blocked_output_mbs: float
+    n_peaks: int
+    n_valleys: int
+    ticket_compliance: float
+
+    def as_row(self) -> dict:
+        row = self.sla.as_row()
+        row.update(
+            {
+                "oo_area_t0": round(self.oo_area_strict / 1e6, 3),
+                "oo_area_t4": round(self.oo_area_tol4 / 1e6, 3),
+                "blocked_kMBs": round(self.blocked_output_mbs / 1e3, 1),
+                "peaks": self.n_peaks,
+                "valleys": self.n_valleys,
+                "tickets_%": round(100 * self.ticket_compliance, 1),
+            }
+        )
+        return row
+
+
+@dataclass
+class ComparisonReport:
+    """Reports for several schedulers over the identical workload."""
+
+    reports: dict[str, SchedulerReport] = field(default_factory=dict)
+    ticket_policy_desc: str = ""
+
+    def render(self) -> str:
+        if not self.reports:
+            return "(no runs)"
+        columns = [
+            "scheduler", "makespan_s", "speedup", "ic_util_%", "ec_util_%",
+            "burst_ratio", "oo_area_t0", "oo_area_t4", "blocked_kMBs",
+            "peaks", "valleys", "tickets_%",
+        ]
+        rows = [r.as_row() for r in self.reports.values()]
+        widths = {
+            c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+        }
+        header = " | ".join(f"{c:>{widths[c]}}" for c in columns)
+        sep = "-+-".join("-" * widths[c] for c in columns)
+        body = [
+            " | ".join(f"{str(r.get(c, '')):>{widths[c]}}" for c in columns)
+            for r in rows
+        ]
+        title = "SLA comparison report"
+        if self.ticket_policy_desc:
+            title += f" (tickets: {self.ticket_policy_desc})"
+        return "\n".join([title, header, sep, *body])
+
+
+def build_report(
+    traces: Mapping[str, RunTrace],
+    ticket_policy: Optional[TicketPolicy] = None,
+    sampling_interval: float = 120.0,
+) -> ComparisonReport:
+    """Compute the full metric suite for each trace on a common horizon."""
+    if not traces:
+        return ComparisonReport()
+    if ticket_policy is None:
+        ticket_policy = FixedSlaTicket(promise=600.0)
+    start = min(t.arrival_time for t in traces.values())
+    end = max(t.end_time for t in traces.values())
+    out = ComparisonReport(ticket_policy_desc=repr(ticket_policy))
+    for name, trace in traces.items():
+        peaks = peak_stats(trace)
+        out.reports[name] = SchedulerReport(
+            sla=summarize(trace),
+            oo_area_strict=ordered_data_series(
+                trace, tolerance=0, sampling_interval=sampling_interval,
+                start=start, end=end,
+            ).area(),
+            oo_area_tol4=ordered_data_series(
+                trace, tolerance=4, sampling_interval=sampling_interval,
+                start=start, end=end,
+            ).area(),
+            blocked_output_mbs=blocked_output_mbs(trace),
+            n_peaks=peaks.n_peaks,
+            n_valleys=peaks.n_valleys,
+            ticket_compliance=ticket_report(trace, ticket_policy).compliance,
+        )
+    return out

@@ -1,0 +1,122 @@
+"""Completion-time series analysis — the peaks/valleys of Figs. 7-8.
+
+Section V.B.1: "A high peak means that the job is not available for
+processing when it is required (or in other words it induces a wait period
+due to the requirement of in-order processing) and its magnitude indicates
+the amount of wait time. A valley means that the job output is available
+before it is consumed and is not a problem."
+
+We operationalise this: walking jobs in queue order, the in-order consumer
+becomes ready for job ``i`` once every job before it has been consumed, so
+
+    wait(i)  = max(0, t_c(i) - avail(i-1))        # the "peak" magnitude
+    avail(i) = max(avail(i-1), t_c(i))            # in-order availability
+
+A job with ``wait > 0`` is a peak (it stalled the consumer); a job whose
+completion lies below the running availability is a valley.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.tracing import JobRecord, RunTrace
+
+__all__ = ["CompletionSeries", "completion_series", "PeakStats", "in_order_waits", "peak_stats", "blocked_output_mbs"]
+
+
+@dataclass
+class CompletionSeries:
+    """Per-job completion times in queue (id) order."""
+
+    ids: np.ndarray           # consecutive 1-based ids after key ordering
+    completions: np.ndarray   # absolute completion instants
+    arrivals: np.ndarray
+
+    @property
+    def response_times(self) -> np.ndarray:
+        return self.completions - self.arrivals
+
+
+def completion_series(trace: RunTrace | Sequence[JobRecord]) -> CompletionSeries:
+    """Extract the Fig. 7/8 series: completion time per job in id order."""
+    records = list(trace.records) if isinstance(trace, RunTrace) else list(trace)
+    records = [r for r in records if r.completion_time is not None]
+    records.sort(key=lambda r: (r.job_id, r.sub_id))
+    return CompletionSeries(
+        ids=np.arange(1, len(records) + 1),
+        completions=np.array([r.completion_time for r in records]),
+        arrivals=np.array([r.arrival_time for r in records]),
+    )
+
+
+def in_order_waits(series: CompletionSeries) -> np.ndarray:
+    """Per-job stall the in-order consumer suffers (0 for valleys)."""
+    waits = np.zeros(len(series.completions))
+    avail = -np.inf
+    for k, t_c in enumerate(series.completions):
+        if t_c > avail:
+            waits[k] = 0.0 if avail == -np.inf else t_c - avail
+            avail = t_c
+    return waits
+
+
+def blocked_output_mbs(trace: RunTrace | Sequence[JobRecord]) -> float:
+    """Output-MB-seconds held behind out-of-order stragglers.
+
+    Each completed job's output sits in the result queue until every job
+    ahead of it in queue order has also completed (the downstream stage
+    consumes in order). A job blocked for ``running_max(t_c) - t_c(i)``
+    seconds holds ``output_mb`` for that long; the sum quantifies the harm
+    of Fig. 7/8's "high peaks": a straggler (peak) blocks the valley jobs
+    behind it, and the deeper/wider the valleys, the bigger this integral.
+    Perfectly in-order completions score 0.
+    """
+    records = list(trace.records) if isinstance(trace, RunTrace) else list(trace)
+    records = [r for r in records if r.completion_time is not None]
+    records.sort(key=lambda r: (r.job_id, r.sub_id))
+    if not records:
+        return 0.0
+    completions = np.array([r.completion_time for r in records])
+    outputs = np.array([r.output_mb for r in records])
+    frontier = np.maximum.accumulate(completions)
+    return float(((frontier - completions) * outputs).sum())
+
+
+@dataclass
+class PeakStats:
+    """Aggregate peak/valley statistics for one run."""
+
+    n_peaks: int
+    n_valleys: int
+    total_wait_s: float
+    max_wait_s: float
+    mean_wait_s: float
+
+    @classmethod
+    def empty(cls) -> "PeakStats":
+        return cls(0, 0, 0.0, 0.0, 0.0)
+
+
+def peak_stats(trace: RunTrace | Sequence[JobRecord], min_peak_s: float = 1.0) -> PeakStats:
+    """Count and size the peaks of the completion series.
+
+    ``min_peak_s`` ignores sub-second stalls that are artifacts of parallel
+    machines finishing within moments of each other.
+    """
+    series = completion_series(trace)
+    if len(series.completions) == 0:
+        return PeakStats.empty()
+    waits = in_order_waits(series)
+    peaks = waits[waits >= min_peak_s]
+    n_valleys = int(np.sum(waits == 0.0)) - 1  # the first job is neither
+    return PeakStats(
+        n_peaks=len(peaks),
+        n_valleys=max(0, n_valleys),
+        total_wait_s=float(peaks.sum()),
+        max_wait_s=float(peaks.max()) if len(peaks) else 0.0,
+        mean_wait_s=float(peaks.mean()) if len(peaks) else 0.0,
+    )

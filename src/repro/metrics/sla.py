@@ -1,0 +1,136 @@
+"""Service level agreement metrics — Section II.C, Eqs. 7-12.
+
+Pure functions of a :class:`repro.sim.tracing.RunTrace`:
+
+* **Makespan** (Eq. 7): ``C = max(t_c(i)) - arr(J)``.
+* **Utilization** (Eqs. 8-9): per-cloud ``u_M(J) = ru_M(J) / (|M| * C)``.
+* **Speedup** (Eq. 10): sequential-on-a-standard-machine time over the
+  cloud-bursting makespan. (The paper's Eq. 10 prints the ratio inverted
+  but the text — "ratio of the total time taken to run the set of jobs
+  sequentially on a standard (set of) machine(s) to the time taken to run
+  it using the cloud bursting approach ... the objective is to maximize
+  the speedup" — and Table I's values ~5-7 fix the intended orientation.)
+* **Burst ratio** (Eqs. 11-12): per-batch and run-level fraction of jobs
+  bursted out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.tracing import Placement, RunTrace
+
+__all__ = [
+    "makespan",
+    "sequential_time",
+    "speedup",
+    "ic_utilization",
+    "ec_utilization",
+    "burst_ratio",
+    "burst_ratio_per_batch",
+    "SLASummary",
+    "summarize",
+]
+
+
+def makespan(trace: RunTrace) -> float:
+    """Eq. 7: last completion minus workload arrival."""
+    return trace.makespan
+
+
+def sequential_time(trace: RunTrace, standard_speed: float = 1.0) -> float:
+    """``t_seq(J)``: all jobs back-to-back on one standard machine."""
+    if standard_speed <= 0:
+        raise ValueError("standard speed must be positive")
+    return sum(r.true_proc_time for r in trace.records) / standard_speed
+
+
+def speedup(trace: RunTrace, standard_speed: float = 1.0) -> float:
+    """Eq. 10 (text orientation): ``t_seq / C``; 0 for an empty/degenerate run."""
+    c = makespan(trace)
+    if c <= 0:
+        return 0.0
+    return sequential_time(trace, standard_speed) / c
+
+
+def _utilization(busy_time: float, n_machines: int, c: float) -> float:
+    if c <= 0 or n_machines <= 0:
+        return 0.0
+    return busy_time / (n_machines * c)
+
+
+def ic_utilization(trace: RunTrace) -> float:
+    """Eq. 9 for the internal cloud pool (fraction in [0, 1])."""
+    return _utilization(trace.ic_busy_time, trace.ic_machines, makespan(trace))
+
+
+def ec_utilization(trace: RunTrace) -> float:
+    """Eq. 9 for the external cloud pool (fraction in [0, 1])."""
+    return _utilization(trace.ec_busy_time, trace.ec_machines, makespan(trace))
+
+
+def burst_ratio(trace: RunTrace) -> float:
+    """Eq. 12: fraction of all scheduled units sent to the EC."""
+    if not trace.records:
+        return 0.0
+    bursted = sum(1 for r in trace.records if r.placement == Placement.EC)
+    return bursted / len(trace.records)
+
+
+def burst_ratio_per_batch(trace: RunTrace) -> dict[int, float]:
+    """Eq. 11: ``bu(B_j)`` for every batch id in the trace."""
+    per_batch: dict[int, list[int]] = {}
+    for rec in trace.records:
+        per_batch.setdefault(rec.batch_id, []).append(
+            1 if rec.placement == Placement.EC else 0
+        )
+    return {b: float(np.mean(ds)) for b, ds in sorted(per_batch.items())}
+
+
+@dataclass
+class SLASummary:
+    """All Table-I style metrics for one run."""
+
+    scheduler: str
+    makespan_s: float
+    speedup: float
+    ic_util: float
+    ec_util: float
+    burst_ratio: float
+    n_jobs: int
+    n_bursted: int
+    mean_response_s: float
+    per_batch_burst: dict[int, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, float | str | int]:
+        """Flat dict for table rendering."""
+        return {
+            "scheduler": self.scheduler,
+            "makespan_s": round(self.makespan_s, 1),
+            "speedup": round(self.speedup, 2),
+            "ic_util_%": round(100 * self.ic_util, 1),
+            "ec_util_%": round(100 * self.ec_util, 1),
+            "burst_ratio": round(self.burst_ratio, 3),
+            "n_jobs": self.n_jobs,
+            "n_bursted": self.n_bursted,
+            "mean_response_s": round(self.mean_response_s, 1),
+        }
+
+
+def summarize(trace: RunTrace) -> SLASummary:
+    """Compute the full SLA summary for a completed run."""
+    responses = [r.response_time for r in trace.records if r.response_time is not None]
+    return SLASummary(
+        scheduler=trace.scheduler_name,
+        makespan_s=makespan(trace),
+        speedup=speedup(trace),
+        ic_util=ic_utilization(trace),
+        ec_util=ec_utilization(trace),
+        burst_ratio=burst_ratio(trace),
+        n_jobs=len(trace.records),
+        n_bursted=sum(1 for r in trace.records if r.placement == Placement.EC),
+        mean_response_s=float(np.mean(responses)) if responses else 0.0,
+        per_batch_burst=burst_ratio_per_batch(trace),
+    )

@@ -1,0 +1,97 @@
+"""Per-job slowdown metrics.
+
+Slowdown (a.k.a. stretch) — response time over processing demand — is the
+classic per-job fairness metric of the scheduling literature the paper
+builds on (Harchol-Balter's task-assignment work, its ref. [8], analyses
+exactly this quantity). It complements the paper's batch-level SLAs: two
+schedulers with equal makespan can treat small jobs very differently, and
+slowdown exposes it — a 5 MB statement stuck behind a 300 MB catalogue
+has a huge stretch even when the run-level numbers look fine.
+
+Definitions (per completed job ``i``):
+
+    slowdown_i = (t_c(i) - arrival_i) / t_proc_i        (>= 1 in an ideal
+                                                         single-machine
+                                                         world; < 1 is
+                                                         possible on a
+                                                         faster machine)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.tracing import JobRecord, RunTrace
+
+__all__ = ["slowdowns", "SlowdownStats", "slowdown_stats", "slowdown_by_size"]
+
+
+def _completed(trace: RunTrace | Sequence[JobRecord]) -> list[JobRecord]:
+    records = list(trace.records) if isinstance(trace, RunTrace) else list(trace)
+    records = [r for r in records if r.completion_time is not None]
+    records.sort(key=lambda r: (r.job_id, r.sub_id))
+    return records
+
+
+def slowdowns(trace: RunTrace | Sequence[JobRecord]) -> np.ndarray:
+    """Per-job slowdown in id order (uses true processing demand)."""
+    records = _completed(trace)
+    return np.array(
+        [r.response_time / r.true_proc_time for r in records], dtype=float
+    )
+
+
+@dataclass
+class SlowdownStats:
+    """Distributional summary of per-job slowdowns."""
+
+    mean: float
+    median: float
+    p95: float
+    max: float
+    n_jobs: int
+
+    def render(self) -> str:
+        return (
+            f"slowdown: mean {self.mean:.2f} | median {self.median:.2f} | "
+            f"p95 {self.p95:.2f} | max {self.max:.2f} (n={self.n_jobs})"
+        )
+
+
+def slowdown_stats(trace: RunTrace | Sequence[JobRecord]) -> SlowdownStats:
+    s = slowdowns(trace)
+    if len(s) == 0:
+        return SlowdownStats(0.0, 0.0, 0.0, 0.0, 0)
+    return SlowdownStats(
+        mean=float(s.mean()),
+        median=float(np.median(s)),
+        p95=float(np.percentile(s, 95)),
+        max=float(s.max()),
+        n_jobs=len(s),
+    )
+
+
+def slowdown_by_size(
+    trace: RunTrace | Sequence[JobRecord],
+    boundaries_mb: Sequence[float] = (50.0, 150.0),
+) -> dict[str, SlowdownStats]:
+    """Slowdown stats per size class (small/medium/large by input MB).
+
+    The interesting question for this workload: do small jobs pay for the
+    large ones? Compare the small-class p95 across schedulers.
+    """
+    bounds = sorted(boundaries_mb)
+    if len(bounds) != 2 or bounds[0] <= 0:
+        raise ValueError("need two positive size boundaries")
+    classes: dict[str, list[JobRecord]] = {"small": [], "medium": [], "large": []}
+    for r in _completed(trace):
+        if r.input_mb <= bounds[0]:
+            classes["small"].append(r)
+        elif r.input_mb <= bounds[1]:
+            classes["medium"].append(r)
+        else:
+            classes["large"].append(r)
+    return {name: slowdown_stats(records) for name, records in classes.items()}

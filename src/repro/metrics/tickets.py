@@ -1,0 +1,152 @@
+"""Ticket SLAs — per-job completion promises.
+
+Section I: "Jobs are given a ticket that they will finish a certain number
+of seconds from their submission point. Thus the OO metric is directly
+correlated to whether or not the expectation of the ticket-holder (human
+or machine) will be met."
+
+A :class:`TicketPolicy` turns a job into a promised deadline; this module
+then scores a completed trace against those promises:
+
+* :func:`ticket_compliance` — fraction of jobs finishing by their ticket;
+* :func:`lateness` — per-job signed lateness (negative = early);
+* :func:`TicketReport` — the full distribution (compliance, mean/max
+  tardiness of the violators, per-batch compliance).
+
+Two policy families are provided. ``FixedSlaTicket`` mirrors the quoted
+sentence directly (a flat promise of N seconds from submission).
+``ProportionalTicket`` scales the promise with the job's standard
+processing time — a large raster job is sold a longer ticket than a
+one-page statement — which is how a production shop would quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..sim.tracing import JobRecord, RunTrace
+
+__all__ = [
+    "TicketPolicy",
+    "FixedSlaTicket",
+    "ProportionalTicket",
+    "lateness",
+    "ticket_compliance",
+    "TicketReport",
+    "ticket_report",
+]
+
+
+class TicketPolicy(Protocol):
+    """Maps a job record to its promised response time (seconds)."""
+
+    def promise_s(self, record: JobRecord) -> float:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class FixedSlaTicket:
+    """Every job is promised the same response time from submission."""
+
+    promise: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.promise <= 0:
+            raise ValueError("a ticket promise must be positive")
+
+    def promise_s(self, record: JobRecord) -> float:
+        return self.promise
+
+
+@dataclass(frozen=True)
+class ProportionalTicket:
+    """Promise scales with the job's (true standard) processing time.
+
+    ``promise = base + factor * t_proc`` — the quote a shop would give
+    knowing the document's features a priori (the domain gives "apriori
+    visibility into the features and characteristics of the jobs").
+    """
+
+    base: float = 120.0
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.factor <= 0:
+            raise ValueError("base must be >= 0 and factor positive")
+
+    def promise_s(self, record: JobRecord) -> float:
+        return self.base + self.factor * record.true_proc_time
+
+
+def lateness(trace: RunTrace | Sequence[JobRecord], policy: TicketPolicy) -> np.ndarray:
+    """Signed lateness per completed job: ``response - promise``."""
+    records = list(trace.records) if isinstance(trace, RunTrace) else list(trace)
+    records = [r for r in records if r.completion_time is not None]
+    records.sort(key=lambda r: (r.job_id, r.sub_id))
+    return np.array(
+        [r.response_time - policy.promise_s(r) for r in records], dtype=float
+    )
+
+
+def ticket_compliance(
+    trace: RunTrace | Sequence[JobRecord], policy: TicketPolicy
+) -> float:
+    """Fraction of completed jobs meeting their ticket (1.0 if no jobs)."""
+    late = lateness(trace, policy)
+    if len(late) == 0:
+        return 1.0
+    return float(np.mean(late <= 0.0))
+
+
+@dataclass
+class TicketReport:
+    """Distributional view of ticket outcomes for one run."""
+
+    compliance: float
+    n_jobs: int
+    n_violations: int
+    mean_tardiness_s: float   # over violators only
+    max_tardiness_s: float
+    mean_earliness_s: float   # over compliant jobs
+    per_batch_compliance: dict[int, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"ticket compliance: {100 * self.compliance:.1f}% "
+            f"({self.n_jobs - self.n_violations}/{self.n_jobs} met)",
+            f"violators: mean tardiness {self.mean_tardiness_s:.1f}s, "
+            f"max {self.max_tardiness_s:.1f}s",
+            f"compliant jobs finish {self.mean_earliness_s:.1f}s early on average",
+        ]
+        for batch, c in sorted(self.per_batch_compliance.items()):
+            lines.append(f"  batch {batch:2d}: {100 * c:5.1f}%")
+        return "\n".join(lines)
+
+
+def ticket_report(
+    trace: RunTrace | Sequence[JobRecord], policy: TicketPolicy
+) -> TicketReport:
+    """Score a completed run against a ticket policy."""
+    records = list(trace.records) if isinstance(trace, RunTrace) else list(trace)
+    records = [r for r in records if r.completion_time is not None]
+    records.sort(key=lambda r: (r.job_id, r.sub_id))
+    late = np.array([r.response_time - policy.promise_s(r) for r in records])
+    violators = late[late > 0]
+    compliant = late[late <= 0]
+    per_batch: dict[int, list[bool]] = {}
+    for r, l in zip(records, late):
+        per_batch.setdefault(r.batch_id, []).append(l <= 0)
+    return TicketReport(
+        compliance=float(np.mean(late <= 0)) if len(late) else 1.0,
+        n_jobs=len(records),
+        n_violations=int(len(violators)),
+        mean_tardiness_s=float(violators.mean()) if len(violators) else 0.0,
+        max_tardiness_s=float(violators.max()) if len(violators) else 0.0,
+        mean_earliness_s=float(-compliant.mean()) if len(compliant) else 0.0,
+        per_batch_compliance={
+            b: float(np.mean(flags)) for b, flags in per_batch.items()
+        },
+    )

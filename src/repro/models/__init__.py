@@ -1,0 +1,17 @@
+"""Learned system models: QRSM processing time, bandwidth, thread tuning."""
+
+from .bandwidth import (
+    SECONDS_PER_DAY,
+    DiurnalBandwidthProfile,
+    EwmaEstimator,
+    TimeOfDayBandwidthEstimator,
+)
+from .qrsm import QuadraticResponseSurface, quadratic_design_matrix, quadratic_term_names
+from .threads import ThreadTuner, optimal_threads, transfer_cap_mbps
+
+__all__ = [
+    "QuadraticResponseSurface", "quadratic_design_matrix", "quadratic_term_names",
+    "DiurnalBandwidthProfile", "EwmaEstimator", "TimeOfDayBandwidthEstimator",
+    "SECONDS_PER_DAY",
+    "ThreadTuner", "optimal_threads", "transfer_cap_mbps",
+]

@@ -1,0 +1,164 @@
+"""Time-of-day bandwidth model and EWMA network-speed estimator.
+
+Section III.A.2: "The upload and the download bandwidth from an arbitrary
+internal cloud to the external cloud vary sporadically because of factors
+such as last-hop latency, time-of-day variations, bandwidth throttling ...
+The effective bandwidth is measured at different times of the day by
+periodic test uploads/downloads of size 1MB ... The network estimation
+model is updated according to S_n = alpha * Y_n + (1 - alpha) * S_{n-1}".
+
+Two sides are modelled:
+
+* the *true* environment — :class:`DiurnalBandwidthProfile`, a smooth
+  time-of-day capacity curve the simulated Internet link follows (plus
+  stochastic variation applied by :class:`repro.sim.network.CapacityProcess`);
+* the *learned* predictor — :class:`TimeOfDayBandwidthEstimator`, hourly
+  EWMA bins fed by probe transfers and by actual upload/download
+  observations. This is what the schedulers' finish-time estimates use.
+
+Units: bandwidth in MB/s, time in seconds since the start of the run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "DiurnalBandwidthProfile",
+    "EwmaEstimator",
+    "TimeOfDayBandwidthEstimator",
+]
+
+SECONDS_PER_DAY = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class DiurnalBandwidthProfile:
+    """Ground-truth mean link capacity as a smooth function of time of day.
+
+    The shape follows the familiar consumer-ISP pattern the paper's Fig. 4a
+    sketches: capacity dips during peak business/evening hours and recovers
+    overnight. The curve is the sum of a daily and a half-daily harmonic:
+
+        c(t) = base * (1 + a1*cos(2*pi*(h - peak)/24) + a2*cos(4*pi*h/24))
+
+    clamped to ``floor_fraction * base`` so the pipe never vanishes.
+    """
+
+    base_mbps: float = 2.0
+    daily_amplitude: float = 0.35
+    half_daily_amplitude: float = 0.10
+    peak_hour: float = 4.0  # capacity is highest ~4am
+    floor_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.base_mbps <= 0:
+            raise ValueError("base bandwidth must be positive")
+        if not 0.0 < self.floor_fraction <= 1.0:
+            raise ValueError("floor_fraction must lie in (0, 1]")
+
+    def mean_at(self, t: float) -> float:
+        """Mean capacity (MB/s) at absolute simulation time ``t``."""
+        hour = (t % SECONDS_PER_DAY) / 3600.0
+        value = self.base_mbps * (
+            1.0
+            + self.daily_amplitude * math.cos(2.0 * math.pi * (hour - self.peak_hour) / 24.0)
+            + self.half_daily_amplitude * math.cos(4.0 * math.pi * hour / 24.0)
+        )
+        return max(self.floor_fraction * self.base_mbps, value)
+
+    def scaled(self, factor: float) -> "DiurnalBandwidthProfile":
+        """A copy with base capacity multiplied by ``factor``."""
+        return DiurnalBandwidthProfile(
+            base_mbps=self.base_mbps * factor,
+            daily_amplitude=self.daily_amplitude,
+            half_daily_amplitude=self.half_daily_amplitude,
+            peak_hour=self.peak_hour,
+            floor_fraction=self.floor_fraction,
+        )
+
+
+class EwmaEstimator:
+    """The paper's scalar estimator ``S_n = alpha*Y_n + (1-alpha)*S_{n-1}``."""
+
+    def __init__(self, alpha: float = 0.3, initial: Optional[float] = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        self.alpha = alpha
+        self._value = initial
+        self.n_updates = 0
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def update(self, measurement: float) -> float:
+        """Fold in measurement ``Y_n``; returns the new ``S_n``."""
+        if measurement < 0:
+            raise ValueError("bandwidth measurements cannot be negative")
+        if self._value is None:
+            self._value = float(measurement)
+        else:
+            self._value = self.alpha * measurement + (1.0 - self.alpha) * self._value
+        self.n_updates += 1
+        return self._value
+
+
+class TimeOfDayBandwidthEstimator:
+    """Learned bandwidth predictor: one EWMA per time-of-day bin.
+
+    "This is calibrated automatically and learned for every location and
+    the time of day they operate." Measurements (probe transfers and real
+    upload/download throughputs) update the bin covering their timestamp;
+    predictions read the bin for the queried time, falling back to the
+    global EWMA until that bin has data, and to ``prior_mbps`` before any
+    data at all.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        n_bins: int = 24,
+        prior_mbps: float = 1.0,
+    ) -> None:
+        if n_bins < 1:
+            raise ValueError("need at least one time-of-day bin")
+        self.n_bins = n_bins
+        self.prior_mbps = prior_mbps
+        self._bins = [EwmaEstimator(alpha) for _ in range(n_bins)]
+        self._global = EwmaEstimator(alpha)
+        self.samples: list[tuple[float, float]] = []
+
+    def _bin_index(self, t: float) -> int:
+        frac = (t % SECONDS_PER_DAY) / SECONDS_PER_DAY
+        return min(self.n_bins - 1, int(frac * self.n_bins))
+
+    def observe(self, t: float, mbps: float) -> None:
+        """Record an effective-bandwidth measurement taken at time ``t``."""
+        self._bins[self._bin_index(t)].update(mbps)
+        self._global.update(mbps)
+        self.samples.append((t, mbps))
+
+    def estimate(self, t: float) -> float:
+        """Predicted effective bandwidth (MB/s) at time ``t``."""
+        binned = self._bins[self._bin_index(t)].value
+        if binned is not None:
+            return binned
+        if self._global.value is not None:
+            return self._global.value
+        return self.prior_mbps
+
+    def bin_values(self) -> np.ndarray:
+        """Per-bin learned means (NaN where never observed) — Fig. 4a data."""
+        return np.array(
+            [b.value if b.value is not None else np.nan for b in self._bins], dtype=float
+        )
+
+    @property
+    def n_observations(self) -> int:
+        return self._global.n_updates

@@ -1,0 +1,126 @@
+"""Autonomic parallel-transfer thread controller.
+
+Section III.A.2 / Fig. 4b: "We experimentally determine a certain number of
+threads for downloading/uploading a file in parallel at a given point of
+time that can maximize the bandwidth utilization."
+
+Physical model: a single TCP stream over the thin long-haul pipe is
+window/latency limited to ``per_thread_mbps``; ``k`` parallel streams can
+together pull ``min(k * per_thread_mbps, capacity(t))``. The optimal thread
+count is therefore the knee ``ceil(capacity / per_thread_mbps)`` — it moves
+with the time-of-day capacity, which is exactly what Fig. 4b shows.
+
+The :class:`ThreadTuner` does not know the capacity; it hill-climbs on
+*measured* per-transfer throughput, one step per completed transfer, and
+keeps a per-time-of-day-bin setting (converging to the knee in each bin).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .bandwidth import SECONDS_PER_DAY
+
+__all__ = ["transfer_cap_mbps", "optimal_threads", "ThreadTuner"]
+
+
+def transfer_cap_mbps(threads: int, per_thread_mbps: float) -> float:
+    """Maximum pull rate of one transfer using ``threads`` parallel streams."""
+    if threads < 1:
+        raise ValueError("a transfer uses at least one thread")
+    if per_thread_mbps <= 0:
+        raise ValueError("per-thread bandwidth must be positive")
+    return threads * per_thread_mbps
+
+
+def optimal_threads(capacity_mbps: float, per_thread_mbps: float, max_threads: int = 64) -> int:
+    """Smallest thread count that saturates ``capacity_mbps`` (the knee)."""
+    if capacity_mbps <= 0:
+        return 1
+    return max(1, min(max_threads, math.ceil(capacity_mbps / per_thread_mbps)))
+
+
+@dataclass
+class _BinState:
+    threads: int
+    last_throughput: Optional[float] = None
+    direction: int = +1  # current hill-climb direction
+
+
+class ThreadTuner:
+    """Hill-climbing thread-count controller, one state per time-of-day bin.
+
+    After each completed transfer the caller reports the achieved
+    throughput; the tuner adjusts the thread count for that bin by one step
+    in the direction that last improved throughput, reversing on
+    degradation beyond ``tolerance``. This converges to (and then dithers
+    within +/-1 of) the saturation knee without knowledge of the capacity.
+    """
+
+    def __init__(
+        self,
+        initial_threads: int = 2,
+        min_threads: int = 1,
+        max_threads: int = 32,
+        n_bins: int = 24,
+        tolerance: float = 0.03,
+    ) -> None:
+        if not (min_threads <= initial_threads <= max_threads):
+            raise ValueError("initial thread count outside [min, max]")
+        if n_bins < 1:
+            raise ValueError("need at least one bin")
+        self.min_threads = min_threads
+        self.max_threads = max_threads
+        self.n_bins = n_bins
+        self.tolerance = tolerance
+        self._bins = [_BinState(threads=initial_threads) for _ in range(n_bins)]
+        self.history: list[tuple[float, int]] = []
+
+    def _bin(self, t: float) -> _BinState:
+        frac = (t % SECONDS_PER_DAY) / SECONDS_PER_DAY
+        return self._bins[min(self.n_bins - 1, int(frac * self.n_bins))]
+
+    def threads_for(self, t: float) -> int:
+        """Thread count to use for a transfer starting at time ``t``."""
+        return self._bin(t).threads
+
+    def report(self, t: float, threads_used: int, throughput_mbps: float) -> int:
+        """Feed back a measured transfer throughput; returns the new setting.
+
+        Only measurements taken at the bin's current setting steer the
+        climb (stale measurements from a different setting are used to
+        refresh the baseline only).
+        """
+        if throughput_mbps < 0:
+            raise ValueError("throughput cannot be negative")
+        state = self._bin(t)
+        if threads_used != state.threads:
+            state.last_throughput = throughput_mbps
+            self.history.append((t, state.threads))
+            return state.threads
+        prev = state.last_throughput
+        if prev is None:
+            # First measurement in this bin: probe upward.
+            state.direction = +1
+        elif throughput_mbps > prev * (1.0 + self.tolerance):
+            pass  # keep climbing the same direction
+        elif throughput_mbps < prev * (1.0 - self.tolerance):
+            state.direction = -state.direction
+        else:
+            # Plateau: we are at/near the knee. Nudge down to avoid wasting
+            # threads, the climb will recover if throughput drops.
+            state.direction = -1 if state.threads > self.min_threads else 0
+        state.last_throughput = throughput_mbps
+        state.threads = int(
+            np.clip(state.threads + state.direction, self.min_threads, self.max_threads)
+        )
+        self.history.append((t, state.threads))
+        return state.threads
+
+    def bin_settings(self) -> np.ndarray:
+        """Current per-bin thread settings — the Fig. 4b series."""
+        return np.array([b.threads for b in self._bins], dtype=int)

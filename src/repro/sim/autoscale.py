@@ -1,0 +1,119 @@
+"""Autonomic elastic scaling of the external cloud.
+
+The paper's scenario space includes an *elastic* external cloud ("the
+capacity in the IC is fixed (static) while it may be varied in the EC
+(elastic)"), and Section V.B.4 sketches the policy: "the scaling (at EC)
+must be just enough to ensure saturation of the download bandwidth. Such
+scaling policies forms part of future work."
+
+:class:`ECAutoScaler` implements that policy as a periodic controller:
+
+* **scale up** while uploaded work queues in front of busy EC machines —
+  the pipe is delivering faster than the pool consumes;
+* **scale down** while machines idle and no work is queued — the pool
+  outruns the pipe and pay-as-you-go capacity is being wasted;
+* the pool is clamped to ``[min_instances, max_instances]`` and to the
+  analytic saturation knee when one is supplied.
+
+The controller observes only queue lengths and pool occupancy, never
+hidden ground truth, so it is as autonomic as the paper's other loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cluster import Cluster
+from .engine import Simulator
+
+__all__ = ["ECAutoScaler"]
+
+
+@dataclass
+class ScaleEvent:
+    """One scaling action for the audit trail."""
+
+    time: float
+    action: str  # "up" | "down"
+    pool_size: int
+
+
+class ECAutoScaler:
+    """Periodic queue-driven scaler for an EC machine pool."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        min_instances: int = 1,
+        max_instances: int = 8,
+        interval_s: float = 60.0,
+        scale_up_queue: int = 1,
+        idle_periods_before_down: int = 2,
+        knee: Optional[int] = None,
+    ) -> None:
+        if not 1 <= min_instances <= max_instances:
+            raise ValueError("need 1 <= min_instances <= max_instances")
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if scale_up_queue < 1:
+            raise ValueError("scale_up_queue must be >= 1")
+        self.sim = sim
+        self.cluster = cluster
+        self.min_instances = min_instances
+        self.max_instances = (
+            min(max_instances, knee) if knee is not None else max_instances
+        )
+        self.interval_s = interval_s
+        self.scale_up_queue = scale_up_queue
+        self.idle_periods_before_down = idle_periods_before_down
+        self.events: list[ScaleEvent] = []
+        self._idle_streak = 0
+        sim.schedule(interval_s, self._tick)
+
+    # ------------------------------------------------------------------
+    @property
+    def pool_size(self) -> int:
+        return self.cluster.n_machines
+
+    def _tick(self) -> None:
+        self.sim.schedule(self.interval_s, self._tick)
+        cluster = self.cluster
+        queued = cluster.queue_length
+        idle = cluster.idle_machines
+
+        if queued >= self.scale_up_queue and cluster.n_machines < self.max_instances:
+            # Work is waiting behind a fully busy pool: the pipe outruns
+            # the compute — add an instance.
+            cluster.add_machine()
+            self._idle_streak = 0
+            self.events.append(ScaleEvent(self.sim.now, "up", cluster.n_machines))
+            return
+
+        if queued == 0 and idle > 0:
+            self._idle_streak += 1
+        else:
+            self._idle_streak = 0
+
+        if (
+            self._idle_streak >= self.idle_periods_before_down
+            and cluster.n_machines > self.min_instances
+        ):
+            # Sustained idling: release pay-as-you-go capacity.
+            if cluster.retire_machine():
+                self._idle_streak = 0
+                self.events.append(
+                    ScaleEvent(self.sim.now, "down", cluster.n_machines)
+                )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        ups = sum(1 for e in self.events if e.action == "up")
+        downs = sum(1 for e in self.events if e.action == "down")
+        return {
+            "scale_ups": ups,
+            "scale_downs": downs,
+            "final_pool": self.pool_size,
+            "rented_machine_s": self.cluster.rented_machine_seconds,
+        }

@@ -1,0 +1,241 @@
+"""FCFS machine pools modelling the internal and external clouds.
+
+The paper's prototype ran Hadoop Map-Reduce on printer controllers (IC) and
+Amazon Elastic Map-Reduce (EC). Because the jobs are "embarrassingly
+parallel and hence splitting them and scheduling them in different clouds
+does not introduce any inter-cloud communication", each cloud reduces to a
+pool of machines draining a FIFO wait queue — which is exactly what this
+module simulates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from .engine import Simulator
+from .resources import Machine
+
+__all__ = ["QueuedWork", "Cluster"]
+
+
+@dataclass
+class QueuedWork:
+    """One queued execution request."""
+
+    item: Any
+    standard_time: float
+    on_done: Callable[[Any, Machine], None]
+    on_start: Optional[Callable[[Any, Machine], None]] = None
+
+
+class Cluster:
+    """A named pool of machines with a FIFO wait queue.
+
+    Supports the hooks the schedulers and rescheduling strategies need:
+
+    * ``submit`` — enqueue work (dispatches immediately if a machine idles);
+    * ``cancel`` — pull a still-queued item back out (used by the
+      Section IV.D rescheduling strategies);
+    * ``on_idle`` — callback fired whenever a machine frees up and the
+      wait queue is empty (the rescheduling trigger);
+    * busy-time accounting for the utilization SLAs (Eqs. 8–9).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        n_machines: int,
+        speed: float = 1.0,
+        speeds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """``speeds`` (per-machine) overrides the uniform ``speed``/count —
+        heterogeneous pools model the paper's mixed printer controllers."""
+        if speeds is not None:
+            if len(speeds) < 1 or any(s <= 0 for s in speeds):
+                raise ValueError("speeds must be a non-empty positive sequence")
+            n_machines = len(speeds)
+        if n_machines < 1:
+            raise ValueError("a cluster needs at least one machine")
+        self.sim = sim
+        self.name = name
+        per_machine = list(speeds) if speeds is not None else [speed] * n_machines
+        self.machines = [
+            Machine(sim, f"{name}-{i}", s) for i, s in enumerate(per_machine)
+        ]
+        self.wait_queue: deque[QueuedWork] = deque()
+        self.on_idle: Optional[Callable[["Cluster"], None]] = None
+        self.jobs_completed = 0
+        self._next_machine_id = n_machines
+        self._draining: set[Machine] = set()
+        #: Integral of pool size over time — rented machine-seconds, the
+        #: pay-as-you-go cost basis for elastic scaling.
+        self._pool_integral = 0.0
+        self._pool_since = sim.now
+        self._retired_busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Elastic scaling (pay-as-you-go external clouds)
+    # ------------------------------------------------------------------
+    def _accrue_pool_time(self) -> None:
+        now = self.sim.now
+        self._pool_integral += self.n_machines * (now - self._pool_since)
+        self._pool_since = now
+
+    @property
+    def rented_machine_seconds(self) -> float:
+        """Machine-seconds of rented capacity so far (cost proxy)."""
+        self._accrue_pool_time()
+        return self._pool_integral
+
+    def add_machine(self, speed: Optional[float] = None) -> Machine:
+        """Scale up by one instance (available immediately)."""
+        self._accrue_pool_time()
+        machine = Machine(
+            self.sim, f"{self.name}-{self._next_machine_id}",
+            speed if speed is not None else self.speed,
+        )
+        self._next_machine_id += 1
+        self.machines.append(machine)
+        self._dispatch()
+        return machine
+
+    def retire_machine(self) -> bool:
+        """Scale down by one instance; never below one machine.
+
+        An idle machine leaves immediately; a busy one is marked draining
+        and leaves when its current job finishes (non-preemptive).
+        Returns False when nothing can be retired.
+        """
+        candidates = [m for m in self.machines if m not in self._draining]
+        if len(candidates) <= 1:
+            return False
+        idle = next((m for m in candidates if not m.busy), None)
+        if idle is not None:
+            self._accrue_pool_time()
+            self.machines.remove(idle)
+            return True
+        # Prefer the machine that frees up soonest.
+        victim = min((m for m in candidates if m.busy),
+                     key=lambda m: m.estimated_free_at)
+        self._draining.add(victim)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def speed(self) -> float:
+        """First machine's speed (pools are usually uniform)."""
+        return self.machines[0].speed
+
+    @property
+    def mean_speed(self) -> float:
+        """Average machine speed — the planning speed for mixed pools."""
+        return sum(m.speed for m in self.machines) / len(self.machines)
+
+    @property
+    def busy_machines(self) -> int:
+        return sum(1 for m in self.machines if m.busy)
+
+    @property
+    def idle_machines(self) -> int:
+        return self.n_machines - self.busy_machines
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.wait_queue)
+
+    @property
+    def total_busy_time(self) -> float:
+        """Machine-seconds of completed busy time (``ru_M(J)`` of Eq. 9).
+
+        Includes the elapsed portion of in-flight jobs so the value is
+        correct when sampled mid-run, and the busy time of machines that
+        have since been retired by elastic scaling.
+        """
+        total = sum(m.busy_time for m in self.machines)
+        total += self._retired_busy_time
+        for m in self.machines:
+            if m.busy and m._busy_since is not None:
+                total += self.sim.now - m._busy_since
+        return total
+
+    def queued_items(self) -> list[Any]:
+        return [w.item for w in self.wait_queue]
+
+    def running_items(self) -> list[Any]:
+        return [m.current_item for m in self.machines if m.busy]
+
+    def machine_free_times(self) -> list[float]:
+        """Estimated instants each machine frees from its *current* job.
+
+        Queued work is not included — backlog estimation is the scheduler's
+        business (it must use QRSM estimates, not the true durations the
+        cluster happens to know).
+        """
+        return [m.estimated_free_at for m in self.machines]
+
+    # ------------------------------------------------------------------
+    # Work management
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        item: Any,
+        standard_time: float,
+        on_done: Callable[[Any, Machine], None],
+        on_start: Optional[Callable[[Any, Machine], None]] = None,
+    ) -> None:
+        """Enqueue work; runs immediately if any machine is idle."""
+        work = QueuedWork(
+            item=item, standard_time=standard_time, on_done=on_done, on_start=on_start
+        )
+        self.wait_queue.append(work)
+        self._dispatch()
+
+    def cancel(self, item: Any) -> bool:
+        """Remove a queued (not yet running) item; True if found."""
+        for work in self.wait_queue:
+            if work.item is item:
+                self.wait_queue.remove(work)
+                return True
+        return False
+
+    def _dispatch(self) -> None:
+        while self.wait_queue:
+            machine = next(
+                (m for m in self.machines
+                 if not m.busy and m not in self._draining),
+                None,
+            )
+            if machine is None:
+                return
+            work = self.wait_queue.popleft()
+            if work.on_start is not None:
+                work.on_start(work.item, machine)
+            machine.process(work.item, work.standard_time, self._make_done(work))
+
+    def _make_done(self, work: QueuedWork):
+        def _done(item: Any, machine: Machine) -> None:
+            self.jobs_completed += 1
+            if machine in self._draining:
+                # Deferred retirement: the instance leaves now that its
+                # last job is done. Busy-time already accrued on the
+                # machine object, so utilization accounting keeps it.
+                self._accrue_pool_time()
+                self._draining.discard(machine)
+                if machine in self.machines and len(self.machines) > 1:
+                    self.machines.remove(machine)
+                self._retired_busy_time += machine.busy_time
+            work.on_done(item, machine)
+            self._dispatch()
+            if not self.wait_queue and self.on_idle is not None:
+                self.on_idle(self)
+
+        return _done

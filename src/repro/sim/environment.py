@@ -1,0 +1,637 @@
+"""The complete simulated cloud-bursting system (Fig. 5 architecture).
+
+Wires every substrate together: batch arrivals feed the scheduler
+(controller); IC decisions go straight to the internal machine pool; EC
+decisions flow through the pipelined path — upload queue(s) over the
+fluid uplink, the external machine pool, then the download queue over the
+downlink — and finally into the result queue. Learned models (QRSM,
+time-of-day bandwidth EWMA, thread tuner) are trained/updated online from
+the same observations the paper's autonomic system uses: completed job
+runtimes, achieved transfer throughputs and 1 MB probes.
+
+The environment is the only component that knows the *ground truth*
+(true processing times, true link capacity); schedulers only ever see the
+:class:`repro.core.base.SystemState` snapshot built from estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.base import BatchPlan, ECSiteState, Scheduler, SystemState
+from ..core.estimators import FinishTimeEstimator
+from ..core.rescheduling import pick_ec_push, pick_ic_pull
+from ..models.bandwidth import DiurnalBandwidthProfile, TimeOfDayBandwidthEstimator
+from ..models.qrsm import QuadraticResponseSurface
+from ..models.threads import ThreadTuner
+from ..workload.document import Job
+from ..workload.generator import Batch
+from .cluster import Cluster
+from .engine import Simulator
+from .network import CapacityProcess, FluidLink, ProbeService
+from .pipeline import TransferPipeline
+from .resources import Machine
+from .tracing import JobRecord, Placement, RunTrace
+
+__all__ = ["ECSiteSpec", "SystemConfig", "CloudBurstEnvironment"]
+
+
+@dataclass(frozen=True)
+class ECSiteSpec:
+    """An *additional* external cloud site (multi-cloud bursting).
+
+    Each extra site gets its own machine pool and its own pair of
+    fluid links with independent diurnal profiles — a second provider
+    reached over a different path.
+    """
+
+    name: str
+    machines: int = 2
+    speed: float = 1.0
+    up_base_mbps: float = 4.0
+    down_base_mbps: float = 5.0
+    peak_hour: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ValueError("an EC site needs at least one machine")
+        if self.up_base_mbps <= 0 or self.down_base_mbps <= 0:
+            raise ValueError("site bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Testbed parameters (defaults mirror Section V.A).
+
+    The paper's testbed: "8 virtual machines forming the internal cloud and
+    a maximum of 2 virtual machines forming the external cloud". Bandwidth
+    defaults put mean transfer time on the order of mean processing time —
+    the regime the whole paper is about.
+    """
+
+    ic_machines: int = 8
+    ic_speed: float = 1.0
+    #: Optional per-machine speeds for a heterogeneous IC (overrides
+    #: ic_machines/ic_speed); models mixed generations of printer
+    #: controllers. Schedulers plan with the pool's mean speed.
+    ic_machine_speeds: tuple[float, ...] = ()
+    ec_machines: int = 2
+    ec_speed: float = 1.0
+    up_base_mbps: float = 4.0
+    down_base_mbps: float = 5.0
+    bandwidth_variation: float = 0.25
+    capacity_epoch_s: float = 20.0
+    per_thread_mbps: float = 0.5
+    initial_threads: int = 6
+    max_threads: int = 8
+    probe_interval_s: float = 180.0
+    ewma_alpha: float = 0.3
+    start_hour: float = 9.0
+    seed: int = 12345
+    enable_ic_pull: bool = False
+    enable_ec_push: bool = False
+    ec_push_interval_s: float = 30.0
+    #: Additional external clouds beyond the primary one (the "where"
+    #: extension); schedulers that understand multiple sites
+    #: (:mod:`repro.core.multi_ec`) can address them by index.
+    extra_ec_sites: tuple[ECSiteSpec, ...] = ()
+    #: Hard cap on simulated events per run — a diverging run (offered load
+    #: beyond total capacity forever) fails loudly instead of spinning.
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.ic_machines < 1 or self.ec_machines < 1:
+            raise ValueError("both clouds need at least one machine")
+        if self.up_base_mbps <= 0 or self.down_base_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0 <= self.start_hour < 24:
+            raise ValueError("start_hour must lie in [0, 24)")
+
+    def up_profile(self) -> DiurnalBandwidthProfile:
+        return DiurnalBandwidthProfile(base_mbps=self.up_base_mbps)
+
+    def down_profile(self) -> DiurnalBandwidthProfile:
+        return DiurnalBandwidthProfile(base_mbps=self.down_base_mbps)
+
+
+@dataclass
+class _JobState:
+    """Environment-side bookkeeping for one in-system job."""
+
+    job: Job
+    record: JobRecord
+    est_proc: float
+    est_completion: float
+    done: bool = False
+    site: int = 0  # which EC site the job was bursted to (0 = primary)
+
+
+@dataclass
+class _SiteRuntime:
+    """Runtime bundle for one extra external cloud site."""
+
+    spec: "ECSiteSpec"
+    cluster: Cluster
+    upload: TransferPipeline
+    download: TransferPipeline
+    up_estimator: TimeOfDayBandwidthEstimator
+    down_estimator: TimeOfDayBandwidthEstimator
+    up_tuner: ThreadTuner
+    down_tuner: ThreadTuner
+
+
+class CloudBurstEnvironment:
+    """One runnable instance of the simulated hybrid cloud."""
+
+    def __init__(self, config: SystemConfig = SystemConfig()) -> None:
+        self.config = config
+        self.sim = Simulator(start_time=config.start_hour * 3600.0)
+        self.rng = np.random.default_rng(config.seed)
+
+        # --- network -----------------------------------------------------
+        up_rng = np.random.default_rng(self.rng.integers(2**63))
+        down_rng = np.random.default_rng(self.rng.integers(2**63))
+        self.up_capacity = CapacityProcess(
+            self.sim, config.up_profile(), up_rng,
+            variation=config.bandwidth_variation, epoch_s=config.capacity_epoch_s,
+        )
+        self.down_capacity = CapacityProcess(
+            self.sim, config.down_profile(), down_rng,
+            variation=config.bandwidth_variation, epoch_s=config.capacity_epoch_s,
+        )
+        self.uplink = FluidLink(
+            self.sim, self.up_capacity, config.per_thread_mbps, name="uplink"
+        )
+        self.downlink = FluidLink(
+            self.sim, self.down_capacity, config.per_thread_mbps, name="downlink"
+        )
+
+        # --- learned models ----------------------------------------------
+        self.up_estimator = TimeOfDayBandwidthEstimator(
+            alpha=config.ewma_alpha, prior_mbps=config.up_base_mbps * 0.8
+        )
+        self.down_estimator = TimeOfDayBandwidthEstimator(
+            alpha=config.ewma_alpha, prior_mbps=config.down_base_mbps * 0.8
+        )
+        self.up_tuner = ThreadTuner(
+            initial_threads=config.initial_threads, max_threads=config.max_threads
+        )
+        self.down_tuner = ThreadTuner(
+            initial_threads=config.initial_threads, max_threads=config.max_threads
+        )
+        self.qrsm = QuadraticResponseSurface()
+        self.estimator = FinishTimeEstimator(self.qrsm)
+
+        # --- pipelines & probes -------------------------------------------
+        self.upload = TransferPipeline(
+            self.sim, self.uplink, self.up_tuner, self.up_estimator, name="upload"
+        )
+        self.download = TransferPipeline(
+            self.sim, self.downlink, self.down_tuner, self.down_estimator, name="download"
+        )
+        self.up_probe = ProbeService(
+            self.sim, self.uplink, self.up_estimator,
+            interval_s=config.probe_interval_s, tuner=self.up_tuner,
+        )
+        self.down_probe = ProbeService(
+            self.sim, self.downlink, self.down_estimator,
+            interval_s=config.probe_interval_s, tuner=self.down_tuner,
+        )
+
+        # --- compute ------------------------------------------------------
+        self.ic = Cluster(
+            self.sim, "ic", config.ic_machines, config.ic_speed,
+            speeds=config.ic_machine_speeds or None,
+        )
+        self.ec = Cluster(self.sim, "ec", config.ec_machines, config.ec_speed)
+        #: Planning speed the schedulers see for the IC (mean over a
+        #: heterogeneous pool).
+        self._ic_plan_speed = self.ic.mean_speed
+
+        # --- additional external clouds (multi-cloud bursting) -------------
+        self.extra_site_runtimes: list[_SiteRuntime] = [
+            self._build_extra_site(spec) for spec in config.extra_ec_sites
+        ]
+
+        # --- run bookkeeping ----------------------------------------------
+        self._states: dict[tuple[int, int], _JobState] = {}
+        self._remaining = 0
+        self._batches_arrived = 0
+        self._trace: Optional[RunTrace] = None
+        self._scheduler: Optional[Scheduler] = None
+        self._t0 = self.sim.now
+
+        if config.enable_ic_pull:
+            self.ic.on_idle = self._on_ic_idle
+
+    def _build_extra_site(self, spec: ECSiteSpec) -> _SiteRuntime:
+        """Stand up the full network+compute stack for one extra EC site."""
+        config = self.config
+        up_rng = np.random.default_rng(self.rng.integers(2**63))
+        down_rng = np.random.default_rng(self.rng.integers(2**63))
+        up_profile = DiurnalBandwidthProfile(
+            base_mbps=spec.up_base_mbps, peak_hour=spec.peak_hour
+        )
+        down_profile = DiurnalBandwidthProfile(
+            base_mbps=spec.down_base_mbps, peak_hour=spec.peak_hour
+        )
+        up_capacity = CapacityProcess(
+            self.sim, up_profile, up_rng,
+            variation=config.bandwidth_variation, epoch_s=config.capacity_epoch_s,
+        )
+        down_capacity = CapacityProcess(
+            self.sim, down_profile, down_rng,
+            variation=config.bandwidth_variation, epoch_s=config.capacity_epoch_s,
+        )
+        uplink = FluidLink(
+            self.sim, up_capacity, config.per_thread_mbps, name=f"uplink-{spec.name}"
+        )
+        downlink = FluidLink(
+            self.sim, down_capacity, config.per_thread_mbps, name=f"downlink-{spec.name}"
+        )
+        up_estimator = TimeOfDayBandwidthEstimator(
+            alpha=config.ewma_alpha, prior_mbps=spec.up_base_mbps * 0.8
+        )
+        down_estimator = TimeOfDayBandwidthEstimator(
+            alpha=config.ewma_alpha, prior_mbps=spec.down_base_mbps * 0.8
+        )
+        up_tuner = ThreadTuner(
+            initial_threads=config.initial_threads, max_threads=config.max_threads
+        )
+        down_tuner = ThreadTuner(
+            initial_threads=config.initial_threads, max_threads=config.max_threads
+        )
+        upload = TransferPipeline(
+            self.sim, uplink, up_tuner, up_estimator, name=f"upload-{spec.name}"
+        )
+        download = TransferPipeline(
+            self.sim, downlink, down_tuner, down_estimator, name=f"download-{spec.name}"
+        )
+        ProbeService(self.sim, uplink, up_estimator,
+                     interval_s=config.probe_interval_s, tuner=up_tuner)
+        ProbeService(self.sim, downlink, down_estimator,
+                     interval_s=config.probe_interval_s, tuner=down_tuner)
+        cluster = Cluster(self.sim, f"ec-{spec.name}", spec.machines, spec.speed)
+        return _SiteRuntime(
+            spec=spec, cluster=cluster, upload=upload, download=download,
+            up_estimator=up_estimator, down_estimator=down_estimator,
+            up_tuner=up_tuner, down_tuner=down_tuner,
+        )
+
+    def _site_cluster(self, site: int) -> Cluster:
+        return self.ec if site == 0 else self.extra_site_runtimes[site - 1].cluster
+
+    def _site_upload(self, site: int) -> TransferPipeline:
+        return self.upload if site == 0 else self.extra_site_runtimes[site - 1].upload
+
+    def _site_download(self, site: int) -> TransferPipeline:
+        return self.download if site == 0 else self.extra_site_runtimes[site - 1].download
+
+    def _site_speed(self, site: int) -> float:
+        if site == 0:
+            return self.config.ec_speed
+        return self.extra_site_runtimes[site - 1].spec.speed
+
+    # ------------------------------------------------------------------
+    # Model training
+    # ------------------------------------------------------------------
+    def pretrain_qrsm(self, features, observed_times) -> None:
+        """Fit the QRSM on historical production data (Section III.A.1)."""
+        self.qrsm.fit(features, observed_times)
+
+    # ------------------------------------------------------------------
+    # State snapshot for the scheduler
+    # ------------------------------------------------------------------
+    def build_state(self) -> SystemState:
+        """Estimate-only snapshot of the current system (see module doc)."""
+        now = self.sim.now
+        pending_keyed: list[tuple[tuple[int, int], float]] = []
+
+        # IC machine availability: estimated remaining time of running jobs.
+        ic_free = []
+        for machine in self.ic.machines:
+            ic_free.append(self._machine_est_free(machine, machine.speed, now))
+            item = machine.current_item
+            if item is not None:
+                pending_keyed.append((item.key, ic_free[-1]))
+        # Fold queued IC work (in FCFS order) onto the machine estimates.
+        for job in self.ic.queued_items():
+            st = self._states[job.key]
+            idx = min(range(len(ic_free)), key=ic_free.__getitem__)
+            finish = max(now, ic_free[idx]) + st.est_proc / self._ic_plan_speed
+            ic_free[idx] = finish
+            st.est_completion = finish  # refresh the stale planning estimate
+            pending_keyed.append((job.key, finish))
+
+        # EC machine availability, folding EC cluster queue the same way.
+        ec_free = []
+        for machine in self.ec.machines:
+            ec_free.append(self._machine_est_free(machine, self.config.ec_speed, now))
+        for job in self.ec.queued_items():
+            st = self._states[job.key]
+            idx = min(range(len(ec_free)), key=ec_free.__getitem__)
+            ec_free[idx] = max(now, ec_free[idx]) + st.est_proc / self.config.ec_speed
+
+        # Every incomplete EC-side job contributes its (possibly stale)
+        # planning-time completion estimate to the slack pool.
+        for key, st in self._states.items():
+            if st.done or st.record.placement != Placement.EC:
+                continue
+            pending_keyed.append((key, st.est_completion))
+
+        extra_sites = [self._build_site_state(i + 1, now)
+                       for i in range(len(self.extra_site_runtimes))]
+
+        return SystemState(
+            now=now,
+            ic_free=ic_free,
+            ec_free=ec_free,
+            ic_speed=self._ic_plan_speed,
+            ec_speed=self.config.ec_speed,
+            upload_backlog_mb=self.upload.backlog_mb,
+            download_backlog_mb=self.download.backlog_mb,
+            est_up_mbps=self.up_estimator.estimate(now),
+            est_down_mbps=self.down_estimator.estimate(now),
+            up_threads=self.up_tuner.threads_for(now),
+            down_threads=self.down_tuner.threads_for(now),
+            per_thread_mbps=self.config.per_thread_mbps,
+            upload_parallelism=len(self.upload.queues),
+            pending_completions=[t for _, t in pending_keyed],
+            upload_queue_loads_mb=self.upload.queue_loads_mb(),
+            pending_keyed=pending_keyed,
+            extra_sites=extra_sites,
+        )
+
+    def _build_site_state(self, site: int, now: float) -> ECSiteState:
+        """Estimated snapshot of one extra EC site (mirrors the primary)."""
+        runtime = self.extra_site_runtimes[site - 1]
+        speed = runtime.spec.speed
+        ec_free = [
+            self._machine_est_free(m, speed, now) for m in runtime.cluster.machines
+        ]
+        for job in runtime.cluster.queued_items():
+            st = self._states[job.key]
+            idx = min(range(len(ec_free)), key=ec_free.__getitem__)
+            ec_free[idx] = max(now, ec_free[idx]) + st.est_proc / speed
+        return ECSiteState(
+            name=runtime.spec.name,
+            ec_free=ec_free,
+            ec_speed=speed,
+            upload_backlog_mb=runtime.upload.backlog_mb,
+            download_backlog_mb=runtime.download.backlog_mb,
+            est_up_mbps=runtime.up_estimator.estimate(now),
+            est_down_mbps=runtime.down_estimator.estimate(now),
+            up_threads=runtime.up_tuner.threads_for(now),
+            down_threads=runtime.down_tuner.threads_for(now),
+            per_thread_mbps=self.config.per_thread_mbps,
+            upload_parallelism=len(runtime.upload.queues),
+        )
+
+    def _machine_est_free(self, machine: Machine, speed: float, now: float) -> float:
+        item = machine.current_item
+        if item is None:
+            return now
+        st = self._states[item.key]
+        started = st.record.exec_start if st.record.exec_start is not None else now
+        return max(now, started + st.est_proc / speed)
+
+    # ------------------------------------------------------------------
+    # Run orchestration
+    # ------------------------------------------------------------------
+    def run(self, batches: Sequence[Batch], scheduler: Scheduler) -> RunTrace:
+        """Simulate the whole workload under ``scheduler``; returns the trace."""
+        if self._trace is not None:
+            raise RuntimeError("environment instances are single-use; build a new one")
+        self._scheduler = scheduler
+        total_ec_machines = self.config.ec_machines + sum(
+            s.spec.machines for s in self.extra_site_runtimes
+        )
+        self._trace = RunTrace(
+            scheduler_name=scheduler.name,
+            ic_machines=self.ic.n_machines,
+            ec_machines=total_ec_machines,
+            arrival_time=self._t0 + (batches[0].arrival_time if batches else 0.0),
+        )
+        if scheduler.wants_size_interval_queues():
+            # Bounds are refreshed per batch; start with a neutral 3-way
+            # split over the workload's size range.
+            self.upload.set_size_bounds(100.0, 200.0)
+        for batch in batches:
+            self.sim.schedule_at(
+                self._t0 + batch.arrival_time, self._on_batch_arrival, batch
+            )
+        if self.config.enable_ec_push:
+            self.sim.schedule(self.config.ec_push_interval_s, self._ec_push_tick)
+
+        total_batches = len(batches)
+        # Run until every batch has arrived and every scheduled unit has
+        # completed. Probes tick forever, so "heap empty" never terminates.
+        while self._remaining > 0 or self._batches_arrived < total_batches:
+            if not self.sim.step():
+                raise RuntimeError("event heap drained with jobs outstanding")
+            if self.sim.events_processed > self.config.max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={self.config.max_events}; "
+                    "offered load likely exceeds system capacity"
+                )
+
+        trace = self._trace
+        trace.end_time = self.sim.now
+        trace.ic_busy_time = self.ic.total_busy_time
+        trace.ec_busy_time = self.ec.total_busy_time + sum(
+            s.cluster.total_busy_time for s in self.extra_site_runtimes
+        )
+        trace.bandwidth_samples = list(self.up_estimator.samples)
+        trace.records.sort(key=lambda r: (r.job_id, r.sub_id))
+        trace.metadata.update(
+            {
+                "config_seed": self.config.seed,
+                "bandwidth_variation": self.config.bandwidth_variation,
+                "n_batches": len(batches),
+                "up_probes": self.up_probe.n_probes,
+            }
+        )
+        return trace
+
+    # ------------------------------------------------------------------
+    # Batch arrival -> scheduling -> dispatch
+    # ------------------------------------------------------------------
+    def _on_batch_arrival(self, batch: Batch) -> None:
+        self._batches_arrived += 1
+        state = self.build_state()
+        plan = self._scheduler.plan(list(batch.jobs), state)
+        if plan.upload_bounds is not None:
+            self.upload.set_size_bounds(*plan.upload_bounds)
+        for decision in plan.decisions:
+            self._admit(decision.job, batch, decision.placement,
+                        decision.est_proc_time, decision.est_completion,
+                        ec_site=decision.ec_site)
+
+    def _admit(
+        self, job: Job, batch: Batch, placement: str,
+        est_proc: float, est_completion: float, ec_site: int = 0,
+    ) -> None:
+        if ec_site and ec_site > len(self.extra_site_runtimes):
+            raise ValueError(f"no EC site with index {ec_site}")
+        record = JobRecord(
+            job_id=job.job_id,
+            batch_id=batch.batch_id,
+            arrival_time=self._t0 + job.arrival_time,
+            input_mb=job.input_mb,
+            output_mb=job.output_mb,
+            placement=placement,
+            sub_id=job.sub_id,
+            parent_id=job.parent_id,
+            est_proc_time=est_proc,
+            true_proc_time=job.true_proc_time,
+            schedule_time=self.sim.now,
+        )
+        self._states[job.key] = _JobState(
+            job=job, record=record, est_proc=est_proc,
+            est_completion=est_completion, site=ec_site,
+        )
+        self._trace.records.append(record)
+        self._remaining += 1
+        if placement == Placement.IC:
+            self._dispatch_ic(job)
+        else:
+            self._dispatch_ec(job)
+
+    # ------------------------------------------------------------------
+    # IC path
+    # ------------------------------------------------------------------
+    def _dispatch_ic(self, job: Job) -> None:
+        self.ic.submit(
+            job, job.true_proc_time, self._on_ic_done, on_start=self._on_exec_start
+        )
+
+    def _on_exec_start(self, job: Job, machine: Machine) -> None:
+        record = self._states[job.key].record
+        record.exec_start = self.sim.now
+        record.machine = machine.name
+
+    def _on_ic_done(self, job: Job, machine: Machine) -> None:
+        st = self._states[job.key]
+        st.record.exec_end = self.sim.now
+        st.record.completion_time = self.sim.now
+        self._observe_runtime(job, st, machine.speed)
+        self._complete(st)
+
+    # ------------------------------------------------------------------
+    # EC path: upload -> execute -> download
+    # ------------------------------------------------------------------
+    def _dispatch_ec(self, job: Job) -> None:
+        st = self._states[job.key]
+        site = st.site
+        cluster = self._site_cluster(site)
+        upload = self._site_upload(site)
+
+        def on_start(payload: Job) -> None:
+            rec = self._states[payload.key].record
+            rec.upload_start = self.sim.now
+
+        def on_uploaded(payload: Job) -> None:
+            rec = self._states[payload.key].record
+            rec.upload_end = self.sim.now
+            rec.upload_queue = item.queue_name or None
+            cluster.submit(
+                payload,
+                payload.true_proc_time,
+                self._on_ec_exec_done,
+                on_start=self._on_exec_start,
+            )
+
+        item = upload.enqueue(
+            job, job.input_mb, on_start=on_start, on_complete=on_uploaded
+        )
+
+    def _on_ec_exec_done(self, job: Job, machine: Machine) -> None:
+        st = self._states[job.key]
+        st.record.exec_end = self.sim.now
+        self._observe_runtime(job, st, machine.speed)
+
+        def on_start(payload: Job) -> None:
+            self._states[payload.key].record.download_start = self.sim.now
+
+        def on_downloaded(payload: Job) -> None:
+            rec = self._states[payload.key].record
+            rec.download_end = self.sim.now
+            rec.completion_time = self.sim.now
+            self._complete(self._states[payload.key])
+
+        self._site_download(st.site).enqueue(
+            job, job.output_mb, on_start=on_start, on_complete=on_downloaded
+        )
+
+    # ------------------------------------------------------------------
+    # Completion & learning
+    # ------------------------------------------------------------------
+    def _observe_runtime(self, job: Job, st: _JobState, machine_speed: float) -> None:
+        """Feed the observed standard-machine runtime back to the QRSM.
+
+        A machine of speed ``v`` ran the job for ``true/v`` wall seconds;
+        the standard-machine-equivalent observation is the wall time times
+        ``v`` — i.e. the true standard time, noise included. Uses the
+        *actual executing machine's* speed (pools may be heterogeneous).
+        """
+        if st.record.exec_start is None or st.record.exec_end is None:
+            return
+        observed = (st.record.exec_end - st.record.exec_start) * machine_speed
+        if observed > 0:
+            self.qrsm.observe(job.features, observed)
+
+    def _complete(self, st: _JobState) -> None:
+        st.done = True
+        self._remaining -= 1
+
+    # ------------------------------------------------------------------
+    # Rescheduling strategies (Section IV.D, optional)
+    # ------------------------------------------------------------------
+    def _on_ic_idle(self, cluster: Cluster) -> None:
+        if cluster.queue_length > 0 or cluster.idle_machines == 0:
+            return
+        waiting = [
+            item.payload
+            for queue in self.upload.queues
+            for item in queue.items
+        ]
+        if not waiting:
+            return
+        est_completions = {j.key: self._states[j.key].est_completion for j in waiting}
+        est_procs = {j.key: self._states[j.key].est_proc for j in waiting}
+        candidate = pick_ic_pull(
+            waiting, est_completions, est_procs, self.sim.now, self.config.ic_speed
+        )
+        if candidate is None:
+            return
+        job = candidate.job
+        if not self.upload.cancel(job):
+            return
+        st = self._states[job.key]
+        st.record.placement = Placement.IC
+        st.record.rescheduled = True
+        st.est_completion = candidate.est_completion
+        self._dispatch_ic(job)
+
+    def _ec_push_tick(self) -> None:
+        self.sim.schedule(self.config.ec_push_interval_s, self._ec_push_tick)
+        if not self.upload.idle:
+            return
+        waiting = list(self.ic.queued_items())
+        if not waiting:
+            return
+        state = self.build_state()
+        candidate = pick_ec_push(waiting, self.estimator, state)
+        if candidate is None:
+            return
+        job = candidate.job
+        if not self.ic.cancel(job):
+            return
+        st = self._states[job.key]
+        st.record.placement = Placement.EC
+        st.record.rescheduled = True
+        st.est_completion = candidate.est_completion
+        self._dispatch_ec(job)

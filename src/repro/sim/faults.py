@@ -1,0 +1,95 @@
+"""Fault injection for the inter-cloud links.
+
+The paper's bandwidth "varies sporadically because of factors such as
+last-hop latency, time-of-day variations, bandwidth throttling,
+unavailability of higher capacity/bandwidth lines" — the stochastic
+:class:`~repro.sim.network.CapacityProcess` covers the continuous part;
+this module injects the discrete part: hard outage windows during which a
+link collapses to a small residual fraction of its capacity.
+
+Used by the robustness ablation to check Section IV.D's claim that the
+slackness-constrained scheduler "is more robust under network variation"
+than the greedy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .engine import Simulator
+from .network import CapacityProcess
+
+__all__ = ["OutageWindow", "OutageInjector", "random_outage_schedule"]
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One planned degradation: ``[start, start+duration)`` at a residual."""
+
+    start_s: float
+    duration_s: float
+    residual_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("outage window must have start >= 0 and duration > 0")
+        if not 0.0 < self.residual_fraction <= 1.0:
+            raise ValueError("residual fraction must lie in (0, 1]")
+
+
+class OutageInjector:
+    """Schedules outage windows onto one or more capacity processes.
+
+    Window start times are relative to the injector's creation instant
+    (i.e. the start of the run when created alongside the environment).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacities: Sequence[CapacityProcess],
+        windows: Sequence[OutageWindow],
+    ) -> None:
+        self.sim = sim
+        self.capacities = list(capacities)
+        self.windows = sorted(windows, key=lambda w: w.start_s)
+        self.fired = 0
+        t0 = sim.now
+        for window in self.windows:
+            sim.schedule_at(t0 + window.start_s, self._begin, window)
+
+    def _begin(self, window: OutageWindow) -> None:
+        self.fired += 1
+        for capacity in self.capacities:
+            capacity.begin_outage(window.duration_s, window.residual_fraction)
+
+
+def random_outage_schedule(
+    rng: np.random.Generator,
+    horizon_s: float,
+    n_outages: int = 2,
+    mean_duration_s: float = 120.0,
+    residual_fraction: float = 0.05,
+    earliest_s: float = 60.0,
+) -> list[OutageWindow]:
+    """Draw non-anchored outage windows over a run horizon.
+
+    Starts are uniform over ``[earliest, horizon]``; durations exponential
+    with the given mean (floored at 10 s so an outage always bites).
+    """
+    if horizon_s <= earliest_s:
+        raise ValueError("horizon must exceed the earliest outage time")
+    if n_outages < 0:
+        raise ValueError("n_outages cannot be negative")
+    windows = []
+    for _ in range(n_outages):
+        start = float(rng.uniform(earliest_s, horizon_s))
+        duration = float(max(10.0, rng.exponential(mean_duration_s)))
+        windows.append(
+            OutageWindow(start_s=start, duration_s=duration,
+                         residual_fraction=residual_fraction)
+        )
+    return windows

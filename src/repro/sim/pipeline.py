@@ -1,0 +1,271 @@
+"""Upload/download pipelines: asynchronous transfer queues over a link.
+
+Section III.B: "The pipelined architecture can be thought of as a network
+of asynchronous queues — upload, execution, download queues and job moves
+from one queue to other."
+
+A :class:`TransferPipeline` manages one direction (upload or download). It
+holds one or more FIFO *size-interval* queues; each queue drives at most
+one in-flight transfer at a time (so a large upload at the head of a queue
+blocks that queue — the very pathology Size-Interval Bandwidth Splitting,
+Algorithm 3, addresses by running small/medium/large queues concurrently
+over the shared fluid link).
+
+Cross-queue policy (Section IV.C): "our policy is to allow jobs in the
+lower queue to get uploaded via higher queues as well, to maximize the
+bandwidth usage" — an idle higher (larger-interval) queue may pull the head
+of a lower queue, but never the reverse.
+
+Thread counts for each transfer come from the autonomic
+:class:`repro.models.threads.ThreadTuner`; each completed transfer reports
+its achieved throughput back to the tuner and to the learned bandwidth
+estimator (so real transfers calibrate the model alongside the 1 MB
+probes).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..models.bandwidth import TimeOfDayBandwidthEstimator
+from ..models.threads import ThreadTuner
+from .engine import Simulator
+from .network import FluidLink, Transfer
+
+__all__ = ["PipelineItem", "SizeQueue", "TransferPipeline"]
+
+
+@dataclass
+class PipelineItem:
+    """One payload waiting to cross the link."""
+
+    payload: Any
+    size_mb: float
+    on_start: Optional[Callable[[Any], None]] = None
+    on_complete: Optional[Callable[[Any], None]] = None
+    enqueue_time: float = 0.0
+    queue_name: str = ""
+    #: The queue whose transfer slot this in-flight item occupies. May be
+    #: ``None`` transiently after a bounds rebuild left more in-flight
+    #: transfers than queues (the transfer keeps running; it just does not
+    #: block any queue).
+    assigned_queue: Optional["SizeQueue"] = None
+
+
+class SizeQueue:
+    """A FIFO of items whose sizes fall in ``(lower, upper]`` MB."""
+
+    def __init__(self, name: str, lower: float, upper: float) -> None:
+        if upper <= lower:
+            raise ValueError(f"queue {name}: empty interval ({lower}, {upper}]")
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.items: deque[PipelineItem] = deque()
+        self.active: Optional[PipelineItem] = None
+
+    def accepts(self, size_mb: float) -> bool:
+        return self.lower < size_mb <= self.upper
+
+    @property
+    def pending_mb(self) -> float:
+        return sum(item.size_mb for item in self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class TransferPipeline:
+    """One direction of the inter-cloud pipe: size queues over a fluid link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: FluidLink,
+        tuner: ThreadTuner,
+        estimator: TimeOfDayBandwidthEstimator,
+        name: str = "upload",
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.tuner = tuner
+        self.estimator = estimator
+        self.name = name
+        self.queues: list[SizeQueue] = [SizeQueue(f"{name}-all", 0.0, math.inf)]
+        self.items_completed = 0
+        self._active_count = 0
+
+    # ------------------------------------------------------------------
+    # Queue structure
+    # ------------------------------------------------------------------
+    def set_single_queue(self) -> None:
+        """One undifferentiated FIFO (Greedy / plain Op configuration)."""
+        self._rebuild_queues([math.inf])
+
+    def set_size_bounds(self, s_bound: float, m_bound: float) -> None:
+        """Install small/medium/large intervals from Algorithm 3's bounds.
+
+        ``s_bound`` and ``m_bound`` are the upper bounds of the small and
+        medium queues; the large queue is unbounded. Already-queued items
+        are re-routed into the new intervals (order preserved), and
+        in-flight transfers are unaffected.
+        """
+        if s_bound <= 0 or m_bound <= s_bound:
+            raise ValueError("bounds must satisfy 0 < s_bound < m_bound")
+        self._rebuild_queues([s_bound, m_bound, math.inf])
+
+    def _rebuild_queues(self, uppers: list[float]) -> None:
+        pending = [item for q in self.queues for item in q.items]
+        pending.sort(key=lambda it: it.enqueue_time)
+        actives = [q.active for q in self.queues if q.active is not None]
+        labels = ["small", "medium", "large"] if len(uppers) == 3 else ["all"]
+        lowers = [0.0] + uppers[:-1]
+        self.queues = [
+            SizeQueue(f"{self.name}-{label}", lo, up)
+            for label, lo, up in zip(labels, lowers, uppers)
+        ]
+        # Reattach in-flight transfers: preferably to the queue matching
+        # their size, else any free slot. Two old actives can route to the
+        # same new interval; the loser keeps transferring without blocking
+        # a queue (assigned_queue=None) so no slot is ever wedged.
+        for item in actives:
+            target = self._route(item.size_mb)
+            if target.active is not None:
+                target = next((q for q in self.queues if q.active is None), None)
+            if target is not None:
+                target.active = item
+            item.assigned_queue = target
+        for item in pending:
+            self._route(item.size_mb).items.append(item)
+        self._try_start_all()
+
+    def _route(self, size_mb: float) -> SizeQueue:
+        for queue in self.queues:
+            if queue.accepts(size_mb):
+                return queue
+        return self.queues[-1]
+
+    # ------------------------------------------------------------------
+    # Introspection for estimators / Algorithm 3
+    # ------------------------------------------------------------------
+    @property
+    def pending_mb(self) -> float:
+        """MB waiting in queues (not yet transferring)."""
+        return sum(q.pending_mb for q in self.queues)
+
+    @property
+    def in_flight_mb(self) -> float:
+        return float(
+            sum(t.remaining_mb for t in self.link.active if t.label.startswith(self.name))
+        )
+
+    @property
+    def backlog_mb(self) -> float:
+        """Total MB still to deliver (queued + in flight)."""
+        return self.pending_mb + self.in_flight_mb
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    @property
+    def idle(self) -> bool:
+        return self._active_count == 0 and self.pending_count == 0
+
+    def queue_loads_mb(self) -> list[float]:
+        """Per-queue pending MB — the ``s_up, m_up, l_up`` of Algorithm 3."""
+        return [q.pending_mb for q in self.queues]
+
+    # ------------------------------------------------------------------
+    # Work
+    # ------------------------------------------------------------------
+    def enqueue(
+        self,
+        payload: Any,
+        size_mb: float,
+        on_start: Optional[Callable[[Any], None]] = None,
+        on_complete: Optional[Callable[[Any], None]] = None,
+    ) -> PipelineItem:
+        """Queue a payload for transfer; callbacks fire at start/finish."""
+        if size_mb <= 0:
+            raise ValueError("transfer size must be positive")
+        item = PipelineItem(
+            payload=payload,
+            size_mb=size_mb,
+            on_start=on_start,
+            on_complete=on_complete,
+            enqueue_time=self.sim.now,
+        )
+        self._route(size_mb).items.append(item)
+        self._try_start_all()
+        return item
+
+    def cancel(self, payload: Any) -> bool:
+        """Remove a still-queued payload (rescheduling support)."""
+        for queue in self.queues:
+            for item in queue.items:
+                if item.payload is payload:
+                    queue.items.remove(item)
+                    return True
+        return False
+
+    def _pick_for(self, index: int) -> Optional[PipelineItem]:
+        """Next item for queue ``index``: own head, else a lower queue's head."""
+        own = self.queues[index]
+        if own.items:
+            return own.items.popleft()
+        for j in range(index - 1, -1, -1):
+            lower = self.queues[j]
+            if lower.items:
+                return lower.items.popleft()
+        return None
+
+    def _try_start_all(self) -> None:
+        # Larger-interval queues pick first so a large queue left idle by
+        # its own emptiness helps drain the small backlog.
+        for index in range(len(self.queues) - 1, -1, -1):
+            queue = self.queues[index]
+            if queue.active is not None:
+                continue
+            item = self._pick_for(index)
+            if item is None:
+                continue
+            self._start(queue, item)
+
+    def _start(self, queue: SizeQueue, item: PipelineItem) -> None:
+        queue.active = item
+        item.assigned_queue = queue
+        item.queue_name = queue.name
+        self._active_count += 1
+        threads = self.tuner.threads_for(self.sim.now)
+        if item.on_start is not None:
+            item.on_start(item.payload)
+        self.link.start_transfer(
+            item.size_mb,
+            threads,
+            lambda transfer, it=item: self._on_done(it, transfer),
+            label=f"{self.name}:{queue.name}",
+        )
+
+    def _on_done(self, item: PipelineItem, transfer: Transfer) -> None:
+        # Clear whichever slot the item occupies *now* (bounds rebuilds may
+        # have moved it since the transfer started).
+        if item.assigned_queue is not None and item.assigned_queue.active is item:
+            item.assigned_queue.active = None
+        item.assigned_queue = None
+        self._active_count -= 1
+        self.items_completed += 1
+        # The EWMA learns the pipe's effective capacity (aggregate view);
+        # the tuner hill-climbs on this transfer's own achieved rate.
+        aggregate = transfer.aggregate_mbps
+        if aggregate is not None:
+            self.estimator.observe(transfer.start_time, aggregate)
+        own = transfer.achieved_mbps
+        if own is not None:
+            self.tuner.report(transfer.start_time, transfer.threads, own)
+        if item.on_complete is not None:
+            item.on_complete(item.payload)
+        self._try_start_all()

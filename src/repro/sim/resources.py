@@ -1,0 +1,72 @@
+"""Single-machine compute resource.
+
+A machine is the unit of the paper's IC/EC pools ("8 virtual machines
+forming the internal cloud and a maximum of 2 virtual machines forming the
+external cloud"). Processing is non-preemptive: a machine runs exactly one
+job at a time, for the job's true processing time divided by the machine's
+speed relative to the paper's "standard machine".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import Event, Simulator
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One non-preemptive compute slot with a relative speed factor."""
+
+    def __init__(self, sim: Simulator, name: str, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError("machine speed must be positive")
+        self.sim = sim
+        self.name = name
+        self.speed = speed
+        self.busy_time = 0.0
+        self.jobs_processed = 0
+        self._current: Optional[Any] = None
+        self._finish_event: Optional[Event] = None
+        self._busy_since: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current_item(self) -> Optional[Any]:
+        return self._current
+
+    @property
+    def estimated_free_at(self) -> float:
+        """Time the machine frees up, assuming the current job's schedule."""
+        if self._finish_event is None:
+            return self.sim.now
+        return self._finish_event.time
+
+    def process(
+        self,
+        item: Any,
+        standard_time: float,
+        on_done: Callable[[Any, "Machine"], None],
+    ) -> None:
+        """Run ``item`` for ``standard_time / speed`` seconds, then notify."""
+        if self.busy:
+            raise RuntimeError(f"machine {self.name} is already busy")
+        if standard_time <= 0:
+            raise ValueError("processing time must be positive")
+        self._current = item
+        self._busy_since = self.sim.now
+        duration = standard_time / self.speed
+        self._finish_event = self.sim.schedule(duration, self._finish, item, on_done)
+
+    def _finish(self, item: Any, on_done: Callable[[Any, "Machine"], None]) -> None:
+        assert self._busy_since is not None
+        self.busy_time += self.sim.now - self._busy_since
+        self.jobs_processed += 1
+        self._current = None
+        self._finish_event = None
+        self._busy_since = None
+        on_done(item, self)

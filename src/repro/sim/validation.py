@@ -1,0 +1,138 @@
+"""Whole-trace invariant checking.
+
+:func:`validate_trace` audits a completed :class:`~repro.sim.tracing.RunTrace`
+against the physics of the simulated system — the checks a reviewer would
+run before trusting any number derived from it:
+
+* per-record timestamp monotonicity and unique ids (delegated to
+  ``RunTrace.validate``);
+* no machine ever runs two jobs at once (exec intervals on the same
+  machine are disjoint);
+* busy-time accounting is consistent: recorded exec time per cloud equals
+  the trace's busy-time counters, and neither exceeds pool capacity over
+  the run;
+* every EC record carries the full pipeline (upload -> exec -> download)
+  and every IC record none of it;
+* utilization and burst-ratio values land in their legal ranges.
+
+Violations raise :class:`TraceInvariantError` with every failure listed,
+so a single audit reports all problems at once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from ..common import Placement
+from .tracing import JobRecord, RunTrace
+
+__all__ = ["TraceInvariantError", "validate_trace"]
+
+#: Tolerance for float accumulation across a run.
+_EPS = 1e-6
+
+
+class TraceInvariantError(AssertionError):
+    """One or more trace invariants failed; ``problems`` lists them all."""
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = problems
+        super().__init__("\n".join(problems))
+
+
+def _check_machine_exclusivity(records: list[JobRecord], problems: list[str]) -> None:
+    by_machine: dict[str, list[tuple[float, float, JobRecord]]] = defaultdict(list)
+    for rec in records:
+        if rec.machine and rec.exec_start is not None and rec.exec_end is not None:
+            by_machine[rec.machine].append((rec.exec_start, rec.exec_end, rec))
+    for machine, intervals in by_machine.items():
+        intervals.sort()
+        for (s1, e1, r1), (s2, e2, r2) in zip(intervals, intervals[1:]):
+            if s2 < e1 - _EPS:
+                problems.append(
+                    f"machine {machine} overlaps: job {r1.job_id}.{r1.sub_id} "
+                    f"[{s1:.3f},{e1:.3f}] with job {r2.job_id}.{r2.sub_id} "
+                    f"[{s2:.3f},{e2:.3f}]"
+                )
+
+
+def _check_pipeline_stages(records: list[JobRecord], problems: list[str]) -> None:
+    for rec in records:
+        if not rec.completed:
+            problems.append(f"job {rec.job_id}.{rec.sub_id} never completed")
+            continue
+        if rec.placement == Placement.EC and not rec.rescheduled:
+            missing = [
+                stage for stage in
+                ("upload_start", "upload_end", "exec_start", "exec_end",
+                 "download_start", "download_end")
+                if getattr(rec, stage) is None
+            ]
+            if missing:
+                problems.append(
+                    f"EC job {rec.job_id}.{rec.sub_id} missing stages: {missing}"
+                )
+        elif rec.placement == Placement.IC and not rec.rescheduled:
+            for stage in ("upload_start", "download_start"):
+                if getattr(rec, stage) is not None:
+                    problems.append(
+                        f"IC job {rec.job_id}.{rec.sub_id} has transfer stage {stage}"
+                    )
+
+
+def _check_busy_accounting(trace: RunTrace, problems: list[str]) -> None:
+    horizon = trace.end_time - trace.arrival_time
+    if horizon <= 0:
+        return
+    recorded = {Placement.IC: 0.0, Placement.EC: 0.0}
+    for rec in trace.records:
+        if rec.exec_start is not None and rec.exec_end is not None:
+            recorded[rec.placement] += rec.exec_end - rec.exec_start
+    for placement, busy, machines in (
+        (Placement.IC, trace.ic_busy_time, trace.ic_machines),
+        (Placement.EC, trace.ec_busy_time, trace.ec_machines),
+    ):
+        cap = machines * horizon
+        if busy > cap + _EPS + 1e-3 * cap:
+            problems.append(
+                f"{placement} busy time {busy:.1f}s exceeds pool capacity {cap:.1f}s"
+            )
+        # Rescheduled jobs change placement after some stages ran, so
+        # recorded exec may straddle clouds; allow slack for them.
+        rescheduled = any(r.rescheduled for r in trace.records)
+        if not rescheduled and abs(recorded[placement] - busy) > max(
+            1.0, 0.01 * max(busy, 1.0)
+        ):
+            problems.append(
+                f"{placement} busy-time mismatch: cluster accounted {busy:.1f}s, "
+                f"records sum to {recorded[placement]:.1f}s"
+            )
+
+
+def _check_ranges(trace: RunTrace, problems: list[str]) -> None:
+    from ..metrics.sla import burst_ratio, ec_utilization, ic_utilization
+
+    for name, value in (
+        ("ic_utilization", ic_utilization(trace)),
+        ("ec_utilization", ec_utilization(trace)),
+        ("burst_ratio", burst_ratio(trace)),
+    ):
+        if not -_EPS <= value <= 1.0 + _EPS:
+            problems.append(f"{name} out of range: {value}")
+
+
+def validate_trace(trace: RunTrace, raise_on_failure: bool = True) -> list[str]:
+    """Audit a trace; returns the list of problems (empty when clean)."""
+    problems: list[str] = []
+    try:
+        trace.validate()
+    except ValueError as exc:
+        problems.append(str(exc))
+    _check_machine_exclusivity(trace.records, problems)
+    _check_pipeline_stages(trace.records, problems)
+    _check_busy_accounting(trace, problems)
+    _check_ranges(trace, problems)
+    if problems and raise_on_failure:
+        raise TraceInvariantError(problems)
+    return problems

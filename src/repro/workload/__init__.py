@@ -1,0 +1,21 @@
+"""Synthetic production-printing workload: documents, buckets, batches."""
+
+from .distributions import SIZE_MAX_MB, SIZE_MIN_MB, Bucket, SizeDistribution, bucket_distribution
+from .document import FEATURE_NAMES, DocumentFeatures, Job, JobType, job_size_cv
+from .generator import Batch, WorkloadConfig, WorkloadGenerator, generate_workload
+from .processing import GroundTruthProcessingModel
+from .schedule import WorkloadPhase, WorkloadSchedule
+from .stats import WorkloadStats, per_batch_size_cv, size_cv, tail_mass, workload_stats
+from .trace_import import import_workload_csv, jobs_to_batches, load_jobs_csv
+from .traces import load_batches, save_batches
+
+__all__ = [
+    "Bucket", "SizeDistribution", "bucket_distribution", "SIZE_MIN_MB", "SIZE_MAX_MB",
+    "DocumentFeatures", "Job", "JobType", "FEATURE_NAMES", "job_size_cv",
+    "WorkloadGenerator", "WorkloadConfig", "Batch", "generate_workload",
+    "GroundTruthProcessingModel",
+    "WorkloadPhase", "WorkloadSchedule",
+    "WorkloadStats", "workload_stats", "size_cv", "per_batch_size_cv", "tail_mass",
+    "save_batches", "load_batches",
+    "import_workload_csv", "load_jobs_csv", "jobs_to_batches",
+]

@@ -1,0 +1,89 @@
+"""Job-size distributions: the paper's three workload buckets.
+
+Section V.A: "we created three buckets from the production jobs ... These
+jobs were production quality documents consisting of images and text varying
+in size from 1MB to 300MB. The first bucket was biased towards small jobs;
+the second one had a uniform distribution of job sizes, while the last one
+was biased towards large jobs."
+
+Each bucket is a distribution over [SIZE_MIN_MB, SIZE_MAX_MB]. The biased
+buckets use Beta-distributed sizes (long-tailed towards the favoured end),
+which matches the paper's observation that the workload is long-tailed and
+that the coefficient of variation of job sizes is close to 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Bucket", "SizeDistribution", "SIZE_MIN_MB", "SIZE_MAX_MB", "bucket_distribution"]
+
+SIZE_MIN_MB = 1.0
+SIZE_MAX_MB = 300.0
+
+
+class Bucket(enum.Enum):
+    """The three workload buckets of Section V.A."""
+
+    SMALL = "small"
+    UNIFORM = "uniform"
+    LARGE = "large"
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """A named sampler of job input sizes in MB over [lo, hi]."""
+
+    name: str
+    lo: float
+    hi: float
+    _sampler: Callable[[np.random.Generator, int], np.ndarray]
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` sizes; always clipped into [lo, hi]."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        raw = self._sampler(rng, n)
+        return np.clip(raw, self.lo, self.hi)
+
+    def mean(self, rng: np.random.Generator, n: int = 20000) -> float:
+        """Monte-Carlo mean size (used for calibration and tests)."""
+        return float(self.sample(rng, n).mean())
+
+
+def _beta_sizes(a: float, b: float, lo: float, hi: float):
+    def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+        return lo + (hi - lo) * rng.beta(a, b, size=n)
+
+    return sampler
+
+
+def _uniform_sizes(lo: float, hi: float):
+    def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(lo, hi, size=n)
+
+    return sampler
+
+
+def bucket_distribution(
+    bucket: Bucket, lo: float = SIZE_MIN_MB, hi: float = SIZE_MAX_MB
+) -> SizeDistribution:
+    """Return the size distribution for one of the paper's three buckets.
+
+    * ``SMALL``   — Beta(1.2, 4.0): mass near 1 MB with a long tail upward;
+      mean ~ 70 MB.
+    * ``UNIFORM`` — Uniform(1, 300); mean ~ 150 MB.
+    * ``LARGE``   — Beta(4.0, 1.2): mass near 300 MB with a tail downward;
+      mean ~ 230 MB.
+    """
+    if bucket is Bucket.SMALL:
+        return SizeDistribution("small", lo, hi, _beta_sizes(1.2, 4.0, lo, hi))
+    if bucket is Bucket.UNIFORM:
+        return SizeDistribution("uniform", lo, hi, _uniform_sizes(lo, hi))
+    if bucket is Bucket.LARGE:
+        return SizeDistribution("large", lo, hi, _beta_sizes(4.0, 1.2, lo, hi))
+    raise ValueError(f"unknown bucket: {bucket!r}")

@@ -1,0 +1,226 @@
+"""Document/job model for the production-printing workload.
+
+The paper's workload is "production quality documents consisting of images
+and text varying in size from 1MB to 300MB" whose processing time depends on
+document features: "document size, number of images, the size of the images,
+number of images per page, resolution, color and monochrome elements, image
+features, number of pages, ratio of text to pages, coverage, specific job
+type" (Section III.A.1). We model the features the QRSM regresses over and
+the job object that flows through the scheduler and simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["JobType", "DocumentFeatures", "Job", "FEATURE_NAMES"]
+
+
+class JobType(enum.Enum):
+    """Coarse production job classes from the paper's domain description."""
+
+    NEWSPAPER = "newspaper"
+    BOOK = "book"
+    MARKETING = "marketing"
+    MAIL_CAMPAIGN = "mail_campaign"
+    STATEMENT = "statement"
+    PERSONALIZATION = "personalization"
+
+    @property
+    def complexity(self) -> float:
+        """Relative raster-processing complexity multiplier per class."""
+        return _JOB_TYPE_COMPLEXITY[self]
+
+
+_JOB_TYPE_COMPLEXITY = {
+    JobType.NEWSPAPER: 0.9,
+    JobType.BOOK: 0.8,
+    JobType.MARKETING: 1.3,
+    JobType.MAIL_CAMPAIGN: 1.0,
+    JobType.STATEMENT: 0.7,
+    JobType.PERSONALIZATION: 1.4,
+}
+
+#: Ordered names of the numeric features exposed to the QRSM. The order is a
+#: public contract: :meth:`DocumentFeatures.vector` and the fitted model
+#: coefficients both follow it.
+FEATURE_NAMES: tuple[str, ...] = (
+    "size_mb",
+    "n_pages",
+    "n_images",
+    "mean_image_mb",
+    "images_per_page",
+    "resolution_factor",
+    "color_fraction",
+    "text_ratio",
+    "coverage",
+    "complexity",
+)
+
+
+@dataclass(frozen=True)
+class DocumentFeatures:
+    """Static, a-priori visible characteristics of a print document.
+
+    The domain gives "apriori visibility into the features and
+    characteristics of the jobs in a queue" (Section VII), so all of these
+    are known to the scheduler at submission time.
+    """
+
+    size_mb: float
+    n_pages: int
+    n_images: int
+    mean_image_mb: float
+    resolution_dpi: float
+    color_fraction: float
+    text_ratio: float
+    coverage: float
+    job_type: JobType = JobType.MAIL_CAMPAIGN
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError(f"size_mb must be positive, got {self.size_mb}")
+        if self.n_pages < 1:
+            raise ValueError("a document has at least one page")
+        if self.n_images < 0:
+            raise ValueError("n_images cannot be negative")
+        if not 0.0 <= self.color_fraction <= 1.0:
+            raise ValueError("color_fraction must lie in [0, 1]")
+        if not 0.0 <= self.text_ratio <= 1.0:
+            raise ValueError("text_ratio must lie in [0, 1]")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage must lie in [0, 1]")
+        if self.resolution_dpi <= 0:
+            raise ValueError("resolution_dpi must be positive")
+
+    @property
+    def images_per_page(self) -> float:
+        return self.n_images / self.n_pages
+
+    @property
+    def resolution_factor(self) -> float:
+        """Resolution normalised to a 300 dpi production baseline."""
+        return self.resolution_dpi / 300.0
+
+    def vector(self) -> np.ndarray:
+        """Numeric feature vector in :data:`FEATURE_NAMES` order."""
+        return np.array(
+            [
+                self.size_mb,
+                float(self.n_pages),
+                float(self.n_images),
+                self.mean_image_mb,
+                self.images_per_page,
+                self.resolution_factor,
+                self.color_fraction,
+                self.text_ratio,
+                self.coverage,
+                self.job_type.complexity,
+            ],
+            dtype=float,
+        )
+
+    def scaled(self, fraction: float) -> "DocumentFeatures":
+        """Features of a ``fraction``-sized chunk of this document.
+
+        Used by the Order-Preserving scheduler's ``pdfchunk`` step: a PDF is
+        split page-wise, so extensive quantities (size, pages, images) scale
+        while intensive ones (resolution, ratios) are preserved.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return replace(
+            self,
+            size_mb=self.size_mb * fraction,
+            n_pages=max(1, int(round(self.n_pages * fraction))),
+            n_images=int(round(self.n_images * fraction)),
+        )
+
+
+@dataclass
+class Job:
+    """A unit of schedulable work: one document (or one chunk of one).
+
+    ``job_id`` is the 1-based queue position used throughout the paper's
+    equations. Chunks produced by ``pdfchunk`` keep their parent's queue
+    position semantics via ``parent_id`` and a ``sub_id`` ordinal so the
+    Out-of-Order metric can reason about chronology.
+
+    ``true_proc_time`` is the *hidden* ground-truth processing time on a
+    standard machine (``t^e(i)`` in the paper is the scheduler's *estimate*
+    of it); schedulers must never read it — they go through the QRSM.
+    """
+
+    job_id: int
+    batch_id: int
+    features: DocumentFeatures
+    true_proc_time: float
+    output_mb: float
+    arrival_time: float = 0.0
+    sub_id: int = 0
+    parent_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.true_proc_time <= 0:
+            raise ValueError("true_proc_time must be positive")
+        if self.output_mb < 0:
+            raise ValueError("output_mb cannot be negative")
+
+    @property
+    def input_mb(self) -> float:
+        """Input transfer size ``s_i`` (MB)."""
+        return self.features.size_mb
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Stable ordering key: queue position, then chunk ordinal."""
+        return (self.job_id, self.sub_id)
+
+    def chunks(self, n: int) -> list["Job"]:
+        """Split into ``n`` near-equal chunks (``pdfchunk`` primitive).
+
+        The document is embarrassingly parallel (Section III.B), so chunk
+        true processing times scale with the chunk fraction; a small fixed
+        per-chunk overhead models the split/merge cost.
+        """
+        if n < 1:
+            raise ValueError("chunk count must be >= 1")
+        if n == 1:
+            return [self]
+        fraction = 1.0 / n
+        overhead = 1.0 + 0.02 * (n - 1) / n  # split/merge cost, ~2% total
+        out: list[Job] = []
+        for k in range(n):
+            out.append(
+                Job(
+                    job_id=self.job_id,
+                    batch_id=self.batch_id,
+                    features=self.features.scaled(fraction),
+                    true_proc_time=self.true_proc_time * fraction * overhead,
+                    output_mb=self.output_mb * fraction,
+                    arrival_time=self.arrival_time,
+                    sub_id=k + 1,
+                    parent_id=self.job_id,
+                )
+            )
+        return out
+
+
+def job_size_cv(jobs: list[Job]) -> float:
+    """Coefficient of variation of job input sizes.
+
+    Section V.B.4 observes CoV ~ 1 for bursted jobs per batch, motivating
+    size-interval bandwidth splitting.
+    """
+    if not jobs:
+        return 0.0
+    sizes = np.array([j.input_mb for j in jobs])
+    mean = sizes.mean()
+    if mean == 0:
+        return 0.0
+    return float(sizes.std() / mean)

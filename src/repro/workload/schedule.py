@@ -1,0 +1,103 @@
+"""Phased workloads: realistic multi-phase production days.
+
+The paper's workloads "wildly fluctuate and are periodical (weekly,
+monthly, yearly etc.) closely following the seasonal consumption patterns
+of a consumer economy". A :class:`WorkloadSchedule` composes several
+phases — each with its own bucket, arrival rate and duration — into one
+consistent batch sequence (consecutive job ids, monotone arrival times),
+e.g. a morning rush of large jobs followed by an afternoon tail of small
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .distributions import Bucket
+from .generator import Batch, WorkloadConfig, WorkloadGenerator
+from .processing import GroundTruthProcessingModel
+
+__all__ = ["WorkloadPhase", "WorkloadSchedule"]
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One homogeneous stretch of the day."""
+
+    bucket: Bucket
+    n_batches: int
+    mean_jobs_per_batch: float = 15.0
+    batch_interval_s: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.n_batches < 1:
+            raise ValueError("a phase needs at least one batch")
+        if self.mean_jobs_per_batch <= 0 or self.batch_interval_s <= 0:
+            raise ValueError("rates and intervals must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_batches * self.batch_interval_s
+
+
+@dataclass
+class WorkloadSchedule:
+    """Composes phases into one renumbered, time-ordered batch list.
+
+    All phases share one ground-truth processing model so a single QRSM
+    remains the right learned model across the day; each phase gets a
+    derived seed so adding a phase never perturbs earlier ones.
+    """
+
+    phases: list[WorkloadPhase] = field(default_factory=list)
+    seed: int = 0
+    truth: Optional[GroundTruthProcessingModel] = None
+
+    def add(self, phase: WorkloadPhase) -> "WorkloadSchedule":
+        self.phases.append(phase)
+        return self
+
+    def generate(self) -> list[Batch]:
+        """Materialise the full day."""
+        if not self.phases:
+            raise ValueError("schedule has no phases")
+        truth = self.truth if self.truth is not None else GroundTruthProcessingModel()
+        batches: list[Batch] = []
+        next_job_id = 1
+        next_batch_id = 0
+        clock = 0.0
+        for k, phase in enumerate(self.phases):
+            gen = WorkloadGenerator(
+                bucket=phase.bucket, truth=truth, seed=self.seed + 7919 * k
+            )
+            raw = gen.generate(
+                WorkloadConfig(
+                    bucket=phase.bucket,
+                    n_batches=phase.n_batches,
+                    batch_interval_s=phase.batch_interval_s,
+                    mean_jobs_per_batch=phase.mean_jobs_per_batch,
+                    seed=self.seed + 7919 * k,
+                    first_arrival=clock,
+                )
+            )
+            for batch in raw:
+                for job in batch.jobs:
+                    job.job_id = next_job_id
+                    job.batch_id = next_batch_id
+                    next_job_id += 1
+                batches.append(
+                    Batch(batch_id=next_batch_id, arrival_time=batch.arrival_time,
+                          jobs=batch.jobs)
+                )
+                next_batch_id += 1
+            clock += phase.duration_s
+        return batches
+
+    @property
+    def total_batches(self) -> int:
+        return sum(p.n_batches for p in self.phases)
+
+    @property
+    def duration_s(self) -> float:
+        return sum(p.duration_s for p in self.phases)

@@ -1,0 +1,160 @@
+"""Importing measured workloads from CSV.
+
+A shop adopting this scheduler has logs, not generators. This module turns
+a CSV of measured jobs into :class:`~repro.workload.document.Job` batches:
+
+* required columns: ``size_mb``;
+* recognised optional columns: ``arrival_s``, ``proc_time_s``,
+  ``output_mb``, ``n_pages``, ``n_images``, ``resolution_dpi``,
+  ``color_fraction``, ``text_ratio``, ``coverage``, ``job_type``;
+* anything missing is synthesised consistently with the size (the same
+  conditional model the generator uses), and missing processing times are
+  drawn from the ground-truth model so the QRSM's feature/runtime
+  relationship stays coherent.
+
+Rows without ``arrival_s`` are grouped into batches of
+``default_batch_size`` at ``default_interval_s`` spacing; rows with it are
+batched by identical arrival instants.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .distributions import Bucket
+from .document import DocumentFeatures, Job, JobType
+from .generator import Batch, WorkloadGenerator
+from .processing import GroundTruthProcessingModel
+
+__all__ = ["load_jobs_csv", "jobs_to_batches", "import_workload_csv"]
+
+_FLOAT_FIELDS = (
+    "size_mb", "arrival_s", "proc_time_s", "output_mb", "mean_image_mb",
+    "resolution_dpi", "color_fraction", "text_ratio", "coverage",
+)
+_INT_FIELDS = ("n_pages", "n_images")
+
+
+def _parse_row(row: dict, line_no: int) -> dict:
+    out: dict = {}
+    for key, raw in row.items():
+        if raw is None or str(raw).strip() == "":
+            continue
+        key = key.strip()
+        try:
+            if key in _FLOAT_FIELDS:
+                out[key] = float(raw)
+            elif key in _INT_FIELDS:
+                out[key] = int(float(raw))
+            elif key == "job_type":
+                out[key] = JobType(str(raw).strip())
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"CSV line {line_no}: bad value {raw!r} for {key}") from exc
+    if "size_mb" not in out:
+        raise ValueError(f"CSV line {line_no}: missing required column size_mb")
+    if out["size_mb"] <= 0:
+        raise ValueError(f"CSV line {line_no}: size_mb must be positive")
+    return out
+
+
+def load_jobs_csv(
+    path: str | Path,
+    seed: int = 0,
+    truth: Optional[GroundTruthProcessingModel] = None,
+) -> list[Job]:
+    """Read jobs from a CSV file (one row per job, header required)."""
+    truth = truth if truth is not None else GroundTruthProcessingModel()
+    synth = WorkloadGenerator(bucket=Bucket.UNIFORM, truth=truth, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    jobs: list[Job] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or "size_mb" not in [
+            f.strip() for f in reader.fieldnames
+        ]:
+            raise ValueError("CSV must have a header including size_mb")
+        for line_no, row in enumerate(reader, start=2):
+            parsed = _parse_row(row, line_no)
+            base = synth.sample_features(size_mb=parsed["size_mb"])
+            feature_overrides = {
+                k: parsed[k]
+                for k in ("n_pages", "n_images", "mean_image_mb", "resolution_dpi",
+                          "color_fraction", "text_ratio", "coverage", "job_type")
+                if k in parsed
+            }
+            import dataclasses
+
+            features = dataclasses.replace(base, **feature_overrides)
+            proc = parsed.get("proc_time_s", truth.sample_time(features, rng))
+            output = parsed.get("output_mb", truth.output_size_mb(features, rng))
+            jobs.append(
+                Job(
+                    job_id=len(jobs) + 1,
+                    batch_id=0,
+                    features=features,
+                    true_proc_time=float(proc),
+                    output_mb=float(output),
+                    arrival_time=float(parsed.get("arrival_s", 0.0)),
+                )
+            )
+    if not jobs:
+        raise ValueError("CSV contained no job rows")
+    return jobs
+
+
+def jobs_to_batches(
+    jobs: Sequence[Job],
+    default_batch_size: int = 15,
+    default_interval_s: float = 180.0,
+) -> list[Batch]:
+    """Group imported jobs into batches.
+
+    If the jobs carry distinct arrival times those define the batches;
+    otherwise jobs are packed ``default_batch_size`` at a time at
+    ``default_interval_s`` spacing. Job and batch ids are renumbered in
+    arrival order.
+    """
+    if not jobs:
+        raise ValueError("no jobs to batch")
+    arrivals = {j.arrival_time for j in jobs}
+    groups: list[tuple[float, list[Job]]] = []
+    if len(arrivals) > 1:
+        by_arrival: dict[float, list[Job]] = {}
+        for job in jobs:
+            by_arrival.setdefault(job.arrival_time, []).append(job)
+        groups = sorted(by_arrival.items())
+    else:
+        ordered = list(jobs)
+        for k in range(0, len(ordered), default_batch_size):
+            groups.append(
+                (k // default_batch_size * default_interval_s,
+                 ordered[k : k + default_batch_size])
+            )
+    batches: list[Batch] = []
+    next_id = 1
+    for batch_id, (arrival, members) in enumerate(groups):
+        for job in members:
+            job.job_id = next_id
+            job.batch_id = batch_id
+            job.arrival_time = arrival
+            next_id += 1
+        batches.append(Batch(batch_id=batch_id, arrival_time=arrival, jobs=members))
+    return batches
+
+
+def import_workload_csv(
+    path: str | Path,
+    seed: int = 0,
+    default_batch_size: int = 15,
+    default_interval_s: float = 180.0,
+) -> list[Batch]:
+    """One-call CSV import: load rows and batch them."""
+    return jobs_to_batches(
+        load_jobs_csv(path, seed=seed),
+        default_batch_size=default_batch_size,
+        default_interval_s=default_interval_s,
+    )

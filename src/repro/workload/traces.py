@@ -1,0 +1,94 @@
+"""Workload trace persistence.
+
+Experiments must be repeatable across schedulers: every scheduler in a
+comparison (Figs. 6-10, Table I) must see the *identical* job sequence. A
+:class:`repro.workload.generator.Batch` list can be saved to JSON and
+re-loaded so the comparison is trace-driven rather than re-sampled.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .document import DocumentFeatures, Job, JobType
+from .generator import Batch
+
+__all__ = ["save_batches", "load_batches", "batches_to_dict", "batches_from_dict"]
+
+
+def _features_to_dict(f: DocumentFeatures) -> dict:
+    return {
+        "size_mb": f.size_mb,
+        "n_pages": f.n_pages,
+        "n_images": f.n_images,
+        "mean_image_mb": f.mean_image_mb,
+        "resolution_dpi": f.resolution_dpi,
+        "color_fraction": f.color_fraction,
+        "text_ratio": f.text_ratio,
+        "coverage": f.coverage,
+        "job_type": f.job_type.value,
+    }
+
+
+def _features_from_dict(d: dict) -> DocumentFeatures:
+    d = dict(d)
+    d["job_type"] = JobType(d["job_type"])
+    return DocumentFeatures(**d)
+
+
+def _job_to_dict(j: Job) -> dict:
+    return {
+        "job_id": j.job_id,
+        "batch_id": j.batch_id,
+        "features": _features_to_dict(j.features),
+        "true_proc_time": j.true_proc_time,
+        "output_mb": j.output_mb,
+        "arrival_time": j.arrival_time,
+        "sub_id": j.sub_id,
+        "parent_id": j.parent_id,
+    }
+
+
+def _job_from_dict(d: dict) -> Job:
+    d = dict(d)
+    d["features"] = _features_from_dict(d["features"])
+    return Job(**d)
+
+
+def batches_to_dict(batches: Sequence[Batch]) -> dict:
+    return {
+        "version": 1,
+        "batches": [
+            {
+                "batch_id": b.batch_id,
+                "arrival_time": b.arrival_time,
+                "jobs": [_job_to_dict(j) for j in b.jobs],
+            }
+            for b in batches
+        ],
+    }
+
+
+def batches_from_dict(payload: dict) -> list[Batch]:
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported workload trace version: {payload.get('version')}")
+    return [
+        Batch(
+            batch_id=b["batch_id"],
+            arrival_time=b["arrival_time"],
+            jobs=[_job_from_dict(j) for j in b["jobs"]],
+        )
+        for b in payload["batches"]
+    ]
+
+
+def save_batches(batches: Sequence[Batch], path: str | Path) -> None:
+    """Serialise a batched workload to JSON."""
+    Path(path).write_text(json.dumps(batches_to_dict(batches), indent=2))
+
+
+def load_batches(path: str | Path) -> list[Batch]:
+    """Load a batched workload previously saved with :func:`save_batches`."""
+    return batches_from_dict(json.loads(Path(path).read_text()))

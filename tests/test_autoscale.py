@@ -1,0 +1,150 @@
+"""Elastic EC autoscaler and elastic-cluster mechanics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import build_workload, run_one
+from repro.metrics.sla import summarize
+from repro.sim.autoscale import ECAutoScaler
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+
+class TestElasticCluster:
+    def test_add_machine_dispatches_queued_work(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        done = []
+        c.submit("a", 10.0, lambda i, m: done.append((i, sim.now)))
+        c.submit("b", 10.0, lambda i, m: done.append((i, sim.now)))
+        c.add_machine()
+        sim.run()
+        # With the second machine 'b' starts immediately: both done at t=10.
+        assert [t for _, t in done] == pytest.approx([10.0, 10.0])
+
+    def test_added_machine_gets_fresh_name(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        m = c.add_machine()
+        assert m.name == "c-2"
+        assert c.n_machines == 3
+
+    def test_retire_idle_machine_is_immediate(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=3)
+        assert c.retire_machine() is True
+        assert c.n_machines == 2
+
+    def test_retire_busy_machine_drains(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        c.submit("a", 10.0, lambda i, m: None)
+        c.submit("b", 10.0, lambda i, m: None)
+        assert c.retire_machine() is True
+        assert c.n_machines == 2  # still finishing its job
+        sim.run()
+        assert c.n_machines == 1
+
+    def test_draining_machine_takes_no_new_work(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        c.submit("a", 10.0, lambda i, m: None)
+        c.submit("b", 10.0, lambda i, m: None)
+        c.retire_machine()
+        starts = []
+        c.submit("late", 1.0, lambda i, m: None,
+                 on_start=lambda i, m: starts.append(m.name))
+        sim.run()
+        # 'late' must have run on the surviving machine only.
+        assert len(starts) == 1
+        assert c.n_machines == 1
+
+    def test_never_below_one_machine(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        assert c.retire_machine() is False
+
+    def test_busy_time_survives_retirement(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        c.submit("a", 10.0, lambda i, m: None)
+        c.retire_machine()  # retires the idle one
+        sim.run()
+        assert c.total_busy_time == pytest.approx(10.0)
+
+    def test_rented_machine_seconds_integrates_pool(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        sim.schedule(10.0, c.add_machine)
+        sim.schedule(20.0, lambda: None)
+        sim.run()
+        # 2 machines for 10s, then 3 for 10s = 50 machine-seconds.
+        assert c.rented_machine_seconds == pytest.approx(50.0)
+
+
+class TestAutoScaler:
+    def test_validation(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", 2)
+        with pytest.raises(ValueError):
+            ECAutoScaler(sim, c, min_instances=0)
+        with pytest.raises(ValueError):
+            ECAutoScaler(sim, c, min_instances=3, max_instances=2)
+        with pytest.raises(ValueError):
+            ECAutoScaler(sim, c, interval_s=0.0)
+
+    def test_scales_up_under_queue_pressure(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", 1)
+        scaler = ECAutoScaler(sim, c, max_instances=4, interval_s=10.0)
+        for k in range(6):
+            c.submit(k, 500.0, lambda i, m: None)
+        sim.run(until=100.0)
+        assert c.n_machines > 1
+        assert any(e.action == "up" for e in scaler.events)
+
+    def test_scales_down_when_idle(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", 4)
+        scaler = ECAutoScaler(sim, c, min_instances=1, interval_s=10.0,
+                              idle_periods_before_down=2)
+        sim.run(until=200.0)
+        assert c.n_machines == 1
+        assert scaler.summary()["scale_downs"] == 3
+
+    def test_knee_caps_pool(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", 1)
+        scaler = ECAutoScaler(sim, c, max_instances=16, knee=2, interval_s=10.0)
+        for k in range(20):
+            c.submit(k, 1000.0, lambda i, m: None)
+        sim.run(until=300.0)
+        assert c.n_machines <= 2
+
+    def test_full_run_with_autoscaling_cheaper_at_same_makespan(self):
+        """The Section V.B.4 economics: fewer rented machine-seconds."""
+        spec = ExperimentSpec(
+            bucket=Bucket.LARGE, n_batches=4,
+            system=SystemConfig(seed=91, ec_machines=6),
+        )
+        batches = build_workload(spec)
+        static = run_one("Op", spec, batches=batches)
+
+        scalers = []
+
+        def hook(env):
+            scalers.append(
+                ECAutoScaler(env.sim, env.ec, min_instances=1, max_instances=6,
+                             interval_s=60.0)
+            )
+
+        elastic = run_one("Op", spec, batches=batches, env_hook=hook)
+        assert all(r.completed for r in elastic.records)
+        static_cost = 6.0 * (static.end_time - static.arrival_time)
+        elastic_cost = scalers[0].summary()["rented_machine_s"]
+        assert elastic_cost < static_cost * 0.85
+        assert elastic.makespan < static.makespan * 1.10

@@ -1,0 +1,71 @@
+"""Baseline scheduler unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Placement
+from repro.core.baselines import RandomBurstScheduler, ThresholdScheduler
+
+from tests.conftest import make_job, make_state
+from tests.test_schedulers import StubEstimator
+
+
+class TestRandomBurst:
+    def test_probability_zero_never_bursts(self):
+        sched = RandomBurstScheduler(StubEstimator(), burst_probability=0.0)
+        jobs = [make_job(job_id=i) for i in range(1, 20)]
+        plan = sched.plan(jobs, make_state())
+        assert plan.n_bursted == 0
+
+    def test_probability_one_always_bursts(self):
+        sched = RandomBurstScheduler(StubEstimator(), burst_probability=1.0)
+        jobs = [make_job(job_id=i) for i in range(1, 20)]
+        plan = sched.plan(jobs, make_state())
+        assert plan.n_bursted == len(jobs)
+
+    def test_burst_fraction_approximates_probability(self):
+        sched = RandomBurstScheduler(StubEstimator(), burst_probability=0.3, seed=1)
+        jobs = [make_job(job_id=i) for i in range(1, 401)]
+        plan = sched.plan(jobs, make_state())
+        assert 0.2 < plan.n_bursted / len(jobs) < 0.4
+
+    def test_deterministic_given_seed(self):
+        jobs = [make_job(job_id=i) for i in range(1, 30)]
+        p1 = RandomBurstScheduler(StubEstimator(), 0.5, seed=9).plan(jobs, make_state())
+        p2 = RandomBurstScheduler(StubEstimator(), 0.5, seed=9).plan(jobs, make_state())
+        assert [d.placement for d in p1.decisions] == [
+            d.placement for d in p2.decisions
+        ]
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RandomBurstScheduler(StubEstimator(), burst_probability=1.5)
+
+
+class TestThreshold:
+    def test_no_burst_when_backlog_shallow(self):
+        sched = ThresholdScheduler(StubEstimator(), backlog_threshold_s=100.0)
+        jobs = [make_job(job_id=1, proc_time=10.0)]
+        plan = sched.plan(jobs, make_state(ic_free=[0.0] * 4))
+        assert plan.decisions[0].placement == Placement.IC
+
+    def test_bursts_when_backlog_deep(self):
+        sched = ThresholdScheduler(StubEstimator(), backlog_threshold_s=100.0)
+        jobs = [make_job(job_id=1, proc_time=10.0)]
+        state = make_state(ic_free=[500.0] * 4)
+        plan = sched.plan(jobs, state)
+        assert plan.decisions[0].placement == Placement.EC
+
+    def test_own_commits_raise_backlog(self):
+        """Enough IC placements eventually push the batch over threshold."""
+        sched = ThresholdScheduler(StubEstimator(), backlog_threshold_s=50.0)
+        jobs = [make_job(job_id=i, proc_time=60.0) for i in range(1, 10)]
+        plan = sched.plan(jobs, make_state(ic_free=[0.0, 0.0]))
+        placements = [d.placement for d in plan.decisions]
+        assert placements[0] == Placement.IC
+        assert Placement.EC in placements
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdScheduler(StubEstimator(), backlog_threshold_s=-1.0)

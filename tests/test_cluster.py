@@ -1,0 +1,154 @@
+"""Machine and cluster (FCFS pool) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.resources import Machine
+
+
+class TestMachine:
+    def test_processing_duration_scales_with_speed(self):
+        sim = Simulator()
+        fast = Machine(sim, "fast", speed=2.0)
+        done = []
+        fast.process("job", 10.0, lambda item, m: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_busy_flag_and_current_item(self):
+        sim = Simulator()
+        m = Machine(sim, "m")
+        m.process("x", 5.0, lambda i, mm: None)
+        assert m.busy and m.current_item == "x"
+        sim.run()
+        assert not m.busy and m.current_item is None
+
+    def test_cannot_double_book(self):
+        sim = Simulator()
+        m = Machine(sim, "m")
+        m.process("a", 5.0, lambda i, mm: None)
+        with pytest.raises(RuntimeError):
+            m.process("b", 5.0, lambda i, mm: None)
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        m = Machine(sim, "m")
+        m.process("a", 5.0, lambda i, mm: None)
+        sim.run()
+        m.process("b", 3.0, lambda i, mm: None)
+        sim.run()
+        assert m.busy_time == pytest.approx(8.0)
+        assert m.jobs_processed == 2
+
+    def test_estimated_free_at(self):
+        sim = Simulator()
+        m = Machine(sim, "m")
+        assert m.estimated_free_at == 0.0
+        m.process("a", 7.0, lambda i, mm: None)
+        assert m.estimated_free_at == pytest.approx(7.0)
+
+    def test_invalid_args(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Machine(sim, "m", speed=0.0)
+        m = Machine(sim, "m")
+        with pytest.raises(ValueError):
+            m.process("a", 0.0, lambda i, mm: None)
+
+
+class TestCluster:
+    def test_parallel_dispatch_up_to_pool_size(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        done = []
+        for k in range(4):
+            c.submit(k, 10.0, lambda item, m: done.append((item, sim.now)))
+        assert c.busy_machines == 2 and c.queue_length == 2
+        sim.run()
+        # Two waves: 0,1 at t=10; 2,3 at t=20.
+        assert [t for _, t in done] == pytest.approx([10.0, 10.0, 20.0, 20.0])
+        assert sorted(i for i, _ in done) == [0, 1, 2, 3]
+
+    def test_fcfs_order(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        started = []
+        for k in range(5):
+            c.submit(k, 1.0, lambda i, m: None, on_start=lambda i, m: started.append(i))
+        sim.run()
+        assert started == [0, 1, 2, 3, 4]
+
+    def test_on_start_callback_reports_machine(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        seen = []
+        c.submit("a", 1.0, lambda i, m: None, on_start=lambda i, m: seen.append(m.name))
+        assert seen == ["c-0"]
+
+    def test_cancel_queued_item(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        done = []
+        c.submit("a", 5.0, lambda i, m: done.append(i))
+        c.submit("b", 5.0, lambda i, m: done.append(i))
+        assert c.cancel("b") is True
+        assert c.cancel("b") is False  # already gone
+        sim.run()
+        assert done == ["a"]
+
+    def test_cannot_cancel_running_item(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        c.submit("a", 5.0, lambda i, m: None)
+        assert c.cancel("a") is False  # running, not queued
+
+    def test_on_idle_fires_when_queue_drains(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        idles = []
+        c.on_idle = lambda cluster: idles.append(sim.now)
+        c.submit("a", 5.0, lambda i, m: None)
+        c.submit("b", 3.0, lambda i, m: None)
+        sim.run()
+        # on_idle only after the queue is empty: at t=5 'b' is dispatched
+        # (queue empties) and at t=8 again.
+        assert idles == [pytest.approx(5.0), pytest.approx(8.0)]
+
+    def test_total_busy_time_includes_in_flight(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        c.submit("a", 10.0, lambda i, m: None)
+        sim.run(until=4.0)
+        assert c.total_busy_time == pytest.approx(4.0)
+        sim.run()
+        assert c.total_busy_time == pytest.approx(10.0)
+
+    def test_machine_free_times(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=2)
+        c.submit("a", 6.0, lambda i, m: None)
+        frees = c.machine_free_times()
+        assert frees == [pytest.approx(6.0), 0.0]
+
+    def test_queued_and_running_items(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=1)
+        c.submit("a", 5.0, lambda i, m: None)
+        c.submit("b", 5.0, lambda i, m: None)
+        assert c.running_items() == ["a"]
+        assert c.queued_items() == ["b"]
+
+    def test_needs_at_least_one_machine(self):
+        with pytest.raises(ValueError):
+            Cluster(Simulator(), "c", n_machines=0)
+
+    def test_jobs_completed_counter(self):
+        sim = Simulator()
+        c = Cluster(sim, "c", n_machines=3)
+        for k in range(7):
+            c.submit(k, 1.0, lambda i, m: None)
+        sim.run()
+        assert c.jobs_completed == 7

@@ -1,0 +1,21 @@
+"""Run the doctests embedded in module/class docstrings.
+
+The package quickstart (``repro/__init__``) and the engine examples are
+living documentation; these tests keep them true.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.sim.engine
+
+
+@pytest.mark.parametrize("module", [repro, repro.sim.engine])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0  # the docstrings really contain examples

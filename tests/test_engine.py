@@ -1,0 +1,206 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "mid")
+        sim.run()
+        assert fired == ["early", "mid", "late"]
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for k in range(10):
+            sim.schedule(2.0, fired.append, k)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+        assert sim.now == 7.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=100.0)
+        fired = []
+        sim.schedule_at(150.0, fired.append, "x")
+        sim.run()
+        assert sim.now == 150.0 and fired == ["x"]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_time_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_zero_delay_event_fires_at_now(self):
+        sim = Simulator(start_time=4.0)
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [4.0]
+
+    def test_callback_args_passed_through(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "two")
+        sim.run()
+        assert got == [(1, "two")]
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        ev.cancel()
+        sim.run()
+        assert fired == ["b"]
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(5.0, fired.append, "should-not-fire")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek() == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0  # clock advanced to the horizon
+
+    def test_run_until_resumes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_event_at_until_boundary_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        sim.run(max_events=50)
+        assert sim.events_processed == 50
+
+    def test_step_returns_false_on_empty_heap(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_scheduled_during_callbacks_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "child"))
+        sim.run()
+        assert fired == ["child"] and sim.now == 2.0
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.run())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_advance_to_moves_clock(self):
+        sim = Simulator()
+        sim.advance_to(42.0)
+        assert sim.now == 42.0
+
+    def test_advance_past_pending_event_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_to(10.0)
+
+    def test_advance_backwards_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.advance_to(5.0)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_execution_order_is_sorted_stable(self, delays):
+        """Events always run in (time, insertion) order for any delay set."""
+        sim = Simulator()
+        fired = []
+        for idx, d in enumerate(delays):
+            sim.schedule(d, fired.append, (d, idx))
+        sim.run()
+        assert fired == sorted(fired)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancelled_subset_never_fires(self, delays, data):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(delays) - 1))
+        )
+        for i in to_cancel:
+            events[i].cancel()
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - to_cancel

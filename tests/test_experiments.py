@@ -1,0 +1,227 @@
+"""Experiment harness tests: specs, runner fairness, figures, CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.ascii_plot import bar_chart, line_plot, multi_line_plot, render_table
+from repro.experiments.cli import main as cli_main
+from repro.experiments.config import DEFAULT_SPEC, HIGH_VARIATION_SPEC, ExperimentSpec
+from repro.experiments.runner import (
+    SCHEDULER_NAMES,
+    build_workload,
+    make_scheduler,
+    run_comparison,
+    run_one,
+)
+from repro.sim.environment import CloudBurstEnvironment, SystemConfig
+from repro.workload.distributions import Bucket
+
+#: Small spec so harness tests stay fast.
+FAST = ExperimentSpec(
+    n_batches=2,
+    mean_jobs_per_batch=6,
+    system=SystemConfig(ic_machines=4, ec_machines=2, seed=7),
+)
+
+
+class TestSpec:
+    def test_with_bucket(self):
+        spec = DEFAULT_SPEC.with_bucket(Bucket.LARGE)
+        assert spec.bucket is Bucket.LARGE
+        assert spec.n_batches == DEFAULT_SPEC.n_batches
+
+    def test_with_system(self):
+        spec = DEFAULT_SPEC.with_system(bandwidth_variation=0.9)
+        assert spec.system.bandwidth_variation == 0.9
+
+    def test_with_seed_changes_both_seeds(self):
+        spec = DEFAULT_SPEC.with_seed(7)
+        assert spec.workload_seed == 7
+        assert spec.system.seed != DEFAULT_SPEC.system.seed
+
+    def test_high_variation_spec(self):
+        assert HIGH_VARIATION_SPEC.bucket is Bucket.LARGE
+        assert HIGH_VARIATION_SPEC.system.bandwidth_variation > DEFAULT_SPEC.system.bandwidth_variation
+
+    def test_workload_config_mirrors_spec(self):
+        cfg = FAST.workload_config()
+        assert cfg.n_batches == 2 and cfg.seed == FAST.workload_seed
+
+
+class TestRunner:
+    def test_unknown_scheduler_rejected(self):
+        env = CloudBurstEnvironment(FAST.system)
+        with pytest.raises(ValueError):
+            make_scheduler("nope", env)
+
+    def test_all_registered_schedulers_run(self):
+        traces = run_comparison(FAST, scheduler_names=SCHEDULER_NAMES)
+        assert set(traces) == set(SCHEDULER_NAMES)
+        for trace in traces.values():
+            assert all(r.completed for r in trace.records)
+
+    def test_comparison_replays_identical_workload(self):
+        traces = run_comparison(FAST, scheduler_names=("ICOnly", "Greedy"))
+        # Same job ids and true processing totals (chunking aside, neither
+        # of these schedulers chunks).
+        a = sorted((r.job_id, r.true_proc_time) for r in traces["ICOnly"].records)
+        b = sorted((r.job_id, r.true_proc_time) for r in traces["Greedy"].records)
+        assert a == b
+
+    def test_run_one_is_deterministic(self):
+        t1 = run_one("Greedy", FAST)
+        t2 = run_one("Greedy", FAST)
+        assert [r.completion_time for r in t1.records] == [
+            r.completion_time for r in t2.records
+        ]
+
+    def test_env_hook_applied(self):
+        seen = []
+        run_one("ICOnly", FAST, env_hook=lambda env: seen.append(env.config.seed))
+        assert seen == [FAST.system.seed]
+
+    def test_build_workload_deterministic(self):
+        w1 = build_workload(FAST)
+        w2 = build_workload(FAST)
+        assert [j.job_id for b in w1 for j in b] == [j.job_id for b in w2 for j in b]
+
+    def test_trace_metadata(self):
+        trace = run_one("Op", FAST)
+        assert trace.metadata["bucket"] == FAST.bucket.value
+        assert trace.scheduler_name == "Op"
+
+
+class TestFigures:
+    def test_fig3_fit_quality(self):
+        r = figures.fig3_qrsm(n_train=200, n_test=100)
+        assert r.r_squared_test > 0.7
+        assert "Figure 3" in r.render()
+        assert len(r.surface_sizes) == len(r.surface_pred) == len(r.surface_true)
+
+    def test_fig4_learned_profile_tracks_truth(self):
+        r = figures.fig4_bandwidth(n_days=1.0, probe_interval_s=300.0)
+        assert r.mean_abs_error < 1.5
+        out = r.render()
+        assert "Figure 4(a)" in out and "Figure 4(b)" in out
+
+    def test_fig6_structure(self):
+        r = figures.fig6_makespan(spec=FAST, buckets=(Bucket.UNIFORM,), seeds=(42,))
+        assert r.buckets == ["uniform"]
+        assert set(r.makespans["uniform"]) == {"ICOnly", "Greedy", "Op"}
+        assert "Figure 6" in r.render()
+
+    def test_fig7_and_8(self):
+        figs = figures.fig7_completion(spec=FAST)
+        assert [f.bucket for f in figs] == ["uniform", "small"]
+        for f in figs:
+            assert set(f.series) == {"Greedy", "Op"}
+            assert "Completion times" in f.render()
+        large = figures.fig8_completion_large(spec=FAST)
+        assert large.bucket == "large"
+
+    def test_fig9_series_cover_common_horizon(self):
+        r = figures.fig9_oo_metric(spec=FAST.with_bucket(Bucket.LARGE))
+        lengths = {len(s.times) for s in r.series.values()}
+        assert len(lengths) == 1
+        assert "Figure 9" in r.render()
+
+    def test_fig10_relative_series(self):
+        r = figures.fig10_oo_relative(spec=FAST.with_bucket(Bucket.LARGE))
+        assert set(r.relative) == {"Greedy", "Op", "OpSIBS"}
+        assert "ICOnly" not in r.relative
+        assert "Figure 10" in r.render()
+
+
+class TestTables:
+    def test_table1_rows(self):
+        r = tables.table1_metrics(spec=FAST, seeds=(42,))
+        assert len(r.rows) == 4  # 2 buckets x 2 schedulers
+        rendered = r.render()
+        assert "Table I" in rendered and "paper_ic" in rendered
+
+    def test_sibs_result(self):
+        r = tables.sibs_optimization(spec=FAST, seeds=(42,))
+        assert 0 <= r.op_ec_util <= 1 and 0 <= r.sibs_ec_util <= 1
+        assert "V.B.4" in r.render()
+
+
+class TestAsciiPlot:
+    def test_line_plot_contains_bounds(self):
+        out = line_plot([0, 1, 2], [10.0, 20.0, 30.0], title="t")
+        assert "30.0" in out and "10.0" in out and "t" in out
+
+    def test_multi_line_legend(self):
+        out = multi_line_plot([0, 1], {"alpha": [1, 2], "beta": [2, 1]})
+        assert "alpha" in out and "beta" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in multi_line_plot([], {})
+
+    def test_bar_chart(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], title="bars")
+        assert "bars" in out and "#" in out
+
+    def test_render_table(self):
+        out = render_table([{"x": 1, "y": "q"}], title="T")
+        assert "T" in out and " x" in out or "x" in out
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([])
+
+
+class TestCli:
+    def test_cli_fig3(self, capsys):
+        assert cli_main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli_main(["nope"])
+
+
+class TestCliSubcommands:
+    def test_snapshot_and_diff_roundtrip(self, tmp_path, capsys):
+        import os
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        argv_a = ["snapshot", str(a), "--bucket", "uniform", "--seed", "42"]
+        argv_b = ["snapshot", str(b), "--bucket", "uniform", "--seed", "42"]
+        assert cli_main(argv_a) == 0
+        assert cli_main(argv_b) == 0
+        assert cli_main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "no drift" in out
+
+    def test_diff_detects_drift_and_exits_nonzero(self, tmp_path, capsys):
+        import json
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        cli_main(["snapshot", str(a), "--bucket", "uniform", "--seed", "42"])
+        cli_main(["snapshot", str(b), "--bucket", "uniform", "--seed", "42"])
+        manifest = json.loads((b / "manifest.json").read_text())
+        manifest["summaries"]["Op"]["speedup"] *= 2.0
+        (b / "manifest.json").write_text(json.dumps(manifest))
+        capsys.readouterr()
+        assert cli_main(["diff", str(a), str(b)]) == 1
+        assert "speedup changed" in capsys.readouterr().out
+
+    def test_render_sugar(self, capsys):
+        assert cli_main(["fig3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+
+class TestFig3Surface:
+    def test_2d_surface_shape_and_monotonicity(self):
+        r = figures.fig3_qrsm(n_train=200, n_test=80)
+        assert r.grid_pred.shape == (len(r.grid_sizes), len(r.grid_colors))
+        # Processing time grows with document size at every colour level...
+        assert np.all(np.diff(r.grid_pred, axis=0).mean(axis=1) > 0)
+        # ...and (on average) with colour fraction: the interaction term.
+        assert np.all(np.diff(r.grid_pred, axis=1).mean(axis=0) > 0)
+        assert "size\\clr" in r.render()

@@ -1,0 +1,61 @@
+"""Gantt SVG rendering tests."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.gantt import gantt_svg
+from repro.experiments.runner import run_one
+from repro.sim.environment import SystemConfig
+from repro.sim.tracing import RunTrace
+from repro.workload.distributions import Bucket
+
+FAST = ExperimentSpec(
+    bucket=Bucket.UNIFORM, n_batches=2, mean_jobs_per_batch=6,
+    system=SystemConfig(ic_machines=3, ec_machines=2, seed=19),
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_one("Greedy", FAST)
+
+
+class TestGantt:
+    def test_valid_svg(self, trace):
+        root = ET.fromstring(gantt_svg(trace))
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_exec_interval(self, trace):
+        root = ET.fromstring(gantt_svg(trace))
+        titles = [t.text for t in root.iter() if t.tag.endswith("title")]
+        exec_bars = [t for t in titles if "exec" in t]
+        assert len(exec_bars) == len(trace.completed_records)
+
+    def test_transfer_bars_present_when_bursting(self, trace):
+        svg = gantt_svg(trace)
+        bursted = [r for r in trace.records if r.bursted]
+        if not bursted:
+            pytest.skip("no bursted jobs at this seed")
+        root = ET.fromstring(svg)
+        titles = [t.text for t in root.iter() if t.tag.endswith("title")]
+        assert any("upload" in t for t in titles)
+        assert any("download" in t for t in titles)
+
+    def test_machine_rows_labelled(self, trace):
+        root = ET.fromstring(gantt_svg(trace))
+        texts = [t.text for t in root.iter() if t.tag.endswith("text")]
+        assert any(t and t.startswith("ic-") for t in texts)
+        assert "upload" in texts and "download" in texts
+
+    def test_empty_trace(self):
+        svg = gantt_svg(RunTrace(scheduler_name="x"))
+        assert "empty trace" in svg
+        ET.fromstring(svg)
+
+    def test_custom_title(self, trace):
+        svg = gantt_svg(trace, title="My run")
+        assert "My run" in svg

@@ -1,0 +1,205 @@
+"""Bandwidth model and thread tuner tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.bandwidth import (
+    SECONDS_PER_DAY,
+    DiurnalBandwidthProfile,
+    EwmaEstimator,
+    TimeOfDayBandwidthEstimator,
+)
+from repro.models.threads import ThreadTuner, optimal_threads, transfer_cap_mbps
+
+
+class TestDiurnalProfile:
+    def test_positive_everywhere(self):
+        p = DiurnalBandwidthProfile(base_mbps=2.0, daily_amplitude=0.9)
+        for h in np.linspace(0, 48, 200):
+            assert p.mean_at(h * 3600.0) > 0
+
+    def test_floor_enforced(self):
+        p = DiurnalBandwidthProfile(base_mbps=2.0, daily_amplitude=5.0, floor_fraction=0.3)
+        values = [p.mean_at(h * 3600.0) for h in range(24)]
+        assert min(values) >= 0.3 * 2.0 - 1e-12
+
+    def test_peak_near_configured_hour(self):
+        p = DiurnalBandwidthProfile(base_mbps=4.0, peak_hour=4.0, half_daily_amplitude=0.0)
+        values = {h: p.mean_at(h * 3600.0) for h in range(24)}
+        assert max(values, key=values.get) == 4
+
+    def test_daily_periodicity(self):
+        p = DiurnalBandwidthProfile()
+        assert p.mean_at(3600.0) == pytest.approx(p.mean_at(3600.0 + SECONDS_PER_DAY))
+
+    def test_scaled(self):
+        p = DiurnalBandwidthProfile(base_mbps=2.0)
+        assert p.scaled(2.0).mean_at(0.0) == pytest.approx(2.0 * p.mean_at(0.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalBandwidthProfile(base_mbps=0.0)
+        with pytest.raises(ValueError):
+            DiurnalBandwidthProfile(floor_fraction=0.0)
+
+
+class TestEwma:
+    def test_first_update_sets_value(self):
+        e = EwmaEstimator(alpha=0.3)
+        assert e.value is None
+        assert e.update(10.0) == 10.0
+
+    def test_paper_update_equation(self):
+        """S_n = alpha*Y_n + (1-alpha)*S_{n-1}, hand-checked."""
+        e = EwmaEstimator(alpha=0.25, initial=8.0)
+        assert e.update(4.0) == pytest.approx(0.25 * 4.0 + 0.75 * 8.0)
+        assert e.update(12.0) == pytest.approx(0.25 * 12.0 + 0.75 * 7.0)
+
+    def test_alpha_one_tracks_exactly(self):
+        e = EwmaEstimator(alpha=1.0)
+        e.update(5.0)
+        e.update(9.0)
+        assert e.value == 9.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+        with pytest.raises(ValueError):
+            EwmaEstimator().update(-1.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_value_bounded_by_observed_range(self, alpha, values):
+        e = EwmaEstimator(alpha=alpha)
+        for v in values:
+            e.update(v)
+        assert min(values) - 1e-9 <= e.value <= max(values) + 1e-9
+
+
+class TestTimeOfDayEstimator:
+    def test_prior_before_any_data(self):
+        est = TimeOfDayBandwidthEstimator(prior_mbps=3.0)
+        assert est.estimate(0.0) == 3.0
+
+    def test_global_fallback_for_unseen_bin(self):
+        est = TimeOfDayBandwidthEstimator(prior_mbps=3.0)
+        est.observe(0.0, 10.0)  # bin 0
+        # Bin for hour 12 has no data -> global EWMA.
+        assert est.estimate(12 * 3600.0) == 10.0
+
+    def test_binned_estimates_differ_by_hour(self):
+        est = TimeOfDayBandwidthEstimator(alpha=1.0)
+        est.observe(0.0, 10.0)            # midnight bin
+        est.observe(12 * 3600.0, 2.0)     # noon bin
+        assert est.estimate(0.0) == 10.0
+        assert est.estimate(12 * 3600.0) == 2.0
+
+    def test_same_hour_next_day_shares_bin(self):
+        est = TimeOfDayBandwidthEstimator(alpha=1.0)
+        est.observe(3600.0, 6.0)
+        assert est.estimate(3600.0 + SECONDS_PER_DAY) == 6.0
+
+    def test_bin_values_nan_where_unobserved(self):
+        est = TimeOfDayBandwidthEstimator(n_bins=24)
+        est.observe(0.0, 5.0)
+        values = est.bin_values()
+        assert values[0] == 5.0
+        assert np.isnan(values[5])
+
+    def test_samples_recorded(self):
+        est = TimeOfDayBandwidthEstimator()
+        est.observe(10.0, 5.0)
+        est.observe(20.0, 6.0)
+        assert est.samples == [(10.0, 5.0), (20.0, 6.0)]
+        assert est.n_observations == 2
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            TimeOfDayBandwidthEstimator(n_bins=0)
+
+
+class TestThreadHelpers:
+    def test_transfer_cap(self):
+        assert transfer_cap_mbps(4, 0.5) == 2.0
+        with pytest.raises(ValueError):
+            transfer_cap_mbps(0, 0.5)
+        with pytest.raises(ValueError):
+            transfer_cap_mbps(1, 0.0)
+
+    def test_optimal_threads_is_knee(self):
+        assert optimal_threads(4.0, 0.5) == 8
+        assert optimal_threads(4.1, 0.5) == 9
+        assert optimal_threads(0.0, 0.5) == 1
+        assert optimal_threads(1000.0, 0.5, max_threads=16) == 16
+
+
+class TestThreadTuner:
+    def _measure(self, threads: int, capacity: float, per_thread: float) -> float:
+        return min(threads * per_thread, capacity)
+
+    def test_converges_near_knee(self):
+        """Hill climbing settles within +/-2 of the saturation knee."""
+        capacity, per_thread = 4.0, 0.5
+        tuner = ThreadTuner(initial_threads=2, max_threads=16, n_bins=1)
+        for _ in range(60):
+            k = tuner.threads_for(0.0)
+            tuner.report(0.0, k, self._measure(k, capacity, per_thread))
+        knee = optimal_threads(capacity, per_thread)
+        settled = tuner.threads_for(0.0)
+        assert abs(settled - knee) <= 2
+
+    def test_adapts_when_capacity_rises(self):
+        tuner = ThreadTuner(initial_threads=2, max_threads=32, n_bins=1)
+        for _ in range(40):
+            k = tuner.threads_for(0.0)
+            tuner.report(0.0, k, self._measure(k, 2.0, 0.5))
+        low = tuner.threads_for(0.0)
+        for _ in range(60):
+            k = tuner.threads_for(0.0)
+            tuner.report(0.0, k, self._measure(k, 8.0, 0.5))
+        assert tuner.threads_for(0.0) > low
+
+    def test_per_bin_independence(self):
+        tuner = ThreadTuner(initial_threads=4, max_threads=16, n_bins=24)
+        noon = 12 * 3600.0
+        for _ in range(30):
+            k = tuner.threads_for(0.0)
+            tuner.report(0.0, k, self._measure(k, 8.0, 0.5))
+        assert tuner.threads_for(noon) == 4  # untouched bin keeps its default
+
+    def test_stale_measurement_does_not_move_setting(self):
+        tuner = ThreadTuner(initial_threads=4, max_threads=16, n_bins=1)
+        before = tuner.threads_for(0.0)
+        tuner.report(0.0, threads_used=before + 3, throughput_mbps=99.0)
+        assert tuner.threads_for(0.0) == before
+
+    def test_bounds_respected(self):
+        tuner = ThreadTuner(initial_threads=2, min_threads=1, max_threads=4, n_bins=1)
+        for _ in range(50):
+            k = tuner.threads_for(0.0)
+            tuner.report(0.0, k, k * 10.0)  # always improving -> climb
+        assert tuner.threads_for(0.0) <= 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ThreadTuner(initial_threads=0)
+        with pytest.raises(ValueError):
+            ThreadTuner(n_bins=0)
+        tuner = ThreadTuner()
+        with pytest.raises(ValueError):
+            tuner.report(0.0, 2, -5.0)
+
+    def test_bin_settings_shape(self):
+        tuner = ThreadTuner(n_bins=24)
+        assert tuner.bin_settings().shape == (24,)

@@ -1,0 +1,203 @@
+"""Multi-cloud bursting tests: SiteView, schedulers, environment sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Placement
+from repro.core.base import ECSiteState
+from repro.core.multi_ec import (
+    MultiECGreedyScheduler,
+    MultiECOrderPreservingScheduler,
+    SiteView,
+    site_views,
+)
+from repro.metrics.sla import summarize
+from repro.sim.environment import CloudBurstEnvironment, ECSiteSpec, SystemConfig
+from repro.workload.distributions import Bucket
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+from tests.conftest import make_job, make_state
+from tests.test_schedulers import StubEstimator
+
+
+def state_with_sites(**kwargs):
+    state = make_state(**kwargs)
+    state.extra_sites.append(
+        ECSiteState(
+            name="provider-b",
+            ec_free=[state.now, state.now],
+            est_up_mbps=2.0,
+            est_down_mbps=2.0,
+            up_threads=4,
+            down_threads=4,
+            per_thread_mbps=0.5,
+        )
+    )
+    return state
+
+
+class TestSiteView:
+    def test_primary_view_reads_flat_fields(self):
+        state = make_state(now=5.0, ec_free=[7.0, 9.0], upload_backlog_mb=12.0)
+        view = SiteView(state, 0)
+        assert view.ec_free == [7.0, 9.0]
+        assert view.upload_backlog_mb == 12.0
+        assert view.up_rate == state.up_rate
+
+    def test_extra_view_reads_site_state(self):
+        state = state_with_sites(now=0.0)
+        view = SiteView(state, 1)
+        assert view.name == "provider-b"
+        assert view.ec_free == [0.0, 0.0]
+
+    def test_out_of_range_index(self):
+        state = make_state()
+        with pytest.raises(IndexError):
+            SiteView(state, 1)
+
+    def test_site_views_enumerates_all(self):
+        state = state_with_sites()
+        views = site_views(state)
+        assert [v.index for v in views] == [0, 1]
+
+    def test_ft_ec_matches_primary_estimator(self):
+        """Site-0 view must agree with the flat-field estimator."""
+        est = StubEstimator()
+        state = make_state(now=0.0, ec_free=[0.0, 0.0], upload_backlog_mb=100.0)
+        job = make_job(size_mb=100.0, proc_time=60.0, output_mb=40.0)
+        via_view = SiteView(state, 0).ft_ec(job, 60.0)
+        via_estimator = est.ft_ec(job, state, 60.0)
+        assert via_view.completion == pytest.approx(via_estimator.completion)
+        assert via_view.upload_end == pytest.approx(via_estimator.upload_end)
+
+    def test_commit_primary_mutates_flat_fields(self):
+        state = make_state(ec_free=[0.0])
+        job = make_job(size_mb=50.0, output_mb=20.0)
+        SiteView(state, 0).commit(job, ec_exec_end=100.0, completion=120.0)
+        assert state.upload_backlog_mb == 50.0
+        assert state.ec_free == [100.0]
+        assert state.pending_completions[-1] == 120.0
+
+    def test_commit_extra_mutates_site(self):
+        state = state_with_sites()
+        job = make_job(size_mb=50.0, output_mb=20.0)
+        SiteView(state, 1).commit(job, ec_exec_end=100.0, completion=120.0)
+        site = state.extra_sites[0]
+        assert site.upload_backlog_mb == 50.0
+        assert 100.0 in site.ec_free
+        assert state.upload_backlog_mb == 0.0  # primary untouched
+
+    def test_clone_deep_copies_sites(self):
+        state = state_with_sites()
+        clone = state.clone()
+        clone.extra_sites[0].upload_backlog_mb = 99.0
+        assert state.extra_sites[0].upload_backlog_mb == 0.0
+
+
+class TestMultiSchedulers:
+    def test_reduces_to_single_site_greedy(self):
+        """With no extra sites, MultiGreedy == Greedy decisions."""
+        from repro.core.greedy import GreedyScheduler
+
+        jobs = [make_job(job_id=i, size_mb=10.0, proc_time=30.0, output_mb=5.0)
+                for i in range(1, 7)]
+        s1 = make_state(ic_free=[0.0], ec_free=[0.0],
+                        est_up_mbps=10.0, est_down_mbps=10.0,
+                        up_threads=20, down_threads=20)
+        s2 = s1.clone()
+        p_single = GreedyScheduler(StubEstimator()).plan(jobs, s1)
+        p_multi = MultiECGreedyScheduler(StubEstimator()).plan(jobs, s2)
+        assert [d.placement for d in p_single.decisions] == [
+            d.placement for d in p_multi.decisions
+        ]
+        assert all(d.ec_site == 0 for d in p_multi.decisions)
+
+    def test_overflows_to_second_site(self):
+        """When the primary path saturates, bursts spill to provider B."""
+        state = state_with_sites(
+            ic_free=[10_000.0], ec_free=[0.0],
+            est_up_mbps=10.0, est_down_mbps=10.0,
+            up_threads=20, down_threads=20,
+            pending_completions=[10_000.0],
+        )
+        state.extra_sites[0].est_up_mbps = 10.0
+        state.extra_sites[0].est_down_mbps = 10.0
+        state.extra_sites[0].up_threads = 20
+        state.extra_sites[0].down_threads = 20
+        jobs = [make_job(job_id=i, size_mb=50.0, proc_time=30.0, output_mb=20.0)
+                for i in range(1, 11)]
+        plan = MultiECGreedyScheduler(StubEstimator()).plan(jobs, state)
+        sites = {d.ec_site for d in plan.decisions if d.placement == Placement.EC}
+        assert sites == {0, 1}
+
+    def test_multi_op_respects_slack(self):
+        """Head of queue still never bursts, even with many sites."""
+        state = state_with_sites(ic_free=[0.0, 0.0])
+        jobs = [make_job(job_id=1, proc_time=30.0)]
+        plan = MultiECOrderPreservingScheduler(StubEstimator()).plan(jobs, state)
+        assert plan.decisions[0].placement == Placement.IC
+
+
+class TestMultiSiteEnvironment:
+    def _run(self, scheduler_cls):
+        cfg = SystemConfig(
+            ic_machines=4, ec_machines=1, seed=5,
+            extra_ec_sites=(
+                ECSiteSpec(name="b", machines=1, up_base_mbps=3.0, down_base_mbps=4.0),
+            ),
+        )
+        gen = WorkloadGenerator(bucket=Bucket.LARGE, seed=9)
+        batches = gen.generate(
+            WorkloadConfig(bucket=Bucket.LARGE, n_batches=3, mean_jobs_per_batch=8, seed=9)
+        )
+        env = CloudBurstEnvironment(cfg)
+        env.pretrain_qrsm(*gen.sample_training_set(200))
+        trace = env.run(batches, scheduler_cls(env.estimator))
+        return env, trace
+
+    def test_jobs_complete_across_sites(self):
+        env, trace = self._run(MultiECGreedyScheduler)
+        assert all(r.completed for r in trace.records)
+        trace.validate()
+        # The trace accounts for all EC machines across sites.
+        assert trace.ec_machines == 2
+
+    def test_extra_site_actually_used(self):
+        env, trace = self._run(MultiECGreedyScheduler)
+        used_sites = {
+            st.site for st in env._states.values()
+            if st.record.placement == Placement.EC
+        }
+        assert 1 in used_sites
+
+    def test_busy_time_sums_sites(self):
+        env, trace = self._run(MultiECOrderPreservingScheduler)
+        expected = env.ec.total_busy_time + sum(
+            s.cluster.total_busy_time for s in env.extra_site_runtimes
+        )
+        assert trace.ec_busy_time == pytest.approx(expected)
+
+    def test_two_sites_beat_one_under_load(self):
+        """Doubling EC capacity via a second provider cuts makespan."""
+        gen = WorkloadGenerator(bucket=Bucket.LARGE, seed=9)
+        batches = gen.generate(
+            WorkloadConfig(bucket=Bucket.LARGE, n_batches=4, mean_jobs_per_batch=12, seed=9)
+        )
+
+        def run(extra):
+            cfg = SystemConfig(ic_machines=4, ec_machines=2, seed=5,
+                               extra_ec_sites=extra)
+            env = CloudBurstEnvironment(cfg)
+            env.pretrain_qrsm(*gen.sample_training_set(200))
+            return env.run(batches, MultiECGreedyScheduler(env.estimator))
+
+        single = run(())
+        double = run((ECSiteSpec(name="b", machines=2),))
+        assert double.makespan < single.makespan
+
+    def test_invalid_site_spec(self):
+        with pytest.raises(ValueError):
+            ECSiteSpec(name="x", machines=0)
+        with pytest.raises(ValueError):
+            ECSiteSpec(name="x", up_base_mbps=0.0)

@@ -1,0 +1,265 @@
+"""Fluid-flow link tests: water-filling, byte conservation, capacity changes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.bandwidth import DiurnalBandwidthProfile, TimeOfDayBandwidthEstimator
+from repro.sim.engine import Simulator
+from repro.sim.network import CapacityProcess, FluidLink, ProbeService, waterfill
+
+
+def flat_profile(mbps: float = 4.0) -> DiurnalBandwidthProfile:
+    """Constant-capacity profile (no diurnal shape) for exact arithmetic."""
+    return DiurnalBandwidthProfile(
+        base_mbps=mbps, daily_amplitude=0.0, half_daily_amplitude=0.0
+    )
+
+
+def make_link(mbps: float = 4.0, variation: float = 0.0, per_thread: float = 1.0):
+    sim = Simulator()
+    cap = CapacityProcess(
+        sim, flat_profile(mbps), np.random.default_rng(0), variation=variation
+    )
+    return sim, FluidLink(sim, cap, per_thread_mbps=per_thread)
+
+
+class TestWaterfill:
+    def test_single_flow_gets_min_of_cap_and_capacity(self):
+        assert waterfill(10.0, np.array([4.0])) == pytest.approx([4.0])
+        assert waterfill(3.0, np.array([4.0])) == pytest.approx([3.0])
+
+    def test_equal_split_when_uncapped(self):
+        rates = waterfill(9.0, np.array([100.0, 100.0, 100.0]))
+        assert rates == pytest.approx([3.0, 3.0, 3.0])
+
+    def test_capped_flow_releases_capacity(self):
+        rates = waterfill(10.0, np.array([1.0, 100.0]))
+        assert rates == pytest.approx([1.0, 9.0])
+
+    def test_empty(self):
+        assert len(waterfill(5.0, np.array([]))) == 0
+
+    def test_zero_capacity(self):
+        assert waterfill(0.0, np.array([2.0, 3.0])) == pytest.approx([0.0, 0.0])
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e3),
+        st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=1, max_size=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_properties(self, capacity, caps):
+        caps = np.array(caps)
+        rates = waterfill(capacity, caps)
+        # Never exceed individual caps or total capacity.
+        assert np.all(rates <= caps + 1e-9)
+        assert rates.sum() <= capacity + 1e-9
+        # Work-conserving: either the link or every flow is saturated.
+        if caps.sum() >= capacity:
+            assert rates.sum() == pytest.approx(capacity)
+        else:
+            assert rates == pytest.approx(caps)
+        # Max-min fairness: any flow below its cap gets at least as much as
+        # every other flow (no one is starved while another feasibly gets more).
+        below = rates < caps - 1e-9
+        if below.any():
+            assert rates[below].min() >= rates.max() - 1e-9
+
+
+class TestFluidLink:
+    def test_single_transfer_duration(self):
+        sim, link = make_link(mbps=4.0, per_thread=1.0)
+        done = []
+        link.start_transfer(8.0, threads=2, on_complete=lambda t: done.append(sim.now))
+        sim.run(until=100.0)
+        # cap = 2 threads * 1.0 = 2 MB/s although the link has 4 -> 4s.
+        assert done == [pytest.approx(4.0)]
+
+    def test_link_limited_transfer(self):
+        sim, link = make_link(mbps=2.0, per_thread=1.0)
+        done = []
+        link.start_transfer(8.0, threads=8, on_complete=lambda t: done.append(sim.now))
+        sim.run(until=100.0)
+        assert done == [pytest.approx(4.0)]
+
+    def test_two_transfers_share_fairly(self):
+        sim, link = make_link(mbps=2.0, per_thread=10.0)
+        done = {}
+        link.start_transfer(4.0, 1, lambda t: done.setdefault("a", sim.now), label="a")
+        link.start_transfer(4.0, 1, lambda t: done.setdefault("b", sim.now), label="b")
+        sim.run(until=100.0)
+        # Each gets 1 MB/s while both active -> both finish at 4s.
+        assert done["a"] == pytest.approx(4.0)
+        assert done["b"] == pytest.approx(4.0)
+
+    def test_departure_speeds_up_remaining(self):
+        sim, link = make_link(mbps=2.0, per_thread=10.0)
+        done = {}
+        link.start_transfer(2.0, 1, lambda t: done.setdefault("small", sim.now))
+        link.start_transfer(6.0, 1, lambda t: done.setdefault("big", sim.now))
+        sim.run(until=100.0)
+        # Shared 1+1 until small done at t=2 (2MB); big then has 4MB left
+        # at 2 MB/s -> finishes at t=4.
+        assert done["small"] == pytest.approx(2.0)
+        assert done["big"] == pytest.approx(4.0)
+
+    def test_late_arrival_shares_remaining(self):
+        sim, link = make_link(mbps=2.0, per_thread=10.0)
+        done = {}
+        link.start_transfer(6.0, 1, lambda t: done.setdefault("first", sim.now))
+        sim.schedule(
+            1.0,
+            lambda: link.start_transfer(
+                2.0, 1, lambda t: done.setdefault("second", sim.now)
+            ),
+        )
+        sim.run(until=100.0)
+        # first: 2MB alone by t=1; then 1 MB/s each. second finishes 2MB at
+        # t=3; first has 4-2=2MB left at t=3, full speed -> t=4.
+        assert done["second"] == pytest.approx(3.0)
+        assert done["first"] == pytest.approx(4.0)
+
+    def test_bytes_conserved(self):
+        sim, link = make_link(mbps=3.0, per_thread=1.0)
+        sizes = [5.0, 2.5, 7.75, 1.2]
+        remaining = set(range(len(sizes)))
+        for i, s in enumerate(sizes):
+            link.start_transfer(s, 2, lambda t, i=i: remaining.discard(i))
+        sim.run(until=1000.0)
+        assert not remaining
+        assert link.total_mb_delivered == pytest.approx(sum(sizes))
+
+    def test_transfer_records_timing_and_throughput(self):
+        sim, link = make_link(mbps=4.0, per_thread=1.0)
+        captured = []
+        link.start_transfer(6.0, 2, captured.append)
+        sim.run(until=100.0)
+        (t,) = captured
+        assert t.start_time == 0.0
+        assert t.end_time == pytest.approx(3.0)
+        assert t.achieved_mbps == pytest.approx(2.0)
+        assert t.aggregate_mbps == pytest.approx(2.0)
+
+    def test_aggregate_throughput_under_sharing(self):
+        sim, link = make_link(mbps=2.0, per_thread=10.0)
+        captured = []
+        link.start_transfer(4.0, 1, captured.append, label="a")
+        link.start_transfer(4.0, 1, captured.append, label="b")
+        sim.run(until=100.0)
+        for t in captured:
+            # Own rate was 1 MB/s but the pipe carried 2 MB/s throughout.
+            assert t.achieved_mbps == pytest.approx(1.0)
+            assert t.aggregate_mbps == pytest.approx(2.0)
+
+    def test_invalid_transfer_args(self):
+        sim, link = make_link()
+        with pytest.raises(ValueError):
+            link.start_transfer(0.0, 1, lambda t: None)
+        with pytest.raises(ValueError):
+            link.start_transfer(5.0, 0, lambda t: None)
+
+    def test_capacity_change_mid_transfer(self):
+        """Halving capacity mid-flight doubles the remaining duration."""
+        sim = Simulator()
+        profile = flat_profile(2.0)
+        cap = CapacityProcess(sim, profile, np.random.default_rng(0), variation=0.0)
+        link = FluidLink(sim, cap, per_thread_mbps=10.0)
+        done = []
+        link.start_transfer(8.0, 1, lambda t: done.append(sim.now))
+        # Force a capacity drop at t=2 (4 MB moved, 4 left at 1 MB/s).
+        sim.schedule(2.0, cap.set_capacity, 1.0)
+        sim.run(until=18.0)  # before the 20s epoch restores the profile
+        assert done == [pytest.approx(6.0)]
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=1, max_size=12),
+        st.floats(min_value=0.0, max_value=0.8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_transfers_complete_and_conserve_bytes(self, sizes, variation, seed):
+        """Under arbitrary stochastic capacity, the fluid model loses nothing."""
+        sim = Simulator()
+        cap = CapacityProcess(
+            sim, flat_profile(3.0), np.random.default_rng(seed),
+            variation=variation, epoch_s=5.0,
+        )
+        link = FluidLink(sim, cap, per_thread_mbps=1.0)
+        finished = []
+        for i, s in enumerate(sizes):
+            sim.schedule(
+                i * 0.7,
+                lambda s=s: link.start_transfer(s, 2, lambda t: finished.append(t)),
+            )
+        sim.run(until=10000.0)
+        assert len(finished) == len(sizes)
+        assert link.total_mb_delivered == pytest.approx(sum(sizes), rel=1e-6)
+        for t in finished:
+            assert t.end_time is not None and t.end_time >= t.start_time
+            assert t.remaining_mb == 0.0
+
+
+class TestCapacityProcess:
+    def test_zero_variation_tracks_profile(self):
+        sim = Simulator()
+        profile = DiurnalBandwidthProfile(base_mbps=4.0)
+        cap = CapacityProcess(sim, profile, np.random.default_rng(1), variation=0.0)
+        assert cap.current_mbps == pytest.approx(profile.mean_at(0.0))
+        sim.run(until=3600.0)
+        assert cap.current_mbps == pytest.approx(profile.mean_at(3600.0), rel=0.01)
+
+    def test_variation_stays_above_floor(self):
+        sim = Simulator()
+        cap = CapacityProcess(
+            sim, flat_profile(4.0), np.random.default_rng(2), variation=1.5, epoch_s=1.0
+        )
+        lows = []
+        for _ in range(500):
+            sim.step()
+            lows.append(cap.current_mbps)
+        assert min(lows) >= 0.05 * 4.0 - 1e-9
+
+    def test_mean_preserving_noise(self):
+        sim = Simulator()
+        cap = CapacityProcess(
+            sim, flat_profile(4.0), np.random.default_rng(3), variation=0.4, epoch_s=1.0
+        )
+        samples = []
+        for _ in range(4000):
+            sim.step()
+            samples.append(cap.current_mbps)
+        assert np.mean(samples) == pytest.approx(4.0, rel=0.05)
+
+    def test_invalid_args(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CapacityProcess(sim, flat_profile(), np.random.default_rng(0), variation=-1)
+        with pytest.raises(ValueError):
+            CapacityProcess(sim, flat_profile(), np.random.default_rng(0), epoch_s=0)
+
+
+class TestProbeService:
+    def test_probes_feed_estimator(self):
+        sim, link = make_link(mbps=4.0, per_thread=10.0)
+        est = TimeOfDayBandwidthEstimator(prior_mbps=1.0)
+        probe = ProbeService(sim, link, est, interval_s=60.0, probe_mb=1.0)
+        sim.run(until=600.0)
+        assert probe.n_probes >= 9
+        # With an idle link the probe measures true capacity.
+        assert est.estimate(0.0) == pytest.approx(4.0, rel=0.05)
+
+    def test_probe_does_not_stack(self):
+        """A slow probe skips firings rather than stacking transfers."""
+        sim, link = make_link(mbps=0.001, per_thread=10.0)
+        est = TimeOfDayBandwidthEstimator(prior_mbps=1.0)
+        ProbeService(sim, link, est, interval_s=10.0, probe_mb=1.0)
+        sim.run(until=200.0)
+        assert len(link.active) <= 1
+
+    def test_invalid_interval(self):
+        sim, link = make_link()
+        with pytest.raises(ValueError):
+            ProbeService(sim, link, TimeOfDayBandwidthEstimator(), interval_s=0.0)

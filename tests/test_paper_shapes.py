@@ -1,0 +1,178 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These are the "did we reproduce the evaluation" tests (DESIGN.md Section 4).
+Absolute numbers depend on the simulated testbed; what must hold are the
+*shapes*: who wins, in which direction, under which workload. Scalars are
+averaged over a few seeds to keep the assertions robust to run noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import DEFAULT_SPEC, HIGH_VARIATION_SPEC
+from repro.experiments.runner import run_comparison
+from repro.metrics.oo import ordered_data_series
+from repro.metrics.sla import summarize
+from repro.workload.distributions import Bucket
+
+SEEDS = (42, 43, 44)
+
+
+def averaged(bucket, names=("ICOnly", "Greedy", "Op", "OpSIBS"), spec=DEFAULT_SPEC):
+    """Mean SLA summaries over seeds; also returns per-seed traces."""
+    all_traces = []
+    sums: dict[str, list] = {n: [] for n in names}
+    for seed in SEEDS:
+        traces = run_comparison(spec.with_bucket(bucket).with_seed(seed),
+                                scheduler_names=names)
+        all_traces.append(traces)
+        for n in names:
+            sums[n].append(summarize(traces[n]))
+    mean = {
+        n: {
+            "makespan": float(np.mean([s.makespan_s for s in group])),
+            "speedup": float(np.mean([s.speedup for s in group])),
+            "ic_util": float(np.mean([s.ic_util for s in group])),
+            "ec_util": float(np.mean([s.ec_util for s in group])),
+            "burst": float(np.mean([s.burst_ratio for s in group])),
+        }
+        for n, group in sums.items()
+    }
+    return mean, all_traces
+
+
+@pytest.fixture(scope="module")
+def large():
+    return averaged(Bucket.LARGE)
+
+
+@pytest.fixture(scope="module")
+def uniform():
+    return averaged(Bucket.UNIFORM)
+
+
+class TestFig6Makespan:
+    """Fig. 6: cloud bursting ~10% faster than IC-only; Greedy ~ Op."""
+
+    def test_bursting_beats_ic_only_on_large(self, large):
+        mean, _ = large
+        for name in ("Greedy", "Op", "OpSIBS"):
+            gain = (mean["ICOnly"]["makespan"] - mean[name]["makespan"]) / mean["ICOnly"]["makespan"]
+            assert gain > 0.05, f"{name} gained only {gain:.1%}"
+
+    def test_large_gain_near_paper_ten_percent(self, large):
+        mean, _ = large
+        gain = (mean["ICOnly"]["makespan"] - mean["Op"]["makespan"]) / mean["ICOnly"]["makespan"]
+        assert 0.05 < gain < 0.30
+
+    def test_greedy_and_op_makespans_close(self, large):
+        mean, _ = large
+        ratio = mean["Greedy"]["makespan"] / mean["Op"]["makespan"]
+        assert 0.9 < ratio < 1.1
+
+    def test_bursting_helps_uniform_too(self, uniform):
+        mean, _ = uniform
+        assert mean["Op"]["makespan"] < mean["ICOnly"]["makespan"]
+
+
+class TestTable1:
+    """Table I shapes: utilizations, burst ratios, speedups."""
+
+    def test_op_uses_ec_more_than_greedy_on_uniform(self, uniform):
+        mean, _ = uniform
+        assert mean["Op"]["ec_util"] > mean["Greedy"]["ec_util"]
+
+    def test_op_bursts_more_than_greedy_on_uniform(self, uniform):
+        mean, _ = uniform
+        assert mean["Op"]["burst"] > mean["Greedy"]["burst"]
+
+    def test_burst_ratios_in_paper_range(self, large, uniform):
+        for mean, _ in (large, uniform):
+            for name in ("Greedy", "Op"):
+                assert 0.05 < mean[name]["burst"] < 0.40
+
+    def test_speedups_same_order_as_paper(self, large, uniform):
+        """Paper: 5.6-6.8x on 8+2 machines; we accept the same order."""
+        for mean, _ in (large, uniform):
+            for name in ("Greedy", "Op"):
+                assert 4.0 < mean[name]["speedup"] < 10.0
+
+    def test_large_speedup_exceeds_uniform(self, large, uniform):
+        """Computation dominates communication for large jobs (Sec. V.B.3)."""
+        assert large[0]["Op"]["speedup"] > uniform[0]["Op"]["speedup"]
+
+    def test_ic_util_dominates_ec_util(self, large):
+        mean, _ = large
+        for name in ("Greedy", "Op"):
+            assert mean[name]["ic_util"] > mean[name]["ec_util"]
+
+
+class TestFig9Fig10OO:
+    """Op's ordered-data availability dominates Greedy under variation."""
+
+    @pytest.fixture(scope="class")
+    def oo_areas(self):
+        areas: dict[str, list[float]] = {}
+        for seed in SEEDS:
+            traces = run_comparison(HIGH_VARIATION_SPEC.with_seed(seed))
+            start = min(t.arrival_time for t in traces.values())
+            end = max(t.end_time for t in traces.values())
+            for name, trace in traces.items():
+                s = ordered_data_series(trace, tolerance=4, start=start, end=end)
+                areas.setdefault(name, []).append(s.area())
+        return {n: float(np.mean(v)) for n, v in areas.items()}
+
+    def test_op_at_least_greedy(self, oo_areas):
+        assert oo_areas["Op"] >= oo_areas["Greedy"] * 0.99
+
+    def test_bursting_schedulers_beat_ic_only(self, oo_areas):
+        for name in ("Greedy", "Op", "OpSIBS"):
+            assert oo_areas[name] > oo_areas["ICOnly"]
+
+    def test_sibs_comparable_to_op(self, oo_areas):
+        assert oo_areas["OpSIBS"] >= oo_areas["Op"] * 0.95
+
+    def test_tolerance_increases_availability(self):
+        traces = run_comparison(HIGH_VARIATION_SPEC, scheduler_names=("Op",))
+        trace = traces["Op"]
+        areas = [
+            ordered_data_series(trace, tolerance=t).area() for t in (0, 2, 4, 8)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(areas, areas[1:]))
+
+
+class TestSectionVB4Sibs:
+    """SIBS raises EC utilization over plain Op; speedup stays intact."""
+
+    def test_ec_util_and_speedup(self, large):
+        mean, _ = large
+        assert mean["OpSIBS"]["ec_util"] >= mean["Op"]["ec_util"] * 0.97
+        assert mean["OpSIBS"]["speedup"] >= mean["Op"]["speedup"] * 0.95
+
+    def test_cv_of_bursted_sizes_high_without_chunking(self, large):
+        """Sec. V.B.4: CoV of bursted sizes ~1 motivates SIBS."""
+        _, all_traces = large
+        cvs = []
+        for traces in all_traces:
+            sizes = np.array([
+                r.input_mb for r in traces["Greedy"].records if r.bursted
+            ])
+            if len(sizes) > 1:
+                cvs.append(sizes.std() / sizes.mean())
+        assert cvs and 0.2 < float(np.mean(cvs)) < 1.5
+
+
+class TestBurstingMechanics:
+    def test_ic_only_never_bursts(self, large):
+        mean, _ = large
+        assert mean["ICOnly"]["burst"] == 0.0
+        assert mean["ICOnly"]["ec_util"] == 0.0
+
+    def test_head_of_queue_stays_local_for_op(self, uniform):
+        """Op must not burst the first job of the run (empty system)."""
+        _, all_traces = uniform
+        for traces in all_traces:
+            first = min(traces["Op"].records, key=lambda r: (r.job_id, r.sub_id))
+            assert not first.bursted

@@ -1,0 +1,81 @@
+"""Comparison snapshot persistence and drift-diff tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.persistence import (
+    diff_comparisons,
+    load_comparison,
+    save_comparison,
+)
+from repro.experiments.runner import run_comparison
+from repro.metrics.sla import summarize
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+FAST = ExperimentSpec(
+    bucket=Bucket.UNIFORM, n_batches=2, mean_jobs_per_batch=6,
+    system=SystemConfig(ic_machines=4, ec_machines=2, seed=15),
+)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return run_comparison(FAST, scheduler_names=("ICOnly", "Greedy"))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, traces, tmp_path):
+        directory = save_comparison(tmp_path / "snap", traces, metadata={"note": "x"})
+        loaded, manifest = load_comparison(directory)
+        assert set(loaded) == {"ICOnly", "Greedy"}
+        assert manifest["metadata"] == {"note": "x"}
+        for name in loaded:
+            assert loaded[name].makespan == pytest.approx(traces[name].makespan)
+            assert len(loaded[name].records) == len(traces[name].records)
+
+    def test_summaries_match_metrics(self, traces, tmp_path):
+        directory = save_comparison(tmp_path / "snap", traces)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        for name, row in manifest["summaries"].items():
+            s = summarize(traces[name])
+            assert row["makespan_s"] == pytest.approx(s.makespan_s)
+            assert row["burst_ratio"] == pytest.approx(s.burst_ratio)
+
+    def test_unknown_version_rejected(self, traces, tmp_path):
+        directory = save_comparison(tmp_path / "snap", traces)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["version"] = 99
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_comparison(directory)
+
+
+class TestDiff:
+    def test_identical_snapshots_show_no_drift(self, traces, tmp_path):
+        a = save_comparison(tmp_path / "a", traces)
+        b = save_comparison(tmp_path / "b", traces)
+        report = diff_comparisons(a, b)
+        assert all(drift == {} for drift in report.values())
+
+    def test_detects_metric_drift(self, traces, tmp_path):
+        a = save_comparison(tmp_path / "a", traces)
+        b = save_comparison(tmp_path / "b", traces)
+        manifest = json.loads((b / "manifest.json").read_text())
+        manifest["summaries"]["Greedy"]["makespan_s"] *= 1.2
+        (b / "manifest.json").write_text(json.dumps(manifest))
+        report = diff_comparisons(a, b)
+        assert "makespan_s" in report["Greedy"]
+        assert report["Greedy"]["makespan_s"] == pytest.approx(0.2, abs=0.01)
+        assert report["ICOnly"] == {}
+
+    def test_detects_missing_scheduler(self, traces, tmp_path):
+        a = save_comparison(tmp_path / "a", traces)
+        only_one = {"ICOnly": traces["ICOnly"]}
+        b = save_comparison(tmp_path / "b", only_one)
+        report = diff_comparisons(a, b)
+        assert report["Greedy"] == {"missing": 1.0}

@@ -1,0 +1,111 @@
+"""Fuzzing the transfer pipeline: random enqueues, cancels, bounds changes.
+
+The pipeline is the most state-heavy substrate (queues, in-flight
+transfers, rebuilds); these tests drive it with hypothesis-generated
+action sequences and assert the conservation invariants that must always
+hold: everything enqueued either completes exactly once or was cancelled,
+and the pipeline drains to idle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.bandwidth import DiurnalBandwidthProfile, TimeOfDayBandwidthEstimator
+from repro.models.threads import ThreadTuner
+from repro.sim.engine import Simulator
+from repro.sim.network import CapacityProcess, FluidLink
+from repro.sim.pipeline import TransferPipeline
+
+
+def build(mbps=4.0, variation=0.0, seed=0):
+    sim = Simulator()
+    profile = DiurnalBandwidthProfile(
+        base_mbps=mbps, daily_amplitude=0.0, half_daily_amplitude=0.0
+    )
+    cap = CapacityProcess(
+        sim, profile, np.random.default_rng(seed), variation=variation, epoch_s=7.0
+    )
+    link = FluidLink(sim, cap, per_thread_mbps=1.0)
+    pipe = TransferPipeline(
+        sim, link, ThreadTuner(initial_threads=2, max_threads=8),
+        TimeOfDayBandwidthEstimator(prior_mbps=mbps), name="upload",
+    )
+    return sim, pipe
+
+
+action = st.one_of(
+    st.tuples(st.just("enqueue"), st.floats(min_value=0.5, max_value=300.0)),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=50)),
+    st.tuples(
+        st.just("bounds"),
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=1.5, max_value=4.0),  # multiplier for m_bound
+    ),
+    st.tuples(st.just("single"),),
+    st.tuples(st.just("advance"), st.floats(min_value=0.1, max_value=60.0)),
+)
+
+
+class TestPipelineFuzz:
+    @given(
+        actions=st.lists(action, min_size=1, max_size=40),
+        variation=st.floats(min_value=0.0, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_under_arbitrary_action_sequences(
+        self, actions, variation, seed
+    ):
+        sim, pipe = build(variation=variation, seed=seed)
+        completed: list[int] = []
+        enqueued: list[int] = []
+        cancelled: set[int] = set()
+        payload_counter = 0
+
+        for act in actions:
+            kind = act[0]
+            if kind == "enqueue":
+                pid = payload_counter
+                payload_counter += 1
+                enqueued.append(pid)
+                pipe.enqueue(pid, act[1], on_complete=completed.append)
+            elif kind == "cancel":
+                if pipe.cancel(act[1]):
+                    cancelled.add(act[1])
+            elif kind == "bounds":
+                s_bound = act[1]
+                pipe.set_size_bounds(s_bound, s_bound * act[2])
+            elif kind == "single":
+                pipe.set_single_queue()
+            elif kind == "advance":
+                sim.run(until=sim.now + act[1])
+
+        # Drain everything still pending.
+        sim.run(until=sim.now + 50_000.0)
+        assert pipe.idle
+        assert sorted(completed) == sorted(set(enqueued) - cancelled)
+        assert len(completed) == len(set(completed))  # exactly-once delivery
+        assert pipe.backlog_mb == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        sizes=st.lists(st.floats(min_value=0.5, max_value=300.0),
+                       min_size=1, max_size=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_and_single_queue_deliver_same_bytes(self, sizes, seed):
+        results = {}
+        for mode in ("single", "split"):
+            sim, pipe = build(variation=0.3, seed=seed)
+            if mode == "split":
+                pipe.set_size_bounds(50.0, 150.0)
+            done_mb = []
+            for k, s in enumerate(sizes):
+                pipe.enqueue(k, s, on_complete=lambda p, s=s: done_mb.append(s))
+            sim.run(until=sim.now + 50_000.0)
+            results[mode] = sorted(done_mb)
+        assert results["single"] == pytest.approx(results["split"])

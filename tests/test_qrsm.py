@@ -1,0 +1,164 @@
+"""QRSM tests: design matrix, exact recovery, L1 fit, online tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.qrsm import (
+    QuadraticResponseSurface,
+    quadratic_design_matrix,
+    quadratic_term_names,
+)
+from repro.workload.document import FEATURE_NAMES
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.processing import GroundTruthProcessingModel
+
+
+class TestDesignMatrix:
+    def test_column_count(self):
+        d = 4
+        X = np.ones((3, d))
+        Z = quadratic_design_matrix(X)
+        assert Z.shape == (3, 1 + d + d * (d - 1) // 2 + d)
+
+    def test_term_values_hand_checked(self):
+        Z = quadratic_design_matrix(np.array([[2.0, 3.0]]))
+        # [1, x1, x2, x1*x2, x1^2, x2^2]
+        assert Z[0].tolist() == [1.0, 2.0, 3.0, 6.0, 4.0, 9.0]
+
+    def test_1d_input_promoted(self):
+        Z = quadratic_design_matrix(np.array([2.0, 3.0]))
+        assert Z.shape == (1, 6)
+
+    def test_term_names_align_with_columns(self):
+        names = quadratic_term_names(["a", "b"])
+        assert names == ["1", "a", "b", "a*b", "a^2", "b^2"]
+        d = len(FEATURE_NAMES)
+        full = quadratic_term_names(FEATURE_NAMES)
+        assert len(full) == 1 + d + d * (d - 1) // 2 + d
+
+
+class TestFitting:
+    def _noiseless_data(self, n=600, seed=0):
+        gen = WorkloadGenerator(seed=seed, truth=GroundTruthProcessingModel(noise_sigma=0.0))
+        return gen.sample_training_set(n)
+
+    def test_exact_recovery_on_noiseless_quadratic(self):
+        """The ground truth lives in the model family, so LSQ nails it."""
+        feats, y = self._noiseless_data()
+        model = QuadraticResponseSurface().fit(feats, y)
+        assert model.r_squared(feats, y) > 0.99999
+        held_feats, held_y = self._noiseless_data(n=100, seed=1)
+        pred = model.predict(held_feats)
+        assert np.allclose(pred, held_y, rtol=1e-4)
+
+    def test_l1_fit_on_noiseless_quadratic(self):
+        feats, y = self._noiseless_data(n=300)
+        model = QuadraticResponseSurface(method="l1").fit(feats, y)
+        assert model.r_squared(feats, y) > 0.999
+
+    def test_noisy_fit_reasonable(self):
+        gen = WorkloadGenerator(seed=3)
+        feats, y = gen.sample_training_set(500)
+        model = QuadraticResponseSurface().fit(feats, y)
+        t_feats, t_y = gen.sample_training_set(200)
+        assert model.r_squared(t_feats, t_y) > 0.7
+
+    def test_scalar_predict(self, features):
+        feats, y = self._noiseless_data(n=200)
+        model = QuadraticResponseSurface().fit(feats, y)
+        out = model.predict(features)
+        assert isinstance(out, float) and out > 0
+
+    def test_predictions_clamped_positive(self):
+        feats, y = self._noiseless_data(n=200)
+        model = QuadraticResponseSurface().fit(feats, y)
+        # Whatever the extrapolation, never a negative time.
+        gen = WorkloadGenerator(seed=9)
+        preds = model.predict([gen.sample_features() for _ in range(100)])
+        assert np.all(preds >= 0.1)
+
+    def test_feature_subset(self):
+        feats, y = self._noiseless_data(n=300)
+        model = QuadraticResponseSurface(feature_indices=[0, 1, 2]).fit(feats, y)
+        assert len(model.term_names) == 1 + 3 + 3 + 3
+        # Subset model is still a decent (if not exact) fit.
+        assert model.r_squared(feats, y) > 0.5
+
+    def test_unfitted_raises(self, features):
+        with pytest.raises(RuntimeError):
+            QuadraticResponseSurface().predict(features)
+
+    def test_fit_validates_shapes(self):
+        feats, y = self._noiseless_data(n=10)
+        with pytest.raises(ValueError):
+            QuadraticResponseSurface().fit(feats, y[:-1])
+        with pytest.raises(ValueError):
+            QuadraticResponseSurface().fit(feats[:1], y[:1])
+
+    def test_invalid_ctor_args(self):
+        with pytest.raises(ValueError):
+            QuadraticResponseSurface(method="huber")
+        with pytest.raises(ValueError):
+            QuadraticResponseSurface(forgetting=0.0)
+
+    def test_r_squared_degenerate_constant_target(self):
+        feats, _ = self._noiseless_data(n=50)
+        y = np.full(50, 42.0)
+        model = QuadraticResponseSurface().fit(feats, y)
+        assert model.r_squared(feats, y) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestOnlineTuning:
+    def test_observe_reduces_systematic_bias(self):
+        """RLS tuning adapts the model to a shifted environment."""
+        gen = WorkloadGenerator(seed=5, truth=GroundTruthProcessingModel(noise_sigma=0.0))
+        feats, y = gen.sample_training_set(400)
+        model = QuadraticResponseSurface(forgetting=0.98).fit(feats, y)
+        # The "real" site runs 30% slower than the training fleet.
+        shifted = GroundTruthProcessingModel(noise_sigma=0.0)
+        stream = [gen.sample_features() for _ in range(300)]
+        for f in stream:
+            model.observe(f, 1.3 * shifted.mean_time(f))
+        test = [gen.sample_features() for _ in range(100)]
+        pred = np.array(model.predict(test))
+        target = 1.3 * np.array([shifted.mean_time(f) for f in test])
+        rel_err = np.abs(pred - target) / target
+        assert np.median(rel_err) < 0.1
+
+    def test_observe_requires_fit(self, features):
+        with pytest.raises(RuntimeError):
+            QuadraticResponseSurface().observe(features, 10.0)
+
+    def test_observe_counts(self, features):
+        gen = WorkloadGenerator(seed=5)
+        feats, y = gen.sample_training_set(100)
+        model = QuadraticResponseSurface().fit(feats, y)
+        assert model.n_observations == 100
+        model.observe(features, 50.0)
+        assert model.n_observations == 101
+
+    def test_single_observation_moves_prediction_toward_target(self, features):
+        gen = WorkloadGenerator(seed=6)
+        feats, y = gen.sample_training_set(200)
+        model = QuadraticResponseSurface().fit(feats, y)
+        before = model.predict(features)
+        target = before * 2.0
+        for _ in range(30):
+            model.observe(features, target)
+        after = model.predict(features)
+        assert abs(after - target) < abs(before - target)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_lsq_residual_never_exceeds_intercept_only(self, seed):
+        """LSQ with an intercept column can't do worse than the mean model."""
+        gen = WorkloadGenerator(seed=seed)
+        feats, y = gen.sample_training_set(80)
+        model = QuadraticResponseSurface().fit(feats, y)
+        assert model.r_squared(feats, y) >= -1e-9

@@ -1,0 +1,129 @@
+"""Queueing-theory formulas and simulator cross-validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.queueing import (
+    allen_cunneen_wait,
+    batch_arrival_scv,
+    compare_ic_only_with_theory,
+    erlang_c,
+    mmc_wait,
+    offered_load,
+    utilization,
+)
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import build_workload, run_one
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+
+class TestFormulas:
+    def test_offered_load(self):
+        assert offered_load(2.0, 3.0) == 6.0
+        with pytest.raises(ValueError):
+            offered_load(-1.0, 1.0)
+
+    def test_utilization(self):
+        assert utilization(1.0, 4.0, 8) == 0.5
+        with pytest.raises(ValueError):
+            utilization(1.0, 1.0, 0)
+
+    def test_erlang_c_single_server_equals_rho(self):
+        """M/M/1: P(wait) = rho."""
+        assert erlang_c(0.5, 1) == pytest.approx(0.5)
+        assert erlang_c(0.9, 1) == pytest.approx(0.9)
+
+    def test_erlang_c_saturated(self):
+        assert erlang_c(2.0, 2) == 1.0
+        assert erlang_c(0.0, 4) == 0.0
+
+    def test_erlang_c_known_value(self):
+        """Textbook value: a=2 Erlangs on c=3 servers -> P(wait) ~ 0.4444."""
+        assert erlang_c(2.0, 3) == pytest.approx(4 / 9, rel=1e-6)
+
+    def test_mm1_wait_closed_form(self):
+        """M/M/1: Wq = rho * E[S] / (1 - rho)."""
+        lam, es = 0.5, 1.0  # rho = 0.5
+        assert mmc_wait(lam, es, 1) == pytest.approx(0.5 * 1.0 / 0.5)
+
+    def test_mmc_wait_unstable_is_infinite(self):
+        assert mmc_wait(3.0, 1.0, 2) == math.inf
+
+    def test_more_servers_less_wait(self):
+        w4 = mmc_wait(3.0, 1.0, 4)
+        w8 = mmc_wait(3.0, 1.0, 8)
+        assert w8 < w4
+
+    def test_batch_scv_poisson_batches(self):
+        """Poisson(B) batch sizes: C_a^2 = E[B] + 1."""
+        assert batch_arrival_scv(15.0, 15.0) == pytest.approx(16.0)
+
+    def test_batch_scv_deterministic_batches(self):
+        assert batch_arrival_scv(10.0, 0.0) == pytest.approx(10.0)
+
+    def test_allen_cunneen_reduces_to_mmc(self):
+        """C_a^2 = C_s^2 = 1 recovers the Markovian value."""
+        w = allen_cunneen_wait(3.0, 1.0, 4, ca2=1.0, cs2=1.0)
+        assert w == pytest.approx(mmc_wait(3.0, 1.0, 4))
+
+    def test_allen_cunneen_scales_with_variability(self):
+        lo = allen_cunneen_wait(3.0, 1.0, 4, ca2=0.5, cs2=0.5)
+        hi = allen_cunneen_wait(3.0, 1.0, 4, ca2=4.0, cs2=2.0)
+        assert hi == pytest.approx(6.0 * lo)
+
+    @given(
+        st.floats(min_value=0.05, max_value=50.0),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_erlang_c_is_probability(self, a, c):
+        p = erlang_c(a, c)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.95),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_wait_positive_and_finite_when_stable(self, rho, c):
+        lam = rho * c  # with E[S] = 1
+        w = mmc_wait(lam, 1.0, c)
+        assert 0.0 <= w < math.inf
+
+
+class TestSimulatorCrossValidation:
+    def test_moderate_load_matches_theory(self):
+        """At ~60% load the simulator agrees with M^[X]/G/c theory."""
+        spec = ExperimentSpec(
+            bucket=Bucket.SMALL, n_batches=12, system=SystemConfig(seed=7)
+        )
+        batches = build_workload(spec)
+        trace = run_one("ICOnly", spec, batches=batches)
+        cmp = compare_ic_only_with_theory(trace, batches)
+        # Utilization: tight agreement (finite-run edge effects only).
+        assert 0.85 < cmp.utilization_ratio < 1.15
+        # Mean wait: within-batch + D/G/c theory is an approximation and
+        # the run is finite; sub-factor-2 agreement is the expectation.
+        assert 0.5 < cmp.wait_ratio < 1.5
+        assert "theory" in cmp.render()
+
+    def test_saturated_load_detected_by_theory(self):
+        """Near ρ=1 the analytic wait explodes while the finite run stays
+        bounded — the comparison surfaces the regime change."""
+        spec = ExperimentSpec(
+            bucket=Bucket.UNIFORM, n_batches=12, system=SystemConfig(seed=7)
+        )
+        batches = build_workload(spec)
+        trace = run_one("ICOnly", spec, batches=batches)
+        cmp = compare_ic_only_with_theory(trace, batches)
+        assert cmp.theory_utilization > 0.9
+        # Steady-state theory predicts far more waiting than the finite
+        # run can accumulate before it ends.
+        assert cmp.theory_mean_wait_s > 4 * cmp.sim_mean_wait_s

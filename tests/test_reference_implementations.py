@@ -1,0 +1,124 @@
+"""Cross-checks against slow, obviously-correct reference implementations.
+
+The production code paths are vectorised (OO metric) or algorithmically
+clever (water-filling); these tests pit them against naive versions that
+transcribe the paper's equations or the textbook definitions literally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.oo import ordered_data_series
+from repro.sim.network import waterfill
+from tests.test_metrics import make_trace, record
+
+
+# ---------------------------------------------------------------------------
+# Reference OO metric: a literal transcription of Eqs. 3-6.
+# ---------------------------------------------------------------------------
+def reference_oo(completions, outputs, tolerance, times):
+    """O(T * n^2) literal implementation of the paper's equations."""
+    n = len(completions)
+    o_series, m_series = [], []
+    for s_t in times:
+        # Eq. 3: C_t = jobs completed by s_t (ids are 1-based).
+        C_t = {i + 1 for i in range(n) if completions[i] <= s_t}
+        # Eq. 5: find max i with j_i in C_t and i - t_l <= |J_it|.
+        m_t = 0
+        for i in range(1, n + 1):
+            if i not in C_t:
+                continue
+            J_it = {x for x in C_t if x <= i}
+            if i - tolerance <= len(J_it):
+                m_t = max(m_t, i)
+        # Eq. 6: sum of output sizes over J_{m_t, t}.
+        o_t = sum(outputs[x - 1] for x in C_t if x <= m_t)
+        o_series.append(o_t)
+        m_series.append(m_t)
+    return np.array(o_series), np.array(m_series)
+
+
+class TestOOAgainstReference:
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=25),
+        st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=25),
+        st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_vectorised_matches_reference(self, completions, outputs, tol):
+        n = min(len(completions), len(outputs))
+        completions, outputs = completions[:n], outputs[:n]
+        recs = [
+            record(i + 1, c, output_mb=o)
+            for i, (c, o) in enumerate(zip(completions, outputs))
+        ]
+        series = ordered_data_series(
+            make_trace(recs), tolerance=tol, sampling_interval=50.0,
+            start=0.0, end=500.0,
+        )
+        ref_o, ref_m = reference_oo(completions, outputs, tol, series.times)
+        assert np.allclose(series.ordered_mb, ref_o)
+        assert np.array_equal(series.max_in_order_id, ref_m)
+
+
+# ---------------------------------------------------------------------------
+# Reference water-filling: bisection on the water level.
+# ---------------------------------------------------------------------------
+def reference_waterfill(capacity, caps):
+    """Find the max-min fair level by bisection on the common rate."""
+    caps = np.asarray(caps, dtype=float)
+    if len(caps) == 0 or capacity <= 0:
+        return np.zeros(len(caps))
+    if caps.sum() <= capacity:
+        return caps.copy()
+    lo, hi = 0.0, capacity
+    for _ in range(200):
+        level = (lo + hi) / 2
+        used = np.minimum(caps, level).sum()
+        if used > capacity:
+            hi = level
+        else:
+            lo = level
+    return np.minimum(caps, lo)
+
+
+class TestWaterfillAgainstReference:
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=15),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_bisection(self, capacity, caps):
+        fast = waterfill(capacity, np.array(caps))
+        ref = reference_waterfill(capacity, caps)
+        assert np.allclose(np.sort(fast), np.sort(ref), atol=1e-6)
+        # Per-flow equality too (same ordering, not just same multiset).
+        assert np.allclose(fast, ref, atol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Reference in-order consumer: simulate it directly.
+# ---------------------------------------------------------------------------
+class TestInOrderConsumerAgainstSimulation:
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=500.0), min_size=2, max_size=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_strict_m_t_equals_consumer_position(self, completions):
+        """With tolerance 0, m_t is exactly how far a strict in-order
+        consumer has advanced by time t."""
+        recs = [record(i + 1, c) for i, c in enumerate(completions)]
+        series = ordered_data_series(
+            make_trace(recs), tolerance=0, sampling_interval=37.0,
+            start=0.0, end=505.0,
+        )
+        for s_t, m_t in zip(series.times, series.max_in_order_id):
+            # The consumer advances while the next job is already done.
+            pos = 0
+            while pos < len(completions) and completions[pos] <= s_t:
+                pos += 1
+            assert m_t == pos

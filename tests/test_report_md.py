@@ -1,0 +1,37 @@
+"""Full-report generator tests (quick mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report_md import generate_reproduction_report
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report_text(self, tmp_path_factory) -> str:
+        path = tmp_path_factory.mktemp("report") / "report.md"
+        out = generate_reproduction_report(path, quick=True)
+        assert out == path
+        return path.read_text()
+
+    def test_every_section_present(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Workload",
+            "## Figure 3", "## Figure 4", "## Figure 6", "## Figure 7",
+            "## Figure 8", "## Figure 9", "## Figure 10",
+            "## Table I", "## Section V.B.4",
+        ):
+            assert heading in report_text, f"missing section: {heading}"
+
+    def test_contains_rendered_numbers(self, report_text):
+        assert "R^2" in report_text
+        assert "paper_ic" in report_text
+        assert "speedup gain" in report_text
+
+    def test_code_blocks_balanced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+
+    def test_records_generation_metadata(self, report_text):
+        assert "quick=True" in report_text

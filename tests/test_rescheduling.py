@@ -1,0 +1,83 @@
+"""Rescheduling strategy selection logic (Section IV.D, future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rescheduling import pick_ec_push, pick_ic_pull
+
+from tests.conftest import make_job, make_state
+from tests.test_schedulers import StubEstimator
+
+
+class TestIcPull:
+    def test_steals_job_that_local_rerun_beats(self):
+        jobs = [make_job(job_id=1, proc_time=30.0), make_job(job_id=2, proc_time=40.0)]
+        est_completions = {(1, 0): 500.0, (2, 0): 35.0}
+        est_procs = {(1, 0): 30.0, (2, 0): 40.0}
+        c = pick_ic_pull(jobs, est_completions, est_procs, now=0.0, ic_speed=1.0)
+        # Job 1: remaining 500 > local 30 -> steal; new estimate now+30.
+        assert c is not None and c.job.job_id == 1
+        assert c.est_completion == pytest.approx(30.0)
+
+    def test_scans_in_queue_order(self):
+        jobs = [make_job(job_id=1, proc_time=30.0), make_job(job_id=2, proc_time=30.0)]
+        est_completions = {(1, 0): 100.0, (2, 0): 1000.0}
+        est_procs = {(1, 0): 30.0, (2, 0): 30.0}
+        c = pick_ic_pull(jobs, est_completions, est_procs, now=0.0, ic_speed=1.0)
+        assert c.job.job_id == 1  # head of the EC queue wins
+
+    def test_no_candidate_when_ec_is_faster(self):
+        jobs = [make_job(job_id=1, proc_time=100.0)]
+        c = pick_ic_pull(jobs, {(1, 0): 50.0}, {(1, 0): 100.0}, now=0.0, ic_speed=1.0)
+        assert c is None
+
+    def test_speed_scales_local_rerun(self):
+        jobs = [make_job(job_id=1, proc_time=100.0)]
+        # remaining 60 < 100 at speed 1 -> None; at speed 2 local takes 50 -> steal.
+        assert pick_ic_pull(jobs, {(1, 0): 60.0}, {(1, 0): 100.0}, 0.0, 1.0) is None
+        c = pick_ic_pull(jobs, {(1, 0): 60.0}, {(1, 0): 100.0}, 0.0, 2.0)
+        assert c is not None
+
+    def test_empty_queue(self):
+        assert pick_ic_pull([], {}, {}, now=0.0, ic_speed=1.0) is None
+
+    def test_unknown_job_skipped(self):
+        jobs = [make_job(job_id=9, proc_time=10.0)]
+        assert pick_ic_pull(jobs, {}, {}, now=0.0, ic_speed=1.0) is None
+
+
+class TestEcPush:
+    def test_tail_job_with_slack_is_pushed(self):
+        est = StubEstimator()
+        # Plenty of pending work -> huge slack; fast links.
+        state = make_state(
+            ic_free=[500.0] * 2, ec_free=[0.0, 0.0],
+            est_up_mbps=10.0, est_down_mbps=10.0, up_threads=20, down_threads=20,
+            pending_completions=[500.0, 500.0],
+        )
+        waiting = [make_job(job_id=i, size_mb=10.0, proc_time=30.0, output_mb=5.0)
+                   for i in (5, 6, 7)]
+        c = pick_ec_push(waiting, est, state)
+        assert c is not None
+        assert c.job.job_id == 7  # scanned from the last
+
+    def test_no_push_without_slack(self):
+        est = StubEstimator()
+        state = make_state(ic_free=[0.0] * 2, ec_free=[0.0, 0.0],
+                           pending_completions=[])
+        waiting = [make_job(job_id=1, size_mb=100.0, proc_time=30.0)]
+        assert pick_ec_push(waiting, est, state) is None
+
+    def test_own_estimate_excluded_from_slack_pool(self):
+        est = StubEstimator()
+        # The only pending completion belongs to the candidate itself; its
+        # keyed entry must not seed its own slack.
+        state = make_state(ic_free=[0.0], ec_free=[0.0, 0.0])
+        state.pending_keyed = [((3, 0), 900.0)]
+        state.pending_completions = [900.0]
+        waiting = [make_job(job_id=3, size_mb=10.0, proc_time=30.0, output_mb=5.0)]
+        assert pick_ec_push(waiting, est, state) is None
+
+    def test_empty_queue(self):
+        assert pick_ec_push([], StubEstimator(), make_state()) is None

@@ -1,0 +1,72 @@
+"""Elastic EC scaling tests (Section V.B.4 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.scaling import (
+    ScalingSweepResult,
+    ec_instances_for_saturation,
+    ec_scaling_sweep,
+)
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+
+class TestSaturationKnee:
+    def test_download_bound_hand_checked(self):
+        # 5 MB/s drain, 100 s/job, 50 MB output -> 5*100/50 = 10 machines;
+        # upload side: 100 MB in at 20 MB/s -> 20*100/100 = 20 -> download binds.
+        n = ec_instances_for_saturation(
+            download_mbps=5.0, upload_mbps=20.0, mean_proc_time_s=100.0,
+            mean_input_mb=100.0, mean_output_mb=50.0,
+        )
+        assert n == 10
+
+    def test_upload_bound_when_inputs_dominate(self):
+        n = ec_instances_for_saturation(
+            download_mbps=100.0, upload_mbps=2.0, mean_proc_time_s=100.0,
+            mean_input_mb=200.0, mean_output_mb=10.0,
+        )
+        assert n == 1  # 2*100/200 = 1
+
+    def test_faster_machines_need_fewer(self):
+        slow = ec_instances_for_saturation(5.0, 20.0, 100.0, 100.0, 50.0, ec_speed=1.0)
+        fast = ec_instances_for_saturation(5.0, 20.0, 100.0, 100.0, 50.0, ec_speed=2.0)
+        assert fast < slow
+
+    def test_bounds(self):
+        assert ec_instances_for_saturation(1000.0, 1000.0, 1000.0, 1.0, 1.0,
+                                           max_instances=8) == 8
+        assert ec_instances_for_saturation(0.001, 0.001, 0.001, 100.0, 100.0) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ec_instances_for_saturation(0.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self) -> ScalingSweepResult:
+        spec = ExperimentSpec(
+            bucket=Bucket.LARGE, n_batches=3, mean_jobs_per_batch=10,
+            system=SystemConfig(seed=13),
+        )
+        return ec_scaling_sweep(spec, ec_sizes=(1, 2, 4))
+
+    def test_structure(self, sweep):
+        assert sweep.ec_sizes == [1, 2, 4]
+        assert len(sweep.makespans) == 3
+        assert sweep.predicted_knee >= 1
+        assert "knee" in sweep.render() or str(sweep.predicted_knee) in sweep.render()
+
+    def test_ec_util_decreases_with_pool_size(self, sweep):
+        """Past saturation, extra machines only dilute utilization."""
+        assert sweep.ec_utils[0] >= sweep.ec_utils[-1]
+
+    def test_diminishing_returns(self, sweep):
+        """Growing the pool beyond the knee buys (almost) nothing."""
+        first_step = sweep.makespans[0] - sweep.makespans[1]
+        last_step = sweep.makespans[1] - sweep.makespans[2]
+        assert last_step <= max(first_step, 1.0) + 30.0

@@ -1,0 +1,167 @@
+"""Slackness constraint and chunking tests (Eqs. 1-2, Alg. 2 lines 3-10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import ChunkPolicy, chunk_batch, pdfchunk, window_sigma
+from repro.core.slack import SlackLedger, slack_time
+
+from tests.conftest import make_job
+
+
+class TestSlackTime:
+    def test_empty_pool_collapses_to_now(self):
+        assert slack_time([], now=100.0) == 100.0
+
+    def test_max_of_preceding(self):
+        assert slack_time([50.0, 120.0, 80.0], now=10.0) == 120.0
+
+    def test_never_before_now(self):
+        """Completions in the (estimated) past leave no usable cushion."""
+        assert slack_time([5.0, 8.0], now=10.0) == 10.0
+
+
+class TestSlackLedger:
+    def test_seeded_from_pending(self):
+        ledger = SlackLedger([50.0, 120.0], now=0.0)
+        assert ledger.slack == 120.0
+
+    def test_add_extends_cushion(self):
+        ledger = SlackLedger([100.0], now=0.0)
+        ledger.add(150.0)
+        assert ledger.slack == 150.0
+        ledger.add(120.0)  # earlier completion cannot shrink the max
+        assert ledger.slack == 150.0
+
+    def test_can_burst_boundary(self):
+        ledger = SlackLedger([100.0], now=0.0)
+        assert ledger.can_burst(100.0)       # equal is allowed (Eq. 2: >=)
+        assert not ledger.can_burst(100.01)
+        assert ledger.can_burst(105.0, margin=5.0)
+
+    def test_head_of_queue_never_bursts(self):
+        """With nothing pending, slack==now and any round trip fails."""
+        ledger = SlackLedger([], now=50.0)
+        assert not ledger.can_burst(50.1)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), max_size=50),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_slack_is_monotone_under_adds(self, pool, now):
+        ledger = SlackLedger(pool, now=now)
+        previous = ledger.slack
+        for value in pool:
+            ledger.add(value * 2)
+            assert ledger.slack >= previous
+            previous = ledger.slack
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_functional_form(self, pool):
+        ledger = SlackLedger(pool, now=0.0)
+        assert ledger.slack == slack_time(pool, now=0.0)
+
+
+class TestWindowSigma:
+    def test_uniform_sizes_zero_sigma(self):
+        jobs = [make_job(job_id=i, size_mb=50.0) for i in range(1, 6)]
+        assert window_sigma(jobs, 0, 5) == 0.0
+
+    def test_hand_computed(self):
+        jobs = [make_job(job_id=1, size_mb=10.0), make_job(job_id=2, size_mb=30.0)]
+        assert window_sigma(jobs, 0, 2) == pytest.approx(10.0)  # std of {10,30}
+
+    def test_window_clipped_at_end(self):
+        jobs = [make_job(job_id=i, size_mb=s) for i, s in enumerate([10, 200, 10], 1)]
+        assert window_sigma(jobs, 2, 5) == 0.0  # single-element window
+
+    def test_empty(self):
+        assert window_sigma([], 0, 5) == 0.0
+
+
+class TestPdfchunk:
+    def test_small_job_passes_through(self):
+        job = make_job(size_mb=30.0)
+        assert pdfchunk(job, target_mb=50.0) == [job]
+
+    def test_chunk_count(self):
+        job = make_job(size_mb=250.0)
+        chunks = pdfchunk(job, target_mb=100.0)
+        assert len(chunks) == 3
+        assert all(c.input_mb <= 100.0 + 1e-9 for c in chunks)
+
+    def test_max_chunks_cap(self):
+        job = make_job(size_mb=300.0)
+        chunks = pdfchunk(job, target_mb=1.0, max_chunks=4)
+        assert len(chunks) == 4
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            pdfchunk(make_job(), target_mb=0.0)
+
+
+class TestChunkBatch:
+    def test_no_chunking_under_threshold(self):
+        policy = ChunkPolicy(threshold_mb=1000.0)
+        jobs = [make_job(job_id=i, size_mb=s) for i, s in enumerate([10, 280, 15], 1)]
+        assert chunk_batch(jobs, policy) == jobs
+
+    def test_high_dispersion_triggers_chunking(self):
+        policy = ChunkPolicy(window=3, threshold_mb=50.0, min_chunk_mb=20.0,
+                             max_chunk_mb=60.0)
+        jobs = [make_job(job_id=i, size_mb=s) for i, s in enumerate([280, 10, 15], 1)]
+        out = chunk_batch(jobs, policy)
+        assert len(out) > len(jobs)
+        # The big job was split; chunk sizes blend toward the window scale.
+        big_chunks = [j for j in out if j.parent_id == 1]
+        assert len(big_chunks) >= 2
+        assert all(c.input_mb <= 60.0 + 1e-9 for c in big_chunks)
+
+    def test_chunks_inserted_in_place(self):
+        policy = ChunkPolicy(window=3, threshold_mb=50.0)
+        jobs = [make_job(job_id=i, size_mb=s) for i, s in enumerate([280, 10, 15], 1)]
+        out = chunk_batch(jobs, policy)
+        keys = [j.key for j in out]
+        assert keys == sorted(keys)  # queue order preserved
+
+    def test_chunks_never_rechunked(self):
+        policy = ChunkPolicy(window=2, threshold_mb=1.0, min_chunk_mb=20.0,
+                             max_chunk_mb=40.0, max_chunks=16)
+        jobs = [make_job(job_id=1, size_mb=300.0), make_job(job_id=2, size_mb=1.0)]
+        out = chunk_batch(jobs, policy)
+        total = sum(j.input_mb for j in out)
+        assert total == pytest.approx(301.0, rel=0.02)
+
+    def test_work_conserved(self):
+        policy = ChunkPolicy(window=4, threshold_mb=30.0)
+        sizes = [250, 5, 120, 40, 290, 8]
+        jobs = [make_job(job_id=i, size_mb=s, proc_time=s) for i, s in enumerate(sizes, 1)]
+        out = chunk_batch(jobs, policy)
+        assert sum(j.input_mb for j in out) == pytest.approx(sum(sizes), rel=0.01)
+        # Processing time within the ~2% chunk overhead budget.
+        assert sum(j.true_proc_time for j in out) == pytest.approx(sum(sizes), rel=0.03)
+
+    def test_position_scaling_coarsens_tail(self):
+        base = ChunkPolicy(window=3, threshold_mb=10.0, position_scaling=0.0,
+                           min_chunk_mb=20.0, max_chunk_mb=40.0)
+        scaled = ChunkPolicy(window=3, threshold_mb=10.0, position_scaling=0.5,
+                             min_chunk_mb=20.0, max_chunk_mb=40.0)
+        jobs = [make_job(job_id=i, size_mb=s) for i, s in enumerate([250, 10, 250, 10, 250, 10], 1)]
+        n_base = len(chunk_batch(jobs, base))
+        n_scaled = len(chunk_batch(jobs, scaled))
+        assert n_scaled <= n_base  # deeper positions chunk less
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=300.0), min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_property(self, sizes):
+        policy = ChunkPolicy()
+        jobs = [make_job(job_id=i, size_mb=s, proc_time=max(1.0, s)) for i, s in enumerate(sizes, 1)]
+        out = chunk_batch(jobs, policy)
+        assert sum(j.input_mb for j in out) == pytest.approx(sum(sizes), rel=0.05)
+        assert [j.key for j in out] == sorted(j.key for j in out)

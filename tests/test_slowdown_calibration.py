@@ -1,0 +1,104 @@
+"""Slowdown metrics and regime calibration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.calibration import (
+    CalibrationResult,
+    RegimeTarget,
+    calibrate,
+    measure_regime,
+)
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import build_workload
+from repro.metrics.slowdown import slowdown_by_size, slowdown_stats, slowdowns
+from repro.sim.environment import SystemConfig
+from repro.workload.distributions import Bucket
+
+from tests.test_metrics import make_trace, record
+
+
+class TestSlowdown:
+    def trace(self):
+        return make_trace([
+            record(1, 20.0, proc=10.0),               # slowdown 2
+            record(2, 40.0, proc=10.0),               # slowdown 4
+            record(3, 30.0, proc=30.0),               # slowdown 1
+        ])
+
+    def test_values_hand_checked(self):
+        assert slowdowns(self.trace()).tolist() == [2.0, 4.0, 1.0]
+
+    def test_stats(self):
+        s = slowdown_stats(self.trace())
+        assert s.mean == pytest.approx(7 / 3)
+        assert s.median == 2.0
+        assert s.max == 4.0
+        assert s.n_jobs == 3
+        assert "slowdown" in s.render()
+
+    def test_empty(self):
+        s = slowdown_stats([])
+        assert s.n_jobs == 0 and s.mean == 0.0
+
+    def test_by_size_classes(self):
+        recs = [
+            record(1, 20.0, proc=10.0, output_mb=10.0),   # input 20 -> small
+            record(2, 40.0, proc=10.0, output_mb=60.0),   # input 120 -> medium
+            record(3, 90.0, proc=30.0, output_mb=100.0),  # input 200 -> large
+        ]
+        by = slowdown_by_size(make_trace(recs), boundaries_mb=(50.0, 150.0))
+        assert by["small"].n_jobs == 1
+        assert by["medium"].n_jobs == 1
+        assert by["large"].n_jobs == 1
+        assert by["small"].mean == pytest.approx(2.0)
+
+    def test_invalid_boundaries(self):
+        with pytest.raises(ValueError):
+            slowdown_by_size(self.trace(), boundaries_mb=(10.0,))
+
+
+class TestCalibration:
+    def setup_method(self):
+        self.spec = ExperimentSpec(
+            bucket=Bucket.UNIFORM, n_batches=4, system=SystemConfig(seed=3)
+        )
+        self.batches = build_workload(self.spec)
+        self.config = self.spec.system
+
+    def test_measure_regime_positive(self):
+        load, tc = measure_regime(self.batches, self.config)
+        assert 0.5 < load < 2.0     # default calibration saturates the IC
+        assert 0.2 < tc < 3.0
+
+    def test_calibrate_hits_target(self):
+        target = RegimeTarget(ic_load=1.3, transfer_compute=0.9)
+        result = calibrate(self.batches, self.config, target)
+        assert result.achieved_ic_load == pytest.approx(1.3, rel=1e-6)
+        assert result.achieved_transfer_compute == pytest.approx(0.9, rel=1e-6)
+        assert result.up_base_mbps > 0 and result.down_base_mbps > 0
+        assert "calibration" in result.render()
+
+    def test_calibration_is_self_consistent(self):
+        """Re-measuring with the solved pipe + scaled workload reproduces
+        the target."""
+        target = RegimeTarget(ic_load=1.1, transfer_compute=1.2)
+        result = calibrate(self.batches, self.config, target)
+        new_config = result.apply(self.config)
+        # Scale the workload's processing times by the solved factor.
+        for b in self.batches:
+            for j in b.jobs:
+                j.true_proc_time *= result.proc_scale
+        load, tc = measure_regime(self.batches, new_config)
+        assert load == pytest.approx(1.1, rel=1e-6)
+        assert tc == pytest.approx(1.2, rel=1e-6)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            RegimeTarget(ic_load=0.0)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            measure_regime([], self.config)

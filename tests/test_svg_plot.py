@@ -1,0 +1,109 @@
+"""SVG plotting tests (structure-level: valid, complete documents)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.experiments.svg_plot import (
+    PALETTE,
+    SvgCanvas,
+    bar_chart_svg,
+    line_chart_svg,
+    save_svg,
+)
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_coordinate_transforms_monotone(self):
+        c = SvgCanvas(x_min=0.0, x_max=10.0, y_min=0.0, y_max=100.0)
+        assert c.px(0.0) < c.px(5.0) < c.px(10.0)
+        # SVG y grows downward: larger data y -> smaller pixel y.
+        assert c.py(0.0) > c.py(50.0) > c.py(100.0)
+
+    def test_degenerate_ranges_widened(self):
+        c = SvgCanvas(x_min=3.0, x_max=3.0, y_min=7.0, y_max=7.0)
+        assert c.x_max > c.x_min and c.y_max > c.y_min
+
+    def test_render_is_valid_xml(self):
+        c = SvgCanvas()
+        c.axes(title="t")
+        c.polyline([0.0, 1.0], [0.0, 1.0], "#000")
+        root = parse(c.render())
+        assert root.tag.endswith("svg")
+
+    def test_text_is_escaped(self):
+        c = SvgCanvas()
+        c.text(10, 10, "<&>")
+        assert "<&>" not in c.render()
+        parse(c.render())  # still valid XML
+
+
+class TestLineChart:
+    def test_all_series_drawn(self):
+        svg = line_chart_svg(
+            [0, 1, 2], {"a": [1, 2, 3], "b": [3, 2, 1]}, title="T",
+            x_label="x", y_label="y",
+        )
+        root = parse(svg)
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) >= 2
+        texts = [t.text for t in root.iter() if t.tag.endswith("text")]
+        assert "T" in texts and "a" in texts and "b" in texts
+
+    def test_nan_points_skipped(self):
+        svg = line_chart_svg([0, 1, 2], {"a": [1.0, np.nan, 3.0]})
+        root = parse(svg)
+        pts = root.findall(".//{http://www.w3.org/2000/svg}polyline")[0].get("points")
+        assert len(pts.split()) == 2
+
+    def test_empty_series(self):
+        svg = line_chart_svg([], {})
+        parse(svg)
+
+    def test_distinct_series_colors(self):
+        svg = line_chart_svg([0, 1], {f"s{k}": [k, k + 1] for k in range(4)})
+        root = parse(svg)
+        colors = {
+            p.get("stroke")
+            for p in root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        }
+        assert len(colors) == 4
+        assert colors <= set(PALETTE)
+
+
+class TestBarChart:
+    def test_bars_and_labels(self):
+        svg = bar_chart_svg(["x", "y", "z"], [1.0, 2.0, 3.0], title="B")
+        root = parse(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        # background + frame + 3 bars
+        assert len(rects) >= 5
+        texts = [t.text for t in root.iter() if t.tag.endswith("text")]
+        assert {"x", "y", "z"} <= set(texts)
+
+    def test_bar_width_scales_with_value(self):
+        svg = bar_chart_svg(["small", "big"], [1.0, 4.0])
+        root = parse(svg)
+        bars = [
+            r for r in root.findall(".//{http://www.w3.org/2000/svg}rect")
+            if r.get("fill") in PALETTE
+        ]
+        widths = sorted(float(b.get("width")) for b in bars)
+        assert widths[1] == pytest.approx(4 * widths[0], rel=0.01)
+
+    def test_zero_bars(self):
+        parse(bar_chart_svg([], []))
+
+
+class TestSave:
+    def test_save_roundtrip(self, tmp_path):
+        path = save_svg(line_chart_svg([0, 1], {"a": [0, 1]}), tmp_path / "x.svg")
+        assert path.exists()
+        parse(path.read_text())

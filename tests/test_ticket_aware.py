@@ -1,0 +1,111 @@
+"""Ticket-aware scheduler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common import Placement
+from repro.core.order_preserving import OrderPreservingScheduler
+from repro.core.ticket_aware import TicketAwareScheduler, TicketQuote
+from repro.experiments.config import ExperimentSpec
+from repro.experiments.runner import _training_data, build_workload
+from repro.metrics.tickets import ProportionalTicket, ticket_report
+from repro.sim.environment import CloudBurstEnvironment, SystemConfig
+from repro.workload.distributions import Bucket
+
+from tests.conftest import make_job, make_state
+from tests.test_schedulers import StubEstimator
+
+
+class TestTicketQuote:
+    def test_deadline_arithmetic(self):
+        q = TicketQuote(base=100.0, factor=2.0)
+        assert q.deadline(now=50.0, est_proc=30.0) == pytest.approx(210.0)
+
+    def test_flat_quote(self):
+        q = TicketQuote(base=600.0, factor=0.0)
+        assert q.deadline(0.0, 1000.0) == 600.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TicketQuote(base=-1.0)
+        with pytest.raises(ValueError):
+            TicketQuote(base=0.0, factor=0.0)
+
+
+class TestGuardLogic:
+    def scenario(self):
+        """Slack admits the burst, but the EC round trip blows the ticket
+        while the IC path makes it comfortably."""
+        state = make_state(
+            ic_free=[0.0, 0.0], ec_free=[0.0, 0.0],
+            # Slow pipe: EC round trip for job 2 = 100/1+30+50/1 = 180s.
+            est_up_mbps=1.0, est_down_mbps=1.0, up_threads=4, down_threads=4,
+            per_thread_mbps=0.25,
+            pending_completions=[500.0],  # huge slack from earlier batches
+        )
+        jobs = [make_job(job_id=5, size_mb=100.0, proc_time=30.0, output_mb=50.0)]
+        return jobs, state
+
+    def test_guard_keeps_makeable_ticket_local(self):
+        jobs, state = self.scenario()
+        # Deadline = now + 50 + 2*30 = 110 < EC completion 180; IC = 30 <= 110.
+        sched = TicketAwareScheduler(
+            StubEstimator(), quote=TicketQuote(base=50.0, factor=2.0),
+            enable_chunking=False,
+        )
+        plan = sched.plan(jobs, state)
+        assert plan.decisions[0].placement == Placement.IC
+
+    def test_plain_op_would_have_bursted(self):
+        jobs, state = self.scenario()
+        op = OrderPreservingScheduler(StubEstimator(), enable_chunking=False)
+        plan = op.plan(jobs, state)
+        assert plan.decisions[0].placement == Placement.EC
+
+    def test_doomed_ticket_bursts_freely(self):
+        """If the IC cannot make the deadline either, slack rules alone."""
+        jobs, state = self.scenario()
+        state.ic_free = [400.0, 400.0]  # IC completion 430 > any deadline
+        sched = TicketAwareScheduler(
+            StubEstimator(), quote=TicketQuote(base=50.0, factor=2.0),
+            enable_chunking=False,
+        )
+        plan = sched.plan(jobs, state)
+        assert plan.decisions[0].placement == Placement.EC
+
+    def test_generous_quote_reduces_to_op(self):
+        jobs, state = self.scenario()
+        s2 = state.clone()
+        generous = TicketAwareScheduler(
+            StubEstimator(), quote=TicketQuote(base=10_000.0, factor=0.0),
+            enable_chunking=False,
+        )
+        op = OrderPreservingScheduler(StubEstimator(), enable_chunking=False)
+        assert [d.placement for d in generous.plan(jobs, state).decisions] == [
+            d.placement for d in op.plan(jobs, s2).decisions
+        ]
+
+
+class TestEndToEnd:
+    def test_compliance_not_worse_than_op(self):
+        """Under a binding quote, the guard never hurts ticket compliance."""
+        spec = ExperimentSpec(
+            bucket=Bucket.LARGE, n_batches=4, system=SystemConfig(seed=42)
+        )
+        quote = TicketQuote(base=60.0, factor=1.6)
+        policy = ProportionalTicket(base=60.0, factor=1.6)
+        compliance = {"Op": [], "TicketOp": []}
+        for seed in (42, 43, 44):
+            sized = spec.with_seed(seed)
+            batches = build_workload(sized)
+            for name, factory in (
+                ("Op", lambda env: OrderPreservingScheduler(env.estimator)),
+                ("TicketOp", lambda env: TicketAwareScheduler(env.estimator, quote=quote)),
+            ):
+                env = CloudBurstEnvironment(sized.system)
+                env.pretrain_qrsm(*_training_data(sized))
+                trace = env.run(batches, factory(env))
+                compliance[name].append(ticket_report(trace, policy).compliance)
+        assert np.mean(compliance["TicketOp"]) >= np.mean(compliance["Op"]) - 0.02

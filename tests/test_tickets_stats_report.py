@@ -1,0 +1,163 @@
+"""Tests for ticket SLAs, workload statistics and the combined report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.report import build_report
+from repro.metrics.tickets import (
+    FixedSlaTicket,
+    ProportionalTicket,
+    lateness,
+    ticket_compliance,
+    ticket_report,
+)
+from repro.workload.distributions import Bucket
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.stats import per_batch_size_cv, size_cv, tail_mass, workload_stats
+
+from tests.test_metrics import make_trace, record
+
+
+class TestTicketPolicies:
+    def test_fixed_promise(self):
+        policy = FixedSlaTicket(promise=300.0)
+        assert policy.promise_s(record(1, 10.0)) == 300.0
+
+    def test_proportional_promise(self):
+        policy = ProportionalTicket(base=100.0, factor=3.0)
+        r = record(1, 10.0, proc=50.0)
+        assert policy.promise_s(r) == pytest.approx(100.0 + 150.0)
+
+    def test_invalid_policies(self):
+        with pytest.raises(ValueError):
+            FixedSlaTicket(promise=0.0)
+        with pytest.raises(ValueError):
+            ProportionalTicket(base=-1.0)
+        with pytest.raises(ValueError):
+            ProportionalTicket(factor=0.0)
+
+
+class TestCompliance:
+    def trace(self):
+        # Arrivals at 0; completions 100, 400, 700.
+        return make_trace([record(1, 100.0), record(2, 400.0), record(3, 700.0)])
+
+    def test_lateness_signs(self):
+        late = lateness(self.trace(), FixedSlaTicket(promise=500.0))
+        assert late.tolist() == [-400.0, -100.0, 200.0]
+
+    def test_compliance_fraction(self):
+        assert ticket_compliance(self.trace(), FixedSlaTicket(500.0)) == pytest.approx(2 / 3)
+        assert ticket_compliance(self.trace(), FixedSlaTicket(1000.0)) == 1.0
+        assert ticket_compliance(self.trace(), FixedSlaTicket(50.0)) == 0.0
+
+    def test_empty_trace_is_compliant(self):
+        assert ticket_compliance([], FixedSlaTicket(1.0)) == 1.0
+
+    def test_report_distribution(self):
+        rep = ticket_report(self.trace(), FixedSlaTicket(500.0))
+        assert rep.n_jobs == 3
+        assert rep.n_violations == 1
+        assert rep.mean_tardiness_s == pytest.approx(200.0)
+        assert rep.max_tardiness_s == pytest.approx(200.0)
+        assert rep.mean_earliness_s == pytest.approx(250.0)
+        assert rep.per_batch_compliance == {0: pytest.approx(2 / 3)}
+        assert "ticket compliance" in rep.render()
+
+    @given(st.floats(min_value=1.0, max_value=1e5))
+    @settings(max_examples=50, deadline=None)
+    def test_compliance_monotone_in_promise(self, promise):
+        t = self.trace()
+        lo = ticket_compliance(t, FixedSlaTicket(promise))
+        hi = ticket_compliance(t, FixedSlaTicket(promise * 2))
+        assert hi >= lo
+
+
+class TestWorkloadStats:
+    def test_size_cv_basics(self):
+        assert size_cv([10.0, 10.0, 10.0]) == 0.0
+        assert size_cv([]) == 0.0
+        assert size_cv([1.0]) == 0.0
+        assert size_cv([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_tail_mass_bounds(self):
+        assert tail_mass([], 0.1) == 0.0
+        assert tail_mass([5.0], 0.1) == 1.0
+        # Uniform-ish sizes: top decile carries roughly its share.
+        mass = tail_mass(list(range(1, 101)), 0.1)
+        assert 0.15 < mass < 0.25
+
+    def test_tail_mass_heavy_tail(self):
+        sizes = [1.0] * 99 + [1000.0]
+        assert tail_mass(sizes, 0.01) > 0.9
+
+    def test_tail_mass_invalid(self):
+        with pytest.raises(ValueError):
+            tail_mass([1.0], 0.0)
+
+    def test_workload_stats_consistency(self):
+        batches = generate_workload(
+            WorkloadConfig(bucket=Bucket.UNIFORM, n_batches=3, seed=5)
+        )
+        stats = workload_stats(batches)
+        jobs = [j for b in batches for j in b]
+        assert stats.n_jobs == len(jobs)
+        assert stats.total_mb == pytest.approx(sum(j.input_mb for j in jobs))
+        assert stats.arrival_span_s == pytest.approx(360.0)
+        assert 0 < stats.size_cv < 2
+        assert "batches" in stats.render()
+
+    def test_per_batch_cv_keys(self):
+        batches = generate_workload(WorkloadConfig(n_batches=4, seed=5))
+        cvs = per_batch_size_cv(batches)
+        assert sorted(cvs) == [0, 1, 2, 3]
+        assert all(v >= 0 for v in cvs.values())
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            workload_stats([])
+
+    def test_bucket_cv_ordering(self):
+        """The uniform bucket is the most size-dispersed of the three."""
+        cvs = {}
+        for bucket in Bucket:
+            batches = generate_workload(
+                WorkloadConfig(bucket=bucket, n_batches=5, seed=6)
+            )
+            cvs[bucket] = workload_stats(batches).size_cv
+        assert cvs[Bucket.UNIFORM] > cvs[Bucket.LARGE]
+
+
+class TestComparisonReport:
+    def traces(self):
+        t1 = make_trace([record(1, 100.0), record(2, 200.0)],
+                        ic_busy=100.0, ic_m=2, ec_m=1)
+        t1.scheduler_name = "A"
+        t2 = make_trace([record(1, 150.0), record(2, 180.0)],
+                        ic_busy=120.0, ic_m=2, ec_m=1)
+        t2.scheduler_name = "B"
+        return {"A": t1, "B": t2}
+
+    def test_report_rows(self):
+        rep = build_report(self.traces(), ticket_policy=FixedSlaTicket(150.0))
+        assert set(rep.reports) == {"A", "B"}
+        row = rep.reports["A"].as_row()
+        assert "oo_area_t0" in row and "tickets_%" in row
+        assert rep.reports["A"].ticket_compliance == pytest.approx(0.5)
+
+    def test_render_contains_all_schedulers(self):
+        out = build_report(self.traces()).render()
+        assert "A" in out and "B" in out and "tickets_%" in out
+
+    def test_empty(self):
+        assert "(no runs)" in build_report({}).render()
+
+    def test_common_horizon_alignment(self):
+        rep = build_report(self.traces())
+        # Both traces share the horizon, so the faster scheduler's strict
+        # OO area is at least the slower one's (it finishes earlier).
+        assert rep.reports["B"].oo_area_strict >= rep.reports["A"].oo_area_strict * 0.5

@@ -1,0 +1,106 @@
+"""CSV workload import tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.core.greedy import GreedyScheduler
+from repro.sim.environment import CloudBurstEnvironment, SystemConfig
+from repro.sim.validation import validate_trace
+from repro.workload.document import JobType
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.trace_import import import_workload_csv, jobs_to_batches, load_jobs_csv
+
+
+def write_csv(tmp_path, text):
+    path = tmp_path / "jobs.csv"
+    path.write_text(textwrap.dedent(text).lstrip())
+    return path
+
+
+class TestLoadCsv:
+    def test_minimal_size_only(self, tmp_path):
+        path = write_csv(tmp_path, """
+            size_mb
+            10.5
+            200
+        """)
+        jobs = load_jobs_csv(path, seed=1)
+        assert [j.input_mb for j in jobs] == [10.5, 200.0]
+        # Missing fields synthesised consistently.
+        assert all(j.true_proc_time > 0 and j.output_mb > 0 for j in jobs)
+        assert all(j.features.n_pages >= 1 for j in jobs)
+
+    def test_measured_fields_respected(self, tmp_path):
+        path = write_csv(tmp_path, """
+            size_mb,proc_time_s,output_mb,color_fraction,job_type
+            50,123.0,20.0,0.75,book
+        """)
+        (job,) = load_jobs_csv(path)
+        assert job.true_proc_time == 123.0
+        assert job.output_mb == 20.0
+        assert job.features.color_fraction == 0.75
+        assert job.features.job_type is JobType.BOOK
+
+    def test_deterministic_synthesis(self, tmp_path):
+        path = write_csv(tmp_path, """
+            size_mb
+            80
+            90
+        """)
+        a = load_jobs_csv(path, seed=4)
+        b = load_jobs_csv(path, seed=4)
+        assert [j.true_proc_time for j in a] == [j.true_proc_time for j in b]
+
+    def test_errors(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_jobs_csv(write_csv(tmp_path, "n_pages\n3\n"))
+        with pytest.raises(ValueError):
+            load_jobs_csv(write_csv(tmp_path, "size_mb\n-5\n"))
+        with pytest.raises(ValueError):
+            load_jobs_csv(write_csv(tmp_path, "size_mb\nabc\n"))
+        with pytest.raises(ValueError):
+            load_jobs_csv(write_csv(tmp_path, "size_mb\n"))
+
+
+class TestBatching:
+    def test_batches_by_arrival_column(self, tmp_path):
+        path = write_csv(tmp_path, """
+            size_mb,arrival_s
+            10,0
+            20,0
+            30,180
+        """)
+        batches = import_workload_csv(path)
+        assert [len(b.jobs) for b in batches] == [2, 1]
+        assert [b.arrival_time for b in batches] == [0.0, 180.0]
+        ids = [j.job_id for b in batches for j in b.jobs]
+        assert ids == [1, 2, 3]
+
+    def test_default_packing_without_arrivals(self, tmp_path):
+        rows = "\n".join("25" for _ in range(7))
+        path = write_csv(tmp_path, f"size_mb\n{rows}\n")
+        batches = import_workload_csv(path, default_batch_size=3,
+                                      default_interval_s=60.0)
+        assert [len(b.jobs) for b in batches] == [3, 3, 1]
+        assert [b.arrival_time for b in batches] == [0.0, 60.0, 120.0]
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            jobs_to_batches([])
+
+
+class TestEndToEnd:
+    def test_imported_workload_runs_clean(self, tmp_path):
+        rows = "\n".join(f"{s},{(i // 4) * 180}" for i, s in
+                         enumerate([120, 30, 250, 60, 90, 180, 20, 270]))
+        path = write_csv(tmp_path, f"size_mb,arrival_s\n{rows}\n")
+        batches = import_workload_csv(path, seed=3)
+        env = CloudBurstEnvironment(SystemConfig(ic_machines=3, ec_machines=2, seed=5))
+        gen = WorkloadGenerator(seed=3)
+        env.pretrain_qrsm(*gen.sample_training_set(150))
+        trace = env.run(batches, GreedyScheduler(env.estimator))
+        assert validate_trace(trace) == []
+        assert len(trace.records) == 8

@@ -1,0 +1,251 @@
+"""Workload model tests: documents, buckets, ground truth, generator, traces."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    SIZE_MAX_MB,
+    SIZE_MIN_MB,
+    Bucket,
+    bucket_distribution,
+)
+from repro.workload.document import FEATURE_NAMES, DocumentFeatures, Job, JobType, job_size_cv
+from repro.workload.generator import Batch, WorkloadConfig, WorkloadGenerator, generate_workload
+from repro.workload.processing import GroundTruthProcessingModel
+from repro.workload.traces import batches_from_dict, batches_to_dict, load_batches, save_batches
+
+from tests.conftest import make_job
+
+
+class TestDocumentFeatures:
+    def test_vector_matches_feature_names(self, features):
+        vec = features.vector()
+        assert len(vec) == len(FEATURE_NAMES)
+        assert vec[0] == features.size_mb
+        assert vec[FEATURE_NAMES.index("images_per_page")] == pytest.approx(
+            features.n_images / features.n_pages
+        )
+        assert vec[FEATURE_NAMES.index("resolution_factor")] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DocumentFeatures(0.0, 1, 1, 0.1, 300, 0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            DocumentFeatures(10.0, 0, 1, 0.1, 300, 0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            DocumentFeatures(10.0, 1, 1, 0.1, 300, 1.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            DocumentFeatures(10.0, 1, 1, 0.1, -300, 0.5, 0.5, 0.5)
+
+    def test_scaled_preserves_intensive_features(self, features):
+        half = features.scaled(0.5)
+        assert half.size_mb == pytest.approx(60.0)
+        assert half.n_pages == 50
+        assert half.resolution_dpi == features.resolution_dpi
+        assert half.color_fraction == features.color_fraction
+        assert half.job_type == features.job_type
+
+    def test_scaled_invalid_fraction(self, features):
+        with pytest.raises(ValueError):
+            features.scaled(0.0)
+        with pytest.raises(ValueError):
+            features.scaled(1.5)
+
+    def test_frozen(self, features):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            features.size_mb = 1.0
+
+    def test_job_type_complexity_ordering(self):
+        assert JobType.PERSONALIZATION.complexity > JobType.STATEMENT.complexity
+
+
+class TestJob:
+    def test_input_size_is_feature_size(self, job):
+        assert job.input_mb == job.features.size_mb
+
+    def test_chunks_partition_work(self, job):
+        chunks = job.chunks(4)
+        assert len(chunks) == 4
+        assert sum(c.input_mb for c in chunks) == pytest.approx(job.input_mb, rel=0.05)
+        assert sum(c.output_mb for c in chunks) == pytest.approx(job.output_mb)
+        # ~2% split/merge overhead on processing time.
+        total = sum(c.true_proc_time for c in chunks)
+        assert job.true_proc_time < total < job.true_proc_time * 1.05
+        assert [c.sub_id for c in chunks] == [1, 2, 3, 4]
+        assert all(c.parent_id == job.job_id for c in chunks)
+        assert all(c.job_id == job.job_id for c in chunks)
+
+    def test_chunks_of_one_returns_self(self, job):
+        assert job.chunks(1) == [job]
+
+    def test_chunks_invalid(self, job):
+        with pytest.raises(ValueError):
+            job.chunks(0)
+
+    def test_key_ordering(self):
+        a = make_job(job_id=2)
+        chunks = a.chunks(2)
+        assert make_job(job_id=1).key < chunks[0].key < chunks[1].key < make_job(job_id=3).key
+
+    def test_validation(self, features):
+        with pytest.raises(ValueError):
+            Job(1, 0, features, true_proc_time=0.0, output_mb=1.0)
+        with pytest.raises(ValueError):
+            Job(1, 0, features, true_proc_time=1.0, output_mb=-1.0)
+
+    def test_job_size_cv(self):
+        jobs = [make_job(job_id=i, size_mb=s) for i, s in enumerate([10, 10, 10], 1)]
+        assert job_size_cv(jobs) == 0.0
+        assert job_size_cv([]) == 0.0
+
+
+class TestBuckets:
+    @pytest.mark.parametrize("bucket", list(Bucket))
+    def test_samples_within_range(self, bucket, rng):
+        dist = bucket_distribution(bucket)
+        samples = dist.sample(rng, 5000)
+        assert samples.min() >= SIZE_MIN_MB
+        assert samples.max() <= SIZE_MAX_MB
+
+    def test_bucket_biases(self, rng):
+        small = bucket_distribution(Bucket.SMALL).mean(rng)
+        uniform = bucket_distribution(Bucket.UNIFORM).mean(rng)
+        large = bucket_distribution(Bucket.LARGE).mean(rng)
+        assert small < uniform < large
+        assert uniform == pytest.approx((SIZE_MIN_MB + SIZE_MAX_MB) / 2, rel=0.05)
+
+    def test_zero_samples(self, rng):
+        assert len(bucket_distribution(Bucket.SMALL).sample(rng, 0)) == 0
+
+    def test_negative_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            bucket_distribution(Bucket.SMALL).sample(rng, -1)
+
+
+class TestGroundTruth:
+    def test_noise_free_is_deterministic(self, noiseless_truth, features, rng):
+        t1 = noiseless_truth.sample_time(features, rng)
+        t2 = noiseless_truth.sample_time(features, rng)
+        assert t1 == t2 == noiseless_truth.mean_time(features)
+
+    def test_time_increases_with_size(self, noiseless_truth, features):
+        big = dataclasses.replace(features, size_mb=250.0)
+        assert noiseless_truth.mean_time(big) > noiseless_truth.mean_time(features)
+
+    def test_color_increases_time(self, noiseless_truth, features):
+        mono = dataclasses.replace(features, color_fraction=0.0)
+        colour = dataclasses.replace(features, color_fraction=1.0)
+        assert noiseless_truth.mean_time(colour) > noiseless_truth.mean_time(mono)
+
+    def test_noise_is_mean_preserving(self, truth, features, rng):
+        times = [truth.sample_time(features, rng) for _ in range(4000)]
+        assert np.mean(times) == pytest.approx(truth.mean_time(features), rel=0.03)
+
+    def test_times_positive(self, truth, rng):
+        gen = WorkloadGenerator(seed=0)
+        for _ in range(200):
+            f = gen.sample_features()
+            assert truth.sample_time(f, rng) > 0
+
+    def test_output_smaller_than_input_on_average(self, truth, features, rng):
+        outs = [truth.output_size_mb(features, rng) for _ in range(500)]
+        assert 0 < np.mean(outs) < features.size_mb
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        cfg = WorkloadConfig(bucket=Bucket.UNIFORM, n_batches=3, seed=9)
+        b1 = generate_workload(cfg)
+        b2 = generate_workload(cfg)
+        assert [j.true_proc_time for b in b1 for j in b] == [
+            j.true_proc_time for b in b2 for j in b
+        ]
+
+    def test_batch_arrival_schedule(self):
+        cfg = WorkloadConfig(n_batches=4, batch_interval_s=180.0, seed=1)
+        batches = generate_workload(cfg)
+        assert [b.arrival_time for b in batches] == [0.0, 180.0, 360.0, 540.0]
+
+    def test_poisson_batch_sizes(self):
+        cfg = WorkloadConfig(n_batches=200, mean_jobs_per_batch=15.0, seed=2)
+        batches = generate_workload(cfg)
+        sizes = [len(b) for b in batches]
+        assert np.mean(sizes) == pytest.approx(15.0, rel=0.1)
+        assert min(sizes) >= 1
+
+    def test_job_ids_consecutive_across_batches(self):
+        batches = generate_workload(WorkloadConfig(n_batches=3, seed=4))
+        ids = [j.job_id for b in batches for j in b]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_jobs_carry_batch_arrival(self):
+        batches = generate_workload(WorkloadConfig(n_batches=2, seed=4))
+        for b in batches:
+            assert all(j.arrival_time == b.arrival_time for j in b)
+            assert all(j.batch_id == b.batch_id for j in b)
+
+    def test_feature_consistency(self, generator):
+        for _ in range(100):
+            f = generator.sample_features()
+            assert SIZE_MIN_MB <= f.size_mb <= SIZE_MAX_MB
+            assert f.n_images >= 1
+            assert f.mean_image_mb * f.n_images <= f.size_mb * 1.01
+
+    def test_training_set_shapes(self, generator):
+        feats, times = generator.sample_training_set(50)
+        assert len(feats) == 50 and times.shape == (50,)
+        assert np.all(times > 0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_batches=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(batch_interval_s=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mean_jobs_per_batch=0)
+
+    def test_total_mb(self):
+        batches = generate_workload(WorkloadConfig(n_batches=1, seed=4))
+        assert batches[0].total_mb == pytest.approx(
+            sum(j.input_mb for j in batches[0].jobs)
+        )
+
+
+class TestTraces:
+    def test_roundtrip_json(self, tmp_path, small_workload):
+        path = tmp_path / "workload.json"
+        save_batches(small_workload, path)
+        loaded = load_batches(path)
+        assert len(loaded) == len(small_workload)
+        for orig, back in zip(small_workload, loaded):
+            assert back.batch_id == orig.batch_id
+            assert back.arrival_time == orig.arrival_time
+            for j1, j2 in zip(orig.jobs, back.jobs):
+                assert j1.job_id == j2.job_id
+                assert j1.true_proc_time == j2.true_proc_time
+                assert j1.features == j2.features
+
+    def test_dict_roundtrip(self, small_workload):
+        payload = batches_to_dict(small_workload)
+        back = batches_from_dict(payload)
+        assert len(back) == len(small_workload)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            batches_from_dict({"version": 99, "batches": []})
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_any_seed(self, seed):
+        batches = generate_workload(WorkloadConfig(n_batches=1, seed=seed))
+        payload = batches_to_dict(batches)
+        back = batches_from_dict(payload)
+        assert [j.features for b in back for j in b] == [
+            j.features for b in batches for j in b
+        ]

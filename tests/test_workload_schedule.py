@@ -1,0 +1,87 @@
+"""Phased workload schedule tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import Bucket
+from repro.workload.schedule import WorkloadPhase, WorkloadSchedule
+from repro.workload.stats import workload_stats
+
+
+def two_phase(seed=5) -> WorkloadSchedule:
+    s = WorkloadSchedule(seed=seed)
+    s.add(WorkloadPhase(Bucket.LARGE, n_batches=3, mean_jobs_per_batch=8))
+    s.add(WorkloadPhase(Bucket.SMALL, n_batches=2, mean_jobs_per_batch=5,
+                        batch_interval_s=120.0))
+    return s
+
+
+class TestPhase:
+    def test_duration(self):
+        p = WorkloadPhase(Bucket.SMALL, n_batches=4, batch_interval_s=100.0)
+        assert p.duration_s == 400.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(Bucket.SMALL, n_batches=0)
+        with pytest.raises(ValueError):
+            WorkloadPhase(Bucket.SMALL, n_batches=1, mean_jobs_per_batch=0)
+
+
+class TestSchedule:
+    def test_ids_consecutive_across_phases(self):
+        batches = two_phase().generate()
+        ids = [j.job_id for b in batches for j in b.jobs]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_batch_ids_consecutive(self):
+        batches = two_phase().generate()
+        assert [b.batch_id for b in batches] == list(range(len(batches)))
+
+    def test_arrivals_monotone_across_phase_boundary(self):
+        batches = two_phase().generate()
+        arrivals = [b.arrival_time for b in batches]
+        assert arrivals == sorted(arrivals)
+        # Phase 2 starts exactly after phase 1's span (3 * 180s).
+        assert arrivals[3] == pytest.approx(3 * 180.0)
+        assert arrivals[4] - arrivals[3] == pytest.approx(120.0)
+
+    def test_phase_buckets_respected(self):
+        batches = two_phase().generate()
+        large = [j.input_mb for b in batches[:3] for j in b.jobs]
+        small = [j.input_mb for b in batches[3:] for j in b.jobs]
+        assert np.mean(large) > np.mean(small)
+
+    def test_deterministic(self):
+        b1 = two_phase().generate()
+        b2 = two_phase().generate()
+        assert [j.true_proc_time for b in b1 for j in b.jobs] == [
+            j.true_proc_time for b in b2 for j in b.jobs
+        ]
+
+    def test_adding_phase_preserves_earlier_ones(self):
+        base = two_phase().generate()
+        extended_schedule = two_phase()
+        extended_schedule.add(WorkloadPhase(Bucket.UNIFORM, n_batches=1))
+        extended = extended_schedule.generate()
+        assert [j.true_proc_time for b in base for j in b.jobs] == [
+            j.true_proc_time
+            for b in extended[: len(base)]
+            for j in b.jobs
+        ]
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSchedule().generate()
+
+    def test_totals(self):
+        s = two_phase()
+        assert s.total_batches == 5
+        assert s.duration_s == pytest.approx(3 * 180.0 + 2 * 120.0)
+
+    def test_stats_integration(self):
+        stats = workload_stats(two_phase().generate())
+        assert stats.n_batches == 5
+        assert stats.n_jobs > 0
