@@ -49,6 +49,21 @@ from .metrics.sla import (
 from .models.bandwidth import DiurnalBandwidthProfile, TimeOfDayBandwidthEstimator
 from .models.qrsm import QuadraticResponseSurface
 from .models.threads import ThreadTuner
+from .metrics.streaming import ReservoirSampler, StreamingSLAStats
+from .service import (
+    AdmissionDecision,
+    AdmissionResult,
+    BurstBroker,
+    LoadGenConfig,
+    LoadGenResult,
+    SLAPolicy,
+    SLAQuote,
+    SubmissionOutcome,
+    quote_job,
+    replay_workload,
+    run_load,
+    run_one_online,
+)
 from .sim.engine import Simulator
 from .sim.environment import CloudBurstEnvironment, ECSiteSpec, SystemConfig
 from .sim.autoscale import ECAutoScaler
@@ -88,4 +103,11 @@ __all__ = [
     "completion_series", "peak_stats",
     "ticket_compliance", "ticket_report", "FixedSlaTicket", "ProportionalTicket",
     "build_report", "ComparisonReport",
+    "ReservoirSampler", "StreamingSLAStats",
+    # service (online broker)
+    "BurstBroker", "SubmissionOutcome",
+    "AdmissionDecision", "AdmissionResult", "SLAPolicy",
+    "SLAQuote", "quote_job",
+    "replay_workload", "run_one_online",
+    "LoadGenConfig", "LoadGenResult", "run_load",
 ]

@@ -219,6 +219,18 @@ class Scheduler(abc.ABC):
     def plan(self, jobs: list[Job], state: SystemState) -> BatchPlan:
         """Assign every job (or chunk) in the batch to IC or EC."""
 
+    def plan_online(self, jobs: list[Job], state: SystemState) -> BatchPlan:
+        """Online-mode entry point: plan an incrementally arriving group.
+
+        The online broker (:mod:`repro.service`) hands schedulers whatever
+        jobs arrived at the current virtual instant — possibly a single
+        job — instead of a pre-generated batch. The paper's schedulers are
+        traffic-oblivious (they only look at current state), so the default
+        simply delegates to :meth:`plan`; this shared path is what makes
+        offline replay and online serving produce identical traces.
+        """
+        return self.plan(jobs, state)
+
     def wants_size_interval_queues(self) -> bool:
         """Whether the environment should run split upload queues."""
         return False

@@ -87,6 +87,103 @@ _TARGETS: dict[str, Callable[[], str]] = {
 }
 
 
+def _policy_from_args(args):
+    import math
+
+    from ..metrics.tickets import FixedSlaTicket, ProportionalTicket
+    from ..service import SLAPolicy
+
+    if args.ticket == "none":
+        ticket = None
+    elif args.ticket == "fixed":
+        ticket = FixedSlaTicket(promise=args.promise)
+    else:
+        ticket = ProportionalTicket(base=args.ticket_base, factor=args.ticket_factor)
+    return SLAPolicy(
+        ticket=ticket,
+        min_slack_s=args.min_slack,
+        degraded_slack_s=(
+            -math.inf if args.degraded_slack is None else args.degraded_slack
+        ),
+        max_in_system=args.max_in_system,
+        max_upload_backlog_mb=args.max_upload_backlog,
+    )
+
+
+def _run_service(args):
+    from ..service import LoadGenConfig, run_load
+    from ..sim.environment import CloudBurstEnvironment
+    from ..workload.distributions import Bucket
+    from .config import DEFAULT_SPEC
+    from .runner import make_scheduler
+
+    config = LoadGenConfig(
+        n_jobs=args.jobs,
+        rate_per_s=args.rate,
+        process=args.process,
+        mean_burst=args.mean_burst,
+        bucket=Bucket(args.bucket),
+        seed=args.seed,
+    )
+    env = CloudBurstEnvironment(DEFAULT_SPEC.system)
+    scheduler = make_scheduler(args.scheduler, env)
+    return run_load(env, scheduler, _policy_from_args(args), config)
+
+
+def _cmd_serve(args) -> int:
+    """Serve an open-loop arrival stream through the online broker."""
+    result = _run_service(args)
+    print(result.render())
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Heavy-traffic load run; optionally persist the summary to a file."""
+    result = _run_service(args)
+    text = result.render()
+    print(text)
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def _add_service_args(parser, default_jobs: int) -> None:
+    from .runner import SCHEDULER_NAMES
+
+    parser.add_argument("--scheduler", default="Op", choices=SCHEDULER_NAMES)
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="long-run arrival rate, jobs per simulated second")
+    parser.add_argument("--jobs", type=int, default=default_jobs,
+                        help="total jobs to push through the broker")
+    parser.add_argument("--process", default="poisson",
+                        choices=["poisson", "bursty"])
+    parser.add_argument("--mean-burst", type=float, default=10.0,
+                        help="mean jobs per burst for --process bursty")
+    parser.add_argument("--bucket", default="uniform",
+                        choices=["small", "uniform", "large"])
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--ticket", default="proportional",
+                        choices=["proportional", "fixed", "none"],
+                        help="promise pricing family (none = sell no promises)")
+    parser.add_argument("--promise", type=float, default=600.0,
+                        help="flat promise seconds for --ticket fixed")
+    parser.add_argument("--ticket-base", type=float, default=300.0)
+    parser.add_argument("--ticket-factor", type=float, default=6.0)
+    parser.add_argument("--min-slack", type=float, default=0.0,
+                        help="minimum quoted slack (s) for a clean accept")
+    parser.add_argument("--degraded-slack", type=float, default=-120.0,
+                        help="slack floor (s) for a flagged accept-degraded")
+    parser.add_argument("--max-in-system", type=int, default=60,
+                        help="backpressure: reject above this many in-flight jobs")
+    parser.add_argument("--max-upload-backlog", type=float, default=None,
+                        help="backpressure: reject above this upload backlog (MB)")
+
+
 def _cmd_snapshot(args) -> int:
     """Run the paper's comparison and persist it for regression tracking."""
     from ..workload.distributions import Bucket
@@ -146,6 +243,21 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("new")
     diff.set_defaults(func=_cmd_diff)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve an open-loop arrival stream through the online broker",
+    )
+    _add_service_args(serve, default_jobs=2_000)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="heavy-traffic load run against the broker"
+    )
+    _add_service_args(loadgen, default_jobs=100_000)
+    loadgen.add_argument("--out", default=None,
+                         help="also write the summary to this file")
+    loadgen.set_defaults(func=_cmd_loadgen)
+
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Back-compat sugar: `repro-experiment fig6` == `repro-experiment render fig6`.
     if argv and argv[0] in (*_TARGETS, "all"):
@@ -159,7 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             print(_TARGETS[name]())
             print()
         return 0
-    if args.command in ("snapshot", "diff"):
+    if args.command in ("snapshot", "diff", "serve", "loadgen"):
         return args.func(args)
     parser.print_help()
     return 2

@@ -68,9 +68,17 @@ def build_workload(spec: ExperimentSpec) -> list[Batch]:
     return gen.generate(spec.workload_config())
 
 
-def _training_data(spec: ExperimentSpec):
+def training_data(spec: ExperimentSpec):
+    """The spec's pinned QRSM training sample (features, observed times).
+
+    Public so alternate front-ends (the online broker's replay path) can
+    pretrain an environment identically to :func:`run_one`.
+    """
     gen = WorkloadGenerator(bucket=spec.bucket, seed=spec.training_seed)
     return gen.sample_training_set(spec.training_samples)
+
+
+_training_data = training_data
 
 
 def run_one(

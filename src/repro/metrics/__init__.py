@@ -12,6 +12,7 @@ from .tickets import (
     ticket_compliance,
     ticket_report,
 )
+from .streaming import ReservoirSampler, StreamingSLAStats
 from .series import (
     CompletionSeries,
     PeakStats,
@@ -36,6 +37,7 @@ __all__ = [
     "OOSeries", "ordered_data_series", "relative_oo_difference", "max_id_in_order",
     "CompletionSeries", "completion_series", "in_order_waits", "PeakStats", "peak_stats",
     "blocked_output_mbs",
+    "ReservoirSampler", "StreamingSLAStats",
     "FixedSlaTicket", "ProportionalTicket", "TicketReport",
     "lateness", "ticket_compliance", "ticket_report",
     "ComparisonReport", "SchedulerReport", "build_report",

@@ -1,0 +1,176 @@
+"""Streaming SLA-attainment counters for the online broker.
+
+The batch metrics in this package (:mod:`repro.metrics.sla`,
+:mod:`repro.metrics.tickets`) are pure functions of a *finished*
+:class:`~repro.sim.tracing.RunTrace`. An online broker serving an open-ended
+arrival stream never finishes, so it needs metrics that update one event at
+a time in O(1) memory-per-event: admission counts by decision and reason,
+completion counts against the promises that were actually sold, and
+response-time quantiles over a bounded reservoir.
+
+Quantiles use Vitter's Algorithm R reservoir with a seeded RNG, so a run's
+reported percentiles are reproducible while memory stays constant no matter
+how many millions of jobs stream through.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..sim.tracing import JobRecord
+
+__all__ = ["ReservoirSampler", "StreamingSLAStats"]
+
+
+class ReservoirSampler:
+    """Uniform fixed-size sample of an unbounded stream (Algorithm R)."""
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._sample: list[float] = []
+        self.n_seen = 0
+
+    def add(self, value: float) -> None:
+        self.n_seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        j = self._rng.randrange(self.n_seen)
+        if j < self.capacity:
+            self._sample[j] = value
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0-100) of the sampled stream; NaN when empty."""
+        if not self._sample:
+            return float("nan")
+        return float(np.percentile(self._sample, q))
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._sample)
+
+
+@dataclass
+class StreamingSLAStats:
+    """Incrementally maintained SLA attainment for one broker session.
+
+    Admission-side counters are fed by the broker as it decides; the
+    completion-side counters are fed from the environment's
+    ``on_job_complete`` hook. ``promise_s`` on the completed record links
+    the two: attainment is measured against the promise *sold at admission*,
+    never re-derived after the fact.
+    """
+
+    submitted: int = 0
+    accepted: int = 0
+    accepted_degraded: int = 0
+    rejected: int = 0
+    rejections_by_reason: dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    sla_met: int = 0
+    sla_violated: int = 0
+    response_sum_s: float = 0.0
+    lateness_sum_s: float = 0.0
+    reservoir_seed: int = 0
+    _responses: Optional[ReservoirSampler] = None
+
+    def __post_init__(self) -> None:
+        if self._responses is None:
+            self._responses = ReservoirSampler(seed=self.reservoir_seed)
+
+    # ------------------------------------------------------------------
+    # Admission side
+    # ------------------------------------------------------------------
+    def on_admission(self, decision: str, reason: str = "") -> None:
+        """Count one admission decision (see repro.service.policy)."""
+        self.submitted += 1
+        if decision == "accept":
+            self.accepted += 1
+        elif decision == "accept_degraded":
+            self.accepted_degraded += 1
+        elif decision == "reject":
+            self.rejected += 1
+            key = reason or "unspecified"
+            self.rejections_by_reason[key] = self.rejections_by_reason.get(key, 0) + 1
+        else:
+            raise ValueError(f"unknown admission decision {decision!r}")
+
+    # ------------------------------------------------------------------
+    # Completion side
+    # ------------------------------------------------------------------
+    def on_complete(self, record: JobRecord) -> None:
+        """Fold one completed job into the attainment counters."""
+        response = record.response_time
+        if response is None:
+            return
+        self.completed += 1
+        self.response_sum_s += response
+        self._responses.add(response)
+        if record.promise_s is not None:
+            late = response - record.promise_s
+            self.lateness_sum_s += late
+            if late <= 0.0:
+                self.sla_met += 1
+            else:
+                self.sla_violated += 1
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        return self.accepted + self.accepted_degraded
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.submitted == 0:
+            return 0.0
+        return self.rejected / self.submitted
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of promise-carrying completions that met their promise."""
+        scored = self.sla_met + self.sla_violated
+        if scored == 0:
+            return 1.0
+        return self.sla_met / scored
+
+    @property
+    def mean_response_s(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.response_sum_s / self.completed
+
+    def response_percentile(self, q: float) -> float:
+        return self._responses.percentile(q)
+
+    def render(self) -> str:
+        lines = [
+            f"submitted {self.submitted}: "
+            f"{self.accepted} accepted, {self.accepted_degraded} degraded, "
+            f"{self.rejected} rejected ({100 * self.rejection_rate:.1f}%)",
+        ]
+        if self.rejections_by_reason:
+            reasons = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.rejections_by_reason.items())
+            )
+            lines.append(f"rejection reasons: {reasons}")
+        lines.append(
+            f"completed {self.completed}: mean response {self.mean_response_s:.1f}s, "
+            f"p50 {self.response_percentile(50):.1f}s, "
+            f"p99 {self.response_percentile(99):.1f}s"
+        )
+        scored = self.sla_met + self.sla_violated
+        if scored:
+            lines.append(
+                f"SLA attainment: {100 * self.attainment:.1f}% "
+                f"({self.sla_met}/{scored} promises met)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Online cloud-bursting broker: SLA quoting, admission control, serving.
+
+The subsystem that turns the offline reproduction into an *online* system:
+
+* :mod:`repro.service.quotes` — per-arrival SLA quotes from the learned
+  QRSM and bandwidth models;
+* :mod:`repro.service.policy` — configurable admission control
+  (accept / accept-degraded / reject) built on the ticket machinery;
+* :mod:`repro.service.broker` — the virtual-clock broker that interleaves
+  external arrivals with in-flight simulation events;
+* :mod:`repro.service.replay` — offline-workload replay, trace-identical
+  to the offline runner under the accept-all policy;
+* :mod:`repro.service.loadgen` — open-loop Poisson/bursty load driver for
+  throughput and quote-latency measurement.
+"""
+
+from .broker import BurstBroker, SubmissionOutcome
+from .loadgen import LoadGenConfig, LoadGenResult, generate_arrivals, run_load
+from .policy import AdmissionDecision, AdmissionResult, SLAPolicy
+from .quotes import SLAQuote, quote_job
+from .replay import replay_workload, run_one_online
+
+__all__ = [
+    "BurstBroker", "SubmissionOutcome",
+    "AdmissionDecision", "AdmissionResult", "SLAPolicy",
+    "SLAQuote", "quote_job",
+    "replay_workload", "run_one_online",
+    "LoadGenConfig", "LoadGenResult", "generate_arrivals", "run_load",
+]

@@ -1,0 +1,114 @@
+"""Admission control: accept, accept-degraded, or reject with a reason.
+
+The offline experiments admit every generated job unconditionally — the
+paper's testbed never says no. A broker serving an open arrival stream
+must: an SLA it cannot plausibly meet is worth more refused at the door
+(the customer can re-route) than broken after the fact, and an unbounded
+admission queue under overload turns every promise into a lie. This module
+is the knob box for that decision, built on the ticket machinery in
+:mod:`repro.metrics.tickets` — the same policy object that prices the
+promise at admission is used to score attainment at completion.
+
+Decision ladder, evaluated in order:
+
+1. **Backpressure** — the system is holding too much admitted-but-
+   incomplete work (``max_in_system``) or the upload pipe is too far
+   behind (``max_upload_backlog_mb``): reject, reasons ``"in_system"`` /
+   ``"upload_backlog"``. Overload rejections come first because a slack
+   check against a saturated state is meaningless anyway.
+2. **Slack** — quoted slack ≥ ``min_slack_s``: accept.
+3. **Degraded band** — quoted slack ≥ ``degraded_slack_s``: accept, but
+   flagged; the customer is told the promise is at risk. This models the
+   paper's "tolerance" discussions — some customers prefer a best-effort
+   run over a refusal.
+4. Otherwise reject with reason ``"slack"``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..metrics.tickets import FixedSlaTicket, TicketPolicy
+from .quotes import SLAQuote
+
+__all__ = ["AdmissionDecision", "AdmissionResult", "SLAPolicy"]
+
+
+class AdmissionDecision:
+    """String constants so outcomes serialise and compare with plain ==."""
+
+    ACCEPT = "accept"
+    ACCEPT_DEGRADED = "accept_degraded"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of one admission check."""
+
+    decision: str
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision != AdmissionDecision.REJECT
+
+    @property
+    def degraded(self) -> bool:
+        return self.decision == AdmissionDecision.ACCEPT_DEGRADED
+
+
+@dataclass(frozen=True)
+class SLAPolicy:
+    """Configurable SLA policy the broker admits against.
+
+    ``ticket`` prices the promise (on the QRSM-estimated processing time —
+    see :mod:`repro.service.quotes`); ``None`` sells no promises, which
+    together with infinite-tolerance slack bounds gives the accept-all
+    policy used for offline-equivalence replay.
+    """
+
+    ticket: Optional[TicketPolicy] = field(default_factory=FixedSlaTicket)
+    min_slack_s: float = 0.0
+    degraded_slack_s: float = -math.inf
+    max_in_system: Optional[int] = None
+    max_upload_backlog_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.degraded_slack_s > self.min_slack_s:
+            raise ValueError(
+                "degraded_slack_s must not exceed min_slack_s "
+                f"({self.degraded_slack_s} > {self.min_slack_s})"
+            )
+        if self.max_in_system is not None and self.max_in_system < 1:
+            raise ValueError("max_in_system must be positive when set")
+        if self.max_upload_backlog_mb is not None and self.max_upload_backlog_mb <= 0:
+            raise ValueError("max_upload_backlog_mb must be positive when set")
+
+    @classmethod
+    def accept_all(cls) -> "SLAPolicy":
+        """No promises, no thresholds — the offline testbed's behaviour."""
+        return cls(ticket=None, min_slack_s=-math.inf)
+
+    def admit(
+        self,
+        quote: SLAQuote,
+        in_system: int,
+        upload_backlog_mb: float,
+    ) -> AdmissionResult:
+        """Run the decision ladder for one quoted job."""
+        if self.max_in_system is not None and in_system >= self.max_in_system:
+            return AdmissionResult(AdmissionDecision.REJECT, "in_system")
+        if (
+            self.max_upload_backlog_mb is not None
+            and upload_backlog_mb >= self.max_upload_backlog_mb
+        ):
+            return AdmissionResult(AdmissionDecision.REJECT, "upload_backlog")
+        slack = quote.slack_s
+        if slack >= self.min_slack_s:
+            return AdmissionResult(AdmissionDecision.ACCEPT)
+        if slack >= self.degraded_slack_s:
+            return AdmissionResult(AdmissionDecision.ACCEPT_DEGRADED, "slack")
+        return AdmissionResult(AdmissionDecision.REJECT, "slack")

@@ -1,0 +1,128 @@
+"""SLA quoting: what the broker tells a customer at submission time.
+
+Section I of the paper frames the SLA as a per-job *ticket* — "jobs are
+given a ticket that they will finish a certain number of seconds from their
+submission point". The quoting engine turns the system's learned models
+into exactly that number at the moment a job arrives:
+
+* the QRSM (:mod:`repro.models.qrsm`, through
+  :class:`repro.core.estimators.FinishTimeEstimator`) supplies the
+  estimated standard-machine processing time ``t^e(i)``;
+* the time-of-day bandwidth model (:mod:`repro.models.bandwidth`), folded
+  into the :class:`~repro.core.base.SystemState` snapshot's effective
+  rates, supplies transit-time estimates for the external-cloud round trip;
+* the snapshot's machine-availability and backlog estimates supply queueing
+  delay under the *current* load, exactly as Eqs. 1-2 compute ``ft^ic``
+  and ``ft^ec``.
+
+Quotes never read the hidden ground truth (``Job.true_proc_time``): a
+promise sold on information the scheduler cannot have would be a cheat the
+paper's autonomic loop explicitly rules out. Promises derived from ticket
+policies are therefore priced on the *estimated* processing time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.base import SystemState
+from ..core.estimators import FinishTimeEstimator
+from ..metrics.tickets import TicketPolicy
+from ..sim.tracing import JobRecord
+from ..workload.document import Job
+
+__all__ = ["SLAQuote", "quote_job"]
+
+
+@dataclass(frozen=True)
+class SLAQuote:
+    """One job's completion-time quote and slack margin at arrival.
+
+    All times are absolute simulation seconds except the ``*_s`` fields,
+    which are durations from the arrival instant ``now``.
+    """
+
+    job_id: int
+    sub_id: int
+    now: float
+    est_proc_s: float
+    est_ic_completion: float
+    est_ec_completion: float
+    est_completion: float
+    promise_s: float
+    degraded: bool = False
+
+    @property
+    def est_response_s(self) -> float:
+        """Quoted response time: estimated completion minus arrival."""
+        return self.est_completion - self.now
+
+    @property
+    def slack_s(self) -> float:
+        """Margin between the promise and the quoted response.
+
+        Positive slack means the system expects to beat the promise; the
+        admission policy thresholds on this number.
+        """
+        return self.promise_s - self.est_response_s
+
+    @property
+    def placement_hint(self) -> str:
+        """Which cloud the quote expects to win ('IC' or 'EC').
+
+        Advisory only — the binding placement is the scheduler's decision
+        at dispatch, which may differ (e.g. Op bursts for ordering reasons).
+        """
+        return "IC" if self.est_ic_completion <= self.est_ec_completion else "EC"
+
+
+def _promise_for(job: Job, est_proc: float, ticket: Optional[TicketPolicy]) -> float:
+    """Price a ticket promise on the *estimated* processing time.
+
+    Ticket policies are written against :class:`JobRecord` (they score
+    finished traces), so we hand them a quote-time pseudo-record whose
+    ``true_proc_time`` carries the QRSM estimate — the broker sells what it
+    can see, not the hidden truth.
+    """
+    if ticket is None:
+        return math.inf
+    pseudo = JobRecord(
+        job_id=job.job_id,
+        batch_id=job.batch_id,
+        arrival_time=job.arrival_time,
+        input_mb=job.input_mb,
+        output_mb=job.output_mb,
+        sub_id=job.sub_id,
+        true_proc_time=est_proc,
+        est_proc_time=est_proc,
+    )
+    return float(ticket.promise_s(pseudo))
+
+
+def quote_job(
+    job: Job,
+    state: SystemState,
+    estimator: FinishTimeEstimator,
+    ticket: Optional[TicketPolicy] = None,
+) -> SLAQuote:
+    """Quote one arriving job against the current estimated system state.
+
+    The state is read, never committed: quotes for jobs arriving together
+    are independent marginal estimates, and the scheduler's plan remains
+    the single source of committed load.
+    """
+    est_proc = estimator.est_proc_time(job)
+    ft_ic = estimator.ft_ic(job, state, est_proc=est_proc)
+    ft_ec = estimator.ft_ec(job, state, est_proc=est_proc).completion
+    return SLAQuote(
+        job_id=job.job_id,
+        sub_id=job.sub_id,
+        now=state.now,
+        est_proc_s=est_proc,
+        est_ic_completion=ft_ic,
+        est_ec_completion=ft_ec,
+        est_completion=min(ft_ic, ft_ec),
+        promise_s=_promise_for(job, est_proc, ticket),
+    )

@@ -1,0 +1,70 @@
+"""Replay offline workloads through the online broker.
+
+The correctness anchor of the whole service layer: pushing a pre-generated
+batch sequence through the broker one arrival at a time, under the
+accept-all policy, must reproduce the offline runner's
+:class:`~repro.sim.tracing.RunTrace` *identically* — every record, every
+pipeline timestamp. ``tests/test_service.py`` asserts this for each of the
+paper's four schedulers, which pins the incremental stepping API, the
+shared online submission path and the broker's event interleaving all at
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.base import Scheduler
+from ..experiments.config import ExperimentSpec
+from ..experiments.runner import build_workload, make_scheduler, training_data
+from ..metrics.streaming import StreamingSLAStats
+from ..sim.environment import CloudBurstEnvironment
+from ..sim.tracing import RunTrace
+from ..workload.generator import Batch
+from .broker import BurstBroker
+from .policy import SLAPolicy
+
+__all__ = ["replay_workload", "run_one_online"]
+
+
+def replay_workload(
+    env: CloudBurstEnvironment,
+    scheduler: Scheduler,
+    batches: Sequence[Batch],
+    policy: Optional[SLAPolicy] = None,
+    stats: Optional[StreamingSLAStats] = None,
+) -> RunTrace:
+    """Serve a batch workload online; accept-all unless a policy is given."""
+    broker = BurstBroker(
+        env,
+        scheduler,
+        policy=policy if policy is not None else SLAPolicy.accept_all(),
+        stats=stats,
+    )
+    for batch in batches:
+        broker.submit(
+            batch.jobs, arrival_time=batch.arrival_time, batch_id=batch.batch_id
+        )
+    return broker.finish()
+
+
+def run_one_online(
+    scheduler_name: str,
+    spec: ExperimentSpec,
+    batches: Optional[Sequence[Batch]] = None,
+    policy: Optional[SLAPolicy] = None,
+) -> RunTrace:
+    """Online twin of :func:`repro.experiments.runner.run_one`.
+
+    Builds the environment and pretrains the QRSM exactly as the offline
+    runner does, then serves the workload through the broker instead of
+    pre-scheduling it.
+    """
+    if batches is None:
+        batches = build_workload(spec)
+    env = CloudBurstEnvironment(spec.system)
+    env.pretrain_qrsm(*training_data(spec))
+    scheduler = make_scheduler(scheduler_name, env)
+    trace = replay_workload(env, scheduler, batches, policy=policy)
+    trace.metadata["bucket"] = spec.bucket.value
+    return trace

@@ -124,6 +124,15 @@ class Simulator:
             return None
         return self._heap[0][0]
 
+    def peek_next_time(self) -> Optional[float]:
+        """Alias of :meth:`peek` for the incremental stepping API.
+
+        Lets an external driver (the online broker) decide whether a new
+        arrival at ``t`` precedes or follows the simulation's next internal
+        event without disturbing the heap.
+        """
+        return self.peek()
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -191,6 +200,51 @@ class Simulator:
                 self._now = float(until)
         finally:
             self._running = False
+
+    def run_until(self, time: float, inclusive: bool = False) -> int:
+        """Incrementally step the simulation up to an external instant.
+
+        Processes every active event with ``event.time < time`` (or
+        ``<= time`` when ``inclusive``), then advances the clock to exactly
+        ``time``. Returns the number of events executed.
+
+        This is the interleaving primitive for online use: a broker that
+        receives a job submission stamped ``t`` calls ``run_until(t)`` so
+        all simulation activity that precedes the arrival has happened,
+        while events scheduled *at* ``t`` by the running simulation stay
+        pending and fire after the arrival is handled — the same tie-break
+        an offline run gives batch-arrival events, which are scheduled
+        before the event loop starts and therefore carry lower sequence
+        numbers than any event the running simulation produces.
+
+        An arrival landing exactly on the next event time leaves that event
+        pending (exclusive boundary); an arrival with an empty heap simply
+        advances the clock.
+        """
+        if math.isnan(time):
+            raise SimulationError("cannot run until NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards: until={time} < now={self._now}"
+            )
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None or next_time > time:
+                    break
+                if not inclusive and next_time >= time:
+                    break
+                self.step()
+                executed += 1
+            if time > self._now:
+                self._now = float(time)
+        finally:
+            self._running = False
+        return executed
 
     def advance_to(self, time: float) -> None:
         """Advance the clock without running events (no active event may precede it)."""

@@ -218,11 +218,19 @@ class CloudBurstEnvironment:
 
         # --- run bookkeeping ----------------------------------------------
         self._states: dict[tuple[int, int], _JobState] = {}
+        #: Incomplete jobs only, in admission order. ``build_state`` walks
+        #: this instead of ``_states`` so a long-lived online broker stays
+        #: O(jobs in system) per snapshot rather than O(jobs ever admitted).
+        self._open: dict[tuple[int, int], _JobState] = {}
         self._remaining = 0
         self._batches_arrived = 0
         self._trace: Optional[RunTrace] = None
         self._scheduler: Optional[Scheduler] = None
         self._t0 = self.sim.now
+        #: Optional observer fired at every job completion with the final
+        #: :class:`JobRecord` — the online broker's streaming SLA counters
+        #: hang off this.
+        self.on_job_complete: Optional[callable] = None
 
         if config.enable_ic_pull:
             self.ic.on_idle = self._on_ic_idle
@@ -337,8 +345,8 @@ class CloudBurstEnvironment:
 
         # Every incomplete EC-side job contributes its (possibly stale)
         # planning-time completion estimate to the slack pool.
-        for key, st in self._states.items():
-            if st.done or st.record.placement != Placement.EC:
+        for key, st in self._open.items():
+            if st.record.placement != Placement.EC:
                 continue
             pending_keyed.append((key, st.est_completion))
 
@@ -401,8 +409,8 @@ class CloudBurstEnvironment:
     # ------------------------------------------------------------------
     # Run orchestration
     # ------------------------------------------------------------------
-    def run(self, batches: Sequence[Batch], scheduler: Scheduler) -> RunTrace:
-        """Simulate the whole workload under ``scheduler``; returns the trace."""
+    def _begin_trace(self, scheduler: Scheduler, arrival_time: float) -> None:
+        """Shared offline/online run setup; single-use guard included."""
         if self._trace is not None:
             raise RuntimeError("environment instances are single-use; build a new one")
         self._scheduler = scheduler
@@ -413,22 +421,20 @@ class CloudBurstEnvironment:
             scheduler_name=scheduler.name,
             ic_machines=self.ic.n_machines,
             ec_machines=total_ec_machines,
-            arrival_time=self._t0 + (batches[0].arrival_time if batches else 0.0),
+            arrival_time=arrival_time,
         )
         if scheduler.wants_size_interval_queues():
             # Bounds are refreshed per batch; start with a neutral 3-way
             # split over the workload's size range.
             self.upload.set_size_bounds(100.0, 200.0)
-        for batch in batches:
-            self.sim.schedule_at(
-                self._t0 + batch.arrival_time, self._on_batch_arrival, batch
-            )
         if self.config.enable_ec_push:
             self.sim.schedule(self.config.ec_push_interval_s, self._ec_push_tick)
 
-        total_batches = len(batches)
-        # Run until every batch has arrived and every scheduled unit has
-        # completed. Probes tick forever, so "heap empty" never terminates.
+    def _drain(self, total_batches: int) -> None:
+        """Step until every batch has arrived and every unit completed.
+
+        Probes tick forever, so "heap empty" never terminates a healthy run.
+        """
         while self._remaining > 0 or self._batches_arrived < total_batches:
             if not self.sim.step():
                 raise RuntimeError("event heap drained with jobs outstanding")
@@ -438,6 +444,7 @@ class CloudBurstEnvironment:
                     "offered load likely exceeds system capacity"
                 )
 
+    def _finalize_trace(self, n_batches: int) -> RunTrace:
         trace = self._trace
         trace.end_time = self.sim.now
         trace.ic_busy_time = self.ic.total_busy_time
@@ -450,25 +457,102 @@ class CloudBurstEnvironment:
             {
                 "config_seed": self.config.seed,
                 "bandwidth_variation": self.config.bandwidth_variation,
-                "n_batches": len(batches),
+                "n_batches": n_batches,
                 "up_probes": self.up_probe.n_probes,
             }
         )
         return trace
+
+    def run(self, batches: Sequence[Batch], scheduler: Scheduler) -> RunTrace:
+        """Simulate the whole workload under ``scheduler``; returns the trace."""
+        self._begin_trace(
+            scheduler, self._t0 + (batches[0].arrival_time if batches else 0.0)
+        )
+        for batch in batches:
+            self.sim.schedule_at(
+                self._t0 + batch.arrival_time, self._on_batch_arrival, batch
+            )
+        self._drain(len(batches))
+        return self._finalize_trace(len(batches))
+
+    # ------------------------------------------------------------------
+    # Online (broker-driven) orchestration
+    # ------------------------------------------------------------------
+    def start_online(self, scheduler: Scheduler) -> None:
+        """Open an online session: jobs will arrive via :meth:`submit_online`.
+
+        The caller owns the virtual clock — it advances the simulator with
+        :meth:`repro.sim.engine.Simulator.run_until` to each arrival instant
+        and then submits. ``trace.arrival_time`` is stamped by the first
+        submission.
+        """
+        self._begin_trace(scheduler, self.sim.now)
+
+    def submit_online(self, jobs: Sequence[Job], batch_id: Optional[int] = None) -> BatchPlan:
+        """Plan and dispatch jobs arriving *now*; returns the plan.
+
+        Must be called with the simulator already advanced to the arrival
+        instant. Equivalent to one offline batch arrival: the same state
+        snapshot, the same scheduler entry point, the same dispatch path —
+        which is what makes offline replay and online serving traces match.
+        """
+        if self._trace is None:
+            raise RuntimeError("call start_online() before submit_online()")
+        if batch_id is None:
+            batch_id = self._batches_arrived
+        if self._batches_arrived == 0:
+            self._trace.arrival_time = self.sim.now
+        batch = Batch(
+            batch_id=batch_id,
+            arrival_time=self.sim.now - self._t0,
+            jobs=list(jobs),
+        )
+        self._batches_arrived += 1
+        return self._handle_batch(batch)
+
+    def finish_online(self) -> RunTrace:
+        """Drain all in-flight work and return the completed trace."""
+        if self._trace is None:
+            raise RuntimeError("no online session to finish")
+        self._drain(self._batches_arrived)
+        return self._finalize_trace(self._batches_arrived)
+
+    @property
+    def jobs_in_system(self) -> int:
+        """Number of admitted-but-incomplete jobs (broker backpressure)."""
+        return self._remaining
+
+    @property
+    def origin(self) -> float:
+        """Absolute simulation instant of workload time zero.
+
+        Workload objects carry arrival times relative to this origin (the
+        configured ``start_hour``); the online broker maps them onto the
+        simulator's absolute axis with ``origin + arrival_time``.
+        """
+        return self._t0
+
+    def record_for(self, key: tuple[int, int]) -> JobRecord:
+        """The live :class:`JobRecord` of an admitted unit (broker use)."""
+        return self._states[key].record
 
     # ------------------------------------------------------------------
     # Batch arrival -> scheduling -> dispatch
     # ------------------------------------------------------------------
     def _on_batch_arrival(self, batch: Batch) -> None:
         self._batches_arrived += 1
+        self._handle_batch(batch)
+
+    def _handle_batch(self, batch: Batch) -> BatchPlan:
         state = self.build_state()
-        plan = self._scheduler.plan(list(batch.jobs), state)
+        plan = self._scheduler.plan_online(list(batch.jobs), state)
         if plan.upload_bounds is not None:
             self.upload.set_size_bounds(*plan.upload_bounds)
         for decision in plan.decisions:
             self._admit(decision.job, batch, decision.placement,
                         decision.est_proc_time, decision.est_completion,
                         ec_site=decision.ec_site)
+        return plan
 
     def _admit(
         self, job: Job, batch: Batch, placement: str,
@@ -489,10 +573,12 @@ class CloudBurstEnvironment:
             true_proc_time=job.true_proc_time,
             schedule_time=self.sim.now,
         )
-        self._states[job.key] = _JobState(
+        st = _JobState(
             job=job, record=record, est_proc=est_proc,
             est_completion=est_completion, site=ec_site,
         )
+        self._states[job.key] = st
+        self._open[job.key] = st
         self._trace.records.append(record)
         self._remaining += 1
         if placement == Placement.IC:
@@ -586,6 +672,9 @@ class CloudBurstEnvironment:
     def _complete(self, st: _JobState) -> None:
         st.done = True
         self._remaining -= 1
+        self._open.pop(st.job.key, None)
+        if self.on_job_complete is not None:
+            self.on_job_complete(st.record)
 
     # ------------------------------------------------------------------
     # Rescheduling strategies (Section IV.D, optional)

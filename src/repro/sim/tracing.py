@@ -53,6 +53,9 @@ class JobRecord:
     upload_queue: Optional[str] = None
     machine: Optional[str] = None
     rescheduled: bool = False
+    #: SLA response-time promise (seconds from arrival) sold at admission by
+    #: the online broker; ``None`` for jobs run through the offline runner.
+    promise_s: Optional[float] = None
 
     @property
     def bursted(self) -> bool:
@@ -174,6 +177,7 @@ class RunTrace:
         "exec_start", "exec_end", "download_start", "download_end",
         "completion_time", "input_mb", "output_mb", "est_proc_time",
         "true_proc_time", "upload_queue", "machine", "rescheduled",
+        "promise_s",
     ]
 
     def to_json(self, path: str | Path) -> None:

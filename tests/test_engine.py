@@ -176,6 +176,100 @@ class TestRunControl:
             sim.advance_to(5.0)
 
 
+class TestIncrementalStepping:
+    """The run_until / peek_next_time API the online broker drives."""
+
+    def test_peek_next_time_matches_peek(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek_next_time() == 3.0 == sim.peek()
+
+    def test_run_until_executes_strictly_earlier_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(9.0, fired.append, "c")
+        executed = sim.run_until(5.0)
+        assert executed == 2
+        assert fired == ["a", "b"]
+        assert sim.now == 5.0
+        assert sim.peek_next_time() == 9.0
+
+    def test_arrival_exactly_at_next_event_time_leaves_it_pending(self):
+        """Exclusive boundary: an event AT the arrival instant stays queued.
+
+        This is the tie-break that makes broker replay trace-identical to
+        the offline runner — a batch arrival coinciding with a probe tick
+        or capacity epoch must be handled before the internal event fires.
+        """
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        executed = sim.run_until(5.0)
+        assert executed == 0
+        assert fired == []
+        assert sim.now == 5.0
+        assert sim.peek_next_time() == 5.0  # still pending
+        sim.run()
+        assert fired == ["edge"]
+
+    def test_inclusive_boundary_fires_same_time_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        executed = sim.run_until(5.0, inclusive=True)
+        assert executed == 1
+        assert fired == ["edge"]
+
+    def test_empty_queue_advances_clock(self):
+        sim = Simulator(start_time=2.0)
+        executed = sim.run_until(8.0)
+        assert executed == 0
+        assert sim.now == 8.0
+
+    def test_run_until_now_is_a_noop(self):
+        sim = Simulator(start_time=3.0)
+        sim.schedule(0.0, lambda: None)
+        assert sim.run_until(3.0) == 0
+        assert sim.now == 3.0
+
+    def test_run_until_backwards_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_until_nan_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until(float("nan"))
+
+    def test_run_until_not_reentrant(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.run_until(9.0))
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_events_spawned_inside_window_still_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "child"))
+        sim.run_until(3.0)
+        assert fired == ["child"]
+        assert sim.now == 3.0
+
+    def test_interleaves_with_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(6.0, fired.append, "b")
+        sim.run_until(4.0)
+        fired.append("arrival@4")
+        sim.run()
+        assert fired == ["a", "arrival@4", "b"]
+
+
 class TestProperties:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
     @settings(max_examples=100, deadline=None)
