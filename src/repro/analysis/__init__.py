@@ -1,5 +1,38 @@
-"""Analytic models used to cross-validate the simulator."""
+"""Cross-validation and self-checking tools for the reproduction.
 
+Three complementary layers keep the simulator honest:
+
+* :mod:`repro.analysis.queueing` — closed-form M/M/c and batch-arrival
+  theory the IC-only simulator is checked against;
+* :mod:`repro.analysis.lint` — an AST lint (``repro lint``) that keeps
+  wall-clock reads, unseeded randomness, float time equality, unit-less
+  field names and out-of-band state mutation out of the source;
+* :mod:`repro.analysis.invariants` — an opt-in runtime checker asserting
+  event-time monotonicity, job conservation, non-negative backlogs and
+  the SIBS cross-queue policy while a simulation runs.
+
+:mod:`repro.analysis.determinism` (the ``repro check`` harness) is not
+imported eagerly — it pulls in the whole experiments package; import it
+directly where needed.
+"""
+
+from .invariants import (
+    EnvironmentInvariants,
+    InvariantError,
+    InvariantStats,
+    install_invariants,
+    invariants_enabled,
+)
+from .lint import (
+    LintRule,
+    ModuleContext,
+    Violation,
+    all_rules,
+    lint_file,
+    lint_source,
+    render_report,
+    run_lint,
+)
 from .queueing import (
     TheoryComparison,
     allen_cunneen_wait,
@@ -13,7 +46,14 @@ from .queueing import (
 )
 
 __all__ = [
+    # queueing theory
     "offered_load", "utilization", "erlang_c", "mmc_wait",
     "batch_arrival_scv", "allen_cunneen_wait", "within_batch_wait",
     "TheoryComparison", "compare_ic_only_with_theory",
+    # static lint
+    "Violation", "ModuleContext", "LintRule", "all_rules",
+    "lint_source", "lint_file", "run_lint", "render_report",
+    # runtime invariants
+    "InvariantError", "InvariantStats", "EnvironmentInvariants",
+    "install_invariants", "invariants_enabled",
 ]

@@ -1,0 +1,204 @@
+"""Determinism harness: prove a seeded run reproduces bit-for-bit.
+
+The engine's FIFO tie-break and the seeded RNGs promise that a whole
+simulation is a pure function of ``(scheduler, spec)``. This module turns
+that promise into a checkable property: run the same seeded workload
+twice, hash every lifecycle timestamp in both :class:`RunTrace`\\ s, and
+compare. On mismatch, the report names the first divergent record and
+field — the event where the two runs first disagreed — rather than just
+"hashes differ".
+
+The second run executes with the runtime invariant checker installed
+(:mod:`repro.analysis.invariants`), so ``repro check`` validates both
+properties of a scheduler at once: the run is internally consistent, and
+it is reproducible.
+
+CLI::
+
+    repro check                 # all four paper schedulers, default spec
+    repro check --scheduler Op  # just one
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Iterable, Optional, Sequence
+
+from ..experiments.config import DEFAULT_SPEC, ExperimentSpec
+from ..experiments.runner import PAPER_SCHEDULERS, build_workload, run_one
+from ..sim.tracing import JobRecord, RunTrace
+from .invariants import install_invariants
+
+__all__ = [
+    "Divergence",
+    "DeterminismResult",
+    "hash_trace",
+    "canonical_records",
+    "first_divergence",
+    "check_scheduler",
+    "check_determinism",
+]
+
+#: JobRecord fields in declaration order — the canonical hashing schema.
+_RECORD_FIELDS = tuple(f.name for f in fields(JobRecord))
+
+#: Run-level fields folded into the hash after the per-record stream.
+_TRACE_FIELDS = ("arrival_time", "end_time", "ic_busy_time", "ec_busy_time")
+
+
+def _canon(value: object) -> str:
+    """A bit-exact textual form: floats hash by their IEEE-754 bits."""
+    if isinstance(value, bool):  # bool before int/float — bool is an int
+        return "T" if value else "F"
+    if isinstance(value, float):
+        return value.hex()
+    return repr(value)
+
+
+def canonical_records(trace: RunTrace) -> list[tuple[str, ...]]:
+    """Every record as a tuple of canonicalised field values, in trace order."""
+    return [
+        tuple(_canon(getattr(record, name)) for name in _RECORD_FIELDS)
+        for record in trace.records
+    ]
+
+
+def hash_trace(trace: RunTrace) -> str:
+    """SHA-256 over every lifecycle timestamp and run-level accumulator.
+
+    Two traces hash equal iff every job record field (including float
+    timestamps, compared at full bit precision) and every run-level busy
+    time agree. Metadata and bandwidth samples are included too — a
+    divergent probe sequence is a determinism bug even if job timestamps
+    happen to coincide.
+    """
+    digest = hashlib.sha256()
+    for row in canonical_records(trace):
+        digest.update("\x1f".join(row).encode())
+        digest.update(b"\x1e")
+    for name in _TRACE_FIELDS:
+        digest.update(f"{name}={_canon(getattr(trace, name))}".encode())
+        digest.update(b"\x1e")
+    for t, mbps in trace.bandwidth_samples:
+        digest.update(f"{_canon(t)},{_canon(mbps)}".encode())
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Where two supposedly identical runs first disagreed."""
+
+    #: Index into ``trace.records``, or ``None`` for a run-level field.
+    record_index: Optional[int]
+    #: ``(job_id, sub_id)`` of the divergent record, when record-level.
+    job_key: Optional[tuple[int, int]]
+    field: str
+    value_a: str
+    value_b: str
+
+    def render(self) -> str:
+        where = (
+            f"record #{self.record_index} (job {self.job_key})"
+            if self.record_index is not None
+            else "run-level"
+        )
+        return (
+            f"first divergence at {where}, field {self.field!r}: "
+            f"run A = {self.value_a} vs run B = {self.value_b}"
+        )
+
+
+def first_divergence(a: RunTrace, b: RunTrace) -> Optional[Divergence]:
+    """Locate the earliest field where two traces disagree, if any."""
+    rows_a, rows_b = canonical_records(a), canonical_records(b)
+    for index, (row_a, row_b) in enumerate(zip(rows_a, rows_b)):
+        for name, va, vb in zip(_RECORD_FIELDS, row_a, row_b):
+            if va != vb:
+                rec = a.records[index]
+                return Divergence(index, (rec.job_id, rec.sub_id), name, va, vb)
+    if len(rows_a) != len(rows_b):
+        return Divergence(
+            None, None, "len(records)", str(len(rows_a)), str(len(rows_b))
+        )
+    for name in _TRACE_FIELDS:
+        va, vb = _canon(getattr(a, name)), _canon(getattr(b, name))
+        if va != vb:
+            return Divergence(None, None, name, va, vb)
+    if a.bandwidth_samples != b.bandwidth_samples:
+        return Divergence(
+            None,
+            None,
+            "bandwidth_samples",
+            str(len(a.bandwidth_samples)),
+            str(len(b.bandwidth_samples)),
+        )
+    return None
+
+
+@dataclass(frozen=True)
+class DeterminismResult:
+    """Verdict for one scheduler: two seeded runs, two hashes, one answer."""
+
+    scheduler: str
+    hash_a: str
+    hash_b: str
+    n_records: int
+    divergence: Optional[Divergence] = None
+
+    @property
+    def deterministic(self) -> bool:
+        return self.hash_a == self.hash_b
+
+    def render(self) -> str:
+        if self.deterministic:
+            return (
+                f"{self.scheduler:>8}: OK  {self.n_records} records, "
+                f"hash {self.hash_a[:16]}"
+            )
+        detail = self.divergence.render() if self.divergence else "hashes differ"
+        return f"{self.scheduler:>8}: FAIL  {detail}"
+
+
+def check_scheduler(
+    scheduler_name: str,
+    spec: ExperimentSpec = DEFAULT_SPEC,
+    invariants: bool = True,
+) -> DeterminismResult:
+    """Run ``scheduler_name`` twice on the identical seeded workload.
+
+    Both runs rebuild the environment from scratch (fresh engine, fresh
+    seeded RNGs) and replay the same pre-generated batch list — exactly
+    the reproducibility contract the comparison experiments rely on. With
+    ``invariants`` (the default), both runs also carry the runtime
+    invariant checker, so a structurally broken run fails loudly instead
+    of merely hashing differently.
+    """
+    batches = build_workload(spec)
+    hook = install_invariants if invariants else None
+    trace_a = run_one(scheduler_name, spec, batches=batches, env_hook=hook)
+    trace_b = run_one(scheduler_name, spec, batches=batches, env_hook=hook)
+    hash_a, hash_b = hash_trace(trace_a), hash_trace(trace_b)
+    divergence = None
+    if hash_a != hash_b:
+        divergence = first_divergence(trace_a, trace_b)
+    return DeterminismResult(
+        scheduler=scheduler_name,
+        hash_a=hash_a,
+        hash_b=hash_b,
+        n_records=len(trace_a.records),
+        divergence=divergence,
+    )
+
+
+def check_determinism(
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    spec: ExperimentSpec = DEFAULT_SPEC,
+    invariants: bool = True,
+) -> list[DeterminismResult]:
+    """The ``repro check`` body: verdicts for each scheduler in turn."""
+    return [
+        check_scheduler(name, spec=spec, invariants=invariants)
+        for name in schedulers
+    ]

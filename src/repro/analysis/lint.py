@@ -1,0 +1,248 @@
+"""Repo-specific static analysis: the ``repro lint`` framework.
+
+The simulator's headline promise — runs "reproducible bit-for-bit given a
+seeded RNG" (:mod:`repro.sim.engine`) — and every SLA number the broker
+sells on top of it are only as good as a handful of coding rules that no
+general-purpose linter knows about: no wall-clock reads or process-global
+randomness inside the simulation core, no exact float equality on
+simulation times, unit-suffixed float fields on the public dataclass
+boundaries, and no :class:`~repro.core.base.SystemState` mutation outside
+its commit methods. This module is the tiny AST-lint engine that enforces
+them; the rules themselves live in :mod:`repro.analysis.rules`.
+
+Usage
+-----
+Command line (gates CI)::
+
+    repro lint src/
+    python -m repro lint src/repro/sim
+
+Programmatic::
+
+    from repro.analysis.lint import run_lint
+    violations = run_lint(["src/repro"])
+
+Suppression
+-----------
+A violation is silenced by a trailing comment on the *same physical line*::
+
+    t_start = time.perf_counter()  # repro: allow[DET001] wall throughput is the measurement
+
+Multiple codes separate with commas: ``# repro: allow[DET001, FLT001]``.
+Anything after the closing bracket is a free-form justification; writing
+one is strongly encouraged (reviewers read suppressions first).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Violation",
+    "ModuleContext",
+    "LintRule",
+    "all_rules",
+    "run_lint",
+    "lint_source",
+    "lint_file",
+    "module_name_for_path",
+    "render_report",
+]
+
+
+#: ``# repro: allow[CODE]`` / ``# repro: allow[CODE1, CODE2] justification``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: where, what, and how to fix it."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}\n"
+            f"    hint: {self.hint}"
+        )
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to check one parsed module."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: tuple[str, ...]
+
+    def line_text(self, lineno: int) -> str:
+        """1-based physical source line (empty string out of range)."""
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+
+class LintRule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes
+    ----------
+    code:
+        Stable error code (``ABC123``) used in reports and suppressions.
+    name:
+        Short kebab-case rule name.
+    hint:
+        One-line fix-it guidance appended to every violation.
+    scope:
+        Dotted module prefixes the rule applies to; empty tuple means the
+        whole ``repro`` package.
+    """
+
+    code: str = "XXX000"
+    name: str = "unnamed-rule"
+    description: str = ""
+    hint: str = ""
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if not self.scope:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: ModuleContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            code=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+        )
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule (import kept lazy so the
+    framework itself has no rule dependencies)."""
+    from .rules import RULES
+
+    return [cls() for cls in RULES]
+
+
+def module_name_for_path(path: Path) -> str:
+    """Dotted module name for a file, anchored at the ``repro`` package.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``; files outside the
+    package fall back to their stem so scoped rules simply skip them.
+    """
+    parts = list(path.parts)
+    name = path.stem
+    if "repro" in parts:
+        pkg_parts = parts[parts.index("repro"):-1]
+        if name == "__init__":
+            return ".".join(pkg_parts)
+        return ".".join([*pkg_parts, name])
+    return name
+
+
+def _suppressed_codes(line_text: str) -> frozenset[str]:
+    match = _SUPPRESS_RE.search(line_text)
+    if match is None:
+        return frozenset()
+    return frozenset(code.strip() for code in match.group(1).split(","))
+
+
+def _check_module(
+    ctx: ModuleContext, rules: Sequence[LintRule]
+) -> list[Violation]:
+    violations: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(ctx.module):
+            continue
+        for violation in rule.check(ctx):
+            if violation.code in _suppressed_codes(ctx.line_text(violation.line)):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_source(
+    source: str,
+    module: str = "repro.sim.snippet",
+    path: str = "<snippet>",
+    rules: Optional[Sequence[LintRule]] = None,
+) -> list[Violation]:
+    """Lint a source string as if it were the given module (test entry point)."""
+    tree = ast.parse(source)
+    ctx = ModuleContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source_lines=tuple(source.splitlines()),
+    )
+    return _check_module(ctx, all_rules() if rules is None else rules)
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[LintRule]] = None
+) -> list[Violation]:
+    source = path.read_text()
+    return lint_source(
+        source,
+        module=module_name_for_path(path),
+        path=str(path),
+        rules=rules,
+    )
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> list[Violation]:
+    """Lint every ``.py`` under ``paths``; violations sorted by location."""
+    active = all_rules() if rules is None else list(rules)
+    violations: list[Violation] = []
+    for path in _iter_python_files(paths):
+        violations.extend(lint_file(path, rules=active))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def render_report(violations: Sequence[Violation]) -> str:
+    """Human-readable report; ends with a one-line summary."""
+    lines = [v.render() for v in violations]
+    by_code: dict[str, int] = {}
+    for v in violations:
+        by_code[v.code] = by_code.get(v.code, 0) + 1
+    if violations:
+        summary = ", ".join(f"{code} x{n}" for code, n in sorted(by_code.items()))
+        lines.append(f"{len(violations)} violation(s): {summary}")
+    else:
+        lines.append("no violations")
+    return "\n".join(lines)

@@ -26,9 +26,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # layer-clean: analysis does not import sim at runtime
+    from ..sim.tracing import RunTrace
+    from ..workload.generator import Batch
 
 __all__ = [
     "offered_load",
@@ -178,7 +182,9 @@ class TheoryComparison:
         )
 
 
-def compare_ic_only_with_theory(trace, batches) -> TheoryComparison:
+def compare_ic_only_with_theory(
+    trace: "RunTrace", batches: Sequence["Batch"]
+) -> TheoryComparison:
     """Compare one IC-only run against the analytic model.
 
     Theory assumes steady state; the finite run includes ramp-up and

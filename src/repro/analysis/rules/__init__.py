@@ -1,0 +1,44 @@
+"""Rule catalogue for ``repro lint``.
+
+Each module contributes one or two :class:`~repro.analysis.lint.LintRule`
+subclasses; :data:`RULES` is the registry the framework instantiates. The
+full catalogue — codes, rationale, suppression syntax, and how to add a
+rule — is documented in ``docs/analysis.md``.
+
+==========  =======================  ==========================================
+Code        Rule                     One-liner
+==========  =======================  ==========================================
+``DET001``  no-wall-clock            no ``time.time()``/``datetime.now()`` in
+                                     deterministic code
+``DET002``  no-unseeded-random       no process-global ``random``/``np.random``
+``FLT001``  no-float-time-equality   no ``==``/``!=`` on simulation times
+``UNI001``  units-suffix             public dataclass floats carry unit names
+``MUT001``  no-state-mutation        ``SystemState`` mutates only via commits
+==========  =======================  ==========================================
+"""
+
+from __future__ import annotations
+
+from ..lint import LintRule
+from .determinism import UnseededRandomRule, WallClockRule
+from .float_eq import FloatTimeEqualityRule
+from .state_mutation import StateMutationRule
+from .units import UnitsSuffixRule
+
+__all__ = [
+    "RULES",
+    "WallClockRule",
+    "UnseededRandomRule",
+    "FloatTimeEqualityRule",
+    "UnitsSuffixRule",
+    "StateMutationRule",
+]
+
+#: Registry consumed by :func:`repro.analysis.lint.all_rules`.
+RULES: tuple[type[LintRule], ...] = (
+    WallClockRule,
+    UnseededRandomRule,
+    FloatTimeEqualityRule,
+    UnitsSuffixRule,
+    StateMutationRule,
+)

@@ -1,0 +1,142 @@
+"""Determinism rules: no wall clock, no process-global randomness.
+
+The engine promises runs "reproducible bit-for-bit given a seeded RNG"
+(:mod:`repro.sim.engine`). Two things silently break that promise:
+
+* reading the *host's* clock (``time.time()``, ``datetime.now()``) inside
+  code that should only ever see the simulated clock ``sim.now``;
+* drawing from process-global RNG state (``random.random()``,
+  ``np.random.rand()``, or an *unseeded* ``np.random.default_rng()``),
+  which couples a run's output to whatever else ran in the process.
+
+Both rules apply to the whole ``repro`` package: the simulation core
+(``repro.sim``, ``repro.models``, ``repro.service``, ``repro.core``,
+``repro.workload``) must be clean outright, and the experiment layer is
+covered too so report generators do not regress into inline clock reads
+(they inject an elapsed-time callable instead — see
+:func:`repro.experiments.report_md.generate_reproduction_report`). The
+few places that *measure* wall time on purpose (the load driver's
+throughput meter) carry per-line ``# repro: allow[DET001]`` suppressions
+with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..lint import LintRule, ModuleContext, Violation
+
+__all__ = ["WallClockRule", "UnseededRandomRule", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+#: Wall-clock reads that leak host time into simulation results.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(LintRule):
+    """DET001 — no wall-clock reads in deterministic code."""
+
+    code = "DET001"
+    name = "no-wall-clock"
+    description = (
+        "wall-clock reads (time.time, datetime.now, perf_counter) make "
+        "simulation output depend on the host instead of the seeded run"
+    )
+    hint = (
+        "use the simulated clock (sim.now) or inject a clock callable "
+        "(clock: Callable[[], float]) from the caller; if wall time is the "
+        "thing being measured, suppress with a justified "
+        "'# repro: allow[DET001]'"
+    )
+    scope = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.violation(
+                    ctx, node, f"wall-clock read `{name}()` in deterministic code"
+                )
+
+
+#: ``np.random`` constructors that are fine *when given a seed*.
+_SEEDABLE_CONSTRUCTORS = frozenset({"default_rng", "Generator", "SeedSequence", "RandomState"})
+
+
+class UnseededRandomRule(LintRule):
+    """DET002 — no process-global or unseeded randomness."""
+
+    code = "DET002"
+    name = "no-unseeded-random"
+    description = (
+        "module-level random.* / np.random.* calls draw from process-global "
+        "RNG state; an unseeded default_rng() seeds itself from the OS"
+    )
+    hint = (
+        "thread a seeded generator through from SystemConfig.seed "
+        "(rng = np.random.default_rng(seed)) and draw from it"
+    )
+    scope = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            violation = self._classify(name, node)
+            if violation is not None:
+                yield self.violation(ctx, node, violation)
+
+    def _classify(self, name: str, call: ast.Call) -> Optional[str]:
+        parts = name.split(".")
+        # random.Random() unseeded; random.<fn>() is global state outright.
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] == "Random":
+                if not call.args:
+                    return "unseeded `random.Random()`"
+                return None
+            return f"process-global `{name}()` call"
+        # np.random.<fn>() / numpy.random.<fn>().
+        if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            fn = parts[2]
+            if fn in _SEEDABLE_CONSTRUCTORS:
+                if not call.args and not call.keywords:
+                    return f"unseeded `{name}()` (seeds itself from the OS)"
+                return None
+            return f"process-global `{name}()` call"
+        return None

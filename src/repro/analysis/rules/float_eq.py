@@ -1,0 +1,96 @@
+"""FLT001 — no exact float equality on simulation times.
+
+Simulation times are sums of float arithmetic (arrival offsets, fluid-flow
+transfer completions, speed divisions); two paths to "the same" instant
+routinely differ in the last ulp. ``==``/``!=`` on such values works until
+it doesn't — the classic source of schedules that flip on a refactor that
+changed nothing semantically. The engine's own tie-break uses the event
+*sequence number*, never time equality, and :meth:`JobRecord.validate`
+compares with a tolerance; user code must do the same.
+
+The rule is name-driven (no type inference): a comparison operand "looks
+like a time" when its terminal identifier is ``now``/``time``/
+``completion``/``deadline`` or ends in ``_time``, ``_start``, ``_end``,
+``_at``, ``_completion``, ``_deadline``, ``_free``, or ``_s`` (the
+duration-seconds suffix). Comparisons against a literal ``0``/``0.0`` are
+exempt: zero is an exact sentinel (unset duration, "no slack configured"),
+not an accumulated float.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..lint import LintRule, ModuleContext, Violation
+
+__all__ = ["FloatTimeEqualityRule", "is_time_like_name"]
+
+_TIME_NAME_RE = re.compile(
+    r"(?:^(?:now|time|completion|deadline)$"
+    r"|_(?:time|start|end|at|completion|deadline|free|s)$)"
+)
+
+
+def is_time_like_name(name: str) -> bool:
+    """Whether an identifier names a simulation time or duration."""
+    return _TIME_NAME_RE.search(name) is not None
+
+
+def _terminal_identifier(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+class FloatTimeEqualityRule(LintRule):
+    """FLT001 — flag ``==``/``!=`` where either operand is time-named."""
+
+    code = "FLT001"
+    name = "no-float-time-equality"
+    description = (
+        "exact ==/!= on simulation times is ulp-fragile; schedules must not "
+        "depend on two float computations landing on the identical bit pattern"
+    )
+    hint = (
+        "compare with an explicit tolerance (math.isclose or "
+        "abs(a - b) <= eps) or compare discrete identity (event sequence "
+        "numbers, job keys) instead of times"
+    )
+    scope = ("repro",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_zero_literal(left) or _is_zero_literal(right):
+                    continue
+                for side in (left, right):
+                    name = _terminal_identifier(side)
+                    if name is not None and is_time_like_name(name):
+                        symbol = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"exact float `{symbol}` on simulation time `{name}`",
+                        )
+                        break

@@ -1,0 +1,130 @@
+"""UNI001 — unit-suffix discipline on public dataclass float fields.
+
+Floats crossing a public dataclass boundary are the API through which the
+scheduler core, the simulator, and the broker exchange *quantities* —
+seconds, megabytes, megabits-per-second. A bare ``timeout: float`` forces
+every caller to guess; a unit mixup here is exactly the class of bug that
+survives every test that only checks relative orderings.
+
+The repo's conventions, which this rule enforces inside the deterministic
+core (``repro.sim``, ``repro.models``, ``repro.service``, ``repro.core``):
+
+* **explicit unit suffixes** — ``_s``, ``_ms``, ``_mb``, ``_mbps``,
+  ``_per_s``, ``_hour``/``_hours``, ``_dpi``, ``_pct``;
+* **absolute simulation instants** (always seconds on the simulator's
+  axis) — ``now``, ``time``, ``completion``, ``deadline``, or names
+  ending in ``_time``, ``_start``, ``_end``, ``_at``, ``_completion``,
+  ``_completions``, ``_deadline``, ``_free``;
+* **dimensionless quantities** — names containing a ``speed``, ``ratio``,
+  ``fraction``/``frac``, ``factor``, ``alpha``, ``amplitude``,
+  ``variation``, ``scale``/``scaling``, ``cv``, ``util``/``utilization``,
+  ``speedup``, ``weight``, or ``coverage`` token.
+
+Only plainly float-typed fields are checked (``float``,
+``Optional[float]``, ``list[float]``, ``tuple[float, ...]``); compound
+structures carry their units in their element documentation. Private
+dataclasses (leading underscore) are internal bookkeeping and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..lint import LintRule, ModuleContext, Violation
+
+__all__ = ["UnitsSuffixRule", "has_unit_convention"]
+
+_UNIT_SUFFIXES = (
+    "_s", "_ms", "_mb", "_mbps", "_per_s", "_hour", "_hours", "_dpi", "_pct",
+)
+
+_INSTANT_RE = re.compile(
+    r"(?:^(?:now|time|completion|deadline)$"
+    r"|_(?:time|start|end|at|completion|completions|deadline|free)$)"
+)
+
+_DIMENSIONLESS_TOKENS = frozenset(
+    {
+        "speed", "speeds", "ratio", "fraction", "frac", "factor", "alpha",
+        "amplitude", "variation", "scale", "scaling", "cv", "util",
+        "utilization", "speedup", "weight", "coverage",
+    }
+)
+
+#: Annotations the rule considers "plainly a float quantity".
+_FLOAT_ANNOTATIONS = frozenset(
+    {
+        "float",
+        "Optional[float]",
+        "float | None",
+        "None | float",
+        "list[float]",
+        "List[float]",
+        "tuple[float, ...]",
+        "Tuple[float, ...]",
+    }
+)
+
+
+def has_unit_convention(name: str) -> bool:
+    """Whether a float field name declares its units by convention."""
+    if name.endswith(_UNIT_SUFFIXES):
+        return True
+    if _INSTANT_RE.search(name):
+        return True
+    return any(token in _DIMENSIONLESS_TOKENS for token in name.split("_"))
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+class UnitsSuffixRule(LintRule):
+    """UNI001 — public dataclass float fields must name their units."""
+
+    code = "UNI001"
+    name = "units-suffix"
+    description = (
+        "float fields on public dataclasses must carry a unit suffix or a "
+        "documented convention name so quantities cannot be mixed up"
+    )
+    hint = (
+        "rename with an explicit unit suffix (_s, _mb, _mbps, _hour) or a "
+        "convention name from docs/analysis.md; genuinely unitless counts "
+        "may suppress with a justified '# repro: allow[UNI001]'"
+    )
+    scope = ("repro.sim", "repro.models", "repro.service", "repro.core")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_") or not _is_dataclass(node):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                field_name = stmt.target.id
+                if field_name.startswith("_"):
+                    continue
+                annotation = ast.unparse(stmt.annotation)
+                if annotation not in _FLOAT_ANNOTATIONS:
+                    continue
+                if has_unit_convention(field_name):
+                    continue
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"float field `{node.name}.{field_name}` has no unit "
+                    f"suffix or convention name",
+                )

@@ -1,0 +1,152 @@
+"""The ``repro`` command: self-checks for the reproduction codebase.
+
+Three subcommands, all exit-status driven so CI can gate on them:
+
+* ``repro lint [paths...]`` — run the custom AST lint
+  (:mod:`repro.analysis.lint`) over source trees; defaults to the
+  installed ``repro`` package itself. Exit 1 on any violation.
+* ``repro check [--scheduler NAME]`` — the determinism harness
+  (:mod:`repro.analysis.determinism`): run each paper scheduler twice on
+  the same seeded workload with runtime invariants enabled and compare
+  trace hashes. Exit 1 on divergence or invariant violation.
+* ``repro typecheck`` — ``mypy --strict`` over the typed core
+  (``repro.sim.engine``, ``repro.core``, ``repro.analysis``). Skips with
+  exit 0 when mypy is not installed (the pinned container image carries
+  no type-checker; CI installs one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+#: Modules under ``mypy --strict`` — the "typed core" gate. Paths are
+#: relative to the package directory so the command works from any CWD.
+STRICT_TARGETS = ("sim/engine.py", "core", "analysis")
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import render_report, run_lint
+
+    paths = [Path(p) for p in args.paths] if args.paths else [_package_root()]
+    for path in paths:
+        if not path.exists():
+            print(f"repro lint: no such path: {path}", file=sys.stderr)
+            return 2
+    violations = run_lint(paths)
+    print(render_report(violations))
+    return 1 if violations else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.determinism import check_determinism
+    from .analysis.invariants import InvariantError
+    from .experiments.config import DEFAULT_SPEC
+    from .experiments.runner import PAPER_SCHEDULERS, SCHEDULER_NAMES
+
+    schedulers: Sequence[str] = args.scheduler or list(PAPER_SCHEDULERS)
+    unknown = [s for s in schedulers if s not in SCHEDULER_NAMES]
+    if unknown:
+        print(
+            f"repro check: unknown scheduler(s) {unknown}; "
+            f"choose from {SCHEDULER_NAMES}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = DEFAULT_SPEC
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    print(
+        f"determinism check: {len(schedulers)} scheduler(s), "
+        f"double-run with invariants "
+        f"{'on' if not args.no_invariants else 'off'}"
+    )
+    try:
+        results = check_determinism(
+            schedulers, spec=spec, invariants=not args.no_invariants
+        )
+    except InvariantError as exc:
+        print(f"invariant violated during check run: {exc}", file=sys.stderr)
+        return 1
+    failed = False
+    for result in results:
+        print(result.render())
+        failed = failed or not result.deterministic
+    return 1 if failed else 0
+
+
+def _cmd_typecheck(args: argparse.Namespace) -> int:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        print(
+            "repro typecheck: mypy is not installed; skipping "
+            "(CI runs this gate with mypy --strict)"
+        )
+        return 0
+    import subprocess
+
+    root = _package_root()
+    targets = [str(root / rel) for rel in STRICT_TARGETS]
+    cmd = [sys.executable, "-m", "mypy", "--strict", *targets]
+    print("running:", " ".join(cmd))
+    return subprocess.call(cmd)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-checks for the cloud-bursting reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lint = sub.add_parser("lint", help="run the custom AST lint")
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_check = sub.add_parser(
+        "check", help="double-run determinism + invariant check"
+    )
+    p_check.add_argument(
+        "--scheduler",
+        action="append",
+        help="scheduler to check (repeatable; default: the paper's four)",
+    )
+    p_check.add_argument(
+        "--seed", type=int, default=None, help="override the workload seed"
+    )
+    p_check.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="hash-compare only, without the runtime invariant checker",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    p_type = sub.add_parser(
+        "typecheck", help="mypy --strict over the typed core"
+    )
+    p_type.set_defaults(func=_cmd_typecheck)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ in :class:`repro.sim.pipeline.TransferPipeline`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -76,7 +76,7 @@ class SizeIntervalSplittingScheduler(OrderPreservingScheduler):
 
     name = "OpSIBS"
 
-    def __init__(self, estimator: FinishTimeEstimator, **op_kwargs) -> None:
+    def __init__(self, estimator: FinishTimeEstimator, **op_kwargs: Any) -> None:
         super().__init__(estimator, **op_kwargs)
 
     def wants_size_interval_queues(self) -> bool:

@@ -202,6 +202,23 @@ class SystemState:
         self.ec_free[idx] = ec_exec_end
         self.pending_completions.append(completion)
 
+    def commit_ec_site(
+        self, site: ECSiteState, job: Job, ec_exec_end: float, completion: float
+    ) -> None:
+        """Record an EC assignment on an *extra* site (multi-cloud bursting).
+
+        The mirror of :meth:`commit_ec` for a site in :attr:`extra_sites`:
+        that site's backlog and machine load grow, while the completion
+        joins this state's shared pending pool (slack is queue-global no
+        matter where the job bursts).
+        """
+        site.upload_backlog_mb += job.input_mb
+        site.download_backlog_mb += job.output_mb
+        if site.ec_free:
+            idx = min(range(len(site.ec_free)), key=site.ec_free.__getitem__)
+            site.ec_free[idx] = ec_exec_end
+        self.pending_completions.append(completion)
+
 
 class Scheduler(abc.ABC):
     """Common interface of the cloud-bursting schedulers.

@@ -97,14 +97,8 @@ class SiteView:
         """Fold a planned placement into this site's state."""
         if self._extra is None:
             self._state.commit_ec(job, ec_exec_end, completion)
-            return
-        site = self._extra
-        site.upload_backlog_mb += job.input_mb
-        site.download_backlog_mb += job.output_mb
-        if site.ec_free:
-            idx = min(range(len(site.ec_free)), key=site.ec_free.__getitem__)
-            site.ec_free[idx] = ec_exec_end
-        self._state.pending_completions.append(completion)
+        else:
+            self._state.commit_ec_site(self._extra, job, ec_exec_end, completion)
 
 
 def site_views(state: SystemState) -> list[SiteView]:

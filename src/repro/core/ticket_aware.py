@@ -21,6 +21,7 @@ scheduler never sees ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..common import Placement
 from ..workload.document import Job
@@ -34,23 +35,23 @@ __all__ = ["TicketQuote", "TicketAwareScheduler"]
 
 @dataclass(frozen=True)
 class TicketQuote:
-    """Promise generator: ``deadline = now + base + factor * est_proc``.
+    """Promise generator: ``deadline = now + base_s + factor * est_proc``.
 
-    ``factor=0`` with a positive ``base`` reproduces the paper's flat
+    ``factor=0`` with a positive ``base_s`` reproduces the paper's flat
     "certain number of seconds from submission"; a positive factor quotes
     proportionally to the job's estimated work, as a shop that sees the
     document features up front would.
     """
 
-    base: float = 300.0
+    base_s: float = 300.0
     factor: float = 3.0
 
     def __post_init__(self) -> None:
-        if self.base < 0 or self.factor < 0 or (self.base == 0 and self.factor == 0):
+        if self.base_s < 0 or self.factor < 0 or (self.base_s == 0 and self.factor == 0):
             raise ValueError("quote must produce positive promises")
 
     def deadline(self, now: float, est_proc: float) -> float:
-        return now + self.base + self.factor * est_proc
+        return now + self.base_s + self.factor * est_proc
 
 
 class TicketAwareScheduler(OrderPreservingScheduler):
@@ -62,7 +63,7 @@ class TicketAwareScheduler(OrderPreservingScheduler):
         self,
         estimator: FinishTimeEstimator,
         quote: TicketQuote = TicketQuote(),
-        **op_kwargs,
+        **op_kwargs: Any,
     ) -> None:
         super().__init__(estimator, **op_kwargs)
         self.quote = quote

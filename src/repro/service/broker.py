@@ -151,6 +151,8 @@ class BurstBroker:
         if self._finished:
             raise RuntimeError("broker session already finished")
         self._finished = True
+        if self.env.invariants is not None:
+            self.env.invariants.check_broker_counters(self.stats)
         trace = self.env.finish_online()
         trace.metadata["admission"] = {
             "submitted": self.stats.submitted,

@@ -47,7 +47,7 @@ class LoadGenConfig:
     n_jobs: int = 100_000
     rate_per_s: float = 50.0
     process: str = "poisson"  # "poisson" | "bursty"
-    mean_burst: float = 10.0
+    mean_burst: float = 10.0  # repro: allow[UNI001] mean jobs per burst (a count, not a unit quantity)
     bucket: Bucket = Bucket.UNIFORM
     seed: int = 2024
     first_arrival_s: float = 0.0
@@ -176,19 +176,19 @@ def run_load(
     )
 
     latencies: list[float] = []
-    t_start = time.perf_counter()
+    t_start = time.perf_counter()  # repro: allow[DET001] wall throughput is the measurement
     for arrival_time, jobs in generate_arrivals(config, generator=gen):
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow[DET001] quote-latency meter
         broker.submit(jobs, arrival_time=arrival_time)
-        per_job = (time.perf_counter() - t0) / len(jobs)
+        per_job = (time.perf_counter() - t0) / len(jobs)  # repro: allow[DET001] quote-latency meter
         latencies.extend([per_job] * len(jobs))
         result.n_submitted += len(jobs)
         result.n_groups += 1
-    result.submit_wall_s = time.perf_counter() - t_start
+    result.submit_wall_s = time.perf_counter() - t_start  # repro: allow[DET001] wall throughput is the measurement
 
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # repro: allow[DET001] drain-time meter
     trace = broker.finish()
-    result.drain_wall_s = time.perf_counter() - t0
+    result.drain_wall_s = time.perf_counter() - t0  # repro: allow[DET001] drain-time meter
     result.sim_horizon_s = trace.end_time - env.origin
     result.quote_latency_s = np.array(latencies)
     return result

@@ -59,7 +59,7 @@ class Event:
     time: float
     seq: int
     callback: Callable[..., None]
-    args: tuple = field(default_factory=tuple)
+    args: tuple[Any, ...] = field(default_factory=tuple)
     cancelled: bool = False
 
     def cancel(self) -> None:
@@ -93,6 +93,12 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        #: Opt-in observer invoked for every executed event, after the clock
+        #: advances and before the callback runs. The runtime invariant
+        #: checker (:mod:`repro.analysis.invariants`) hangs off this; it is
+        #: a single attribute (not a list) to keep the hot loop at one
+        #: ``None`` check per event.
+        self.on_event: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -166,6 +172,8 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
+            if self.on_event is not None:
+                self.on_event(event)
             event.callback(*event.args)
             return True
         return False

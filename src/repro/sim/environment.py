@@ -231,9 +231,24 @@ class CloudBurstEnvironment:
         #: :class:`JobRecord` — the online broker's streaming SLA counters
         #: hang off this.
         self.on_job_complete: Optional[callable] = None
+        #: Runtime invariant checker, when installed
+        #: (:func:`repro.analysis.invariants.install_invariants`); gets
+        #: first-class lifecycle calls so observers above stay free for
+        #: callers.
+        self.invariants = None
 
         if config.enable_ic_pull:
             self.ic.on_idle = self._on_ic_idle
+
+        # Opt-in runtime checking for the whole suite: REPRO_INVARIANTS=1
+        # arms every environment at construction (deferred import — the
+        # analysis package is a consumer of this module, not a dependency).
+        from ..analysis.invariants import invariants_enabled
+
+        if invariants_enabled():
+            from ..analysis.invariants import install_invariants
+
+            install_invariants(self)
 
     def _build_extra_site(self, spec: ECSiteSpec) -> _SiteRuntime:
         """Stand up the full network+compute stack for one extra EC site."""
@@ -461,6 +476,8 @@ class CloudBurstEnvironment:
                 "up_probes": self.up_probe.n_probes,
             }
         )
+        if self.invariants is not None:
+            self.invariants.on_finish(trace)
         return trace
 
     def run(self, batches: Sequence[Batch], scheduler: Scheduler) -> RunTrace:
@@ -581,6 +598,8 @@ class CloudBurstEnvironment:
         self._open[job.key] = st
         self._trace.records.append(record)
         self._remaining += 1
+        if self.invariants is not None:
+            self.invariants.on_admit(record)
         if placement == Placement.IC:
             self._dispatch_ic(job)
         else:
@@ -673,6 +692,8 @@ class CloudBurstEnvironment:
         st.done = True
         self._remaining -= 1
         self._open.pop(st.job.key, None)
+        if self.invariants is not None:
+            self.invariants.on_complete(st.record)
         if self.on_job_complete is not None:
             self.on_job_complete(st.record)
 

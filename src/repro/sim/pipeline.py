@@ -97,6 +97,11 @@ class TransferPipeline:
         self.queues: list[SizeQueue] = [SizeQueue(f"{name}-all", 0.0, math.inf)]
         self.items_completed = 0
         self._active_count = 0
+        #: Opt-in observer fired when a transfer occupies a queue slot —
+        #: the invariant checker verifies the SIBS cross-queue policy here.
+        self.on_transfer_start: Optional[
+            Callable[["TransferPipeline", SizeQueue, PipelineItem], None]
+        ] = None
 
     # ------------------------------------------------------------------
     # Queue structure
@@ -240,6 +245,8 @@ class TransferPipeline:
         item.assigned_queue = queue
         item.queue_name = queue.name
         self._active_count += 1
+        if self.on_transfer_start is not None:
+            self.on_transfer_start(self, queue, item)
         threads = self.tuner.threads_for(self.sim.now)
         if item.on_start is not None:
             item.on_start(item.payload)

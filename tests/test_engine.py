@@ -298,3 +298,75 @@ class TestProperties:
             events[i].cancel()
         sim.run()
         assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+class TestEdgeCases:
+    """Corner behaviours the invariant checker and broker lean on."""
+
+    def test_cancel_after_event_already_ran_is_harmless(self):
+        """Lazy cancellation of an event the heap already popped.
+
+        ``cancel()`` is only a flag; flipping it on a handle whose
+        callback already executed must neither raise nor disturb later
+        events (the fluid-flow link cancels completion events it may
+        have just consumed during a capacity rebuild).
+        """
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, fired.append, "first")
+        sim.schedule(2.0, fired.append, "second")
+        assert sim.step()  # pops and runs `first`
+        first.cancel()  # stale handle: event is gone from the heap
+        assert not first.active
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.events_processed == 2
+
+    def test_cancel_from_within_own_callback(self):
+        """An event cancelling *itself* mid-execution is a no-op too."""
+        sim = Simulator()
+        holder = {}
+        holder["ev"] = sim.schedule(1.0, lambda: holder["ev"].cancel())
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_same_instant_fifo_across_mixed_scheduling(self):
+        """FIFO tie-break holds for events reaching one instant two ways:
+        scheduled directly and scheduled *from a callback* at now."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "a")
+
+        def spawn_at_now():
+            fired.append("b")
+            sim.schedule(0.0, fired.append, "d")  # same instant, higher seq
+
+        sim.schedule(5.0, spawn_at_now)
+        sim.schedule(5.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_run_until_boundary_is_exclusive(self):
+        """An event at exactly ``run_until``'s target stays pending."""
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10.0, fired.append, "edge")
+        executed = sim.run_until(10.0)
+        assert executed == 0
+        assert fired == []
+        assert sim.now == 10.0
+        # The pending event still fires on the next advance, at its time.
+        sim.run_until(10.0, inclusive=True)
+        assert fired == ["edge"]
+        assert sim.now == 10.0
+
+    def test_scheduling_exactly_at_now_after_boundary_advance(self):
+        """After the clock lands exactly on t, scheduling at t is legal
+        (not "in the past") and runs after the earlier same-time event."""
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10.0, fired.append, "pre")
+        sim.run_until(10.0)
+        sim.schedule_at(10.0, fired.append, "post")
+        sim.run()
+        assert fired == ["pre", "post"]

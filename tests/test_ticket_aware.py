@@ -20,18 +20,18 @@ from tests.test_schedulers import StubEstimator
 
 class TestTicketQuote:
     def test_deadline_arithmetic(self):
-        q = TicketQuote(base=100.0, factor=2.0)
+        q = TicketQuote(base_s=100.0, factor=2.0)
         assert q.deadline(now=50.0, est_proc=30.0) == pytest.approx(210.0)
 
     def test_flat_quote(self):
-        q = TicketQuote(base=600.0, factor=0.0)
+        q = TicketQuote(base_s=600.0, factor=0.0)
         assert q.deadline(0.0, 1000.0) == 600.0
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            TicketQuote(base=-1.0)
+            TicketQuote(base_s=-1.0)
         with pytest.raises(ValueError):
-            TicketQuote(base=0.0, factor=0.0)
+            TicketQuote(base_s=0.0, factor=0.0)
 
 
 class TestGuardLogic:
@@ -52,7 +52,7 @@ class TestGuardLogic:
         jobs, state = self.scenario()
         # Deadline = now + 50 + 2*30 = 110 < EC completion 180; IC = 30 <= 110.
         sched = TicketAwareScheduler(
-            StubEstimator(), quote=TicketQuote(base=50.0, factor=2.0),
+            StubEstimator(), quote=TicketQuote(base_s=50.0, factor=2.0),
             enable_chunking=False,
         )
         plan = sched.plan(jobs, state)
@@ -69,7 +69,7 @@ class TestGuardLogic:
         jobs, state = self.scenario()
         state.ic_free = [400.0, 400.0]  # IC completion 430 > any deadline
         sched = TicketAwareScheduler(
-            StubEstimator(), quote=TicketQuote(base=50.0, factor=2.0),
+            StubEstimator(), quote=TicketQuote(base_s=50.0, factor=2.0),
             enable_chunking=False,
         )
         plan = sched.plan(jobs, state)
@@ -79,7 +79,7 @@ class TestGuardLogic:
         jobs, state = self.scenario()
         s2 = state.clone()
         generous = TicketAwareScheduler(
-            StubEstimator(), quote=TicketQuote(base=10_000.0, factor=0.0),
+            StubEstimator(), quote=TicketQuote(base_s=10_000.0, factor=0.0),
             enable_chunking=False,
         )
         op = OrderPreservingScheduler(StubEstimator(), enable_chunking=False)
@@ -94,7 +94,7 @@ class TestEndToEnd:
         spec = ExperimentSpec(
             bucket=Bucket.LARGE, n_batches=4, system=SystemConfig(seed=42)
         )
-        quote = TicketQuote(base=60.0, factor=1.6)
+        quote = TicketQuote(base_s=60.0, factor=1.6)
         policy = ProportionalTicket(base=60.0, factor=1.6)
         compliance = {"Op": [], "TicketOp": []}
         for seed in (42, 43, 44):
