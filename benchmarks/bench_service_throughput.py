@@ -29,7 +29,7 @@ RATES = (
 
 def _policy() -> SLAPolicy:
     return SLAPolicy(
-        ticket=ProportionalTicket(base=300.0, factor=6.0),
+        ticket=ProportionalTicket(base_s=300.0, factor=6.0),
         degraded_slack_s=-120.0,
         max_in_system=60,
     )

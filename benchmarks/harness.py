@@ -1,0 +1,13 @@
+"""Canonical bench harness runner — thin alias for ``repro bench``.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/harness.py [--smoke] [--out PATH]
+
+Writes ``BENCH_core.json`` (see :mod:`repro.perf.harness` for the schema).
+"""
+
+from repro.perf.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

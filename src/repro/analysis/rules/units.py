@@ -18,7 +18,7 @@ core (``repro.sim``, ``repro.models``, ``repro.service``, ``repro.core``):
 * **dimensionless quantities** — names containing a ``speed``, ``ratio``,
   ``fraction``/``frac``, ``factor``, ``alpha``, ``amplitude``,
   ``variation``, ``scale``/``scaling``, ``cv``, ``util``/``utilization``,
-  ``speedup``, ``weight``, or ``coverage`` token.
+  ``speedup``, ``weight``, ``coverage``, or ``jobs`` (a count) token.
 
 Only plainly float-typed fields are checked (``float``,
 ``Optional[float]``, ``list[float]``, ``tuple[float, ...]``); compound
@@ -49,7 +49,7 @@ _DIMENSIONLESS_TOKENS = frozenset(
     {
         "speed", "speeds", "ratio", "fraction", "frac", "factor", "alpha",
         "amplitude", "variation", "scale", "scaling", "cv", "util",
-        "utilization", "speedup", "weight", "coverage",
+        "utilization", "speedup", "weight", "coverage", "jobs",
     }
 )
 

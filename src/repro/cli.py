@@ -1,6 +1,9 @@
-"""The ``repro`` command: self-checks for the reproduction codebase.
+"""The unified ``repro`` command.
 
-Three subcommands, all exit-status driven so CI can gate on them:
+One entry point, three subcommand groups, all exit-status driven so CI
+can gate on them:
+
+**Self-checks**
 
 * ``repro lint [paths...]`` — run the custom AST lint
   (:mod:`repro.analysis.lint`) over source trees; defaults to the
@@ -13,6 +16,25 @@ Three subcommands, all exit-status driven so CI can gate on them:
   (``repro.sim.engine``, ``repro.core``, ``repro.analysis``). Skips with
   exit 0 when mypy is not installed (the pinned container image carries
   no type-checker; CI installs one).
+
+**Experiments** (contributed by :mod:`repro.experiments.cli`)
+
+* ``repro render <fig6|table1|...|all>`` — regenerate paper figures and
+  tables (``repro fig6`` works as positional sugar).
+* ``repro snapshot`` / ``repro diff`` — persist and compare comparison
+  runs for regression tracking.
+* ``repro serve`` / ``repro loadgen`` — the online broker service path
+  and its heavy-traffic load driver.
+
+**Benchmarks**
+
+* ``repro bench [--smoke] [--out PATH]`` — the canonical performance
+  harness (:mod:`repro.perf.harness`): engine event throughput, offline
+  end-to-end runs per paper scheduler, broker load-driver throughput.
+  Writes ``BENCH_core.json``.
+
+The historic ``repro-experiment`` console script forwards here with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -103,10 +125,24 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
     return subprocess.call(cmd)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.harness import run_bench
+
+    report = run_bench(smoke=args.smoke, out_path=args.out)
+    print(report.render())
+    print(f"wrote {report.path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from .experiments.cli import register_commands
+
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Self-checks for the cloud-bursting reproduction.",
+        description=(
+            "Cloud-bursting reproduction: self-checks, experiments and "
+            "benchmarks under one command."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -140,11 +176,32 @@ def build_parser() -> argparse.ArgumentParser:
         "typecheck", help="mypy --strict over the typed core"
     )
     p_type.set_defaults(func=_cmd_typecheck)
+
+    register_commands(sub)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the canonical performance benchmark harness"
+    )
+    p_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny preset for CI: exercises every scenario in seconds",
+    )
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        help="where to write the JSON report (default: BENCH_core.json)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    from .experiments.cli import expand_render_sugar
+
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(expand_render_sugar(argv))
     return args.func(args)
 
 

@@ -48,6 +48,15 @@ class FinishTimeEstimator:
         """``t^e(i)``: estimated processing time on a standard machine."""
         return float(self.qrsm.predict(job.features))
 
+    def est_proc_times(self, jobs: "list[Job] | tuple[Job, ...]") -> list[float]:
+        """Batch ``t^e`` for a whole arrival, bit-identical per job.
+
+        Delegates to :meth:`QuadraticResponseSurface.predict_many`, which
+        serves every row through the same cached single-sample path the
+        scalar call uses.
+        """
+        return [float(p) for p in self.qrsm.predict_many([j.features for j in jobs])]
+
     # ------------------------------------------------------------------
     def ft_ic(self, job: Job, state: SystemState, est_proc: float | None = None) -> float:
         """Estimated completion if placed on the internal cloud now.

@@ -47,9 +47,9 @@ class SlackLedger:
 
     def __init__(self, pending_completions: Iterable[float], now: float) -> None:
         self.now = now
-        self._max: Optional[float] = None
-        for t in pending_completions:
-            self._observe(t)
+        # One C-level ``max`` instead of a per-item ``_observe`` loop; this
+        # runs once per scheduling decision over every pending completion.
+        self._max: Optional[float] = max(pending_completions, default=None)
 
     def _observe(self, completion: float) -> None:
         if self._max is None or completion > self._max:

@@ -1,21 +1,29 @@
-"""Command-line entry point: ``repro-experiment <target>``.
+"""Experiment subcommands of the unified ``repro`` CLI.
 
-Regenerates any paper figure/table from the terminal:
+This module owns the figure/table renderers and the service commands
+(``render``/``snapshot``/``diff``/``serve``/``loadgen``) and mounts them
+onto the single ``repro`` entry point via :func:`register_commands`:
 
-    repro-experiment fig6
-    repro-experiment table1 --seeds 42 43 44
-    repro-experiment all
+    repro render fig6
+    repro render all
+    repro loadgen --scheduler Op --jobs 8000
+
+``python -m repro.experiments.cli`` (and the ``repro-experiment`` console
+script) remain as a **deprecated** forwarding shim for one release: they
+emit a :class:`DeprecationWarning` and delegate to :func:`repro.cli.main`,
+including the historic ``repro-experiment fig6`` positional sugar.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+import warnings
+from typing import Callable, Sequence
 
 from . import figures, tables
 
-__all__ = ["main"]
+__all__ = ["main", "register_commands", "expand_render_sugar"]
 
 
 def _render_fig7() -> str:
@@ -98,7 +106,7 @@ def _policy_from_args(args):
     elif args.ticket == "fixed":
         ticket = FixedSlaTicket(promise=args.promise)
     else:
-        ticket = ProportionalTicket(base=args.ticket_base, factor=args.ticket_factor)
+        ticket = ProportionalTicket(base_s=args.ticket_base, factor=args.ticket_factor)
     return SLAPolicy(
         ticket=ticket,
         min_slack_s=args.min_slack,
@@ -121,7 +129,7 @@ def _run_service(args):
         n_jobs=args.jobs,
         rate_per_s=args.rate,
         process=args.process,
-        mean_burst=args.mean_burst,
+        mean_burst_jobs=args.mean_burst,
         bucket=Bucket(args.bucket),
         seed=args.seed,
     )
@@ -217,17 +225,31 @@ def _cmd_diff(args) -> int:
     return 1 if drifted else 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiment",
-        description="Regenerate figures/tables from the ICPP 2010 cloud-bursting paper.",
-    )
-    sub = parser.add_subparsers(dest="command")
+def _cmd_render(args) -> int:
+    """Regenerate one figure/table (or every one with ``all``)."""
+    targets = list(_TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        print(f"=== {name} " + "=" * max(0, 70 - len(name)))
+        print(_TARGETS[name]())
+        print()
+    return 0
 
+
+#: Subcommand names this module contributes to the unified ``repro`` CLI.
+EXPERIMENT_COMMANDS = ("render", "snapshot", "diff", "serve", "loadgen")
+
+
+def register_commands(sub: argparse._SubParsersAction) -> None:
+    """Mount the experiment subcommands on a ``repro`` subparsers object.
+
+    Each subparser sets ``func`` so the host CLI can dispatch uniformly
+    with ``args.func(args)``.
+    """
     render = sub.add_parser(
-        "render", help="regenerate a figure/table (default command)"
+        "render", help="regenerate a paper figure/table"
     )
     render.add_argument("target", choices=[*_TARGETS, "all"])
+    render.set_defaults(func=_cmd_render)
 
     snapshot = sub.add_parser(
         "snapshot", help="run the scheduler comparison and persist it"
@@ -258,23 +280,32 @@ def main(argv: list[str] | None = None) -> int:
                          help="also write the summary to this file")
     loadgen.set_defaults(func=_cmd_loadgen)
 
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # Back-compat sugar: `repro-experiment fig6` == `repro-experiment render fig6`.
+
+def expand_render_sugar(argv: Sequence[str]) -> list[str]:
+    """Historic positional sugar: ``fig6`` means ``render fig6``."""
+    argv = list(argv)
     if argv and argv[0] in (*_TARGETS, "all"):
         argv = ["render", *argv]
-    args = parser.parse_args(argv)
+    return argv
 
-    if args.command == "render":
-        targets = list(_TARGETS) if args.target == "all" else [args.target]
-        for name in targets:
-            print(f"=== {name} " + "=" * max(0, 70 - len(name)))
-            print(_TARGETS[name]())
-            print()
-        return 0
-    if args.command in ("snapshot", "diff", "serve", "loadgen"):
-        return args.func(args)
-    parser.print_help()
-    return 2
+
+def main(argv: list[str] | None = None) -> int:
+    """Deprecated shim: forward to the unified :func:`repro.cli.main`.
+
+    Kept for one release so ``repro-experiment`` invocations and scripts
+    doing ``python -m repro.experiments.cli`` keep working while callers
+    migrate to ``repro <subcommand>``.
+    """
+    warnings.warn(
+        "the repro-experiment entry point (repro.experiments.cli.main) is "
+        "deprecated; use the unified `repro` command (repro.cli.main)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..cli import main as unified_main
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    return unified_main(expand_render_sugar(argv))
 
 
 if __name__ == "__main__":

@@ -95,7 +95,10 @@ def quadratic_design_vector(x: np.ndarray) -> np.ndarray:
     out = np.empty(1 + 2 * d + d * (d - 1) // 2)
     out[0] = 1.0
     out[1 : 1 + d] = x
-    out[1 + d : 1 + d + d * (d - 1) // 2] = np.outer(x, x)[_triu_indices(d)]
+    # x[iu] * x[ju] is the upper-triangle of np.outer(x, x) gathered
+    # directly — identical multiplications without the d*d outer product.
+    iu, ju = _triu_indices(d)
+    out[1 + d : 1 + d + d * (d - 1) // 2] = x[iu] * x[ju]
     out[1 + d + d * (d - 1) // 2 :] = x * x
     return out
 
@@ -172,6 +175,13 @@ class QuadraticResponseSurface:
         self._scaler: Optional[_Scaler] = None
         self._P: Optional[np.ndarray] = None  # RLS covariance
         self.n_observations = 0
+        self._indices_list = list(self.feature_indices)
+        #: Scaled design rows keyed by (hashable, frozen) features. The
+        #: scaled row is a pure function of the feature values, the index
+        #: subset and the fitted scaler, so entries stay valid until the
+        #: next :meth:`fit` (which replaces the scaler and clears this).
+        #: Rows are shared and must be treated as read-only.
+        self._z_cache: dict[DocumentFeatures, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Design helpers
@@ -192,10 +202,23 @@ class QuadraticResponseSurface:
         return quadratic_design_matrix(self._raw_matrix(features))
 
     def _scaled_design_vector(self, features: DocumentFeatures) -> np.ndarray:
-        """Scaled basis row for one sample, skipping 2-D matrix assembly."""
-        x = np.asarray(features.vector(), dtype=float)[list(self.feature_indices)]
-        z = quadratic_design_vector(x)
-        return (z - self._scaler.mean) / self._scaler.scale
+        """Scaled basis row for one sample, skipping 2-D matrix assembly.
+
+        The per-quote/per-observation hot path: each distinct features
+        object is expanded and scaled once, then served from the cache
+        (one job is typically quoted, planned *and* observed).
+        """
+        z = self._z_cache.get(features)
+        if z is None:
+            x = features.vector()[self._indices_list]
+            z = quadratic_design_vector(x)
+            # In-place standardisation: z is a fresh buffer, and the
+            # elementwise operations are bitwise identical to
+            # ``(z - mean) / scale``.
+            z -= self._scaler.mean
+            z /= self._scaler.scale
+            self._z_cache[features] = z
+        return z
 
     # ------------------------------------------------------------------
     # Batch fitting
@@ -213,6 +236,7 @@ class QuadraticResponseSurface:
         if Z.shape[0] < 2:
             raise ValueError("need at least two observations to fit")
         self._scaler = _Scaler.fit(Z)
+        self._z_cache.clear()  # scaled rows depend on the (new) scaler
         Zs = self._scaler.transform(Z)
         if self.method == "l1":
             self.coef_ = _fit_l1(Zs, y)
@@ -243,8 +267,14 @@ class QuadraticResponseSurface:
         denom = lam + float(z @ Pz)
         gain = Pz / denom
         err = float(observed_time) - float(z @ self.coef_)
-        self.coef_ = self.coef_ + gain * err
-        self._P = (P - np.outer(gain, Pz)) / lam
+        # In-place updates: elementwise arithmetic is bitwise identical to
+        # the out-of-place ``coef_ + gain * err`` / ``(P - outer) / lam``
+        # forms, without reallocating the covariance each observation. The
+        # broadcast product is ``np.outer`` without its ravel/reshape
+        # overhead — the same pairwise multiplications.
+        self.coef_ += gain * err
+        P -= gain[:, None] * Pz
+        P /= lam
         self.n_observations += 1
 
     # ------------------------------------------------------------------
@@ -266,6 +296,22 @@ class QuadraticResponseSurface:
         # extrapolations rather than returning negative estimates.
         pred = np.maximum(pred, 0.1)
         return pred
+
+    def predict_many(self, features: Sequence[DocumentFeatures]) -> np.ndarray:
+        """Batch prediction through the cached single-sample path.
+
+        Used by batch planners (``plan_online`` quoting a whole arrival)
+        and the bench harness. Each row goes through the *same* scaled-row
+        cache and 1-D dot product as :meth:`predict` on a single sample —
+        deliberately not a matrix product, whose BLAS kernel may round
+        differently — so batch and per-job predictions are bit-identical.
+        """
+        self._require_fitted()
+        coef = self.coef_
+        return np.array(
+            [max(float(self._scaled_design_vector(f) @ coef), 0.1) for f in features],
+            dtype=float,
+        )
 
     def residuals(
         self, features: Sequence[DocumentFeatures] | np.ndarray, y: np.ndarray

@@ -1,0 +1,11 @@
+"""Performance harness for the reproduction (``repro bench``).
+
+Not part of the deterministic core: everything here measures wall-clock
+behaviour of the simulator, the offline runner, and the online broker,
+and writes the canonical ``BENCH_core.json`` report that CI archives and
+the performance docs quote.
+"""
+
+from .harness import BenchPreset, BenchReport, run_bench
+
+__all__ = ["BenchPreset", "BenchReport", "run_bench"]

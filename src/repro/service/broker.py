@@ -77,7 +77,7 @@ class BurstBroker:
         self.scheduler = scheduler
         self.policy = policy if policy is not None else SLAPolicy()
         self.stats = stats if stats is not None else StreamingSLAStats()
-        env.start_online(scheduler)
+        self._session = env.session(scheduler)
         env.on_job_complete = self.stats.on_complete
         self._finished = False
         self._last_arrival = -float("inf")
@@ -132,8 +132,10 @@ class BurstBroker:
             outcomes.append(SubmissionOutcome(job=job, quote=quote, result=result))
 
         if admitted:
-            plan = self.env.submit_online(
-                [job for job, _ in admitted], batch_id=batch_id
+            # Reuse the quoting snapshot: no event has run since it was
+            # built, so a rebuild would be bit-identical work.
+            plan = self._session.submit(
+                [job for job, _ in admitted], batch_id=batch_id, state=state
             )
             if self.policy.ticket is not None:
                 # Chunking schedulers may split an admitted job into
@@ -153,7 +155,7 @@ class BurstBroker:
         self._finished = True
         if self.env.invariants is not None:
             self.env.invariants.check_broker_counters(self.stats)
-        trace = self.env.finish_online()
+        trace = self._session.finish()
         trace.metadata["admission"] = {
             "submitted": self.stats.submitted,
             "accepted": self.stats.accepted,

@@ -10,15 +10,24 @@ this engine.
 Design notes
 ------------
 * The engine is a classic calendar-queue simulator: a binary heap of
-  ``(time, sequence, Event)`` triples. The monotonically increasing
-  sequence number guarantees a *deterministic* FIFO tie-break for events
-  scheduled at the same instant, which in turn makes whole simulation runs
-  reproducible bit-for-bit given a seeded RNG.
-* Events are cheap, cancellable handles. Cancellation is lazy: a cancelled
-  event stays in the heap and is skipped when popped. This keeps
-  ``cancel`` O(1), which matters because the fluid-flow link model
-  (:mod:`repro.sim.network`) reschedules its next-completion event on every
-  capacity change.
+  :class:`Event` objects ordered by ``(time, seq)`` via ``Event.__lt__``.
+  The monotonically increasing sequence number guarantees a
+  *deterministic* FIFO tie-break for events scheduled at the same instant,
+  which in turn makes whole simulation runs reproducible bit-for-bit given
+  a seeded RNG.
+* Events are cheap, cancellable ``__slots__`` handles. Cancellation is
+  lazy: a cancelled event stays in the heap and is skipped when popped.
+  This keeps ``cancel`` O(1), which matters because the fluid-flow link
+  model (:mod:`repro.sim.network`) reschedules its next-completion event on
+  every capacity change.
+* That same rescheduling pattern fills the heap with dead entries, so the
+  engine periodically *compacts*: every ``_COMPACT_CHECK_EVERY`` pushes
+  (stretched for very large heaps so the scan amortises to O(1)/push) it
+  counts cancelled entries and, past a size floor and a cancelled
+  fraction, rebuilds the heap from the live events only. The trigger
+  depends only on push counts and cancellation flags — both deterministic
+  — and heapify preserves the total ``(time, seq)`` order, so compaction
+  never changes execution order.
 * Callbacks run synchronously at their scheduled time; they may schedule
   further events (including at the current time).
 """
@@ -26,10 +35,8 @@ Design notes
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -38,7 +45,6 @@ class SimulationError(RuntimeError):
     """Raised for invalid engine operations (e.g. scheduling in the past)."""
 
 
-@dataclass(order=False)
 class Event:
     """A cancellable handle to a scheduled callback.
 
@@ -56,11 +62,34 @@ class Event:
         Lazily honoured cancellation flag.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None]
-    args: tuple[Any, ...] = field(default_factory=tuple)
-    cancelled: bool = False
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        # Heap order: earliest time first, FIFO (schedule order) on ties.
+        # Hot path (every heap sift): locals instead of repeated slot loads.
+        t = self.time
+        o = other.time
+        if t != o:  # repro: allow[FLT001] bit-identity is the tie condition
+            return t < o
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.seq}{state})"
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when popped."""
@@ -69,6 +98,16 @@ class Event:
     @property
     def active(self) -> bool:
         return not self.cancelled
+
+
+#: Base push-count interval between cancelled-entry censuses of the heap.
+#: For heaps larger than twice this, the interval stretches to half the
+#: heap size so the O(n) scan stays amortised O(1) per push.
+_COMPACT_CHECK_EVERY = 512
+#: Never bother compacting heaps smaller than this.
+_COMPACT_MIN_SIZE = 128
+#: Rebuild when at least this fraction of heap entries is cancelled.
+_COMPACT_FRACTION = 0.5
 
 
 class Simulator:
@@ -89,10 +128,12 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        self._heap: List[Event] = []
+        self._next_seq = 0
+        self._pushes_until_census = _COMPACT_CHECK_EVERY
         self._running = False
         self._events_processed = 0
+        self.compactions = 0
         #: Opt-in observer invoked for every executed event, after the clock
         #: advances and before the callback runs. The runtime invariant
         #: checker (:mod:`repro.analysis.invariants`) hangs off this; it is
@@ -124,11 +165,12 @@ class Simulator:
         Cancelled events at the top of the heap are discarded as a side
         effect, so this is amortised O(log n).
         """
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0].time
 
     def peek_next_time(self) -> Optional[float]:
         """Alias of :meth:`peek` for the incremental stepping API.
@@ -148,15 +190,52 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
-        if math.isnan(time):
+        time = float(time)
+        if time != time:  # repro: allow[FLT001] NaN is the one float that differs from itself
             raise SimulationError("cannot schedule an event at NaN time")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event in the past: t={time} < now={self._now}"
             )
-        event = Event(time=float(time), seq=next(self._seq), callback=callback, args=args)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args)
+        heapq.heappush(self._heap, event)
+        self._pushes_until_census -= 1
+        if self._pushes_until_census <= 0:
+            self._maybe_compact()
         return event
+
+    def _maybe_compact(self) -> None:
+        """Census the heap; rebuild it from live events when mostly dead.
+
+        Cancellation is lazy (O(1) flag), so the fluid-flow link's
+        cancel-and-reschedule pattern leaves the heap dominated by dead
+        entries. The census runs every ``_COMPACT_CHECK_EVERY`` pushes
+        (stretched to half the heap size for very large heaps) —
+        an O(n) scan amortised to O(1) per push — and the rebuild is a
+        filter + ``heapify``, which preserves the total ``(time, seq)``
+        order exactly, so execution order (and trace hashes) are unchanged.
+
+        The rebuild mutates the heap list *in place* (slice assignment):
+        the execution loops hold a local alias to the list, and rebinding
+        ``self._heap`` under them would strand them on the stale storage.
+        """
+        heap = self._heap
+        n = len(heap)
+        # Amortise the O(n) census: a heap that stays large and mostly
+        # live is rescanned only after ~n/2 further pushes, so the scan
+        # cost stays O(1) per push no matter the heap size. The interval
+        # depends only on the (deterministic) heap length at census time.
+        self._pushes_until_census = max(_COMPACT_CHECK_EVERY, n >> 1)
+        if n < _COMPACT_MIN_SIZE:
+            return
+        n_cancelled = sum(1 for event in heap if event.cancelled)
+        if n_cancelled < _COMPACT_FRACTION * n:
+            return
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -166,8 +245,10 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the heap is empty.
         """
-        while self._heap:
-            _, _, event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            event = pop(heap)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -193,16 +274,24 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while True:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     return
-                next_time = self.peek()
-                if next_time is None:
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and event.time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                pop(heap)
+                self._now = event.time
+                self._events_processed += 1
+                if self.on_event is not None:
+                    self.on_event(event)
+                event.callback(*event.args)
                 executed += 1
             if until is not None and until > self._now:
                 self._now = float(until)
@@ -239,14 +328,24 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None or next_time > time:
+            while heap:
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if event.time > time:
                     break
-                if not inclusive and next_time >= time:
+                if not inclusive and event.time >= time:
                     break
-                self.step()
+                pop(heap)
+                self._now = event.time
+                self._events_processed += 1
+                if self.on_event is not None:
+                    self.on_event(event)
+                event.callback(*event.args)
                 executed += 1
             if time > self._now:
                 self._now = float(time)

@@ -36,16 +36,18 @@ from .pipeline import TransferPipeline
 from .resources import Machine
 from .tracing import JobRecord, Placement, RunTrace
 
-__all__ = ["ECSiteSpec", "SystemConfig", "CloudBurstEnvironment"]
+__all__ = ["ECSiteSpec", "SystemConfig", "CloudBurstEnvironment", "Session"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ECSiteSpec:
     """An *additional* external cloud site (multi-cloud bursting).
 
     Each extra site gets its own machine pool and its own pair of
     fluid links with independent diurnal profiles — a second provider
-    reached over a different path.
+    reached over a different path. Keyword-only: every field names its
+    unit (or is dimensionless by convention), and call sites stay
+    readable as the config grows.
     """
 
     name: str
@@ -62,7 +64,7 @@ class ECSiteSpec:
             raise ValueError("site bandwidth must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class SystemConfig:
     """Testbed parameters (defaults mirror Section V.A).
 
@@ -70,6 +72,11 @@ class SystemConfig:
     a maximum of 2 virtual machines forming the external cloud". Bandwidth
     defaults put mean transfer time on the order of mean processing time —
     the regime the whole paper is about.
+
+    Keyword-only: with two dozen knobs, positional construction was an
+    accident waiting to happen, and every public float field follows the
+    UNI001 unit-suffix convention (``_s``/``_mbps``/``_hour``) or is a
+    documented dimensionless quantity (``speed``, ``variation``, ``alpha``).
     """
 
     ic_machines: int = 8
@@ -117,9 +124,13 @@ class SystemConfig:
         return DiurnalBandwidthProfile(base_mbps=self.down_base_mbps)
 
 
-@dataclass
+@dataclass(slots=True)
 class _JobState:
-    """Environment-side bookkeeping for one in-system job."""
+    """Environment-side bookkeeping for one in-system job.
+
+    Slotted: one instance per in-system job, and the ``build_state`` folds
+    touch ``est_proc``/``est_completion`` once per queued job per snapshot.
+    """
 
     job: Job
     record: JobRecord
@@ -222,10 +233,23 @@ class CloudBurstEnvironment:
         #: this instead of ``_states`` so a long-lived online broker stays
         #: O(jobs in system) per snapshot rather than O(jobs ever admitted).
         self._open: dict[tuple[int, int], _JobState] = {}
+        #: Incrementally maintained subset of ``_open``: EC-placed jobs in
+        #: the same relative order. ``build_state`` reads this instead of
+        #: filtering ``_open`` per snapshot; the commit points that change
+        #: membership (:meth:`_admit`, :meth:`_complete`, the rescheduling
+        #: strategies) keep it in sync, so it is never stale.
+        self._open_ec: dict[tuple[int, int], _JobState] = {}
+        #: Per-machine cache of the busy-machine availability estimate
+        #: (:meth:`_machine_est_free`): maps machine -> (running item,
+        #: absolute est-free instant). The dirty flag is the running item
+        #: itself — a machine's estimate only changes when it starts a new
+        #: item, so entries are reused across snapshots between events.
+        self._free_cache: dict[Machine, tuple[Job, float]] = {}
         self._remaining = 0
         self._batches_arrived = 0
         self._trace: Optional[RunTrace] = None
         self._scheduler: Optional[Scheduler] = None
+        self._session: Optional["Session"] = None
         self._t0 = self.sim.now
         #: Optional observer fired at every job completion with the final
         #: :class:`JobRecord` — the online broker's streaming SLA counters
@@ -331,39 +355,53 @@ class CloudBurstEnvironment:
     def build_state(self) -> SystemState:
         """Estimate-only snapshot of the current system (see module doc)."""
         now = self.sim.now
+        states = self._states
         pending_keyed: list[tuple[tuple[int, int], float]] = []
+        pending_append = pending_keyed.append
 
         # IC machine availability: estimated remaining time of running jobs.
+        machine_est_free = self._machine_est_free
         ic_free = []
         for machine in self.ic.machines:
-            ic_free.append(self._machine_est_free(machine, machine.speed, now))
+            free = machine_est_free(machine, machine.speed, now)
+            ic_free.append(free)
             item = machine.current_item
             if item is not None:
-                pending_keyed.append((item.key, ic_free[-1]))
+                pending_append((item.key, free))
         # Fold queued IC work (in FCFS order) onto the machine estimates.
+        # ``index(min(...))`` picks the first machine with the minimal
+        # estimate — the same index the keyed ``min(range(...))`` fold
+        # chose — with both scans in C.
+        ic_plan_speed = self._ic_plan_speed
         for job in self.ic.queued_items():
-            st = self._states[job.key]
-            idx = min(range(len(ic_free)), key=ic_free.__getitem__)
-            finish = max(now, ic_free[idx]) + st.est_proc / self._ic_plan_speed
+            # Deep queues make this the hottest fold in the codebase (one
+            # iteration per queued job per snapshot): one ``key`` property
+            # call per job, and ``min`` doubles as the subscript value.
+            key = job.key
+            st = states[key]
+            free = min(ic_free)
+            idx = ic_free.index(free)
+            finish = (free if free > now else now) + st.est_proc / ic_plan_speed
             ic_free[idx] = finish
             st.est_completion = finish  # refresh the stale planning estimate
-            pending_keyed.append((job.key, finish))
+            pending_append((key, finish))
 
         # EC machine availability, folding EC cluster queue the same way.
-        ec_free = []
-        for machine in self.ec.machines:
-            ec_free.append(self._machine_est_free(machine, self.config.ec_speed, now))
+        ec_speed = self.config.ec_speed
+        ec_free = [
+            machine_est_free(machine, ec_speed, now) for machine in self.ec.machines
+        ]
         for job in self.ec.queued_items():
-            st = self._states[job.key]
-            idx = min(range(len(ec_free)), key=ec_free.__getitem__)
-            ec_free[idx] = max(now, ec_free[idx]) + st.est_proc / self.config.ec_speed
+            st = states[job.key]
+            free = min(ec_free)
+            idx = ec_free.index(free)
+            ec_free[idx] = (free if free > now else now) + st.est_proc / ec_speed
 
         # Every incomplete EC-side job contributes its (possibly stale)
-        # planning-time completion estimate to the slack pool.
-        for key, st in self._open.items():
-            if st.record.placement != Placement.EC:
-                continue
-            pending_keyed.append((key, st.est_completion))
+        # planning-time completion estimate to the slack pool. ``_open_ec``
+        # is the incrementally maintained EC subset of ``_open``.
+        for key, st in self._open_ec.items():
+            pending_append((key, st.est_completion))
 
         extra_sites = [self._build_site_state(i + 1, now)
                        for i in range(len(self.extra_site_runtimes))]
@@ -397,8 +435,9 @@ class CloudBurstEnvironment:
         ]
         for job in runtime.cluster.queued_items():
             st = self._states[job.key]
-            idx = min(range(len(ec_free)), key=ec_free.__getitem__)
-            ec_free[idx] = max(now, ec_free[idx]) + st.est_proc / speed
+            free = min(ec_free)
+            idx = ec_free.index(free)
+            ec_free[idx] = max(now, free) + st.est_proc / speed
         return ECSiteState(
             name=runtime.spec.name,
             ec_free=ec_free,
@@ -417,9 +456,19 @@ class CloudBurstEnvironment:
         item = machine.current_item
         if item is None:
             return now
-        st = self._states[item.key]
-        started = st.record.exec_start if st.record.exec_start is not None else now
-        return max(now, started + st.est_proc / speed)
+        cached = self._free_cache.get(machine)
+        if cached is not None and cached[0] is item:
+            base = cached[1]
+        else:
+            st = self._states[item.key]
+            started = st.record.exec_start
+            if started is None:
+                # Not yet stamped (dispatch in progress): the estimate
+                # depends on ``now``, so it must not be cached.
+                return max(now, now + st.est_proc / speed)
+            base = started + st.est_proc / speed
+            self._free_cache[machine] = (item, base)
+        return base if base > now else now
 
     # ------------------------------------------------------------------
     # Run orchestration
@@ -480,20 +529,33 @@ class CloudBurstEnvironment:
             self.invariants.on_finish(trace)
         return trace
 
+    def session(self, scheduler: Scheduler) -> "Session":
+        """Open the unified driving :class:`Session` for this environment.
+
+        One entry point for both execution styles::
+
+            # offline: replay a pre-generated workload
+            with env.session(scheduler) as s:
+                trace = s.run_batches(batches)
+
+            # online: jobs pushed against the advancing virtual clock
+            with env.session(scheduler) as s:
+                s.submit(jobs, at=0.0)
+                s.submit(more_jobs, at=12.5)
+            trace = s.trace
+
+        :meth:`run` and the legacy ``start_online`` / ``submit_online`` /
+        ``finish_online`` triple are thin wrappers over this.
+        """
+        return Session(self, scheduler)
+
     def run(self, batches: Sequence[Batch], scheduler: Scheduler) -> RunTrace:
         """Simulate the whole workload under ``scheduler``; returns the trace."""
-        self._begin_trace(
-            scheduler, self._t0 + (batches[0].arrival_time if batches else 0.0)
-        )
-        for batch in batches:
-            self.sim.schedule_at(
-                self._t0 + batch.arrival_time, self._on_batch_arrival, batch
-            )
-        self._drain(len(batches))
-        return self._finalize_trace(len(batches))
+        with self.session(scheduler) as s:
+            return s.run_batches(batches)
 
     # ------------------------------------------------------------------
-    # Online (broker-driven) orchestration
+    # Online (broker-driven) orchestration — thin wrappers over Session
     # ------------------------------------------------------------------
     def start_online(self, scheduler: Scheduler) -> None:
         """Open an online session: jobs will arrive via :meth:`submit_online`.
@@ -501,38 +563,31 @@ class CloudBurstEnvironment:
         The caller owns the virtual clock — it advances the simulator with
         :meth:`repro.sim.engine.Simulator.run_until` to each arrival instant
         and then submits. ``trace.arrival_time`` is stamped by the first
-        submission.
+        submission. Equivalent to holding the :meth:`session` handle; new
+        code should prefer that API.
         """
-        self._begin_trace(scheduler, self.sim.now)
+        self._session = self.session(scheduler)
 
-    def submit_online(self, jobs: Sequence[Job], batch_id: Optional[int] = None) -> BatchPlan:
+    def submit_online(
+        self,
+        jobs: Sequence[Job],
+        batch_id: Optional[int] = None,
+        state: Optional[SystemState] = None,
+    ) -> BatchPlan:
         """Plan and dispatch jobs arriving *now*; returns the plan.
 
-        Must be called with the simulator already advanced to the arrival
-        instant. Equivalent to one offline batch arrival: the same state
-        snapshot, the same scheduler entry point, the same dispatch path —
-        which is what makes offline replay and online serving traces match.
+        Thin wrapper over :meth:`Session.submit` for the session opened by
+        :meth:`start_online`; see there for semantics.
         """
-        if self._trace is None:
+        if self._session is None:
             raise RuntimeError("call start_online() before submit_online()")
-        if batch_id is None:
-            batch_id = self._batches_arrived
-        if self._batches_arrived == 0:
-            self._trace.arrival_time = self.sim.now
-        batch = Batch(
-            batch_id=batch_id,
-            arrival_time=self.sim.now - self._t0,
-            jobs=list(jobs),
-        )
-        self._batches_arrived += 1
-        return self._handle_batch(batch)
+        return self._session.submit(jobs, batch_id=batch_id, state=state)
 
     def finish_online(self) -> RunTrace:
         """Drain all in-flight work and return the completed trace."""
-        if self._trace is None:
+        if self._session is None:
             raise RuntimeError("no online session to finish")
-        self._drain(self._batches_arrived)
-        return self._finalize_trace(self._batches_arrived)
+        return self._session.finish()
 
     @property
     def jobs_in_system(self) -> int:
@@ -560,8 +615,11 @@ class CloudBurstEnvironment:
         self._batches_arrived += 1
         self._handle_batch(batch)
 
-    def _handle_batch(self, batch: Batch) -> BatchPlan:
-        state = self.build_state()
+    def _handle_batch(
+        self, batch: Batch, state: Optional[SystemState] = None
+    ) -> BatchPlan:
+        if state is None:
+            state = self.build_state()
         plan = self._scheduler.plan_online(list(batch.jobs), state)
         if plan.upload_bounds is not None:
             self.upload.set_size_bounds(*plan.upload_bounds)
@@ -596,6 +654,8 @@ class CloudBurstEnvironment:
         )
         self._states[job.key] = st
         self._open[job.key] = st
+        if placement == Placement.EC:
+            self._open_ec[job.key] = st
         self._trace.records.append(record)
         self._remaining += 1
         if self.invariants is not None:
@@ -692,6 +752,7 @@ class CloudBurstEnvironment:
         st.done = True
         self._remaining -= 1
         self._open.pop(st.job.key, None)
+        self._open_ec.pop(st.job.key, None)
         if self.invariants is not None:
             self.invariants.on_complete(st.record)
         if self.on_job_complete is not None:
@@ -724,6 +785,7 @@ class CloudBurstEnvironment:
         st.record.placement = Placement.IC
         st.record.rescheduled = True
         st.est_completion = candidate.est_completion
+        self._open_ec.pop(job.key, None)
         self._dispatch_ic(job)
 
     def _ec_push_tick(self) -> None:
@@ -744,4 +806,153 @@ class CloudBurstEnvironment:
         st.record.placement = Placement.EC
         st.record.rescheduled = True
         st.est_completion = candidate.est_completion
+        # An IC job turning EC re-enters the pending pool at its original
+        # admission position, so rebuild the EC subset in ``_open`` order.
+        self._open_ec = {
+            key: s
+            for key, s in self._open.items()
+            if s.record.placement == Placement.EC
+        }
         self._dispatch_ec(job)
+
+
+class Session:
+    """Unified offline/online driving handle over one environment.
+
+    A session owns the run lifecycle that used to be split between
+    ``CloudBurstEnvironment.run`` (offline batch replay) and the
+    ``start_online`` / ``submit_online`` / ``finish_online`` triple: it
+    begins the trace at construction, accepts work either as one
+    pre-generated batch sequence (:meth:`run_batches`) or as incremental
+    submissions against the advancing virtual clock (:meth:`submit`), and
+    finalises exactly once (:meth:`finish`, or implicitly on clean ``with``
+    exit). Like the environment it drives, a session is single-use.
+
+    The two styles produce trace-identical results for the same workload
+    (pinned by ``tests/test_service.py``): submissions take the same state
+    snapshot, scheduler entry point and dispatch path as a batch arrival.
+    """
+
+    def __init__(self, env: CloudBurstEnvironment, scheduler: Scheduler) -> None:
+        env._begin_trace(scheduler, env.sim.now)
+        self.env = env
+        self.scheduler = scheduler
+        self._result: Optional[RunTrace] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual-clock instant (absolute simulation seconds)."""
+        return self.env.sim.now
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    @property
+    def trace(self) -> RunTrace:
+        """The completed :class:`RunTrace`; available once finished."""
+        if self._result is None:
+            raise RuntimeError("session not finished yet; call finish()")
+        return self._result
+
+    # ------------------------------------------------------------------
+    def advance_to(self, time: float, inclusive: bool = False) -> int:
+        """Play every simulation event preceding absolute ``time``.
+
+        Thin veneer over :meth:`repro.sim.engine.Simulator.run_until`
+        (exclusive boundary by default — see there for the online
+        tie-break rationale); returns the number of events executed.
+        """
+        return self.env.sim.run_until(time, inclusive=inclusive)
+
+    def submit(
+        self,
+        jobs: Sequence[Job],
+        at: Optional[float] = None,
+        batch_id: Optional[int] = None,
+        state: Optional[SystemState] = None,
+    ) -> BatchPlan:
+        """Plan and dispatch jobs arriving now (or at workload time ``at``).
+
+        ``at`` is in workload-relative seconds (offset from
+        :attr:`CloudBurstEnvironment.origin`); when given, the session
+        first plays all simulation events preceding that instant. ``None``
+        submits at the current virtual instant, which must already have
+        been reached (the clock never runs backwards).
+
+        ``state`` lets a caller that already built a snapshot *at this
+        same instant with no intervening events* (the broker quotes
+        against one) pass it in instead of paying for a second,
+        bit-identical rebuild.
+
+        Equivalent to one offline batch arrival: the same state snapshot,
+        the same scheduler entry point, the same dispatch path — which is
+        what makes offline replay and online serving traces match.
+        """
+        self._check_open()
+        env = self.env
+        if at is not None:
+            t = env._t0 + at
+            if t < env.sim.now - 1e-12:
+                raise ValueError(
+                    f"submission at t={t} behind the virtual clock ({env.sim.now})"
+                )
+            if t > env.sim.now:
+                env.sim.run_until(t)
+        if batch_id is None:
+            batch_id = env._batches_arrived
+        if env._batches_arrived == 0:
+            env._trace.arrival_time = env.sim.now
+        batch = Batch(
+            batch_id=batch_id,
+            arrival_time=env.sim.now - env._t0,
+            jobs=list(jobs),
+        )
+        env._batches_arrived += 1
+        return env._handle_batch(batch, state=state)
+
+    def run_batches(self, batches: Sequence[Batch]) -> RunTrace:
+        """Offline mode: pre-schedule every batch arrival, drain, finalise.
+
+        Arrival events are scheduled before the event loop starts, so they
+        carry lower sequence numbers than anything the running simulation
+        produces — the documented FIFO tie-break that online submission
+        reproduces via the exclusive ``run_until`` boundary.
+        """
+        self._check_open()
+        env = self.env
+        env._trace.arrival_time = env._t0 + (
+            batches[0].arrival_time if batches else 0.0
+        )
+        for batch in batches:
+            env.sim.schedule_at(
+                env._t0 + batch.arrival_time, env._on_batch_arrival, batch
+            )
+        env._drain(len(batches))
+        self._result = env._finalize_trace(len(batches))
+        return self._result
+
+    def finish(self) -> RunTrace:
+        """Drain all in-flight work and return the completed trace."""
+        self._check_open()
+        env = self.env
+        env._drain(env._batches_arrived)
+        self._result = env._finalize_trace(env._batches_arrived)
+        return self._result
+
+    def _check_open(self) -> None:
+        if self._result is not None:
+            raise RuntimeError("session already finished; build a new environment")
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Clean exit finalises an unfinished session; an exception leaves
+        # the partial state inspectable instead of masking the error with
+        # a drain that would likely fail too.
+        if exc_type is None and self._result is None:
+            self.finish()
+        return False

@@ -108,22 +108,32 @@ class DocumentFeatures:
         return self.resolution_dpi / 300.0
 
     def vector(self) -> np.ndarray:
-        """Numeric feature vector in :data:`FEATURE_NAMES` order."""
-        return np.array(
-            [
-                self.size_mb,
-                float(self.n_pages),
-                float(self.n_images),
-                self.mean_image_mb,
-                self.images_per_page,
-                self.resolution_factor,
-                self.color_fraction,
-                self.text_ratio,
-                self.coverage,
-                self.job_type.complexity,
-            ],
-            dtype=float,
-        )
+        """Numeric feature vector in :data:`FEATURE_NAMES` order.
+
+        Computed once per (frozen, immutable) instance and cached — the
+        QRSM expands it on every estimate. Treat the returned array as
+        read-only; callers needing a private copy must copy explicitly.
+        """
+        vec = getattr(self, "_vector_cache", None)
+        if vec is None:
+            vec = np.array(
+                [
+                    self.size_mb,
+                    float(self.n_pages),
+                    float(self.n_images),
+                    self.mean_image_mb,
+                    self.images_per_page,
+                    self.resolution_factor,
+                    self.color_fraction,
+                    self.text_ratio,
+                    self.coverage,
+                    self.job_type.complexity,
+                ],
+                dtype=float,
+            )
+            # Frozen dataclass: stash the cache around the immutability guard.
+            object.__setattr__(self, "_vector_cache", vec)
+        return vec
 
     def scaled(self, fraction: float) -> "DocumentFeatures":
         """Features of a ``fraction``-sized chunk of this document.

@@ -1,0 +1,180 @@
+"""Tests for the unified CLI / Session API redesign and its deprecation shims.
+
+Pins the four contracts the redesign sold:
+
+* the legacy ``repro-experiment`` entry point still works but warns and
+  forwards to the unified ``repro`` CLI (one release of grace);
+* the unified :class:`~repro.sim.environment.Session` drives a workload to
+  the *identical* trace the classic offline ``run`` produces;
+* keyword-only configs reject the positional calls the old API allowed;
+* renamed fields (UNI001 unit suffixes) keep their old names alive as
+  warning aliases for one release.
+
+The bench harness schema test lives here too: ``BENCH_core.json`` is part
+of the new public surface (CI uploads it), so its shape is pinned.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.cli as legacy_cli
+from repro.analysis.determinism import hash_trace
+from repro.experiments.runner import make_scheduler
+from repro.metrics.tickets import ProportionalTicket
+from repro.perf.harness import SCHEMA_VERSION, BenchPreset, run_bench
+from repro.service import LoadGenConfig
+from repro.sim.environment import CloudBurstEnvironment, ECSiteSpec, SystemConfig
+from repro.workload.distributions import Bucket
+from repro.workload.generator import WorkloadGenerator
+
+
+def _pretrained_env(config: SystemConfig) -> CloudBurstEnvironment:
+    env = CloudBurstEnvironment(config)
+    gen = WorkloadGenerator(bucket=Bucket.UNIFORM, seed=11)
+    env.pretrain_qrsm(*gen.sample_training_set(150))
+    return env
+
+
+# ----------------------------------------------------------------------
+# Deprecated CLI shim
+# ----------------------------------------------------------------------
+class TestLegacyCliShim:
+    def test_legacy_main_warns_and_forwards(self):
+        """The old entry point must warn, then behave as the unified CLI."""
+        with pytest.warns(DeprecationWarning, match="unified `repro` command"):
+            with pytest.raises(SystemExit) as excinfo:
+                legacy_cli.main(["--help"])
+        assert excinfo.value.code == 0
+
+    def test_render_sugar_still_expands(self):
+        assert legacy_cli.expand_render_sugar(["fig6"]) == ["render", "fig6"]
+        assert legacy_cli.expand_render_sugar(["all"]) == ["render", "all"]
+        # Non-target leading words pass through untouched.
+        assert legacy_cli.expand_render_sugar(["check"]) == ["check"]
+
+    def test_unified_cli_mounts_experiment_commands(self):
+        from repro.cli import build_parser
+
+        text = build_parser().format_help()
+        for command in legacy_cli.EXPERIMENT_COMMANDS:
+            assert command in text
+        assert "bench" in text
+
+
+# ----------------------------------------------------------------------
+# Session API
+# ----------------------------------------------------------------------
+class TestSessionEquivalence:
+    def test_incremental_session_matches_offline_run(self, fast_config, small_workload):
+        """Pushing batches through a Session reproduces env.run() exactly."""
+        offline = _pretrained_env(fast_config)
+        trace_a = offline.run(small_workload, make_scheduler("Op", offline))
+
+        online = _pretrained_env(fast_config)
+        with online.session(make_scheduler("Op", online)) as s:
+            for batch in small_workload:
+                s.submit(batch.jobs, at=batch.arrival_time, batch_id=batch.batch_id)
+        trace_b = s.trace
+
+        assert hash_trace(trace_a) == hash_trace(trace_b)
+
+    def test_context_exit_finalises_once(self, fast_config, small_workload):
+        env = _pretrained_env(fast_config)
+        with env.session(make_scheduler("Greedy", env)) as s:
+            batch = small_workload[0]
+            s.submit(batch.jobs, at=batch.arrival_time)
+            assert not s.finished
+        assert s.finished
+        assert s.trace.records  # drained to completion on clean exit
+        with pytest.raises(RuntimeError, match="already finished"):
+            s.submit(small_workload[1].jobs)
+
+
+# ----------------------------------------------------------------------
+# Keyword-only configs (UNI001 API pass)
+# ----------------------------------------------------------------------
+class TestKeywordOnlyConfigs:
+    def test_system_config_rejects_positional_args(self):
+        with pytest.raises(TypeError):
+            SystemConfig(8)  # type: ignore[misc]
+
+    def test_ec_site_spec_rejects_positional_args(self):
+        with pytest.raises(TypeError):
+            ECSiteSpec("emr-west")  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# One-release deprecation aliases
+# ----------------------------------------------------------------------
+class TestDeprecationAliases:
+    def test_proportional_ticket_base_kwarg_maps(self):
+        with pytest.warns(DeprecationWarning, match="base_s"):
+            ticket = ProportionalTicket(base=45.0, factor=3.0)
+        assert ticket.base_s == 45.0
+
+    def test_proportional_ticket_base_property_warns(self):
+        ticket = ProportionalTicket(base_s=45.0, factor=3.0)
+        with pytest.warns(DeprecationWarning, match="base_s"):
+            assert ticket.base == 45.0
+
+    def test_loadgen_mean_burst_kwarg_maps(self):
+        with pytest.warns(DeprecationWarning, match="mean_burst_jobs"):
+            config = LoadGenConfig(n_jobs=10, mean_burst=4.0)
+        assert config.mean_burst_jobs == 4.0
+
+    def test_loadgen_mean_burst_property_warns(self):
+        config = LoadGenConfig(n_jobs=10, mean_burst_jobs=4.0)
+        with pytest.warns(DeprecationWarning, match="mean_burst_jobs"):
+            assert config.mean_burst == 4.0
+
+    def test_new_spellings_stay_silent(self, recwarn):
+        ProportionalTicket(base_s=45.0, factor=3.0)
+        LoadGenConfig(n_jobs=10, mean_burst_jobs=4.0)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+# ----------------------------------------------------------------------
+# Bench harness report schema
+# ----------------------------------------------------------------------
+class TestBenchReportSchema:
+    def test_report_written_with_pinned_schema(self, tmp_path):
+        out = tmp_path / "bench.json"
+        preset = BenchPreset(
+            engine_events=1500,
+            offline_n_batches=2,
+            offline_reps=1,
+            loadgen_jobs=15,
+        )
+        report = run_bench(smoke=True, out_path=out, preset=preset)
+        assert report.path == out
+        data = json.loads(out.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["smoke"] is True
+        assert data["preset"]["engine_events"] == 1500
+
+        scenarios = data["scenarios"]
+        assert scenarios["engine"]["n_events"] == 1500
+        assert scenarios["engine"]["events_per_s"] > 0
+        offline = scenarios["offline"]["schedulers"]
+        assert set(offline) == {"ICOnly", "Greedy", "Op", "OpSIBS"}
+        for row in offline.values():
+            assert row["wall_s_p50"] > 0
+            assert row["records"] > 0
+        loadgen = scenarios["loadgen"]
+        assert loadgen["n_jobs"] == 15
+        assert loadgen["jobs_per_s"] > 0
+        assert loadgen["quote_p95_ms"] >= loadgen["quote_p50_ms"] >= 0
+
+    def test_render_mentions_every_scenario(self, tmp_path):
+        preset = BenchPreset(
+            engine_events=1000,
+            offline_n_batches=2,
+            offline_reps=1,
+            loadgen_jobs=10,
+        )
+        report = run_bench(smoke=True, out_path=tmp_path / "b.json", preset=preset)
+        text = report.render()
+        assert "engine" in text and "offline" in text and "loadgen" in text

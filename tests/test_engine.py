@@ -370,3 +370,82 @@ class TestEdgeCases:
         sim.schedule_at(10.0, fired.append, "post")
         sim.run()
         assert fired == ["pre", "post"]
+
+
+class TestHeapCompaction:
+    """Mass lazy cancellation must shrink the heap without reordering."""
+
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        fired: list = []
+        dead = [
+            sim.schedule_at(1000.0 + 0.001 * i, fired.append, "dead")
+            for i in range(3000)
+        ]
+        for ev in dead:
+            ev.cancel()
+        # Pushing live events past the census interval triggers a rebuild
+        # (3000 dead + ~1100 live crosses the 4096-push census with the
+        # cancelled fraction above the rebuild threshold).
+        for i in range(1200):
+            sim.schedule_at(10.0 + i, fired.append, i)
+        assert sim.compactions >= 1
+        assert sim.pending == 1200  # every dead entry swept
+        sim.run()
+        assert fired == list(range(1200))
+
+    def test_compaction_preserves_fifo_tie_break(self):
+        sim = Simulator()
+        fired: list = []
+        dead = [sim.schedule_at(500.0, fired.append, "dead") for _ in range(3000)]
+        for ev in dead:
+            ev.cancel()
+        # Many same-time live events scheduled across the census boundary:
+        # the rebuild must keep their seq (FIFO) order.
+        for i in range(1500):
+            sim.schedule_at(100.0, fired.append, i)
+        assert sim.compactions >= 1
+        for i in range(1500, 2600):
+            sim.schedule_at(100.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(2600))
+
+    def test_compaction_during_run_keeps_draining_new_events(self):
+        """Regression: compaction mid-run must not strand the event loop.
+
+        The loop holds a local alias to the heap list; a rebuild that
+        rebinds the attribute instead of mutating in place would leave the
+        loop popping a stale list while new events land in the fresh one.
+        """
+        sim = Simulator()
+        far: list = []
+        count = {"n": 0}
+
+        def noop() -> None:
+            pass
+
+        def tick() -> None:
+            count["n"] += 1
+            for ev in far:
+                if ev.active:
+                    ev.cancel()
+            far.clear()
+            for k in range(8):
+                far.append(sim.schedule_at(sim.now + 1000.0 + k, noop))
+            if count["n"] < 2000:
+                sim.schedule_at(sim.now + 1.0, tick)
+
+        sim.schedule_at(0.0, tick)
+        sim.run(until=5000.0)
+        assert count["n"] == 2000
+        assert sim.compactions >= 1
+
+    def test_small_heaps_are_never_compacted(self):
+        sim = Simulator()
+        for i in range(200):
+            sim.schedule_at(10.0 + i, lambda: None).cancel()
+        for i in range(5000):
+            ev = sim.schedule_at(10.0, lambda: None)
+            ev.cancel()
+            sim.step()
+        assert sim.compactions == 0

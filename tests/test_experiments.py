@@ -9,7 +9,7 @@ import pytest
 
 from repro.experiments import figures, tables
 from repro.experiments.ascii_plot import bar_chart, line_plot, multi_line_plot, render_table
-from repro.experiments.cli import main as cli_main
+from repro.cli import main as cli_main
 from repro.experiments.config import DEFAULT_SPEC, HIGH_VARIATION_SPEC, ExperimentSpec
 from repro.experiments.runner import (
     SCHEDULER_NAMES,

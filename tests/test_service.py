@@ -318,7 +318,7 @@ class TestLoadGen:
 
     def test_bursty_groups_carry_multiple_jobs(self):
         config = LoadGenConfig(
-            n_jobs=200, process="bursty", mean_burst=8.0, seed=4
+            n_jobs=200, process="bursty", mean_burst_jobs=8.0, seed=4
         )
         sizes = [len(jobs) for _, jobs in generate_arrivals(config)]
         assert max(sizes) > 1
@@ -340,13 +340,13 @@ class TestLoadGen:
         with pytest.raises(ValueError):
             LoadGenConfig(process="sawtooth")
         with pytest.raises(ValueError):
-            LoadGenConfig(process="bursty", mean_burst=0.5)
+            LoadGenConfig(process="bursty", mean_burst_jobs=0.5)
 
     def test_run_load_end_to_end(self, fast_config):
         env = CloudBurstEnvironment(fast_config)
         config = LoadGenConfig(n_jobs=250, rate_per_s=20.0, seed=6)
         policy = SLAPolicy(
-            ticket=ProportionalTicket(base=300.0, factor=6.0),
+            ticket=ProportionalTicket(base_s=300.0, factor=6.0),
             degraded_slack_s=-120.0,
             max_in_system=20,
         )

@@ -95,7 +95,7 @@ class TestEndToEnd:
             bucket=Bucket.LARGE, n_batches=4, system=SystemConfig(seed=42)
         )
         quote = TicketQuote(base_s=60.0, factor=1.6)
-        policy = ProportionalTicket(base=60.0, factor=1.6)
+        policy = ProportionalTicket(base_s=60.0, factor=1.6)
         compliance = {"Op": [], "TicketOp": []}
         for seed in (42, 43, 44):
             sized = spec.with_seed(seed)

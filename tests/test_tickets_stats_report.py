@@ -28,7 +28,7 @@ class TestTicketPolicies:
         assert policy.promise_s(record(1, 10.0)) == 300.0
 
     def test_proportional_promise(self):
-        policy = ProportionalTicket(base=100.0, factor=3.0)
+        policy = ProportionalTicket(base_s=100.0, factor=3.0)
         r = record(1, 10.0, proc=50.0)
         assert policy.promise_s(r) == pytest.approx(100.0 + 150.0)
 
@@ -36,7 +36,7 @@ class TestTicketPolicies:
         with pytest.raises(ValueError):
             FixedSlaTicket(promise=0.0)
         with pytest.raises(ValueError):
-            ProportionalTicket(base=-1.0)
+            ProportionalTicket(base_s=-1.0)
         with pytest.raises(ValueError):
             ProportionalTicket(factor=0.0)
 
