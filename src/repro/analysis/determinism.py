@@ -13,10 +13,18 @@ The second run executes with the runtime invariant checker installed
 properties of a scheduler at once: the run is internally consistent, and
 it is reproducible.
 
+The econ pass extends the same contract to money: with cost accounting
+attached (spot market, finite bid, so the preemption path is exercised),
+two seeded runs must produce identical trace hashes *and* identical
+:class:`~repro.econ.penalties.CostLedger` hashes — a billing meter that
+cannot reproduce its invoice is as broken as a scheduler that cannot
+reproduce its timestamps.
+
 CLI::
 
-    repro check                 # all four paper schedulers, default spec
+    repro check                 # paper schedulers + econ pass, default spec
     repro check --scheduler Op  # just one
+    repro check --no-econ       # skip the econ/ledger pass
 """
 
 from __future__ import annotations
@@ -38,6 +46,10 @@ __all__ = [
     "first_divergence",
     "check_scheduler",
     "check_determinism",
+    "ECON_SCHEDULERS",
+    "EconDeterminismResult",
+    "check_scheduler_econ",
+    "check_econ",
 ]
 
 #: JobRecord fields in declaration order — the canonical hashing schema.
@@ -202,3 +214,100 @@ def check_determinism(
         check_scheduler(name, spec=spec, invariants=invariants)
         for name in schedulers
     ]
+
+
+# ----------------------------------------------------------------------
+# Econ pass: trace + ledger reproducibility with money attached
+# ----------------------------------------------------------------------
+
+#: Schedulers the econ pass double-runs: the paper's four plus the
+#: cost-aware variant the ledger actually steers.
+ECON_SCHEDULERS = PAPER_SCHEDULERS + ("CostAware",)
+
+
+@dataclass(frozen=True)
+class EconDeterminismResult:
+    """Verdict for one scheduler with cost accounting attached."""
+
+    scheduler: str
+    hash_a: str
+    hash_b: str
+    ledger_hash_a: str
+    ledger_hash_b: str
+    n_records: int
+    preemptions: int
+    divergence: Optional[Divergence] = None
+
+    @property
+    def deterministic(self) -> bool:
+        return self.hash_a == self.hash_b and (
+            self.ledger_hash_a == self.ledger_hash_b
+        )
+
+    def render(self) -> str:
+        if self.deterministic:
+            return (
+                f"{self.scheduler:>8}: OK  {self.n_records} records, "
+                f"{self.preemptions} preemptions, "
+                f"ledger {self.ledger_hash_a[:16]}"
+            )
+        if self.hash_a != self.hash_b:
+            detail = (
+                self.divergence.render() if self.divergence else "hashes differ"
+            )
+        else:
+            detail = (
+                f"ledger hashes differ: {self.ledger_hash_a[:16]} vs "
+                f"{self.ledger_hash_b[:16]}"
+            )
+        return f"{self.scheduler:>8}: FAIL  {detail}"
+
+
+def _econ_hook():
+    """Env hook arming invariants plus a preemption-exercising econ config."""
+    from ..econ import EconConfig, SpotMarketConfig, attach_econ
+
+    config = EconConfig(
+        spot=SpotMarketConfig(bid_usd_per_hour=0.13, variation=0.4)
+    )
+
+    def hook(env) -> None:
+        install_invariants(env)
+        attach_econ(env, config)
+
+    return hook
+
+
+def check_scheduler_econ(
+    scheduler_name: str,
+    spec: ExperimentSpec = DEFAULT_SPEC,
+) -> EconDeterminismResult:
+    """Double-run one scheduler with billing, penalties, and spot
+    preemption armed; compare trace hashes and ledger hashes."""
+    batches = build_workload(spec)
+    hook = _econ_hook()
+    trace_a = run_one(scheduler_name, spec, batches=batches, env_hook=hook)
+    trace_b = run_one(scheduler_name, spec, batches=batches, env_hook=hook)
+    hash_a, hash_b = hash_trace(trace_a), hash_trace(trace_b)
+    econ_a, econ_b = trace_a.metadata["econ"], trace_b.metadata["econ"]
+    divergence = None
+    if hash_a != hash_b:
+        divergence = first_divergence(trace_a, trace_b)
+    return EconDeterminismResult(
+        scheduler=scheduler_name,
+        hash_a=hash_a,
+        hash_b=hash_b,
+        ledger_hash_a=econ_a["ledger_sha256"],
+        ledger_hash_b=econ_b["ledger_sha256"],
+        n_records=len(trace_a.records),
+        preemptions=econ_a["preemptions"],
+        divergence=divergence,
+    )
+
+
+def check_econ(
+    schedulers: Sequence[str] = ECON_SCHEDULERS,
+    spec: ExperimentSpec = DEFAULT_SPEC,
+) -> list[EconDeterminismResult]:
+    """The econ half of ``repro check``: ledger verdicts per scheduler."""
+    return [check_scheduler_econ(name, spec=spec) for name in schedulers]

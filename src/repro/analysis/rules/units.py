@@ -7,10 +7,15 @@ every caller to guess; a unit mixup here is exactly the class of bug that
 survives every test that only checks relative orderings.
 
 The repo's conventions, which this rule enforces inside the deterministic
-core (``repro.sim``, ``repro.models``, ``repro.service``, ``repro.core``):
+core (``repro.sim``, ``repro.models``, ``repro.service``, ``repro.core``)
+and the economics layer (``repro.econ``):
 
 * **explicit unit suffixes** — ``_s``, ``_ms``, ``_mb``, ``_mbps``,
-  ``_per_s``, ``_hour``/``_hours``, ``_dpi``, ``_pct``;
+  ``_per_s``, ``_hour``/``_hours``, ``_dpi``, ``_pct``, ``_usd``;
+* **money fields** (``price``, ``cost``, ``penalty``, ``fee``, ``bid``,
+  ``budget``, ``revenue``, ``spend`` tokens) must carry a ``usd`` token —
+  ``penalty_usd``, ``base_usd_per_hour`` — even if another convention
+  would otherwise let the name pass;
 * **absolute simulation instants** (always seconds on the simulator's
   axis) — ``now``, ``time``, ``completion``, ``deadline``, or names
   ending in ``_time``, ``_start``, ``_end``, ``_at``, ``_completion``,
@@ -34,10 +39,21 @@ from typing import Iterator
 
 from ..lint import LintRule, ModuleContext, Violation
 
-__all__ = ["UnitsSuffixRule", "has_unit_convention"]
+__all__ = ["UnitsSuffixRule", "has_unit_convention", "is_money_name"]
 
 _UNIT_SUFFIXES = (
     "_s", "_ms", "_mb", "_mbps", "_per_s", "_hour", "_hours", "_dpi", "_pct",
+    "_usd",
+)
+
+#: Tokens that mark a field as *money* — such fields must also carry a
+#: ``usd`` token (``_usd`` suffix or an explicit rate like
+#: ``_usd_per_hour``), mirroring the ``_s`` discipline for durations.
+_MONEY_TOKENS = frozenset(
+    {
+        "price", "prices", "cost", "costs", "penalty", "penalties",
+        "fee", "fees", "bid", "budget", "revenue", "spend",
+    }
 )
 
 _INSTANT_RE = re.compile(
@@ -74,7 +90,15 @@ def has_unit_convention(name: str) -> bool:
         return True
     if _INSTANT_RE.search(name):
         return True
-    return any(token in _DIMENSIONLESS_TOKENS for token in name.split("_"))
+    tokens = name.split("_")
+    if "usd" in tokens:
+        return True
+    return any(token in _DIMENSIONLESS_TOKENS for token in tokens)
+
+
+def is_money_name(name: str) -> bool:
+    """Whether a field name denotes money (and so must carry ``usd``)."""
+    return any(token in _MONEY_TOKENS for token in name.split("_"))
 
 
 def _is_dataclass(node: ast.ClassDef) -> bool:
@@ -97,11 +121,14 @@ class UnitsSuffixRule(LintRule):
         "documented convention name so quantities cannot be mixed up"
     )
     hint = (
-        "rename with an explicit unit suffix (_s, _mb, _mbps, _hour) or a "
-        "convention name from docs/analysis.md; genuinely unitless counts "
-        "may suppress with a justified '# repro: allow[UNI001]'"
+        "rename with an explicit unit suffix (_s, _mb, _mbps, _hour, _usd) "
+        "or a convention name from docs/analysis.md; genuinely unitless "
+        "counts may suppress with a justified '# repro: allow[UNI001]'"
     )
-    scope = ("repro.sim", "repro.models", "repro.service", "repro.core")
+    scope = (
+        "repro.sim", "repro.models", "repro.service", "repro.core",
+        "repro.econ",
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
@@ -119,6 +146,14 @@ class UnitsSuffixRule(LintRule):
                     continue
                 annotation = ast.unparse(stmt.annotation)
                 if annotation not in _FLOAT_ANNOTATIONS:
+                    continue
+                if is_money_name(field_name) and "usd" not in field_name.split("_"):
+                    yield self.violation(
+                        ctx,
+                        stmt,
+                        f"money field `{node.name}.{field_name}` must carry "
+                        f"a usd token (e.g. `{field_name}_usd`)",
+                    )
                     continue
                 if has_unit_convention(field_name):
                     continue

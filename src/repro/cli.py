@@ -8,10 +8,12 @@ can gate on them:
 * ``repro lint [paths...]`` — run the custom AST lint
   (:mod:`repro.analysis.lint`) over source trees; defaults to the
   installed ``repro`` package itself. Exit 1 on any violation.
-* ``repro check [--scheduler NAME]`` — the determinism harness
-  (:mod:`repro.analysis.determinism`): run each paper scheduler twice on
-  the same seeded workload with runtime invariants enabled and compare
-  trace hashes. Exit 1 on divergence or invariant violation.
+* ``repro check [--scheduler NAME] [--no-econ]`` — the determinism
+  harness (:mod:`repro.analysis.determinism`): run each paper scheduler
+  twice on the same seeded workload with runtime invariants enabled and
+  compare trace hashes; then repeat with cost accounting and spot
+  preemption attached, additionally comparing ``CostLedger`` hashes.
+  Exit 1 on divergence or invariant violation.
 * ``repro typecheck`` — ``mypy --strict`` over the typed core
   (``repro.sim.engine``, ``repro.core``, ``repro.analysis``). Skips with
   exit 0 when mypy is not installed (the pinned container image carries
@@ -30,11 +32,15 @@ can gate on them:
 
 * ``repro bench [--smoke] [--out PATH]`` — the canonical performance
   harness (:mod:`repro.perf.harness`): engine event throughput, offline
-  end-to-end runs per paper scheduler, broker load-driver throughput.
-  Writes ``BENCH_core.json``.
+  end-to-end runs per paper scheduler, broker load-driver throughput
+  (steady and bursty arrivals). Writes ``BENCH_core.json``.
 
-The historic ``repro-experiment`` console script forwards here with a
-:class:`DeprecationWarning`.
+**Economics** (:mod:`repro.econ`)
+
+* ``repro econ report [--scheduler NAME]`` — run scheduler(s) with cost
+  accounting attached and print each run's cost ledger.
+* ``repro econ frontier [--out PATH]`` — the cost-vs-SLA frontier sweep:
+  penalty tightness against the cost-aware policy's EC spend.
 """
 
 from __future__ import annotations
@@ -71,7 +77,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .analysis.determinism import check_determinism
+    from .analysis.determinism import (
+        ECON_SCHEDULERS,
+        check_determinism,
+        check_econ,
+    )
     from .analysis.invariants import InvariantError
     from .experiments.config import DEFAULT_SPEC
     from .experiments.runner import PAPER_SCHEDULERS, SCHEDULER_NAMES
@@ -93,17 +103,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
         f"double-run with invariants "
         f"{'on' if not args.no_invariants else 'off'}"
     )
+    failed = False
     try:
         results = check_determinism(
             schedulers, spec=spec, invariants=not args.no_invariants
         )
+        for result in results:
+            print(result.render())
+            failed = failed or not result.deterministic
+        if not args.no_econ:
+            econ_schedulers = (
+                args.scheduler if args.scheduler else list(ECON_SCHEDULERS)
+            )
+            print(
+                f"econ check: {len(econ_schedulers)} scheduler(s), "
+                "double-run with billing + spot preemption, ledger hashes"
+            )
+            for econ_result in check_econ(econ_schedulers, spec=spec):
+                print(econ_result.render())
+                failed = failed or not econ_result.deterministic
     except InvariantError as exc:
         print(f"invariant violated during check run: {exc}", file=sys.stderr)
         return 1
-    failed = False
-    for result in results:
-        print(result.render())
-        failed = failed or not result.deterministic
     return 1 if failed else 0
 
 
@@ -131,6 +152,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = run_bench(smoke=args.smoke, out_path=args.out)
     print(report.render())
     print(f"wrote {report.path}")
+    return 0
+
+
+def _cmd_econ_report(args: argparse.Namespace) -> int:
+    from .econ import EconConfig, SpotMarketConfig, attach_econ
+    from .experiments.config import DEFAULT_SPEC
+    from .experiments.runner import SCHEDULER_NAMES, build_workload, run_one
+
+    schedulers: Sequence[str] = args.scheduler or ["CostAware"]
+    unknown = [s for s in schedulers if s not in SCHEDULER_NAMES]
+    if unknown:
+        print(
+            f"repro econ: unknown scheduler(s) {unknown}; "
+            f"choose from {SCHEDULER_NAMES}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = DEFAULT_SPEC
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    config = EconConfig(
+        billing=args.billing,
+        spot=SpotMarketConfig() if args.spot else None,
+    )
+    batches = build_workload(spec)
+    for name in schedulers:
+        runtime = {}
+
+        def hook(env) -> None:
+            runtime["econ"] = attach_econ(env, config)
+
+        run_one(name, spec, batches=batches, env_hook=hook)
+        print(f"{name}: {runtime['econ'].ledger.render()}")
+    return 0
+
+
+def _cmd_econ_frontier(args: argparse.Namespace) -> int:
+    from .experiments.config import DEFAULT_SPEC
+    from .experiments.sweeps import cost_frontier_sweep
+
+    spec = DEFAULT_SPEC
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    result = cost_frontier_sweep(spec)
+    text = result.render()
+    print(text)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
     return 0
 
 
@@ -170,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="hash-compare only, without the runtime invariant checker",
     )
+    p_check.add_argument(
+        "--no-econ",
+        action="store_true",
+        help="skip the econ pass (billing/penalty/ledger determinism)",
+    )
     p_check.set_defaults(func=_cmd_check)
 
     p_type = sub.add_parser(
@@ -178,6 +255,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_type.set_defaults(func=_cmd_typecheck)
 
     register_commands(sub)
+
+    p_econ = sub.add_parser(
+        "econ", help="cost accounting: ledgers and the cost-vs-SLA frontier"
+    )
+    econ_sub = p_econ.add_subparsers(dest="econ_command", required=True)
+    p_econ_report = econ_sub.add_parser(
+        "report", help="run scheduler(s) with billing attached, print ledgers"
+    )
+    p_econ_report.add_argument(
+        "--scheduler",
+        action="append",
+        help="scheduler to cost (repeatable; default: CostAware)",
+    )
+    p_econ_report.add_argument(
+        "--billing",
+        choices=("busy", "pool"),
+        default="busy",
+        help="meter model: usage billing (busy) or rental billing (pool)",
+    )
+    p_econ_report.add_argument(
+        "--spot",
+        action="store_true",
+        help="price compute off the seeded spot market instead of on-demand",
+    )
+    p_econ_report.add_argument(
+        "--seed", type=int, default=None, help="override the workload seed"
+    )
+    p_econ_report.set_defaults(func=_cmd_econ_report)
+    p_econ_frontier = econ_sub.add_parser(
+        "frontier", help="penalty-tightness sweep of the cost-aware policy"
+    )
+    p_econ_frontier.add_argument(
+        "--out", default=None, help="also write the rendered table to a file"
+    )
+    p_econ_frontier.add_argument(
+        "--seed", type=int, default=None, help="override the workload seed"
+    )
+    p_econ_frontier.set_defaults(func=_cmd_econ_frontier)
 
     p_bench = sub.add_parser(
         "bench", help="run the canonical performance benchmark harness"

@@ -1,0 +1,173 @@
+"""SLA penalty schedules and the per-run cost ledger.
+
+The related work's framing (SLA violations have a *financial impact*, not
+just a count) mapped onto the repo's ticket SLAs: a
+:class:`PenaltySchedule` wraps a :class:`~repro.metrics.tickets.
+TicketPolicy` and prices each violation — a flat fee for breaking the
+promise plus a graduated per-second charge for how late the job landed,
+capped per job. Jobs quoted online carry their sold promise on
+``JobRecord.promise_s``; offline runs fall back to the schedule's ticket.
+
+Every accrual lands in a :class:`CostLedger`, the single money account of
+one run: compute (on-demand and spot), transfer, and penalties, plus the
+physical counters behind them (billed quantums, preemptions, lost work).
+The ledger canonicalises to a stable SHA-256 (floats by ``hex()``, same
+scheme as the trace hash) so the determinism gate can assert bit-for-bit
+identical economics across double runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+from ..metrics.tickets import ProportionalTicket, TicketPolicy
+from ..sim.tracing import JobRecord
+from ..workload.document import Job
+
+__all__ = ["PenaltySchedule", "CostLedger", "promise_for_estimate"]
+
+
+def promise_for_estimate(job: Job, est_proc_s: float, ticket: TicketPolicy) -> float:
+    """Promise the ticket would sell for ``job`` given an estimate.
+
+    Planning-time counterpart of scoring a completed record: ticket
+    policies price off a :class:`JobRecord`, so build a minimal one whose
+    ``true_proc_time`` carries the *estimate* — at decision time the
+    estimate is all the promise can honestly be based on.
+    """
+    probe = JobRecord(
+        job_id=job.job_id,
+        batch_id=job.batch_id,
+        arrival_time=job.arrival_time,
+        input_mb=job.input_mb,
+        output_mb=job.output_mb,
+        est_proc_time=est_proc_s,
+        true_proc_time=est_proc_s,
+    )
+    return ticket.promise_s(probe)
+
+
+@dataclass(frozen=True)
+class PenaltySchedule:
+    """Prices an SLA violation: flat fee + graduated lateness, capped.
+
+    ``penalty(late_s) = min(cap_usd, flat_usd + late_usd_per_s * late_s)``
+    for ``late_s > 0``, zero otherwise. ``ticket`` prices promises for
+    jobs that were never sold one online (offline runner traces).
+    """
+
+    flat_usd: float = 1.0
+    late_usd_per_s: float = 0.002
+    cap_usd: float = 20.0
+    ticket: TicketPolicy = field(
+        default_factory=lambda: ProportionalTicket(base_s=300.0, factor=6.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.flat_usd < 0 or self.late_usd_per_s < 0 or self.cap_usd < 0:
+            raise ValueError("penalty amounts cannot be negative")
+        if self.cap_usd < self.flat_usd:
+            raise ValueError("cap_usd cannot undercut flat_usd")
+
+    def usd_for_lateness(self, late_s: float) -> float:
+        """Penalty owed for finishing ``late_s`` past the promise."""
+        if late_s <= 0:
+            return 0.0
+        return min(self.cap_usd, self.flat_usd + self.late_usd_per_s * late_s)
+
+    def promise_s(self, record: JobRecord) -> Optional[float]:
+        """The promise this record is held to (sold, else ticket-priced)."""
+        if record.promise_s is not None:
+            return record.promise_s
+        return self.ticket.promise_s(record)
+
+    def penalty_usd(self, record: JobRecord) -> float:
+        """Penalty owed by a completed record (zero if on time)."""
+        response = record.response_time
+        if response is None:
+            return 0.0
+        promise = self.promise_s(record)
+        if promise is None:
+            return 0.0
+        return self.usd_for_lateness(response - promise)
+
+    def scaled(self, tightness: float) -> "PenaltySchedule":
+        """Uniformly scale the money axis — the frontier-sweep knob.
+
+        ``tightness=0`` prices violations at nothing (pure cost
+        minimiser); larger values make lateness progressively more
+        expensive while leaving the promises themselves untouched.
+        """
+        if tightness < 0:
+            raise ValueError("tightness cannot be negative")
+        return replace(
+            self,
+            flat_usd=self.flat_usd * tightness,
+            late_usd_per_s=self.late_usd_per_s * tightness,
+            cap_usd=self.cap_usd * tightness,
+        )
+
+
+@dataclass
+class CostLedger:
+    """Running money account of one simulated run.
+
+    Mutable by design (meters accrue into it in completion order, which
+    is deterministic); hashes and renders are taken at finalisation.
+    """
+
+    on_demand_usd: float = 0.0
+    spot_usd: float = 0.0
+    transfer_usd: float = 0.0
+    penalty_usd: float = 0.0
+    billed_quantums: int = 0
+    preemptions: int = 0
+    lost_work_s: float = 0.0
+    violations: int = 0
+    completed: int = 0
+
+    @property
+    def compute_usd(self) -> float:
+        """Instance-time spend across both price regimes."""
+        return self.on_demand_usd + self.spot_usd
+
+    @property
+    def ec_spend_usd(self) -> float:
+        """Everything paid to the external cloud (compute + transfer)."""
+        return self.compute_usd + self.transfer_usd
+
+    @property
+    def total_usd(self) -> float:
+        """EC spend plus SLA penalties — the objective a cost-aware
+        policy minimises."""
+        return self.ec_spend_usd + self.penalty_usd
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["compute_usd"] = self.compute_usd
+        out["ec_spend_usd"] = self.ec_spend_usd
+        out["total_usd"] = self.total_usd
+        return out
+
+    def ledger_hash(self) -> str:
+        """Stable SHA-256 of the ledger (floats canonicalised via hex)."""
+        h = hashlib.sha256()
+        for name, value in sorted(self.as_dict().items()):
+            canon = value.hex() if isinstance(value, float) else repr(value)
+            h.update(f"{name}={canon}\n".encode())
+        return h.hexdigest()
+
+    def render(self) -> str:
+        return (
+            f"cost ledger: total ${self.total_usd:,.2f} "
+            f"(on-demand ${self.on_demand_usd:,.2f}, "
+            f"spot ${self.spot_usd:,.2f}, "
+            f"transfer ${self.transfer_usd:,.2f}, "
+            f"penalties ${self.penalty_usd:,.2f} "
+            f"over {self.violations}/{self.completed} late jobs; "
+            f"{self.billed_quantums} billed quantums, "
+            f"{self.preemptions} preemptions, "
+            f"{self.lost_work_s:,.0f}s lost work)"
+        )

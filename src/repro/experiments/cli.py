@@ -8,22 +8,21 @@ onto the single ``repro`` entry point via :func:`register_commands`:
     repro render all
     repro loadgen --scheduler Op --jobs 8000
 
-``python -m repro.experiments.cli`` (and the ``repro-experiment`` console
-script) remain as a **deprecated** forwarding shim for one release: they
-emit a :class:`DeprecationWarning` and delegate to :func:`repro.cli.main`,
-including the historic ``repro-experiment fig6`` positional sugar.
+The historic ``repro-experiment`` console script and its
+``python -m repro.experiments.cli`` shim have been removed after their
+one-release deprecation window; use ``repro <subcommand>``. The
+``repro fig6`` positional sugar lives on in
+:func:`expand_render_sugar`, applied by :func:`repro.cli.main`.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
-import warnings
 from typing import Callable, Sequence
 
 from . import figures, tables
 
-__all__ = ["main", "register_commands", "expand_render_sugar"]
+__all__ = ["register_commands", "expand_render_sugar"]
 
 
 def _render_fig7() -> str:
@@ -289,24 +288,3 @@ def expand_render_sugar(argv: Sequence[str]) -> list[str]:
     return argv
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Deprecated shim: forward to the unified :func:`repro.cli.main`.
-
-    Kept for one release so ``repro-experiment`` invocations and scripts
-    doing ``python -m repro.experiments.cli`` keep working while callers
-    migrate to ``repro <subcommand>``.
-    """
-    warnings.warn(
-        "the repro-experiment entry point (repro.experiments.cli.main) is "
-        "deprecated; use the unified `repro` command (repro.cli.main)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from ..cli import main as unified_main
-
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    return unified_main(expand_render_sugar(argv))
-
-
-if __name__ == "__main__":
-    sys.exit(main())

@@ -5,7 +5,7 @@ paper's evaluation and writes a single self-contained Markdown document —
 rendered ASCII figures, measured-vs-paper tables, and the workload
 characterisation — so a reviewer can regenerate the full evaluation with:
 
-    repro-experiment full-report
+    repro render full-report
 """
 
 from __future__ import annotations
@@ -51,7 +51,7 @@ def generate_reproduction_report(
     sections.append(
         "# Reproduction report — Optimizing SLAs for Autonomic Cloud "
         "Bursting Schedulers (ICPP 2010)\n\n"
-        "Regenerated from scratch by `repro-experiment full-report`. "
+        "Regenerated from scratch by `repro render full-report`. "
         "Shape criteria for every figure are asserted by "
         "`pytest benchmarks/ --benchmark-only`.\n"
     )

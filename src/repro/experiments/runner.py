@@ -19,6 +19,7 @@ from ..core.baselines import RandomBurstScheduler, ThresholdScheduler
 from ..core.multi_ec import MultiECGreedyScheduler, MultiECOrderPreservingScheduler
 from ..core.greedy import GreedyScheduler
 from ..core.ic_only import ICOnlyScheduler
+from ..econ.policy import CostAwareScheduler
 from ..core.order_preserving import OrderPreservingScheduler
 from ..core.ticket_aware import TicketAwareScheduler
 from ..sim.environment import CloudBurstEnvironment
@@ -43,6 +44,14 @@ SCHEDULER_FACTORIES: dict[str, Callable[[CloudBurstEnvironment], Scheduler]] = {
     # Naive baselines for comparison studies (no learned-model reasoning).
     "RandomBurst": lambda env: RandomBurstScheduler(env.estimator, seed=env.config.seed),
     "Threshold": lambda env: ThresholdScheduler(env.estimator),
+    # Economics variant: bursts iff the expected SLA penalty avoided pays
+    # the external cloud's invoice. Prices from the attached econ runtime
+    # when one exists (run_one's env_hook runs before this factory), else
+    # the default cost model.
+    "CostAware": lambda env: CostAwareScheduler(
+        env.estimator,
+        cost_model=env.econ.cost_model if env.econ is not None else None,
+    ),
 }
 
 #: The paper's four schedulers (Figs. 6-10, Table I).

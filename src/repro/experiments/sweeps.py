@@ -13,6 +13,10 @@ space, answering the questions its introduction raises:
   costs" (Section I).
 * :func:`tolerance_sweep` — the Section V.B.2 trade-off as a scalar
   series: ordered-data availability area vs tolerance limit.
+* :func:`cost_frontier_sweep` — the economics trade-off: scale the SLA
+  penalty schedule from free (violations cost nothing) to punitive and
+  watch the cost-aware policy buy progressively more external capacity —
+  the cost-vs-SLA frontier an operator actually prices against.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ __all__ = [
     "BandwidthSweepResult", "bandwidth_sweep",
     "ArrivalRateSweepResult", "arrival_rate_sweep",
     "ToleranceSweepResult", "tolerance_sweep",
+    "CostFrontierResult", "cost_frontier_sweep",
 ]
 
 
@@ -152,4 +157,83 @@ def tolerance_sweep(
     ]
     return ToleranceSweepResult(
         tolerances=[int(t) for t in tolerances], areas=areas, scheduler=scheduler
+    )
+
+
+@dataclass
+class CostFrontierResult:
+    """EC spend, penalties, and attainment across penalty tightness."""
+
+    tightness: list[float]
+    ec_spend_usd: list[float]
+    penalty_usd: list[float]
+    total_usd: list[float]
+    burst_ratios: list[float]
+    compliance: list[float]
+    scheduler: str
+
+    def render(self) -> str:
+        lines = [
+            f"cost-vs-SLA frontier — {self.scheduler} "
+            f"(penalty tightness sweep)",
+            f"{'tight':>6} {'EC spend $':>11} {'penalty $':>10} "
+            f"{'total $':>9} {'burst':>6} {'tickets %':>9}",
+        ]
+        for k, ec, pen, tot, b, c in zip(
+            self.tightness, self.ec_spend_usd, self.penalty_usd,
+            self.total_usd, self.burst_ratios, self.compliance,
+        ):
+            lines.append(
+                f"{k:>6.2f} {ec:>11.4f} {pen:>10.2f} {tot:>9.2f} "
+                f"{b:>6.3f} {100 * c:>9.1f}"
+            )
+        return "\n".join(lines)
+
+
+def cost_frontier_sweep(
+    spec: ExperimentSpec,
+    tightness: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    scheduler: str = "CostAware",
+) -> CostFrontierResult:
+    """Sweep the penalty schedule's money axis against the cost-aware policy.
+
+    At tightness 0 violations are free and the policy never bursts (the
+    IC is sunk cost); as the schedule tightens, each increment makes more
+    jobs worth the external cloud's invoice, so EC spend rises
+    monotonically while penalties are progressively bought down. The
+    ticket is deliberately tighter than the reporting default — a
+    schedule nothing ever violates prices every placement at zero and
+    the frontier degenerates to a point.
+    """
+    from ..econ import EconConfig, PenaltySchedule, attach_econ
+    from ..metrics.tickets import ProportionalTicket, ticket_report
+
+    base_schedule = PenaltySchedule(
+        ticket=ProportionalTicket(base_s=60.0, factor=1.5)
+    )
+    batches = build_workload(spec)
+    ec_spend, penalties, totals, bursts, compliance = [], [], [], [], []
+    for k in tightness:
+        schedule = base_schedule.scaled(float(k))
+
+        def hook(env, schedule=schedule):
+            attach_econ(env, EconConfig(penalty=schedule))
+
+        trace = run_one(scheduler, spec, batches=batches, env_hook=hook)
+        econ = trace.metadata["econ"]
+        ec_spend.append(econ["ec_spend_usd"])
+        penalties.append(econ["penalty_usd"])
+        totals.append(econ["total_usd"])
+        bursts.append(summarize(trace).burst_ratio)
+        compliance.append(
+            ticket_report(trace, base_schedule.ticket).compliance
+        )
+    return CostFrontierResult(
+        tightness=[float(k) for k in tightness],
+        ec_spend_usd=ec_spend,
+        penalty_usd=penalties,
+        total_usd=totals,
+        burst_ratios=bursts,
+        compliance=compliance,
+        scheduler=scheduler,
     )

@@ -33,6 +33,9 @@ class SchedulerReport:
     n_peaks: int
     n_valleys: int
     ticket_compliance: float
+    #: Run-total cost from the trace's econ ledger (None when the run was
+    #: not cost-metered — the column only renders when some run was).
+    total_cost_usd: Optional[float] = None
 
     def as_row(self) -> dict:
         row = self.sla.as_row()
@@ -46,6 +49,8 @@ class SchedulerReport:
                 "tickets_%": round(100 * self.ticket_compliance, 1),
             }
         )
+        if self.total_cost_usd is not None:
+            row["cost_usd"] = round(self.total_cost_usd, 2)
         return row
 
 
@@ -64,6 +69,8 @@ class ComparisonReport:
             "burst_ratio", "oo_area_t0", "oo_area_t4", "blocked_kMBs",
             "peaks", "valleys", "tickets_%",
         ]
+        if any(r.total_cost_usd is not None for r in self.reports.values()):
+            columns.append("cost_usd")
         rows = [r.as_row() for r in self.reports.values()]
         widths = {
             c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
@@ -109,5 +116,10 @@ def build_report(
             n_peaks=peaks.n_peaks,
             n_valleys=peaks.n_valleys,
             ticket_compliance=ticket_report(trace, ticket_policy).compliance,
+            total_cost_usd=(
+                trace.metadata["econ"]["total_usd"]
+                if "econ" in trace.metadata
+                else None
+            ),
         )
     return out

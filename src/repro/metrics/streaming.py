@@ -78,6 +78,8 @@ class StreamingSLAStats:
     sla_violated: int = 0
     response_sum_s: float = 0.0
     lateness_sum_s: float = 0.0
+    penalty_usd: float = 0.0
+    penalties_accrued: int = 0
     reservoir_seed: int = 0
     _responses: Optional[ReservoirSampler] = None
 
@@ -120,6 +122,11 @@ class StreamingSLAStats:
                 self.sla_met += 1
             else:
                 self.sla_violated += 1
+
+    def on_penalty(self, usd: float) -> None:
+        """Accrue one SLA penalty charge (fed by the econ runtime)."""
+        self.penalty_usd += usd
+        self.penalties_accrued += 1
 
     # ------------------------------------------------------------------
     # Derived views
@@ -172,5 +179,10 @@ class StreamingSLAStats:
             lines.append(
                 f"SLA attainment: {100 * self.attainment:.1f}% "
                 f"({self.sla_met}/{scored} promises met)"
+            )
+        if self.penalties_accrued:
+            lines.append(
+                f"SLA penalties: ${self.penalty_usd:,.2f} accrued "
+                f"({self.penalties_accrued} charges)"
             )
         return "\n".join(lines)

@@ -22,9 +22,8 @@ one-page statement — which is how a production shop would quote.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -62,51 +61,21 @@ class FixedSlaTicket:
         return self.promise
 
 
-@dataclass(frozen=True, init=False)
+@dataclass(frozen=True)
 class ProportionalTicket:
     """Promise scales with the job's (true standard) processing time.
 
     ``promise = base_s + factor * t_proc`` — the quote a shop would give
     knowing the document's features a priori (the domain gives "apriori
     visibility into the features and characteristics of the jobs").
-
-    .. deprecated::
-        The ``base`` keyword/attribute is a deprecated alias for
-        ``base_s`` (unit-suffix convention, UNI001) and will be removed
-        one release after its introduction.
     """
 
-    base_s: float
-    factor: float
+    base_s: float = 120.0
+    factor: float = 4.0
 
-    def __init__(
-        self,
-        base_s: float = 120.0,
-        factor: float = 4.0,
-        *,
-        base: Optional[float] = None,
-    ) -> None:
-        if base is not None:
-            warnings.warn(
-                "ProportionalTicket(base=...) is deprecated; use base_s=...",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            base_s = base
-        if base_s < 0 or factor <= 0:
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.factor <= 0:
             raise ValueError("base_s must be >= 0 and factor positive")
-        object.__setattr__(self, "base_s", base_s)
-        object.__setattr__(self, "factor", factor)
-
-    @property
-    def base(self) -> float:
-        """Deprecated alias for :attr:`base_s`."""
-        warnings.warn(
-            "ProportionalTicket.base is deprecated; read base_s",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.base_s
 
     def promise_s(self, record: JobRecord) -> float:
         return self.base_s + self.factor * record.true_proc_time

@@ -12,20 +12,25 @@ optimises, each reported with the metric an operator would regress on:
   LARGE-bucket workload (p50/p95 over repetitions);
 * **loadgen** — sustained submission throughput (jobs/s) of the online
   broker under the bounded-admission heavy-traffic load driver, plus
-  quote-latency percentiles.
+  quote-latency percentiles;
+* **loadgen_bursty** — the same broker path under the driver's compound
+  Poisson (bursty) arrival process: bursts of ~8 jobs share one
+  quote/admit/dispatch round trip, so this measures the batched
+  submission path the steady scenario never exercises.
 
 ``run_bench`` writes the machine-readable report to ``BENCH_core.json``
 (schema below) and returns it; ``repro bench --smoke`` runs a tiny preset
 that exercises every scenario in seconds for CI.
 
-JSON schema (``schema_version`` 1)::
+JSON schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "smoke": bool,
       "python": "3.x.y",
       "preset": {"engine_events": int, "offline_n_batches": int,
-                 "offline_reps": int, "loadgen_jobs": int},
+                 "offline_reps": int, "loadgen_jobs": int,
+                 "loadgen_bursty_jobs": int},
       "scenarios": {
         "engine":  {"events_per_s": float, "n_events": int,
                     "wall_s": float, "compactions": int},
@@ -34,8 +39,10 @@ JSON schema (``schema_version`` 1)::
                                  "wall_s_min": float, "records": int,
                                  "reps": int}}},
         "loadgen": {"jobs_per_s": float, "n_jobs": int, "scheduler": str,
-                    "submit_wall_s": float, "drain_wall_s": float,
-                    "quote_p50_ms": float, "quote_p95_ms": float}
+                    "process": str, "submit_wall_s": float,
+                    "drain_wall_s": float, "quote_p50_ms": float,
+                    "quote_p95_ms": float},
+        "loadgen_bursty": <same shape as "loadgen">
       }
     }
 
@@ -54,7 +61,7 @@ from typing import Any, Optional
 
 __all__ = ["SCHEMA_VERSION", "BenchPreset", "BenchReport", "run_bench", "main"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -65,6 +72,7 @@ class BenchPreset:
     offline_n_batches: int
     offline_reps: int
     loadgen_jobs: int
+    loadgen_bursty_jobs: int = 0
 
 
 #: The canonical preset: large enough that per-run noise is small and the
@@ -74,6 +82,7 @@ FULL = BenchPreset(
     offline_n_batches=600,
     offline_reps=3,
     loadgen_jobs=8_000,
+    loadgen_bursty_jobs=4_000,
 )
 
 #: CI preset: every scenario runs, nothing takes more than a few seconds.
@@ -82,6 +91,7 @@ SMOKE = BenchPreset(
     offline_n_batches=8,
     offline_reps=1,
     loadgen_jobs=200,
+    loadgen_bursty_jobs=150,
 )
 
 
@@ -182,13 +192,16 @@ def _offline_scenario(n_batches: int, reps: int) -> dict[str, Any]:
     return {"n_batches": n_batches, "schedulers": schedulers}
 
 
-def _loadgen_scenario(n_jobs: int) -> dict[str, Any]:
+def _loadgen_scenario(n_jobs: int, process: str = "poisson") -> dict[str, Any]:
     """Broker submission throughput under the bounded heavy-traffic driver.
 
     Uses the load driver's production-shaped policy (proportional tickets,
     ``max_in_system`` backpressure): an *unbounded* policy turns the run
     into a pure overload study where queue length, not broker cost,
-    dominates the clock.
+    dominates the clock. ``process`` selects the arrival process:
+    ``"poisson"`` submits one job per broker round trip, ``"bursty"``
+    (compound Poisson, ~8 jobs per burst) exercises the batched
+    submission path.
     """
     from ..experiments.config import DEFAULT_SPEC
     from ..experiments.runner import make_scheduler
@@ -203,12 +216,19 @@ def _loadgen_scenario(n_jobs: int) -> dict[str, Any]:
         degraded_slack_s=-120.0,
         max_in_system=60,
     )
-    config = LoadGenConfig(n_jobs=n_jobs, rate_per_s=50.0, seed=2024)
+    config = LoadGenConfig(
+        n_jobs=n_jobs,
+        rate_per_s=50.0,
+        process=process,
+        mean_burst_jobs=8.0,
+        seed=2024,
+    )
     result = run_load(env, scheduler, policy, config)
     return {
         "jobs_per_s": result.jobs_per_s,
         "n_jobs": result.n_submitted,
         "scheduler": scheduler.name,
+        "process": process,
         "submit_wall_s": result.submit_wall_s,
         "drain_wall_s": result.drain_wall_s,
         "quote_p50_ms": result.latency_percentile_ms(50),
@@ -253,12 +273,15 @@ class BenchReport:
                 f"({row['records']} records x {row['reps']} reps, "
                 f"{off['n_batches']} batches)"
             )
-        lg = self.scenarios["loadgen"]
-        lines.append(
-            f"  loadgen {lg['scheduler']}: {lg['jobs_per_s']:,.0f} jobs/s "
-            f"submit ({lg['n_jobs']} jobs, quote p50 "
-            f"{lg['quote_p50_ms']:.3f}ms, p95 {lg['quote_p95_ms']:.3f}ms)"
-        )
+        for key in ("loadgen", "loadgen_bursty"):
+            lg = self.scenarios.get(key)
+            if lg is None:
+                continue
+            lines.append(
+                f"  {key} {lg['scheduler']}: {lg['jobs_per_s']:,.0f} jobs/s "
+                f"submit ({lg['n_jobs']} jobs via {lg['process']}, quote p50 "
+                f"{lg['quote_p50_ms']:.3f}ms, p95 {lg['quote_p95_ms']:.3f}ms)"
+            )
         return "\n".join(lines)
 
 
@@ -277,6 +300,10 @@ def run_bench(
         ),
         "loadgen": _loadgen_scenario(preset.loadgen_jobs),
     }
+    if preset.loadgen_bursty_jobs > 0:
+        scenarios["loadgen_bursty"] = _loadgen_scenario(
+            preset.loadgen_bursty_jobs, process="bursty"
+        )
     report = BenchReport(smoke=smoke, preset=preset, scenarios=scenarios)
     path = Path(out_path)
     path.parent.mkdir(parents=True, exist_ok=True)

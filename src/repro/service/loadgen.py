@@ -23,7 +23,6 @@ Two arrival processes, per the heavy-traffic framing in the related work
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -41,15 +40,9 @@ from .policy import SLAPolicy
 __all__ = ["LoadGenConfig", "LoadGenResult", "generate_arrivals", "run_load"]
 
 
-@dataclass(frozen=True, init=False)
+@dataclass(frozen=True)
 class LoadGenConfig:
-    """Knobs of one load-generation run.
-
-    .. deprecated::
-        The ``mean_burst`` keyword/attribute is a deprecated alias for
-        ``mean_burst_jobs`` (a count of jobs per burst, UNI001 naming)
-        and will be removed one release after its introduction.
-    """
+    """Knobs of one load-generation run."""
 
     n_jobs: int = 100_000
     rate_per_s: float = 50.0
@@ -59,53 +52,17 @@ class LoadGenConfig:
     seed: int = 2024
     first_arrival_s: float = 0.0
 
-    def __init__(
-        self,
-        n_jobs: int = 100_000,
-        rate_per_s: float = 50.0,
-        process: str = "poisson",
-        mean_burst_jobs: float = 10.0,
-        bucket: Bucket = Bucket.UNIFORM,
-        seed: int = 2024,
-        first_arrival_s: float = 0.0,
-        *,
-        mean_burst: Optional[float] = None,
-    ) -> None:
-        if mean_burst is not None:
-            warnings.warn(
-                "LoadGenConfig(mean_burst=...) is deprecated; "
-                "use mean_burst_jobs=...",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            mean_burst_jobs = mean_burst
-        if n_jobs < 1:
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
             raise ValueError("n_jobs must be positive")
-        if rate_per_s <= 0:
+        if self.rate_per_s <= 0:
             raise ValueError("rate_per_s must be positive")
-        if process not in ("poisson", "bursty"):
+        if self.process not in ("poisson", "bursty"):
             raise ValueError("process must be 'poisson' or 'bursty'")
-        if mean_burst_jobs < 1:
+        if self.mean_burst_jobs < 1:
             raise ValueError("mean_burst_jobs must be >= 1")
-        if first_arrival_s < 0:
+        if self.first_arrival_s < 0:
             raise ValueError("first_arrival_s cannot be negative")
-        object.__setattr__(self, "n_jobs", n_jobs)
-        object.__setattr__(self, "rate_per_s", rate_per_s)
-        object.__setattr__(self, "process", process)
-        object.__setattr__(self, "mean_burst_jobs", mean_burst_jobs)
-        object.__setattr__(self, "bucket", bucket)
-        object.__setattr__(self, "seed", seed)
-        object.__setattr__(self, "first_arrival_s", first_arrival_s)
-
-    @property
-    def mean_burst(self) -> float:
-        """Deprecated alias for :attr:`mean_burst_jobs`."""
-        warnings.warn(
-            "LoadGenConfig.mean_burst is deprecated; read mean_burst_jobs",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.mean_burst_jobs
 
 
 def generate_arrivals(

@@ -67,9 +67,17 @@ class Cluster:
         ]
         self.wait_queue: deque[QueuedWork] = deque()
         self.on_idle: Optional[Callable[["Cluster"], None]] = None
+        #: Lifecycle hooks for billing meters: fired when an instance
+        #: joins the pool or leaves it (idle retire, deferred retirement,
+        #: preemption of a draining machine).
+        self.on_machine_added: Optional[Callable[[Machine], None]] = None
+        self.on_machine_removed: Optional[Callable[[Machine], None]] = None
         self.jobs_completed = 0
+        self.jobs_preempted = 0
         self._next_machine_id = n_machines
         self._draining: set[Machine] = set()
+        self._offline: set[Machine] = set()
+        self._running: dict[Machine, QueuedWork] = {}
         #: Integral of pool size over time — rented machine-seconds, the
         #: pay-as-you-go cost basis for elastic scaling.
         self._pool_integral = 0.0
@@ -99,6 +107,8 @@ class Cluster:
         )
         self._next_machine_id += 1
         self.machines.append(machine)
+        if self.on_machine_added is not None:
+            self.on_machine_added(machine)
         self._dispatch()
         return machine
 
@@ -116,6 +126,9 @@ class Cluster:
         if idle is not None:
             self._accrue_pool_time()
             self.machines.remove(idle)
+            self._offline.discard(idle)
+            if self.on_machine_removed is not None:
+                self.on_machine_removed(idle)
             return True
         # Prefer the machine that frees up soonest.
         victim = min((m for m in candidates if m.busy),
@@ -211,12 +224,15 @@ class Cluster:
         while self.wait_queue:
             machine = next(
                 (m for m in self.machines
-                 if not m.busy and m not in self._draining),
+                 if not m.busy
+                 and m not in self._draining
+                 and m not in self._offline),
                 None,
             )
             if machine is None:
                 return
             work = self.wait_queue.popleft()
+            self._running[machine] = work
             if work.on_start is not None:
                 work.on_start(work.item, machine)
             machine.process(work.item, work.standard_time, self._make_done(work))
@@ -224,18 +240,64 @@ class Cluster:
     def _make_done(self, work: QueuedWork):
         def _done(item: Any, machine: Machine) -> None:
             self.jobs_completed += 1
+            self._running.pop(machine, None)
             if machine in self._draining:
                 # Deferred retirement: the instance leaves now that its
                 # last job is done. Busy-time already accrued on the
                 # machine object, so utilization accounting keeps it.
-                self._accrue_pool_time()
-                self._draining.discard(machine)
-                if machine in self.machines and len(self.machines) > 1:
-                    self.machines.remove(machine)
-                self._retired_busy_time += machine.busy_time
+                self._retire_deferred(machine)
             work.on_done(item, machine)
             self._dispatch()
             if not self.wait_queue and self.on_idle is not None:
                 self.on_idle(self)
 
         return _done
+
+    def _retire_deferred(self, machine: Machine) -> None:
+        """Finalise the exit of a draining machine whose work just ended."""
+        self._accrue_pool_time()
+        self._draining.discard(machine)
+        self._offline.discard(machine)
+        if machine in self.machines and len(self.machines) > 1:
+            self.machines.remove(machine)
+        self._retired_busy_time += machine.busy_time
+        if self.on_machine_removed is not None:
+            self.on_machine_removed(machine)
+
+    # ------------------------------------------------------------------
+    # Spot interruption (provider-side preemption)
+    # ------------------------------------------------------------------
+    def preempt_machine(self, machine: Machine) -> Optional[tuple[Any, float]]:
+        """Reclaim a machine mid-job, requeueing the interrupted work.
+
+        The work goes back to the *front* of the wait queue (it was
+        dispatched first; FIFO fairness keeps it first) and restarts from
+        scratch on the next available machine. A draining machine retires
+        immediately — its last job was just taken away from it. Returns
+        ``(item, elapsed_s)`` of the lost slice, or ``None`` if idle.
+        """
+        work = self._running.pop(machine, None)
+        interrupted = machine.preempt()
+        if interrupted is None:
+            return None
+        self.jobs_preempted += 1
+        if machine in self._draining:
+            self._retire_deferred(machine)
+        if work is not None:
+            self.wait_queue.appendleft(work)
+            self._dispatch()
+        return interrupted
+
+    def take_offline(self, machine: Machine) -> None:
+        """Exclude a machine from dispatch (spot price above bid)."""
+        if machine in self.machines:
+            self._offline.add(machine)
+
+    def bring_online(self, machine: Machine) -> None:
+        """Readmit a machine to dispatch (spot price back below bid)."""
+        self._offline.discard(machine)
+        self._dispatch()
+
+    @property
+    def offline_machines(self) -> int:
+        return len(self._offline)

@@ -255,6 +255,13 @@ class CloudBurstEnvironment:
         #: :class:`JobRecord` — the online broker's streaming SLA counters
         #: hang off this.
         self.on_job_complete: Optional[callable] = None
+        #: Additional completion observers (fan-out, fired after
+        #: ``on_job_complete``) — the econ subsystem's penalty/billing
+        #: accrual registers here without displacing the broker's slot.
+        self.completion_observers: list = []
+        #: Attached :class:`repro.econ.EconRuntime`, when cost accounting
+        #: is enabled for this run (:func:`repro.econ.attach_econ`).
+        self.econ = None
         #: Runtime invariant checker, when installed
         #: (:func:`repro.analysis.invariants.install_invariants`); gets
         #: first-class lifecycle calls so observers above stay free for
@@ -525,6 +532,8 @@ class CloudBurstEnvironment:
                 "up_probes": self.up_probe.n_probes,
             }
         )
+        if self.econ is not None:
+            trace.metadata["econ"] = self.econ.finalize(trace)
         if self.invariants is not None:
             self.invariants.on_finish(trace)
         return trace
@@ -757,6 +766,8 @@ class CloudBurstEnvironment:
             self.invariants.on_complete(st.record)
         if self.on_job_complete is not None:
             self.on_job_complete(st.record)
+        for observer in self.completion_observers:
+            observer(st.record)
 
     # ------------------------------------------------------------------
     # Rescheduling strategies (Section IV.D, optional)

@@ -17,7 +17,13 @@ __all__ = ["Machine"]
 
 
 class Machine:
-    """One non-preemptive compute slot with a relative speed factor."""
+    """One non-preemptive compute slot with a relative speed factor.
+
+    "Non-preemptive" describes the scheduler's contract — the simulated
+    system never time-slices. The *provider* may still interrupt: spot
+    instances get reclaimed mid-job (:mod:`repro.econ.pricing`), which is
+    what :meth:`preempt` models. Preempted work loses all progress.
+    """
 
     def __init__(self, sim: Simulator, name: str, speed: float = 1.0) -> None:
         if speed <= 0:
@@ -27,6 +33,7 @@ class Machine:
         self.speed = speed
         self.busy_time = 0.0
         self.jobs_processed = 0
+        self.jobs_preempted = 0
         self._current: Optional[Any] = None
         self._finish_event: Optional[Event] = None
         self._busy_since: Optional[float] = None
@@ -61,6 +68,28 @@ class Machine:
         self._busy_since = self.sim.now
         duration = standard_time / self.speed
         self._finish_event = self.sim.schedule(duration, self._finish, item, on_done)
+
+    def preempt(self) -> Optional[tuple[Any, float]]:
+        """Interrupt the in-flight job, losing all its progress.
+
+        Models a provider-side spot reclamation: the pending finish event
+        is cancelled, the elapsed slice still counts as busy (the machine
+        *was* occupied — and, under spot billing, paid for), and the item
+        is handed back to the caller for requeueing. Returns
+        ``(item, elapsed_s)``, or ``None`` if the machine was idle.
+        """
+        if self._current is None:
+            return None
+        assert self._busy_since is not None and self._finish_event is not None
+        item = self._current
+        elapsed_s = self.sim.now - self._busy_since
+        self.busy_time += elapsed_s
+        self.jobs_preempted += 1
+        self._finish_event.cancel()
+        self._current = None
+        self._finish_event = None
+        self._busy_since = None
+        return item, elapsed_s
 
     def _finish(self, item: Any, on_done: Callable[[Any, "Machine"], None]) -> None:
         assert self._busy_since is not None

@@ -1,14 +1,14 @@
-"""Tests for the unified CLI / Session API redesign and its deprecation shims.
+"""Tests for the unified CLI / Session API redesign.
 
-Pins the four contracts the redesign sold:
+Pins the contracts the redesign sold, now that the one-release
+deprecation window has closed:
 
-* the legacy ``repro-experiment`` entry point still works but warns and
-  forwards to the unified ``repro`` CLI (one release of grace);
+* the legacy ``repro-experiment`` entry point and its warning aliases
+  (``ProportionalTicket.base``, ``LoadGenConfig.mean_burst``) are *gone*
+  — old spellings fail loudly instead of warning;
 * the unified :class:`~repro.sim.environment.Session` drives a workload to
   the *identical* trace the classic offline ``run`` produces;
-* keyword-only configs reject the positional calls the old API allowed;
-* renamed fields (UNI001 unit suffixes) keep their old names alive as
-  warning aliases for one release.
+* keyword-only configs reject the positional calls the old API allowed.
 
 The bench harness schema test lives here too: ``BENCH_core.json`` is part
 of the new public surface (CI uploads it), so its shape is pinned.
@@ -20,7 +20,7 @@ import json
 
 import pytest
 
-import repro.experiments.cli as legacy_cli
+import repro.experiments.cli as experiments_cli
 from repro.analysis.determinism import hash_trace
 from repro.experiments.runner import make_scheduler
 from repro.metrics.tickets import ProportionalTicket
@@ -39,29 +39,27 @@ def _pretrained_env(config: SystemConfig) -> CloudBurstEnvironment:
 
 
 # ----------------------------------------------------------------------
-# Deprecated CLI shim
+# The unified CLI owns the experiment surface
 # ----------------------------------------------------------------------
-class TestLegacyCliShim:
-    def test_legacy_main_warns_and_forwards(self):
-        """The old entry point must warn, then behave as the unified CLI."""
-        with pytest.warns(DeprecationWarning, match="unified `repro` command"):
-            with pytest.raises(SystemExit) as excinfo:
-                legacy_cli.main(["--help"])
-        assert excinfo.value.code == 0
+class TestUnifiedCli:
+    def test_legacy_entry_point_is_gone(self):
+        """The deprecation window closed: no ``main`` shim remains."""
+        assert not hasattr(experiments_cli, "main")
 
     def test_render_sugar_still_expands(self):
-        assert legacy_cli.expand_render_sugar(["fig6"]) == ["render", "fig6"]
-        assert legacy_cli.expand_render_sugar(["all"]) == ["render", "all"]
+        assert experiments_cli.expand_render_sugar(["fig6"]) == ["render", "fig6"]
+        assert experiments_cli.expand_render_sugar(["all"]) == ["render", "all"]
         # Non-target leading words pass through untouched.
-        assert legacy_cli.expand_render_sugar(["check"]) == ["check"]
+        assert experiments_cli.expand_render_sugar(["check"]) == ["check"]
 
     def test_unified_cli_mounts_experiment_commands(self):
         from repro.cli import build_parser
 
         text = build_parser().format_help()
-        for command in legacy_cli.EXPERIMENT_COMMANDS:
+        for command in experiments_cli.EXPERIMENT_COMMANDS:
             assert command in text
         assert "bench" in text
+        assert "econ" in text
 
 
 # ----------------------------------------------------------------------
@@ -107,33 +105,37 @@ class TestKeywordOnlyConfigs:
 
 
 # ----------------------------------------------------------------------
-# One-release deprecation aliases
+# Deprecation aliases are removed (window closed)
 # ----------------------------------------------------------------------
-class TestDeprecationAliases:
-    def test_proportional_ticket_base_kwarg_maps(self):
-        with pytest.warns(DeprecationWarning, match="base_s"):
-            ticket = ProportionalTicket(base=45.0, factor=3.0)
-        assert ticket.base_s == 45.0
+class TestAliasesRemoved:
+    def test_proportional_ticket_base_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            ProportionalTicket(base=45.0, factor=3.0)  # type: ignore[call-arg]
 
-    def test_proportional_ticket_base_property_warns(self):
+    def test_proportional_ticket_has_no_base_attribute(self):
         ticket = ProportionalTicket(base_s=45.0, factor=3.0)
-        with pytest.warns(DeprecationWarning, match="base_s"):
-            assert ticket.base == 45.0
+        assert ticket.base_s == 45.0
+        assert not hasattr(ticket, "base")
 
-    def test_loadgen_mean_burst_kwarg_maps(self):
-        with pytest.warns(DeprecationWarning, match="mean_burst_jobs"):
-            config = LoadGenConfig(n_jobs=10, mean_burst=4.0)
-        assert config.mean_burst_jobs == 4.0
+    def test_loadgen_mean_burst_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            LoadGenConfig(n_jobs=10, mean_burst=4.0)  # type: ignore[call-arg]
 
-    def test_loadgen_mean_burst_property_warns(self):
+    def test_loadgen_has_no_mean_burst_attribute(self):
         config = LoadGenConfig(n_jobs=10, mean_burst_jobs=4.0)
-        with pytest.warns(DeprecationWarning, match="mean_burst_jobs"):
-            assert config.mean_burst == 4.0
+        assert config.mean_burst_jobs == 4.0
+        assert not hasattr(config, "mean_burst")
 
     def test_new_spellings_stay_silent(self, recwarn):
         ProportionalTicket(base_s=45.0, factor=3.0)
         LoadGenConfig(n_jobs=10, mean_burst_jobs=4.0)
         assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_validation_still_enforced(self):
+        with pytest.raises(ValueError):
+            ProportionalTicket(base_s=-1.0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(n_jobs=10, mean_burst_jobs=0.5)
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +149,7 @@ class TestBenchReportSchema:
             offline_n_batches=2,
             offline_reps=1,
             loadgen_jobs=15,
+            loadgen_bursty_jobs=12,
         )
         report = run_bench(smoke=True, out_path=out, preset=preset)
         assert report.path == out
@@ -154,6 +157,7 @@ class TestBenchReportSchema:
         assert data["schema_version"] == SCHEMA_VERSION
         assert data["smoke"] is True
         assert data["preset"]["engine_events"] == 1500
+        assert data["preset"]["loadgen_bursty_jobs"] == 12
 
         scenarios = data["scenarios"]
         assert scenarios["engine"]["n_events"] == 1500
@@ -165,8 +169,24 @@ class TestBenchReportSchema:
             assert row["records"] > 0
         loadgen = scenarios["loadgen"]
         assert loadgen["n_jobs"] == 15
+        assert loadgen["process"] == "poisson"
         assert loadgen["jobs_per_s"] > 0
         assert loadgen["quote_p95_ms"] >= loadgen["quote_p50_ms"] >= 0
+        bursty = scenarios["loadgen_bursty"]
+        assert bursty["n_jobs"] == 12
+        assert bursty["process"] == "bursty"
+        assert bursty["jobs_per_s"] > 0
+
+    def test_bursty_scenario_skipped_when_zeroed(self, tmp_path):
+        preset = BenchPreset(
+            engine_events=1000,
+            offline_n_batches=2,
+            offline_reps=1,
+            loadgen_jobs=10,
+            loadgen_bursty_jobs=0,
+        )
+        report = run_bench(smoke=True, out_path=tmp_path / "b.json", preset=preset)
+        assert "loadgen_bursty" not in report.scenarios
 
     def test_render_mentions_every_scenario(self, tmp_path):
         preset = BenchPreset(
@@ -174,7 +194,9 @@ class TestBenchReportSchema:
             offline_n_batches=2,
             offline_reps=1,
             loadgen_jobs=10,
+            loadgen_bursty_jobs=10,
         )
         report = run_bench(smoke=True, out_path=tmp_path / "b.json", preset=preset)
         text = report.render()
-        assert "engine" in text and "offline" in text and "loadgen" in text
+        assert "engine" in text and "offline" in text
+        assert "loadgen" in text and "loadgen_bursty" in text

@@ -232,6 +232,42 @@ class TestUnitsSuffixRule:
         """
         assert lint(src) == []
 
+    def test_money_field_without_usd_token_is_flagged(self):
+        """A money name with an otherwise-valid unit suffix still needs usd."""
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Invoice:
+            penalty_s: float
+            cost: float
+        """
+        violations = lint(src, module="repro.econ.snippet")
+        assert codes(violations) == ["UNI001", "UNI001"]
+        assert all("usd token" in v.message for v in violations)
+
+    def test_money_fields_with_usd_token_pass(self):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Invoice:
+            penalty_usd: float
+            base_usd_per_hour: float
+            cost_usd_per_gb: float
+        """
+        assert lint(src, module="repro.econ.snippet") == []
+
+    def test_econ_package_is_in_scope(self):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:
+            bandwidth: float
+        """
+        assert codes(lint(src, module="repro.econ.snippet")) == ["UNI001"]
+
 
 # ----------------------------------------------------------------------
 # MUT001: SystemState mutates only inside commit methods
