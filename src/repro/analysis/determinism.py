@@ -50,6 +50,8 @@ __all__ = [
     "EconDeterminismResult",
     "check_scheduler_econ",
     "check_econ",
+    "FleetDeterminismResult",
+    "check_fleet",
 ]
 
 #: JobRecord fields in declaration order — the canonical hashing schema.
@@ -311,3 +313,110 @@ def check_econ(
 ) -> list[EconDeterminismResult]:
     """The econ half of ``repro check``: ledger verdicts per scheduler."""
     return [check_scheduler_econ(name, spec=spec) for name in schedulers]
+
+
+# ----------------------------------------------------------------------
+# Fleet pass: cross-shard merged-artifact reproducibility
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetDeterminismResult:
+    """Verdict for one sharded fleet: two runs, two fleet digests.
+
+    The fleet digest covers the per-shard trace hashes, the per-tenant
+    ledger hashes and the merged streaming counters (see
+    :func:`repro.fleet.aggregate.fleet_sha256`), so a single mismatched
+    shard or tenant ledger fails the whole pass — and the render names
+    the first shard whose trace diverged, when one did.
+    """
+
+    n_shards: int
+    seed: int
+    sha_a: str
+    sha_b: str
+    shard_hashes_a: tuple[str, ...]
+    shard_hashes_b: tuple[str, ...]
+    n_records: int
+    quota_rejected: int
+
+    @property
+    def deterministic(self) -> bool:
+        return self.sha_a == self.sha_b
+
+    def render(self) -> str:
+        label = f"fleet[{self.n_shards}]"
+        if self.deterministic:
+            return (
+                f"{label:>8}: OK  {self.n_records} records, "
+                f"{self.quota_rejected} quota refusals, "
+                f"fleet sha {self.sha_a[:16]}"
+            )
+        divergent = [
+            i
+            for i, (a, b) in enumerate(
+                zip(self.shard_hashes_a, self.shard_hashes_b)
+            )
+            if a != b
+        ]
+        if divergent:
+            detail = f"shard trace hash(es) differ at index {divergent}"
+        else:
+            detail = (
+                "shard traces agree; merged stats/ledger state diverged "
+                f"({self.sha_a[:16]} vs {self.sha_b[:16]})"
+            )
+        return f"{label:>8}: FAIL  {detail}"
+
+
+def check_fleet(
+    n_shards: int = 4,
+    n_jobs: int = 400,
+    seed: int = 2024,
+    scheduler: str = "Op",
+) -> FleetDeterminismResult:
+    """Double-run a small sharded fleet; compare the merged digests.
+
+    Exercises the whole multi-tenant stack: substream-seeded shard
+    environments, hash routing, per-class promise scaling, a tight quota
+    on one tenant (so the distinct ``"quota"`` refusal path is on the
+    hashed path), cross-shard stats/ledger merging, and the fleet
+    SHA-256 itself.
+    """
+    # Local import: repro.fleet builds on this module's hash_trace.
+    from ..fleet import (
+        BRONZE,
+        FleetConfig,
+        FleetLoadConfig,
+        FleetReport,
+        Tenant,
+        TenantRegistry,
+        default_registry,
+        run_fleet_load,
+    )
+
+    def one_run() -> FleetReport:
+        registry = TenantRegistry(list(default_registry(11)))
+        # A deliberately starved tenant: the quota refusal path must be
+        # part of what the digest certifies.
+        registry.register(
+            Tenant(tenant_id="starved-012", sla_class=BRONZE, quota_jobs=5)
+        )
+        result = run_fleet_load(
+            FleetConfig(n_shards=n_shards, seed=seed, scheduler=scheduler),
+            FleetLoadConfig(n_jobs=n_jobs, rate_per_s=50.0, seed=seed),
+            registry=registry,
+        )
+        return result.report
+
+    report_a, report_b = one_run(), one_run()
+    return FleetDeterminismResult(
+        n_shards=n_shards,
+        seed=seed,
+        sha_a=report_a.sha256,
+        sha_b=report_b.sha256,
+        shard_hashes_a=tuple(report_a.shard_hashes),
+        shard_hashes_b=tuple(report_b.shard_hashes),
+        n_records=len(report_a.trace.records),
+        quota_rejected=report_a.quota_rejected,
+    )

@@ -45,6 +45,7 @@ __all__ = [
     "Violation",
     "ModuleContext",
     "LintRule",
+    "RULE_CODE_RE",
     "all_rules",
     "run_lint",
     "lint_source",
@@ -56,6 +57,13 @@ __all__ = [
 
 #: ``# repro: allow[CODE]`` / ``# repro: allow[CODE1, CODE2] justification``.
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]")
+
+#: Shape every *registered* rule code must take. The families are the
+#: documented catalogue prefixes (see ``repro.analysis.rules``); a rule
+#: that leaves the base class's empty sentinel in place — or invents an
+#: undocumented family — is rejected at registry instantiation rather
+#: than silently reporting under a bogus code.
+RULE_CODE_RE = re.compile(r"^(DET|FLT|UNI|MUT)\d{3}$")
 
 
 @dataclass(frozen=True)
@@ -100,7 +108,14 @@ class LintRule:
     Attributes
     ----------
     code:
-        Stable error code (``ABC123``) used in reports and suppressions.
+        Stable error code (``DET001``-style) used in reports and
+        suppressions. The base class leaves it as the empty-string
+        sentinel; :func:`all_rules` refuses to register a rule that has
+        not overridden it with a real catalogue code (matching
+        :data:`RULE_CODE_RE`). The sentinel is deliberately *not* a
+        placeholder like ``XXX000`` — ``XXX`` is this repo's
+        to-do-marker convention, and a greppable marker inside the lint
+        framework itself produced permanent false hits.
     name:
         Short kebab-case rule name.
     hint:
@@ -110,7 +125,7 @@ class LintRule:
         whole ``repro`` package.
     """
 
-    code: str = "XXX000"
+    code: str = ""  # sentinel: subclasses must declare a catalogue code
     name: str = "unnamed-rule"
     description: str = ""
     hint: str = ""
@@ -140,10 +155,23 @@ class LintRule:
 
 def all_rules() -> list[LintRule]:
     """Fresh instances of every registered rule (import kept lazy so the
-    framework itself has no rule dependencies)."""
+    framework itself has no rule dependencies).
+
+    Raises ``ValueError`` for a registered rule whose ``code`` is still
+    the base-class sentinel or otherwise outside the documented
+    catalogue families (:data:`RULE_CODE_RE`).
+    """
     from .rules import RULES
 
-    return [cls() for cls in RULES]
+    rules = [cls() for cls in RULES]
+    for rule in rules:
+        if not RULE_CODE_RE.match(rule.code):
+            raise ValueError(
+                f"lint rule {type(rule).__name__} must declare a real "
+                f"catalogue code (DET|FLT|UNI|MUT + 3 digits), "
+                f"got {rule.code!r}"
+            )
+    return rules
 
 
 def module_name_for_path(path: Path) -> str:

@@ -8,12 +8,14 @@ can gate on them:
 * ``repro lint [paths...]`` — run the custom AST lint
   (:mod:`repro.analysis.lint`) over source trees; defaults to the
   installed ``repro`` package itself. Exit 1 on any violation.
-* ``repro check [--scheduler NAME] [--no-econ]`` — the determinism
-  harness (:mod:`repro.analysis.determinism`): run each paper scheduler
-  twice on the same seeded workload with runtime invariants enabled and
-  compare trace hashes; then repeat with cost accounting and spot
-  preemption attached, additionally comparing ``CostLedger`` hashes.
-  Exit 1 on divergence or invariant violation.
+* ``repro check [--scheduler NAME] [--no-econ] [--no-fleet]`` — the
+  determinism harness (:mod:`repro.analysis.determinism`): run each
+  paper scheduler twice on the same seeded workload with runtime
+  invariants enabled and compare trace hashes; then repeat with cost
+  accounting and spot preemption attached, additionally comparing
+  ``CostLedger`` hashes; finally double-run a small sharded multi-tenant
+  fleet and compare the merged trace/stats/ledger digest. Exit 1 on
+  divergence or invariant violation.
 * ``repro typecheck`` — ``mypy --strict`` over the typed core
   (``repro.sim.engine``, ``repro.core``, ``repro.analysis``). Skips with
   exit 0 when mypy is not installed (the pinned container image carries
@@ -27,6 +29,14 @@ can gate on them:
   runs for regression tracking.
 * ``repro serve`` / ``repro loadgen`` — the online broker service path
   and its heavy-traffic load driver.
+
+**Fleet** (:mod:`repro.fleet`)
+
+* ``repro fleet serve`` — the sharded multi-tenant HTTP/JSON front.
+* ``repro fleet loadgen`` — aggregate heavy-traffic driver across all
+  shards (the ≥100k jobs/s figure in ``BENCH_core.json``).
+* ``repro fleet report`` — small deterministic fleet run, aggregated
+  multi-tenant report.
 
 **Benchmarks**
 
@@ -81,6 +91,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         ECON_SCHEDULERS,
         check_determinism,
         check_econ,
+        check_fleet,
     )
     from .analysis.invariants import InvariantError
     from .experiments.config import DEFAULT_SPEC
@@ -122,6 +133,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
             for econ_result in check_econ(econ_schedulers, spec=spec):
                 print(econ_result.render())
                 failed = failed or not econ_result.deterministic
+        if not args.no_fleet:
+            print(
+                "fleet check: 4-shard multi-tenant double-run, "
+                "merged trace/ledger/stats digest"
+            )
+            fleet_result = check_fleet(
+                seed=args.seed if args.seed is not None else 2024
+            )
+            print(fleet_result.render())
+            failed = failed or not fleet_result.deterministic
     except InvariantError as exc:
         print(f"invariant violated during check run: {exc}", file=sys.stderr)
         return 1
@@ -247,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the econ pass (billing/penalty/ledger determinism)",
     )
+    p_check.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the fleet pass (cross-shard merged-digest determinism)",
+    )
     p_check.set_defaults(func=_cmd_check)
 
     p_type = sub.add_parser(
@@ -255,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_type.set_defaults(func=_cmd_typecheck)
 
     register_commands(sub)
+
+    from .fleet.cli import register_fleet_commands
+
+    register_fleet_commands(sub)
 
     p_econ = sub.add_parser(
         "econ", help="cost accounting: ledgers and the cost-vs-SLA frontier"

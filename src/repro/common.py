@@ -1,11 +1,17 @@
 """Leaf definitions shared by the scheduler core and the simulator.
 
-Kept dependency-free to avoid import cycles: ``repro.core`` (schedulers)
-and ``repro.sim`` (environment) both need the placement vocabulary, while
-``repro.sim.environment`` also imports the schedulers' base types.
+Kept dependency-free (stdlib only) to avoid import cycles: ``repro.core``
+(schedulers) and ``repro.sim`` (environment) both need the placement
+vocabulary, while ``repro.sim.environment`` also imports the schedulers'
+base types. The fleet layer additionally needs seed-derivation helpers
+here, below every subsystem that consumes them.
 """
 
-__all__ = ["Placement"]
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["Placement", "stable_hash", "substream_seed"]
 
 
 class Placement:
@@ -17,3 +23,44 @@ class Placement:
 
     IC = "IC"
     EC = "EC"
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit hash of ``text`` that is identical across processes.
+
+    Python's builtin ``hash()`` is salted per process (PYTHONHASHSEED), so
+    it must never decide anything a reproducible run depends on — shard
+    routing in particular. This SHA-256-derived value is the same on every
+    interpreter, every run, every machine.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def substream_seed(root_seed: int, *path: int | str) -> int:
+    """Derive an independent child seed from a run seed and a stable path.
+
+    The fleet runs many seeded components off one run seed — one
+    environment, one workload generator and one reservoir per shard —
+    and each must draw from its *own* substream: sharing a generator (or
+    worse, falling back to ``random.random()`` module state, which DET002
+    forbids) couples partitions together and breaks per-shard
+    reproducibility. Mixing the root seed with a path of labels/indices
+    through SHA-256 gives well-separated 63-bit seeds::
+
+        env_seed = substream_seed(run_seed, "shard", 3)
+        gen_seed = substream_seed(run_seed, "shard", 3, "arrivals")
+
+    Deterministic given ``(root_seed, path)``; order-sensitive in the
+    path; stable across processes and platforms.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(root_seed)).encode())
+    for part in path:
+        h.update(b"\x1f")
+        if isinstance(part, bool) or not isinstance(part, (int, str)):
+            raise TypeError(f"substream path parts must be int or str, got {part!r}")
+        h.update(str(part).encode("utf-8"))
+    # 63 bits: always a valid non-negative seed for both random.Random
+    # and numpy's default_rng.
+    return int.from_bytes(h.digest()[:8], "big") >> 1

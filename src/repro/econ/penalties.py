@@ -144,6 +144,22 @@ class CostLedger:
         policy minimises."""
         return self.ec_spend_usd + self.penalty_usd
 
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Fold another ledger's accruals into this one.
+
+        Every field is additive, so the merged ledger of N independent
+        shard runs equals the books of the whole fleet. Floats add in the
+        caller's merge order — the fleet aggregator fixes that order to
+        shard index, which is what keeps the merged ledger hash a run
+        invariant. Returns ``self`` so merges chain.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __iadd__(self, other: "CostLedger") -> "CostLedger":
+        return self.merge(other)
+
     def as_dict(self) -> dict:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["compute_usd"] = self.compute_usd

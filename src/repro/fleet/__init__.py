@@ -1,0 +1,64 @@
+"""repro.fleet — sharded multi-tenant broker behind an HTTP/JSON front.
+
+The service subsystem (:mod:`repro.service`) is one broker, one tenant,
+one process. This package scales that out without giving up the repo's
+determinism contract:
+
+* **tenancy** (:mod:`~repro.fleet.tenants`) — SLA classes
+  (gold/silver/bronze promise multipliers and penalty weights), per-run
+  admission quotas, and stable hash routing of tenants onto shards;
+* **sharding** (:mod:`~repro.fleet.sharding`) — N independent broker
+  partitions, each a full environment+session+stats+econ stack seeded by
+  :func:`repro.common.substream_seed`, sharing no mutable state;
+* **aggregation** (:mod:`~repro.fleet.aggregate`) — shard-index-ordered
+  merging of traces, streaming SLA stats and cost ledgers, digested into
+  one fleet SHA-256 that two runs of the same ``(seed, n_shards)``
+  reproduce bit-for-bit (enforced by ``repro check``'s fleet pass);
+* **API** (:mod:`~repro.fleet.api`) — a stdlib HTTP/JSON front with
+  schema-validated submit/quote/stats endpoints; malformed bodies get
+  400s, unknown tenants 404s, exhausted quotas 429s, and no request can
+  crash a shard;
+* **load** (:mod:`~repro.fleet.loadgen`) — the aggregate heavy-traffic
+  driver behind ``repro fleet loadgen`` and the ``fleet_loadgen`` bench
+  scenario.
+
+See ``docs/fleet.md`` for the tenancy model, routing and determinism
+contract in prose.
+"""
+
+from .aggregate import FleetReport, TenantReport, aggregate_shards, fleet_sha256
+from .api import FleetAPIServer, serve_fleet
+from .loadgen import FleetLoadConfig, FleetLoadResult, run_fleet_load
+from .schema import SchemaError, validate
+from .sharding import (
+    BrokerShard,
+    FleetConfig,
+    FleetManager,
+    QuotaExceededError,
+    ShardResult,
+    TenantAccount,
+)
+from .tenants import (
+    BRONZE,
+    GOLD,
+    SILVER,
+    SLA_CLASSES,
+    ScaledTicket,
+    SLAClass,
+    Tenant,
+    TenantRegistry,
+    UnknownTenantError,
+    default_registry,
+)
+
+__all__ = [
+    "SLAClass", "GOLD", "SILVER", "BRONZE", "SLA_CLASSES",
+    "ScaledTicket", "Tenant", "TenantRegistry", "UnknownTenantError",
+    "default_registry",
+    "SchemaError", "validate",
+    "FleetConfig", "BrokerShard", "FleetManager", "TenantAccount",
+    "ShardResult", "QuotaExceededError",
+    "FleetReport", "TenantReport", "aggregate_shards", "fleet_sha256",
+    "FleetAPIServer", "serve_fleet",
+    "FleetLoadConfig", "FleetLoadResult", "run_fleet_load",
+]

@@ -1,0 +1,224 @@
+"""Deterministic cross-shard aggregation: one fleet, one set of books.
+
+A fleet run ends as N independent :class:`~repro.fleet.sharding.
+ShardResult` objects. This module folds them — always in shard-index
+order, which is what makes every derived artifact a pure function of
+``(seed, n_shards, workload)``:
+
+* **merged trace** — :func:`repro.sim.tracing.merge_traces` over the
+  shard traces (job ids renumbered, busy times summed);
+* **merged stats** — :meth:`StreamingSLAStats.merge` folds, exact for
+  counts/sums, deterministic for quantile reservoir state;
+* **merged ledger** — :meth:`CostLedger.merge` folds (all fields are
+  additive);
+* **fleet hash** — one SHA-256 over the per-shard trace hashes, the
+  per-tenant ledger hashes (sorted by tenant id) and the merged counter
+  state, floats canonicalised via ``hex()`` exactly like the trace hash.
+  Two runs of the same fleet agree on this digest bit-for-bit; the
+  ``repro check`` fleet pass enforces it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..analysis.determinism import hash_trace
+from ..econ.penalties import CostLedger
+from ..metrics.streaming import StreamingSLAStats
+from ..sim.tracing import RunTrace, merge_traces
+from .sharding import FleetConfig, ShardResult, TenantAccount
+from .tenants import TenantRegistry
+
+__all__ = ["TenantReport", "FleetReport", "aggregate_shards", "fleet_sha256"]
+
+
+def _canon(value: object) -> str:
+    """Hash-stable rendering (floats by hex, dicts by sorted items)."""
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, dict):
+        return "{" + ",".join(
+            f"{k}:{_canon(v)}" for k, v in sorted(value.items())
+        ) + "}"
+    return repr(value)
+
+
+def fleet_sha256(
+    shard_hashes: Sequence[str],
+    tenant_ledger_hashes: Mapping[str, str],
+    merged_counters: Mapping[str, object],
+    merged_ledger_hash: str,
+) -> str:
+    """The fleet-level determinism digest (see module docstring)."""
+    h = hashlib.sha256()
+    for i, shard_hash in enumerate(shard_hashes):
+        h.update(f"shard[{i}]={shard_hash}\n".encode())
+    for tenant_id, ledger_hash in sorted(tenant_ledger_hashes.items()):
+        h.update(f"tenant[{tenant_id}]={ledger_hash}\n".encode())
+    for name, value in sorted(merged_counters.items()):
+        h.update(f"stats[{name}]={_canon(value)}\n".encode())
+    h.update(f"ledger={merged_ledger_hash}\n".encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """One tenant's run, rolled up for the fleet report."""
+
+    tenant_id: str
+    sla_class: str
+    shard: int
+    quota_jobs: "int | None"
+    submitted: int
+    admitted: int
+    rejected: int
+    quota_rejected: int
+    completed: int
+    attainment: float
+    penalty_usd: float
+    ledger_hash: str
+
+    def render(self) -> str:
+        quota = "∞" if self.quota_jobs is None else str(self.quota_jobs)
+        line = (
+            f"{self.tenant_id:<12} {self.sla_class:<7} shard {self.shard}  "
+            f"quota {quota:>4}  submitted {self.submitted:>6}  "
+            f"admitted {self.admitted:>6}  rejected {self.rejected:>5}"
+        )
+        if self.quota_rejected:
+            line += f" (quota {self.quota_rejected})"
+        line += (
+            f"  attainment {100 * self.attainment:5.1f}%"
+            f"  penalties ${self.penalty_usd:,.2f}"
+        )
+        return line
+
+
+@dataclass
+class FleetReport:
+    """The aggregated outcome of one fleet run."""
+
+    config: FleetConfig
+    shard_hashes: list[str]
+    trace: RunTrace
+    stats: StreamingSLAStats
+    ledger: CostLedger
+    tenants: list[TenantReport]
+    sha256: str
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_hashes)
+
+    @property
+    def quota_rejected(self) -> int:
+        """Fleet-wide count of quota refusals — distinct in the rollup."""
+        return self.stats.rejections_by_reason.get("quota", 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "seed": self.config.seed,
+            "scheduler": self.config.scheduler,
+            "shard_hashes": list(self.shard_hashes),
+            "stats": self.stats.counters_dict(),
+            "ledger": self.ledger.as_dict(),
+            "ledger_sha256": self.ledger.ledger_hash(),
+            "tenants": {
+                t.tenant_id: {
+                    "sla_class": t.sla_class,
+                    "shard": t.shard,
+                    "submitted": t.submitted,
+                    "admitted": t.admitted,
+                    "rejected": t.rejected,
+                    "quota_rejected": t.quota_rejected,
+                    "completed": t.completed,
+                    "attainment": t.attainment,
+                    "penalty_usd": t.penalty_usd,
+                    "ledger_hash": t.ledger_hash,
+                }
+                for t in self.tenants
+            },
+            "fleet_sha256": self.sha256,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"fleet: {self.n_shards} shards, scheduler {self.config.scheduler}, "
+            f"seed {self.config.seed}",
+            f"fleet sha256: {self.sha256}",
+        ]
+        lines.append(self.stats.render())
+        lines.append(self.ledger.render())
+        if self.quota_rejected:
+            lines.append(
+                f"quota refusals: {self.quota_rejected} jobs turned away at the door"
+            )
+        lines.append(f"tenants ({len(self.tenants)}):")
+        lines.extend("  " + t.render() for t in self.tenants)
+        return "\n".join(lines)
+
+
+def _tenant_report(shard_index: int, account: TenantAccount) -> TenantReport:
+    stats = account.stats
+    return TenantReport(
+        tenant_id=account.tenant.tenant_id,
+        sla_class=account.tenant.sla_class.name,
+        shard=shard_index,
+        quota_jobs=account.quota_jobs,
+        submitted=stats.submitted,
+        admitted=stats.admitted,
+        rejected=stats.rejected,
+        quota_rejected=stats.rejections_by_reason.get("quota", 0),
+        completed=stats.completed,
+        attainment=stats.attainment,
+        penalty_usd=account.ledger.penalty_usd,
+        ledger_hash=account.ledger.ledger_hash(),
+    )
+
+
+def aggregate_shards(
+    config: FleetConfig,
+    registry: TenantRegistry,
+    results: Sequence[ShardResult],
+) -> FleetReport:
+    """Fold shard results (already in shard-index order) into one report."""
+    results = sorted(results, key=lambda r: r.index)
+    shard_hashes = [hash_trace(r.trace) for r in results]
+    trace = merge_traces([r.trace for r in results])
+    trace.metadata["fleet"] = {
+        "n_shards": len(results),
+        "seed": config.seed,
+        "shard_hashes": list(shard_hashes),
+    }
+
+    stats = StreamingSLAStats(reservoir_seed=config.seed)
+    ledger = CostLedger()
+    tenants: list[TenantReport] = []
+    for result in results:
+        stats.merge(result.stats)
+        ledger.merge(result.ledger)
+        # Registration order within a shard; sorted fleet-wide below.
+        tenants.extend(
+            _tenant_report(result.index, account)
+            for account in result.accounts.values()
+        )
+    tenants.sort(key=lambda t: t.tenant_id)
+
+    sha = fleet_sha256(
+        shard_hashes,
+        {t.tenant_id: t.ledger_hash for t in tenants},
+        stats.counters_dict(),
+        ledger.ledger_hash(),
+    )
+    return FleetReport(
+        config=config,
+        shard_hashes=shard_hashes,
+        trace=trace,
+        stats=stats,
+        ledger=ledger,
+        tenants=tenants,
+        sha256=sha,
+    )

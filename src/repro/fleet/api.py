@@ -1,0 +1,355 @@
+"""HTTP/JSON front for the fleet: submit, quote, stats — stdlib only.
+
+A deliberately thin service layer over :class:`~repro.fleet.sharding.
+FleetManager`: one single-threaded :class:`http.server.HTTPServer`
+(submissions mutate shard state, so serialising requests is the
+correctness-preserving default, not a limitation), JSON in and out,
+every request body schema-validated *before* it can touch a shard.
+
+Endpoints:
+
+========  ====================  ==========================================
+Method    Path                  Behaviour
+========  ====================  ==========================================
+GET       ``/v1/health``        liveness + shard count
+GET       ``/v1/tenants``       tenant directory with quota state
+GET       ``/v1/stats``         live fleet-wide and per-shard counters
+POST      ``/v1/jobs``          submit ``n_jobs`` for a tenant
+POST      ``/v1/quotes``        price one job for a tenant, no admission
+========  ====================  ==========================================
+
+Error contract (the acceptance criterion): malformed bodies — bad JSON,
+wrong types, missing keys, out-of-range values — return **400** with a
+path-qualified schema error and the serving shard is untouched; an
+unknown tenant returns **404**; a tenant whose quota is already
+exhausted returns **429** with the distinct ``quota_exhausted`` error
+type. Unexpected server faults return 500 and the server keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any, Optional
+
+from .schema import SchemaError, validate
+from .sharding import FleetConfig, FleetManager, QuotaExceededError
+from .tenants import TenantRegistry, UnknownTenantError
+
+__all__ = [
+    "SUBMIT_SCHEMA",
+    "QUOTE_SCHEMA",
+    "FleetAPIServer",
+    "serve_fleet",
+]
+
+#: Body of POST /v1/jobs. ``n_jobs`` is a count, not job bodies: the
+#: service synthesises documents from its seeded per-shard substream, so
+#: a submission's effect is reproducible from the request alone.
+SUBMIT_SCHEMA: dict = {
+    "type": "object",
+    "required": ["tenant", "n_jobs"],
+    "additionalProperties": False,
+    "properties": {
+        "tenant": {"type": "string", "minLength": 1, "maxLength": 128},
+        "n_jobs": {"type": "integer", "minimum": 1, "maximum": 10_000},
+        "arrival_time_s": {"type": "number", "minimum": 0},
+    },
+}
+
+#: Body of POST /v1/quotes.
+QUOTE_SCHEMA: dict = {
+    "type": "object",
+    "required": ["tenant"],
+    "additionalProperties": False,
+    "properties": {
+        "tenant": {"type": "string", "minLength": 1, "maxLength": 128},
+    },
+}
+
+#: Cap on request bodies — a submit body is a few short fields; anything
+#: larger is a client bug or abuse, refused before parsing.
+MAX_BODY_BYTES = 64 * 1024
+
+
+class _APIError(Exception):
+    """A request failure with a wire status and typed error body."""
+
+    def __init__(self, status: int, error_type: str, message: str,
+                 details: Optional[list] = None) -> None:
+        self.status = status
+        self.body = {
+            "error": {
+                "type": error_type,
+                "message": message,
+                "details": details or [],
+            }
+        }
+        super().__init__(message)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the owning server carries the fleet manager."""
+
+    server: "FleetAPIServer"
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default: the test suite and the CLI's --quiet mode both
+    # run with logging off; serve_fleet turns it on for operators.
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise _APIError(400, "empty_body", "request body required")
+        if length > MAX_BODY_BYTES:
+            raise _APIError(
+                413, "body_too_large", f"body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _APIError(400, "invalid_json", f"body is not JSON: {exc}") from None
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except _APIError as exc:
+            self._send_json(exc.status, exc.body)
+        except SchemaError as exc:
+            self._send_json(400, {
+                "error": {
+                    "type": "schema_violation",
+                    "message": str(exc),
+                    "details": [{"path": exc.path, "message": exc.message}],
+                }
+            })
+        except UnknownTenantError as exc:
+            self._send_json(404, {
+                "error": {
+                    "type": "unknown_tenant",
+                    "message": f"no such tenant: {exc.args[0]!r}",
+                    "details": [],
+                }
+            })
+        except ValueError as exc:
+            # Request-induced domain errors (e.g. an arrival time behind
+            # the shard's virtual clock) are the client's fault, not ours.
+            self._send_json(400, {
+                "error": {
+                    "type": "invalid_request",
+                    "message": str(exc),
+                    "details": [],
+                }
+            })
+        except QuotaExceededError as exc:
+            self._send_json(429, {
+                "error": {
+                    "type": "quota_exhausted",
+                    "message": str(exc),
+                    "details": [{
+                        "tenant": exc.tenant_id,
+                        "quota_jobs": exc.quota_jobs,
+                    }],
+                }
+            })
+        except Exception as exc:  # noqa: BLE001 — a fault must not kill the server
+            self._send_json(500, {
+                "error": {
+                    "type": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "details": [],
+                }
+            })
+        else:
+            self._send_json(status, payload)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        routes = {
+            "/v1/health": self._get_health,
+            "/v1/tenants": self._get_tenants,
+            "/v1/stats": self._get_stats,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": {
+                "type": "not_found", "message": f"no route {self.path}",
+                "details": [],
+            }})
+            return
+        self._dispatch(handler)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        routes = {
+            "/v1/jobs": self._post_jobs,
+            "/v1/quotes": self._post_quotes,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": {
+                "type": "not_found", "message": f"no route {self.path}",
+                "details": [],
+            }})
+            return
+        self._dispatch(handler)
+
+    # ------------------------------------------------------------------
+    def _get_health(self) -> tuple[int, dict]:
+        manager = self.server.manager
+        return 200, {
+            "status": "ok",
+            "n_shards": manager.n_shards,
+            "n_tenants": len(manager.registry),
+        }
+
+    def _get_tenants(self) -> tuple[int, dict]:
+        manager = self.server.manager
+        out = []
+        for tenant in manager.registry:
+            account = manager.account(tenant.tenant_id)
+            out.append({
+                "tenant": tenant.tenant_id,
+                "sla_class": tenant.sla_class.name,
+                "shard": manager.registry.shard_index(
+                    tenant.tenant_id, manager.n_shards
+                ),
+                "quota_jobs": account.quota_jobs,
+                "quota_remaining": account.quota_remaining,
+                "admitted_jobs": account.admitted_jobs,
+            })
+        return 200, {"tenants": out}
+
+    def _get_stats(self) -> tuple[int, dict]:
+        manager = self.server.manager
+        shards = [
+            {
+                "index": shard.index,
+                "tenants": shard.tenant_ids,
+                "stats": shard.stats.counters_dict(),
+            }
+            for shard in manager.shards
+        ]
+        fleet = {}
+        for shard in manager.shards:
+            for key, value in shard.stats.counters_dict().items():
+                if isinstance(value, dict):
+                    bucket = fleet.setdefault(key, {})
+                    for reason, count in sorted(value.items()):
+                        bucket[reason] = bucket.get(reason, 0) + count
+                else:
+                    fleet[key] = fleet.get(key, 0) + value
+        return 200, {"fleet": fleet, "shards": shards}
+
+    def _post_jobs(self) -> tuple[int, dict]:
+        body = self._read_json()
+        validate(body, SUBMIT_SCHEMA)
+        manager = self.server.manager
+        tenant_id = body["tenant"]
+        shard = manager.shard_for(tenant_id)  # raises UnknownTenantError
+        account = shard.account(tenant_id)
+        if account.quota_remaining == 0:
+            # Refuse before synthesis so a pure-429 path leaves the
+            # shard's job substream untouched.
+            raise QuotaExceededError(tenant_id, account.quota_jobs or 0)
+        arrival_time, jobs = shard.synthesize_jobs(
+            body["n_jobs"], body.get("arrival_time_s")
+        )
+        outcomes = shard.submit(tenant_id, jobs, arrival_time=arrival_time)
+        return 200, {
+            "tenant": tenant_id,
+            "shard": shard.index,
+            "arrival_time_s": arrival_time,
+            "outcomes": [
+                {
+                    "job_id": o.job.job_id,
+                    "decision": o.result.decision,
+                    "reason": o.result.reason,
+                    "promise_s": o.quote.promise_s,
+                    "est_completion_s": o.quote.est_completion,
+                    "slack_s": o.quote.slack_s,
+                }
+                for o in outcomes
+            ],
+        }
+
+    def _post_quotes(self) -> tuple[int, dict]:
+        body = self._read_json()
+        validate(body, QUOTE_SCHEMA)
+        manager = self.server.manager
+        tenant_id = body["tenant"]
+        shard = manager.shard_for(tenant_id)  # raises UnknownTenantError
+        _, jobs = shard.synthesize_jobs(1)
+        quote = shard.quote(tenant_id, jobs[0])
+        return 200, {
+            "tenant": tenant_id,
+            "shard": shard.index,
+            "promise_s": quote.promise_s,
+            "est_proc_s": quote.est_proc_s,
+            "est_completion_s": quote.est_completion,
+            "slack_s": quote.slack_s,
+        }
+
+
+class FleetAPIServer(HTTPServer):
+    """An HTTP server bound to one fleet manager.
+
+    Bind to port 0 to let the OS pick (tests do); ``server_port`` then
+    carries the real port. ``handle_request`` serves exactly one request
+    (deterministic single-step driving); ``serve_forever`` serves until
+    shutdown.
+    """
+
+    def __init__(
+        self,
+        manager: FleetManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.manager = manager
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_fleet(
+    config: Optional[FleetConfig] = None,
+    registry: Optional[TenantRegistry] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = True,
+) -> None:
+    """Stand up a fleet and serve it until interrupted (CLI entry)."""
+    manager = FleetManager(config, registry)
+    server = FleetAPIServer(manager, host=host, port=port, verbose=verbose)
+    print(
+        f"fleet API on {server.url}: {manager.n_shards} shards, "
+        f"{len(manager.registry)} tenants"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()

@@ -1,0 +1,144 @@
+"""``repro fleet`` — serve, load-drive, and report on a sharded fleet.
+
+Subcommands (registered into the unified ``repro`` parser):
+
+* ``repro fleet serve`` — stand up the HTTP/JSON front over a fresh
+  fleet and serve until interrupted.
+* ``repro fleet loadgen`` — the aggregate heavy-traffic driver: per-shard
+  open-loop arrival streams, fleet-wide throughput figures, merged
+  report with the fleet SHA-256.
+* ``repro fleet report`` — a small deterministic fleet run printed as
+  the aggregated multi-tenant report (quick look at routing, quotas and
+  per-class attainment without load-driver wall times).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+__all__ = ["register_fleet_commands"]
+
+
+def _fleet_config(args: argparse.Namespace) -> "object":
+    from ..sim.environment import SystemConfig
+    from ..workload.distributions import Bucket
+    from .sharding import FleetConfig
+
+    return FleetConfig(
+        n_shards=args.shards,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        system=SystemConfig(),
+        bucket=Bucket(args.bucket),
+    )
+
+
+def _registry(args: argparse.Namespace) -> "object":
+    from .tenants import default_registry
+
+    return default_registry(args.tenants)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import serve_fleet
+
+    serve_fleet(
+        _fleet_config(args),
+        registry=_registry(args),
+        host=args.host,
+        port=args.port,
+    )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .loadgen import FleetLoadConfig, run_fleet_load
+
+    load = FleetLoadConfig(
+        n_jobs=args.jobs,
+        rate_per_s=args.rate,
+        process=args.process,
+        mean_burst_jobs=args.mean_burst,
+        seed=args.seed,
+    )
+    result = run_fleet_load(_fleet_config(args), load, registry=_registry(args))
+    text = result.render()
+    print(text)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .loadgen import FleetLoadConfig, run_fleet_load
+
+    load = FleetLoadConfig(
+        n_jobs=args.jobs, rate_per_s=args.rate, seed=args.seed
+    )
+    result = run_fleet_load(_fleet_config(args), load, registry=_registry(args))
+    if args.json:
+        print(json.dumps(result.report.as_dict(), indent=2))
+    else:
+        print(result.report.render())
+    return 0
+
+
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    from ..experiments.runner import SCHEDULER_NAMES
+
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of independent broker partitions")
+    parser.add_argument("--tenants", type=int, default=12,
+                        help="size of the demo tenant population")
+    parser.add_argument("--scheduler", default="Op", choices=SCHEDULER_NAMES)
+    parser.add_argument("--bucket", default="uniform",
+                        choices=["small", "uniform", "large"])
+    parser.add_argument("--seed", type=int, default=2024)
+
+
+def register_fleet_commands(sub: "argparse._SubParsersAction") -> None:
+    """Attach the ``fleet`` subcommand group to the ``repro`` parser."""
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="sharded multi-tenant broker: HTTP front, load driver, report",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p_serve = fleet_sub.add_parser(
+        "serve", help="serve the HTTP/JSON API over a fresh fleet"
+    )
+    _add_common_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 lets the OS pick)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = fleet_sub.add_parser(
+        "loadgen", help="aggregate heavy-traffic load run across all shards"
+    )
+    _add_common_args(p_load)
+    p_load.add_argument("--jobs", type=int, default=100_000,
+                        help="fleet-wide total jobs")
+    p_load.add_argument("--rate", type=float, default=50.0,
+                        help="per-shard long-run arrival rate, jobs/simulated s")
+    p_load.add_argument("--process", default="bursty",
+                        choices=["poisson", "bursty"])
+    p_load.add_argument("--mean-burst", type=float, default=10.0)
+    p_load.add_argument("--out", default=None,
+                        help="also write the rendered summary to a file")
+    p_load.set_defaults(func=_cmd_loadgen)
+
+    p_report = fleet_sub.add_parser(
+        "report", help="small deterministic fleet run, aggregated report"
+    )
+    _add_common_args(p_report)
+    p_report.add_argument("--jobs", type=int, default=2_000)
+    p_report.add_argument("--rate", type=float, default=50.0)
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the report as JSON instead of text")
+    p_report.set_defaults(func=_cmd_report)

@@ -1,0 +1,207 @@
+"""Aggregate load driver: open-loop heavy traffic across every shard.
+
+Each shard gets its own seeded arrival stream (substream-derived, so the
+fleet's total workload is a pure function of ``(seed, n_shards)``) and
+its own tenant rotation drawn from the tenants routed to it. Shards are
+driven to completion one at a time — the shards share nothing, so the
+interleave cannot change any result, only the wall clock.
+
+Throughput is reported two ways, and the distinction matters on a
+one-core container:
+
+* ``aggregate_jobs_per_s`` — total jobs over the *slowest single shard's*
+  submission wall time: the sustained rate an N-process deployment
+  (one core per shard, which is the deployment the sharding exists for)
+  would deliver, since shards progress independently.
+* ``serial_jobs_per_s`` — total jobs over the *sum* of shard submission
+  walls: what this process actually did, the honest lower bound.
+
+Both figures land in the bench report (``BENCH_core.json``); the fleet
+acceptance target (≥100k jobs/s aggregate across ≥4 shards) is scored
+on the aggregate figure.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..common import substream_seed
+from ..service.loadgen import (
+    LoadGenConfig,
+    SubmissionTiming,
+    drive_arrivals,
+    generate_arrivals,
+)
+from ..workload.distributions import Bucket
+from ..workload.document import Job
+from ..workload.generator import WorkloadGenerator
+from .aggregate import FleetReport
+from .sharding import BrokerShard, FleetConfig, FleetManager
+from .tenants import TenantRegistry
+
+__all__ = ["FleetLoadConfig", "FleetLoadResult", "run_fleet_load"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class FleetLoadConfig:
+    """Knobs of one fleet-wide load run.
+
+    ``n_jobs`` is the fleet total; each populated shard receives an equal
+    share (the last populated shard absorbs the remainder).
+    """
+
+    n_jobs: int = 100_000
+    rate_per_s: float = 50.0
+    process: str = "bursty"  # "poisson" | "bursty"
+    mean_burst_jobs: float = 10.0
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be positive")
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.process not in ("poisson", "bursty"):
+            raise ValueError("process must be 'poisson' or 'bursty'")
+
+
+@dataclass
+class FleetLoadResult:
+    """Operator-facing summary of one fleet load run."""
+
+    config: FleetLoadConfig
+    fleet: FleetConfig
+    report: FleetReport
+    shard_timings: list[SubmissionTiming]
+    drain_wall_s: float = 0.0
+
+    @property
+    def n_submitted(self) -> int:
+        return sum(t.n_submitted for t in self.shard_timings)
+
+    @property
+    def max_shard_wall_s(self) -> float:
+        return max((t.submit_wall_s for t in self.shard_timings), default=0.0)
+
+    @property
+    def total_shard_wall_s(self) -> float:
+        return sum(t.submit_wall_s for t in self.shard_timings)
+
+    @property
+    def aggregate_jobs_per_s(self) -> float:
+        """Scale-out capacity: total jobs over the slowest shard's wall."""
+        if self.max_shard_wall_s <= 0:
+            return 0.0
+        return self.n_submitted / self.max_shard_wall_s
+
+    @property
+    def serial_jobs_per_s(self) -> float:
+        """Single-process figure: total jobs over summed shard walls."""
+        if self.total_shard_wall_s <= 0:
+            return 0.0
+        return self.n_submitted / self.total_shard_wall_s
+
+    def render(self) -> str:
+        c = self.config
+        lines = [
+            f"fleet load: {self.n_submitted} jobs over "
+            f"{len(self.shard_timings)} shards via {c.process} arrivals "
+            f"@ {c.rate_per_s:g}/s per shard",
+            f"throughput: {self.aggregate_jobs_per_s:,.0f} jobs/s aggregate "
+            f"(slowest shard {self.max_shard_wall_s:.2f}s), "
+            f"{self.serial_jobs_per_s:,.0f} jobs/s serial "
+            f"({self.total_shard_wall_s:.2f}s submitting, "
+            f"{self.drain_wall_s:.2f}s draining)",
+        ]
+        lines.append(self.report.render())
+        return "\n".join(lines)
+
+
+def _tenant_rotation(
+    shard: BrokerShard, root_seed: int
+) -> Iterator[str]:
+    """Endless deterministic tenant draw over one shard's tenants."""
+    tenant_ids = shard.tenant_ids
+    rng = random.Random(
+        substream_seed(root_seed, "shard", shard.index, "tenant-rotation")
+    )
+    while True:
+        yield tenant_ids[rng.randrange(len(tenant_ids))]
+
+
+def run_fleet_load(
+    fleet_config: Optional[FleetConfig] = None,
+    load_config: Optional[FleetLoadConfig] = None,
+    registry: Optional[TenantRegistry] = None,
+) -> FleetLoadResult:
+    """Drive one open-loop load run through a fresh fleet.
+
+    Empty shards (no tenants routed to them) receive no arrivals; their
+    brokers still run to completion so the merged trace covers the whole
+    fleet. Submission timing excludes job synthesis and tenant draws —
+    only the quote/admit/dispatch round trip is on the clock, same
+    convention as the single-broker driver.
+    """
+    fleet_config = fleet_config if fleet_config is not None else FleetConfig()
+    load_config = load_config if load_config is not None else FleetLoadConfig()
+    manager = FleetManager(fleet_config, registry)
+
+    populated = [s for s in manager.shards if s.tenant_ids]
+    if not populated:
+        raise ValueError("no shard has any tenants routed to it")
+    share = load_config.n_jobs // len(populated)
+    timings: dict[int, SubmissionTiming] = {
+        s.index: SubmissionTiming() for s in manager.shards
+    }
+    for k, shard in enumerate(populated):
+        n_jobs = share if k < len(populated) - 1 else load_config.n_jobs - share * k
+        if n_jobs == 0:
+            continue
+        shard_stream = LoadGenConfig(
+            n_jobs=n_jobs,
+            rate_per_s=load_config.rate_per_s,
+            process=load_config.process,
+            mean_burst_jobs=load_config.mean_burst_jobs,
+            bucket=fleet_config.bucket,
+            seed=substream_seed(load_config.seed, "shard", shard.index, "arrivals"),
+        )
+        generator = WorkloadGenerator(
+            bucket=fleet_config.bucket, seed=shard_stream.seed
+        )
+        rotation = _tenant_rotation(shard, load_config.seed)
+        # The tenant draw rides the arrival iterator, outside the timed
+        # region: drive_arrivals times submit() round trips only.
+        arrivals = (
+            (arrival_time, _Tagged(jobs, next(rotation)))
+            for arrival_time, jobs in generate_arrivals(
+                shard_stream, generator=generator
+            )
+        )
+        timings[shard.index] = drive_arrivals(
+            lambda arrival_time, jobs, shard=shard: shard.submit(
+                jobs.tenant_id, jobs, arrival_time=arrival_time
+            ),
+            arrivals,
+        )
+
+    t0 = time.perf_counter()  # repro: allow[DET001] drain-time meter
+    report = manager.finish()
+    drain_wall_s = time.perf_counter() - t0  # repro: allow[DET001] drain-time meter
+    return FleetLoadResult(
+        config=load_config,
+        fleet=fleet_config,
+        report=report,
+        shard_timings=[timings[s.index] for s in manager.shards],
+        drain_wall_s=drain_wall_s,
+    )
+
+
+class _Tagged(list):
+    """A job group that carries its tenant through the timing loop."""
+
+    def __init__(self, jobs: list[Job], tenant_id: str) -> None:
+        super().__init__(jobs)
+        self.tenant_id = tenant_id

@@ -1,0 +1,415 @@
+"""Shard manager: N independent broker partitions behind one front.
+
+One :class:`BrokerShard` is a vertical slice of the whole single-tenant
+stack — seeded :class:`~repro.sim.environment.CloudBurstEnvironment`,
+scheduler, :class:`~repro.service.broker.BurstBroker`, streaming stats,
+econ meters — serving the subset of tenants hash-routed to it. The
+:class:`FleetManager` owns the shards and the routing, and is the only
+object the HTTP front or the fleet load driver talk to.
+
+Determinism contract (the whole point of the design):
+
+* every shard's environment seed is ``substream_seed(run_seed, "shard",
+  index)`` — a pure function of ``(seed, index)``, so shard *i* of an
+  N-shard fleet simulates the identical event sequence on every run and
+  every host;
+* tenants route by :func:`repro.common.stable_hash`, never the
+  process-salted builtin ``hash``;
+* nothing a shard computes depends on any other shard — shards may be
+  driven in any interleave (sequentially here; one process per shard on
+  a real deployment) and still produce bit-identical traces;
+* aggregation (:mod:`repro.fleet.aggregate`) folds shard results in
+  shard-index order, making the merged hashes run invariants too.
+
+Multi-tenancy inside one shard: each submission group passes its
+tenant's derived :class:`~repro.service.policy.SLAPolicy` to
+:meth:`BurstBroker.submit` (promise pricing per SLA class), quota is
+checked before the broker ever sees the jobs, and a completion observer
+routes penalties — priced by the *tenant's* scaled schedule — into both
+the shard ledger and the tenant's own :class:`~repro.econ.penalties.
+CostLedger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..common import substream_seed
+from ..econ.billing import BillingMeter
+from ..econ.penalties import CostLedger, PenaltySchedule
+from ..econ.pricing import OnDemandPrice
+from ..experiments.runner import make_scheduler
+from ..metrics.streaming import StreamingSLAStats
+from ..service.broker import BurstBroker, SubmissionOutcome
+from ..service.policy import AdmissionDecision, AdmissionResult, SLAPolicy
+from ..service.quotes import SLAQuote, quote_job
+from ..sim.environment import CloudBurstEnvironment, SystemConfig
+from ..sim.tracing import JobRecord, RunTrace
+from ..workload.distributions import Bucket
+from ..workload.document import Job
+from ..workload.generator import WorkloadGenerator
+from .tenants import Tenant, TenantRegistry, default_registry
+
+__all__ = [
+    "FleetConfig",
+    "QuotaExceededError",
+    "TenantAccount",
+    "ShardResult",
+    "BrokerShard",
+    "FleetManager",
+]
+
+#: Distinct rejection reason for quota exhaustion — surfaces alongside
+#: the policy's "slack"/"in_system" reasons in every stats rollup.
+QUOTA_REASON = "quota"
+
+
+@dataclass(frozen=True, kw_only=True)
+class FleetConfig:
+    """Everything needed to stand up one fleet."""
+
+    n_shards: int = 4
+    seed: int = 2024
+    scheduler: str = "Op"
+    system: SystemConfig = SystemConfig()
+    policy: SLAPolicy = field(default_factory=SLAPolicy)
+    penalty: PenaltySchedule = field(default_factory=PenaltySchedule)
+    on_demand: OnDemandPrice = field(default_factory=OnDemandPrice)
+    bucket: Bucket = Bucket.UNIFORM
+    pretrain: bool = True
+    pretrain_samples: int = 400
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        if self.pretrain_samples < 1:
+            raise ValueError("pretrain_samples must be positive")
+
+    def shard_seed(self, index: int) -> int:
+        """The environment master seed of shard ``index``."""
+        return substream_seed(self.seed, "shard", index)
+
+
+class QuotaExceededError(RuntimeError):
+    """A tenant's per-run admission quota is already exhausted."""
+
+    def __init__(self, tenant_id: str, quota_jobs: int) -> None:
+        self.tenant_id = tenant_id
+        self.quota_jobs = quota_jobs
+        super().__init__(
+            f"tenant {tenant_id!r} exhausted its quota of {quota_jobs} admitted jobs"
+        )
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's live books on its home shard.
+
+    ``stats`` mirrors every admission/completion event the shard sees for
+    this tenant; ``ledger`` carries the penalty-side money (violations,
+    penalty USD, transfer attribution) priced by the tenant's own scaled
+    schedule. Compute billing is metered at shard level — machines are
+    shared, so instance-time is not attributable to one tenant.
+    """
+
+    tenant: Tenant
+    policy: SLAPolicy
+    penalty: PenaltySchedule
+    stats: StreamingSLAStats
+    ledger: CostLedger = field(default_factory=CostLedger)
+    admitted_jobs: int = 0
+
+    @property
+    def quota_jobs(self) -> Optional[int]:
+        return self.tenant.effective_quota_jobs
+
+    @property
+    def quota_remaining(self) -> Optional[int]:
+        if self.quota_jobs is None:
+            return None
+        return max(0, self.quota_jobs - self.admitted_jobs)
+
+
+@dataclass
+class ShardResult:
+    """One shard's finished run, as handed to the aggregator."""
+
+    index: int
+    seed: int
+    trace: RunTrace
+    stats: StreamingSLAStats
+    ledger: CostLedger
+    accounts: dict[str, TenantAccount]
+
+
+class BrokerShard:
+    """One broker partition: environment + session + per-tenant books."""
+
+    def __init__(
+        self,
+        index: int,
+        config: FleetConfig,
+        tenants: Sequence[Tenant],
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.seed = config.shard_seed(index)
+        self.env = CloudBurstEnvironment(config.system.with_seed(self.seed))
+        if config.pretrain:
+            trainer = WorkloadGenerator(
+                bucket=config.bucket,
+                seed=substream_seed(config.seed, "shard", index, "pretrain"),
+            )
+            self.env.pretrain_qrsm(
+                *trainer.sample_training_set(config.pretrain_samples)
+            )
+        scheduler = make_scheduler(config.scheduler, self.env)
+        self.stats = StreamingSLAStats(
+            reservoir_seed=substream_seed(config.seed, "shard", index, "stats")
+        )
+        self.broker = BurstBroker(
+            self.env, scheduler, policy=config.policy, stats=self.stats
+        )
+        self.ledger = CostLedger()
+        self.meter = BillingMeter(self.ledger, config.on_demand)
+        self.accounts: dict[str, TenantAccount] = {
+            t.tenant_id: TenantAccount(
+                tenant=t,
+                policy=t.policy(config.policy),
+                penalty=t.penalty_schedule(config.penalty),
+                stats=StreamingSLAStats(
+                    reservoir_seed=substream_seed(
+                        config.seed, "tenant", t.tenant_id
+                    )
+                ),
+            )
+            for t in tenants
+        }
+        self._job_tenant: dict[int, str] = {}
+        self._synth = WorkloadGenerator(
+            bucket=config.bucket,
+            seed=substream_seed(config.seed, "shard", index, "api-synth"),
+        )
+        self._next_job_id = 0
+        self._next_group_id = 0
+        self.env.completion_observers.append(self._on_complete)
+
+    # ------------------------------------------------------------------
+    @property
+    def tenant_ids(self) -> list[str]:
+        return list(self.accounts)
+
+    def account(self, tenant_id: str) -> TenantAccount:
+        return self.accounts[tenant_id]
+
+    # ------------------------------------------------------------------
+    # Job synthesis (HTTP front)
+    # ------------------------------------------------------------------
+    def synthesize_jobs(
+        self, n: int, arrival_time: Optional[float] = None
+    ) -> tuple[float, list[Job]]:
+        """Draw ``n`` jobs from this shard's seeded API substream.
+
+        The HTTP front submits job *counts*, not job bodies — the
+        document population is the paper's generator, so the service is
+        deterministic given its seed. Returns the workload-relative
+        arrival instant (defaulting to the shard's current virtual time)
+        and the jobs stamped with it.
+        """
+        if arrival_time is None:
+            arrival_time = max(0.0, self.env.sim.now - self.env.origin)
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        jobs = [
+            self._synth.sample_job(
+                self._next_job_id + k + 1, batch_id=group_id, arrival_time=arrival_time
+            )
+            for k in range(n)
+        ]
+        self._next_job_id += n
+        return arrival_time, jobs
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def quote(self, tenant_id: str, job: Job) -> SLAQuote:
+        """Price one job under a tenant's SLA class without admitting it."""
+        account = self.accounts[tenant_id]
+        state = self.env.build_state()
+        return quote_job(job, state, self.env.estimator, account.policy.ticket)
+
+    def submit(
+        self,
+        tenant_id: str,
+        jobs: Sequence[Job],
+        arrival_time: Optional[float] = None,
+    ) -> list[SubmissionOutcome]:
+        """Quote, admit and dispatch one tenant's arrival group.
+
+        Quota runs *before* the broker: if the tenant's remaining
+        allowance is smaller than the group, the tail of the group is
+        refused with the distinct reason ``"quota"`` and never touches
+        the simulated system. The refusal is conservative at group
+        granularity — allowance counts jobs the policy might still
+        reject — which keeps the check a pure function of the account
+        state at arrival. Exhausted quota refuses, never raises: the
+        HTTP front's 429 comes from its own pre-check, while batch
+        drivers keep streaming and the refusals surface in the report.
+        """
+        account = self.accounts[tenant_id]
+        jobs = list(jobs)
+        remaining = account.quota_remaining
+        if remaining is None:
+            allowed, overflow = jobs, []
+        else:
+            allowed, overflow = jobs[:remaining], jobs[remaining:]
+
+        outcomes: list[SubmissionOutcome] = []
+        if allowed:
+            for job in allowed:
+                self._job_tenant[job.job_id] = tenant_id
+            broker_outcomes = self.broker.submit(
+                allowed, arrival_time=arrival_time, policy=account.policy
+            )
+            for outcome in broker_outcomes:
+                account.stats.on_admission(
+                    outcome.result.decision, outcome.result.reason
+                )
+                if outcome.admitted:
+                    account.admitted_jobs += 1
+                else:
+                    del self._job_tenant[outcome.job.job_id]
+            outcomes.extend(broker_outcomes)
+
+        for job in overflow:
+            result = AdmissionResult(AdmissionDecision.REJECT, QUOTA_REASON)
+            # Quota refusals must flow through the same counters the
+            # broker feeds, or check_broker_counters would see submitted
+            # != accepted + degraded + rejected at finish.
+            self.stats.on_admission(result.decision, result.reason)
+            account.stats.on_admission(result.decision, result.reason)
+            quote = self.quote(tenant_id, job)
+            outcomes.append(SubmissionOutcome(job=job, quote=quote, result=result))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Completion side
+    # ------------------------------------------------------------------
+    def _on_complete(self, record: JobRecord) -> None:
+        """Attribute one completed record to its tenant's books.
+
+        Chunking schedulers split admitted jobs into sub-records that
+        keep the parent ``job_id``, so the job->tenant map covers every
+        record the environment completes.
+        """
+        self.ledger.completed += 1
+        self.meter.on_record_complete(record)
+        tenant_id = self._job_tenant.get(record.job_id)
+        if tenant_id is None:
+            return
+        account = self.accounts[tenant_id]
+        account.stats.on_complete(record)
+        account.ledger.completed += 1
+        penalty_usd = account.penalty.penalty_usd(record)
+        if penalty_usd > 0:
+            account.ledger.violations += 1
+            account.ledger.penalty_usd += penalty_usd
+            account.stats.on_penalty(penalty_usd)
+            self.ledger.violations += 1
+            self.ledger.penalty_usd += penalty_usd
+            self.stats.on_penalty(penalty_usd)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> ShardResult:
+        """Drain the shard and close its books."""
+        trace = self.broker.finish()
+        for record in trace.records:
+            if record.bursted and record.completed:
+                usd = self.config.on_demand.transfer_usd(
+                    record.input_mb + record.output_mb
+                )
+                self.ledger.transfer_usd += usd
+                tenant_id = self._job_tenant.get(record.job_id)
+                if tenant_id is not None:
+                    self.accounts[tenant_id].ledger.transfer_usd += usd
+        trace.metadata["fleet_shard"] = {
+            "index": self.index,
+            "seed": self.seed,
+            "tenants": self.tenant_ids,
+        }
+        return ShardResult(
+            index=self.index,
+            seed=self.seed,
+            trace=trace,
+            stats=self.stats,
+            ledger=self.ledger,
+            accounts=self.accounts,
+        )
+
+
+class FleetManager:
+    """The multi-tenant front: routing, validation, lifecycle.
+
+    Shards are constructed eagerly (environment instantiation is cheap —
+    pinned by ``tests/test_environment_isolation.py``) so routing never
+    observes a half-built fleet.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        registry: Optional[TenantRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else FleetConfig()
+        self.registry = registry if registry is not None else default_registry()
+        self.shards = [
+            BrokerShard(
+                i,
+                self.config,
+                self.registry.tenants_for_shard(i, self.config.n_shards),
+            )
+            for i in range(self.config.n_shards)
+        ]
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.config.n_shards
+
+    def shard_for(self, tenant_id: str) -> BrokerShard:
+        """Route a tenant to its home shard (raises UnknownTenantError)."""
+        tenant = self.registry.get(tenant_id)
+        index = self.registry.shard_index(tenant.tenant_id, self.n_shards)
+        return self.shards[index]
+
+    def account(self, tenant_id: str) -> TenantAccount:
+        return self.shard_for(tenant_id).account(tenant_id)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant_id: str,
+        jobs: Sequence[Job],
+        arrival_time: Optional[float] = None,
+    ) -> list[SubmissionOutcome]:
+        if self._finished:
+            raise RuntimeError("fleet already finished")
+        return self.shard_for(tenant_id).submit(
+            tenant_id, jobs, arrival_time=arrival_time
+        )
+
+    def quote(self, tenant_id: str, job: Job) -> SLAQuote:
+        return self.shard_for(tenant_id).quote(tenant_id, job)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> "FleetReport":
+        """Drain every shard in index order and aggregate the fleet."""
+        from .aggregate import FleetReport, aggregate_shards
+
+        if self._finished:
+            raise RuntimeError("fleet already finished")
+        self._finished = True
+        results = [shard.finish() for shard in self.shards]
+        return aggregate_shards(self.config, self.registry, results)

@@ -11,6 +11,13 @@ response-time quantiles over a bounded reservoir.
 Quantiles use Vitter's Algorithm R reservoir with a seeded RNG, so a run's
 reported percentiles are reproducible while memory stays constant no matter
 how many millions of jobs stream through.
+
+Shard aggregation (:mod:`repro.fleet`) folds N independent per-shard stats
+objects into one fleet view with :meth:`StreamingSLAStats.merge`: counts
+and sums merge exactly, and the quantile reservoirs merge through a
+seeded, order-sensitive weighted draw — merging the same shard states in
+the same order always yields bit-identical quantile state, which is what
+makes the fleet's aggregated report hashable.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..common import substream_seed
 from ..sim.tracing import JobRecord
 
 __all__ = ["ReservoirSampler", "StreamingSLAStats"]
@@ -33,6 +41,7 @@ class ReservoirSampler:
         if capacity < 1:
             raise ValueError("reservoir capacity must be positive")
         self.capacity = capacity
+        self.seed = seed
         self._rng = random.Random(seed)
         self._sample: list[float] = []
         self.n_seen = 0
@@ -55,6 +64,52 @@ class ReservoirSampler:
     @property
     def values(self) -> list[float]:
         return list(self._sample)
+
+    def merge(self, other: "ReservoirSampler") -> None:
+        """Fold another sampler's state into this one, deterministically.
+
+        When the union of both streams fits in this reservoir the merge is
+        exact (simple concatenation). Otherwise each retained sample value
+        stands in for ``n_seen / len(sample)`` stream items, and the merged
+        reservoir is drawn by weighted selection without replacement from
+        the two samples — an unbiased-in-expectation approximation of a
+        single reservoir over the concatenated stream. The draw uses a
+        fresh RNG seeded from both samplers' seeds and counts, so merging
+        identical states in identical order is bit-reproducible regardless
+        of what either sampler consumed before.
+        """
+        if other.n_seen == 0:
+            return
+        total = self.n_seen + other.n_seen
+        if total <= self.capacity:
+            self._sample.extend(other._sample)
+            self.n_seen = total
+            return
+        a = list(self._sample)
+        b = list(other._sample)
+        # Per-element stream mass each retained value represents.
+        mass_a = self.n_seen / len(a) if a else 0.0
+        mass_b = other.n_seen / len(b) if b else 0.0
+        weight_a = mass_a * len(a)
+        weight_b = mass_b * len(b)
+        rng = random.Random(
+            substream_seed(
+                self.seed, "reservoir-merge", other.seed, self.n_seen, other.n_seen
+            )
+        )
+        merged: list[float] = []
+        while len(merged) < self.capacity and (a or b):
+            take_a = bool(a) and (
+                not b or rng.random() * (weight_a + weight_b) < weight_a
+            )
+            src = a if take_a else b
+            merged.append(src.pop(rng.randrange(len(src))))
+            if take_a:
+                weight_a -= mass_a
+            else:
+                weight_b -= mass_b
+        self._sample = merged
+        self.n_seen = total
 
 
 @dataclass
@@ -127,6 +182,61 @@ class StreamingSLAStats:
         """Accrue one SLA penalty charge (fed by the econ runtime)."""
         self.penalty_usd += usd
         self.penalties_accrued += 1
+
+    # ------------------------------------------------------------------
+    # Cross-shard aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "StreamingSLAStats") -> "StreamingSLAStats":
+        """Fold another stats object into this one (fleet aggregation).
+
+        Counts and sums merge *exactly* (integer adds; float sums in the
+        caller's merge order, which the fleet fixes to shard order).
+        Quantile reservoir state merges deterministically — see
+        :meth:`ReservoirSampler.merge`. Returns ``self`` so merges chain.
+        """
+        self.submitted += other.submitted
+        self.accepted += other.accepted
+        self.accepted_degraded += other.accepted_degraded
+        self.rejected += other.rejected
+        for reason, count in sorted(other.rejections_by_reason.items()):
+            self.rejections_by_reason[reason] = (
+                self.rejections_by_reason.get(reason, 0) + count
+            )
+        self.completed += other.completed
+        self.sla_met += other.sla_met
+        self.sla_violated += other.sla_violated
+        self.response_sum_s += other.response_sum_s
+        self.lateness_sum_s += other.lateness_sum_s
+        self.penalty_usd += other.penalty_usd
+        self.penalties_accrued += other.penalties_accrued
+        self._responses.merge(other._responses)
+        return self
+
+    def __iadd__(self, other: "StreamingSLAStats") -> "StreamingSLAStats":
+        return self.merge(other)
+
+    def counters_dict(self) -> dict[str, object]:
+        """Scalar counter state, for reports and canonical hashing.
+
+        Excludes the reservoir sample itself; includes the count it has
+        seen, so two stats objects with equal dicts scored the same
+        stream volume.
+        """
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "accepted_degraded": self.accepted_degraded,
+            "rejected": self.rejected,
+            "rejections_by_reason": dict(sorted(self.rejections_by_reason.items())),
+            "completed": self.completed,
+            "sla_met": self.sla_met,
+            "sla_violated": self.sla_violated,
+            "response_sum_s": self.response_sum_s,
+            "lateness_sum_s": self.lateness_sum_s,
+            "penalty_usd": self.penalty_usd,
+            "penalties_accrued": self.penalties_accrued,
+            "responses_seen": self._responses.n_seen,
+        }
 
     # ------------------------------------------------------------------
     # Derived views

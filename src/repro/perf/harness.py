@@ -16,21 +16,30 @@ optimises, each reported with the metric an operator would regress on:
 * **loadgen_bursty** — the same broker path under the driver's compound
   Poisson (bursty) arrival process: bursts of ~8 jobs share one
   quote/admit/dispatch round trip, so this measures the batched
-  submission path the steady scenario never exercises.
+  submission path the steady scenario never exercises;
+* **fleet_loadgen** — the sharded multi-tenant fleet
+  (:mod:`repro.fleet`) under the aggregate load driver: per-shard
+  substream arrival streams, tenant-class admission, cross-shard
+  merging. Reports both the aggregate figure (total jobs over the
+  slowest shard's submission wall — the N-process deployment rate the
+  sharding exists for) and the honest single-process serial figure,
+  plus the run's fleet SHA-256 so a bench run doubles as a determinism
+  witness.
 
 ``run_bench`` writes the machine-readable report to ``BENCH_core.json``
 (schema below) and returns it; ``repro bench --smoke`` runs a tiny preset
 that exercises every scenario in seconds for CI.
 
-JSON schema (``schema_version`` 2)::
+JSON schema (``schema_version`` 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "smoke": bool,
       "python": "3.x.y",
       "preset": {"engine_events": int, "offline_n_batches": int,
                  "offline_reps": int, "loadgen_jobs": int,
-                 "loadgen_bursty_jobs": int},
+                 "loadgen_bursty_jobs": int, "fleet_jobs": int,
+                 "fleet_shards": int, "fleet_reps": int},
       "scenarios": {
         "engine":  {"events_per_s": float, "n_events": int,
                     "wall_s": float, "compactions": int},
@@ -42,7 +51,14 @@ JSON schema (``schema_version`` 2)::
                     "process": str, "submit_wall_s": float,
                     "drain_wall_s": float, "quote_p50_ms": float,
                     "quote_p95_ms": float},
-        "loadgen_bursty": <same shape as "loadgen">
+        "loadgen_bursty": <same shape as "loadgen">,
+        "fleet_loadgen": {"aggregate_jobs_per_s": float,
+                    "serial_jobs_per_s": float, "n_jobs": int,
+                    "n_shards": int, "n_tenants": int, "reps": int,
+                    "scheduler": str, "process": str,
+                    "max_shard_wall_s": float,
+                    "total_shard_wall_s": float, "drain_wall_s": float,
+                    "quota_rejected": int, "fleet_sha256": str}
       }
     }
 
@@ -61,7 +77,7 @@ from typing import Any, Optional
 
 __all__ = ["SCHEMA_VERSION", "BenchPreset", "BenchReport", "run_bench", "main"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -73,6 +89,9 @@ class BenchPreset:
     offline_reps: int
     loadgen_jobs: int
     loadgen_bursty_jobs: int = 0
+    fleet_jobs: int = 0
+    fleet_shards: int = 4
+    fleet_reps: int = 1
 
 
 #: The canonical preset: large enough that per-run noise is small and the
@@ -83,6 +102,9 @@ FULL = BenchPreset(
     offline_reps=3,
     loadgen_jobs=8_000,
     loadgen_bursty_jobs=4_000,
+    fleet_jobs=40_000,
+    fleet_shards=8,
+    fleet_reps=3,
 )
 
 #: CI preset: every scenario runs, nothing takes more than a few seconds.
@@ -92,6 +114,7 @@ SMOKE = BenchPreset(
     offline_reps=1,
     loadgen_jobs=200,
     loadgen_bursty_jobs=150,
+    fleet_jobs=400,
 )
 
 
@@ -236,6 +259,100 @@ def _loadgen_scenario(n_jobs: int, process: str = "poisson") -> dict[str, Any]:
     }
 
 
+def _fleet_scenario(n_jobs: int, n_shards: int, reps: int) -> dict[str, Any]:
+    """Aggregate fleet throughput across sharded multi-tenant brokers.
+
+    Same production-shaped admission policy as the single-broker loadgen
+    scenarios (each tenant's SLA class rescales the promises on top), and
+    the same bursty arrival process — the aggregate figure is directly
+    comparable to ``loadgen_bursty`` times the shard count, minus the
+    multi-tenant bookkeeping overhead.
+
+    Noise discipline: GC is paused for the timed runs, the whole load run
+    repeats ``reps`` times, and each shard's wall is its *best* across
+    reps. The aggregate figure models one process per shard, so a
+    co-tenant stall of this container landing on a random shard during
+    one rep should not be charged against fleet capacity — min-over-reps
+    per shard is the fleet analogue of the min-wall convention the
+    offline scenario already uses. The reps must also agree on the fleet
+    SHA-256 (same seed, same config), so the scenario doubles as an
+    enforced determinism witness.
+
+    The tenant population scales with the shard count (three SLA-class
+    cycles worth) so every shard has at least one tenant routed to it.
+    """
+    import gc
+
+    from ..fleet import (
+        FleetConfig,
+        FleetLoadConfig,
+        default_registry,
+        run_fleet_load,
+    )
+    from ..metrics.tickets import ProportionalTicket
+    from ..service import SLAPolicy
+
+    fleet = FleetConfig(
+        n_shards=n_shards,
+        seed=2024,
+        scheduler="Op",
+        policy=SLAPolicy(
+            ticket=ProportionalTicket(base_s=300.0, factor=6.0),
+            degraded_slack_s=-120.0,
+            max_in_system=60,
+        ),
+    )
+    load = FleetLoadConfig(
+        n_jobs=n_jobs,
+        rate_per_s=50.0,
+        process="bursty",
+        mean_burst_jobs=8.0,
+        seed=2024,
+    )
+    reps = max(1, reps)
+    results = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            results.append(
+                run_fleet_load(
+                    fleet, load, registry=default_registry(3 * n_shards)
+                )
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    digests = {r.report.sha256 for r in results}
+    if len(digests) != 1:
+        raise RuntimeError(
+            f"fleet bench diverged across {reps} reps: {sorted(digests)}"
+        )
+    first = results[0]
+    n_submitted = first.n_submitted
+    best_walls = [
+        min(r.shard_timings[i].submit_wall_s for r in results)
+        for i in range(len(first.shard_timings))
+    ]
+    max_wall = max(best_walls, default=0.0)
+    total_wall = sum(best_walls)
+    return {
+        "aggregate_jobs_per_s": n_submitted / max_wall if max_wall > 0 else 0.0,
+        "serial_jobs_per_s": n_submitted / total_wall if total_wall > 0 else 0.0,
+        "n_jobs": n_submitted,
+        "n_shards": n_shards,
+        "n_tenants": len(first.report.tenants),
+        "reps": reps,
+        "scheduler": fleet.scheduler,
+        "process": load.process,
+        "max_shard_wall_s": max_wall,
+        "total_shard_wall_s": total_wall,
+        "drain_wall_s": min(r.drain_wall_s for r in results),
+        "quota_rejected": first.report.quota_rejected,
+        "fleet_sha256": first.report.sha256,
+    }
+
+
 # ----------------------------------------------------------------------
 # Report
 # ----------------------------------------------------------------------
@@ -282,6 +399,16 @@ class BenchReport:
                 f"submit ({lg['n_jobs']} jobs via {lg['process']}, quote p50 "
                 f"{lg['quote_p50_ms']:.3f}ms, p95 {lg['quote_p95_ms']:.3f}ms)"
             )
+        fl = self.scenarios.get("fleet_loadgen")
+        if fl is not None:
+            lines.append(
+                f"  fleet_loadgen {fl['scheduler']}: "
+                f"{fl['aggregate_jobs_per_s']:,.0f} jobs/s aggregate over "
+                f"{fl['n_shards']} shards "
+                f"({fl['serial_jobs_per_s']:,.0f} jobs/s serial, "
+                f"{fl['n_jobs']} jobs via {fl['process']}, "
+                f"best of {fl['reps']} reps, sha {fl['fleet_sha256'][:12]})"
+            )
         return "\n".join(lines)
 
 
@@ -303,6 +430,10 @@ def run_bench(
     if preset.loadgen_bursty_jobs > 0:
         scenarios["loadgen_bursty"] = _loadgen_scenario(
             preset.loadgen_bursty_jobs, process="bursty"
+        )
+    if preset.fleet_jobs > 0:
+        scenarios["fleet_loadgen"] = _fleet_scenario(
+            preset.fleet_jobs, preset.fleet_shards, preset.fleet_reps
         )
     report = BenchReport(smoke=smoke, preset=preset, scenarios=scenarios)
     path = Path(out_path)

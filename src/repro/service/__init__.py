@@ -15,7 +15,14 @@ The subsystem that turns the offline reproduction into an *online* system:
 """
 
 from .broker import BurstBroker, SubmissionOutcome
-from .loadgen import LoadGenConfig, LoadGenResult, generate_arrivals, run_load
+from .loadgen import (
+    LoadGenConfig,
+    LoadGenResult,
+    SubmissionTiming,
+    drive_arrivals,
+    generate_arrivals,
+    run_load,
+)
 from .policy import AdmissionDecision, AdmissionResult, SLAPolicy
 from .quotes import SLAQuote, quote_job
 from .replay import replay_workload, run_one_online
@@ -25,5 +32,6 @@ __all__ = [
     "AdmissionDecision", "AdmissionResult", "SLAPolicy",
     "SLAQuote", "quote_job",
     "replay_workload", "run_one_online",
-    "LoadGenConfig", "LoadGenResult", "generate_arrivals", "run_load",
+    "LoadGenConfig", "LoadGenResult", "SubmissionTiming",
+    "drive_arrivals", "generate_arrivals", "run_load",
 ]

@@ -94,6 +94,7 @@ class BurstBroker:
         jobs: Sequence[Job],
         arrival_time: Optional[float] = None,
         batch_id: Optional[int] = None,
+        policy: Optional[SLAPolicy] = None,
     ) -> list[SubmissionOutcome]:
         """Quote, admit and dispatch jobs arriving together.
 
@@ -102,9 +103,17 @@ class BurstBroker:
         :attr:`CloudBurstEnvironment.origin`); ``None`` submits at the
         current virtual instant. Submissions must be time-ordered — the
         virtual clock never runs backwards.
+
+        ``policy`` overrides the broker's default admission policy for
+        this one submission group. Multi-tenant fronts
+        (:mod:`repro.fleet`) price and admit each tenant's arrivals under
+        that tenant's SLA class while sharing one broker session; the
+        default ``None`` keeps the single-tenant behaviour.
         """
         if self._finished:
             raise RuntimeError("broker session already finished")
+        if policy is None:
+            policy = self.policy
         jobs = list(jobs)
         if arrival_time is not None:
             t = self.env.origin + arrival_time
@@ -121,8 +130,8 @@ class BurstBroker:
         admitted: list[tuple[Job, SLAQuote]] = []
         in_system = self.env.jobs_in_system
         for job in jobs:
-            quote = quote_job(job, state, self.env.estimator, self.policy.ticket)
-            result = self.policy.admit(quote, in_system, state.upload_backlog_mb)
+            quote = quote_job(job, state, self.env.estimator, policy.ticket)
+            result = policy.admit(quote, in_system, state.upload_backlog_mb)
             if result.degraded:
                 quote = replace(quote, degraded=True)
             if result.admitted:
@@ -137,7 +146,7 @@ class BurstBroker:
             plan = self._session.submit(
                 [job for job, _ in admitted], batch_id=batch_id, state=state
             )
-            if self.policy.ticket is not None:
+            if policy.ticket is not None:
                 # Chunking schedulers may split an admitted job into
                 # sub-units; every unit inherits the parent's sold promise.
                 promises = {job.job_id: q.promise_s for job, q in admitted}

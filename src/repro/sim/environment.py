@@ -16,7 +16,7 @@ The environment is the only component that knows the *ground truth*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -123,6 +123,16 @@ class SystemConfig:
     def down_profile(self) -> DiurnalBandwidthProfile:
         return DiurnalBandwidthProfile(base_mbps=self.down_base_mbps)
 
+    def with_seed(self, seed: int) -> "SystemConfig":
+        """This config with a different master seed (shard derivation).
+
+        The fleet's shard manager stamps every partition with a seed
+        derived from the run seed via
+        :func:`repro.common.substream_seed`; everything else about the
+        simulated testbed stays shared.
+        """
+        return replace(self, seed=seed)
+
 
 @dataclass(slots=True)
 class _JobState:
@@ -155,7 +165,16 @@ class _SiteRuntime:
 
 
 class CloudBurstEnvironment:
-    """One runnable instance of the simulated hybrid cloud."""
+    """One runnable instance of the simulated hybrid cloud.
+
+    Instances are cheap to build and share **no mutable state** with one
+    another: every RNG, learned model, cluster pool and cache hangs off
+    the instance (no module- or class-level mutable containers), so a
+    process may hold many environments — the fleet's shard manager builds
+    one per partition — and drive them in any interleaving without
+    cross-contamination. ``tests/test_environment_isolation.py`` pins
+    this with an interleaved-run regression test.
+    """
 
     def __init__(self, config: SystemConfig = SystemConfig()) -> None:
         self.config = config

@@ -17,6 +17,7 @@ of the new public surface (CI uploads it), so its shape is pinned.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -150,6 +151,9 @@ class TestBenchReportSchema:
             offline_reps=1,
             loadgen_jobs=15,
             loadgen_bursty_jobs=12,
+            fleet_jobs=60,
+            fleet_shards=2,
+            fleet_reps=2,
         )
         report = run_bench(smoke=True, out_path=out, preset=preset)
         assert report.path == out
@@ -176,6 +180,34 @@ class TestBenchReportSchema:
         assert bursty["n_jobs"] == 12
         assert bursty["process"] == "bursty"
         assert bursty["jobs_per_s"] > 0
+        fleet = scenarios["fleet_loadgen"]
+        assert fleet["n_jobs"] == 60
+        assert fleet["n_shards"] == 2
+        assert fleet["reps"] == 2
+        assert fleet["aggregate_jobs_per_s"] >= fleet["serial_jobs_per_s"] > 0
+        assert len(fleet["fleet_sha256"]) == 64
+        assert fleet["quota_rejected"] >= 0
+
+    def test_fleet_scenario_skipped_when_zeroed(self, tmp_path):
+        preset = BenchPreset(
+            engine_events=1000,
+            offline_n_batches=2,
+            offline_reps=1,
+            loadgen_jobs=10,
+        )
+        report = run_bench(smoke=True, out_path=tmp_path / "b.json", preset=preset)
+        assert "fleet_loadgen" not in report.scenarios
+
+    def test_committed_bench_artifact_meets_fleet_target(self):
+        """BENCH_core.json is the acceptance artifact: schema v3 with the
+        fleet scenario sustaining >=100k jobs/s aggregate over >=4 shards."""
+        bench_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+        data = json.loads(bench_path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+        fleet = data["scenarios"]["fleet_loadgen"]
+        assert fleet["n_shards"] >= 4
+        assert fleet["aggregate_jobs_per_s"] >= 100_000
+        assert len(fleet["fleet_sha256"]) == 64
 
     def test_bursty_scenario_skipped_when_zeroed(self, tmp_path):
         preset = BenchPreset(

@@ -1,0 +1,222 @@
+"""Integration tests for the fleet HTTP/JSON front, over a real socket.
+
+Pins the error contract from the module docstring: malformed bodies get
+a 400 with a path-qualified schema error and never touch a shard,
+unknown tenants get 404, exhausted quotas get the distinct 429, and no
+request — including one that trips an internal fault — kills the server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fleet import (
+    FleetAPIServer,
+    FleetConfig,
+    FleetManager,
+    Tenant,
+    TenantRegistry,
+)
+
+
+@pytest.fixture
+def server():
+    registry = TenantRegistry(
+        [
+            Tenant(tenant_id="roomy"),
+            Tenant(tenant_id="capped", quota_jobs=2),
+        ]
+    )
+    manager = FleetManager(
+        FleetConfig(n_shards=2, seed=2024, pretrain_samples=40), registry
+    )
+    srv = FleetAPIServer(manager, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def request(srv, path, body=None, raw: bytes = None):
+    """One round trip; returns (status, parsed_json_body)."""
+    data = raw if raw is not None else (
+        json.dumps(body).encode() if body is not None else None
+    )
+    req = urllib.request.Request(
+        srv.url + path,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+# ----------------------------------------------------------------------
+# Happy paths
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_health(self, server):
+        status, body = request(server, "/v1/health")
+        assert status == 200
+        assert body == {"status": "ok", "n_shards": 2, "n_tenants": 2}
+
+    def test_tenants_directory_reports_quota_state(self, server):
+        status, body = request(server, "/v1/tenants")
+        assert status == 200
+        by_id = {t["tenant"]: t for t in body["tenants"]}
+        assert by_id["capped"]["quota_jobs"] == 2
+        assert by_id["capped"]["quota_remaining"] == 2
+        assert by_id["roomy"]["quota_jobs"] is None
+        assert all(0 <= t["shard"] < 2 for t in by_id.values())
+
+    def test_submit_returns_one_outcome_per_job(self, server):
+        status, body = request(
+            server, "/v1/jobs", {"tenant": "roomy", "n_jobs": 3}
+        )
+        assert status == 200
+        assert body["tenant"] == "roomy"
+        assert len(body["outcomes"]) == 3
+        for outcome in body["outcomes"]:
+            assert outcome["decision"] in ("accept", "accept_degraded", "reject")
+            assert outcome["promise_s"] is None or outcome["promise_s"] > 0
+
+    def test_quote_prices_without_admitting(self, server):
+        status, body = request(server, "/v1/quotes", {"tenant": "roomy"})
+        assert status == 200
+        assert body["est_completion_s"] > 0
+        stats_status, stats = request(server, "/v1/stats")
+        assert stats_status == 200
+        assert stats["fleet"]["submitted"] == 0
+
+    def test_stats_fleet_counters_sum_the_shards(self, server):
+        request(server, "/v1/jobs", {"tenant": "roomy", "n_jobs": 2})
+        request(server, "/v1/jobs", {"tenant": "capped", "n_jobs": 1})
+        status, body = request(server, "/v1/stats")
+        assert status == 200
+        assert body["fleet"]["submitted"] == sum(
+            s["stats"]["submitted"] for s in body["shards"]
+        )
+        assert body["fleet"]["submitted"] == 3
+
+
+# ----------------------------------------------------------------------
+# Error contract
+# ----------------------------------------------------------------------
+class TestErrorContract:
+    def test_bad_json_is_a_400(self, server):
+        status, body = request(server, "/v1/jobs", raw=b"{not json")
+        assert status == 400
+        assert body["error"]["type"] == "invalid_json"
+
+    def test_empty_body_is_a_400(self, server):
+        status, body = request(server, "/v1/jobs", raw=b"")
+        assert status == 400
+        assert body["error"]["type"] == "empty_body"
+
+    @pytest.mark.parametrize(
+        "payload, path, fragment",
+        [
+            ({"n_jobs": 1}, "$", "tenant"),                     # missing key
+            ({"tenant": "roomy", "n_jobs": "three"}, "n_jobs", "integer"),
+            ({"tenant": "roomy", "n_jobs": 0}, "n_jobs", "minimum"),
+            ({"tenant": "", "n_jobs": 1}, "tenant", "shorter"),
+            ({"tenant": "roomy", "n_jobs": 1, "x": 1}, "$", "x"),  # extra key
+            (
+                {"tenant": "roomy", "n_jobs": 1, "arrival_time_s": -5},
+                "arrival_time_s",
+                "minimum",
+            ),
+        ],
+    )
+    def test_schema_violations_are_400_with_a_path(
+        self, server, payload, path, fragment
+    ):
+        status, body = request(server, "/v1/jobs", payload)
+        assert status == 400
+        assert body["error"]["type"] == "schema_violation"
+        detail = body["error"]["details"][0]
+        assert detail["path"] == path
+        assert fragment in detail["message"]
+
+    def test_schema_violation_leaves_the_shard_untouched(self, server):
+        request(server, "/v1/jobs", {"tenant": "roomy", "n_jobs": -1})
+        status, stats = request(server, "/v1/stats")
+        assert status == 200
+        assert stats["fleet"]["submitted"] == 0
+
+    def test_unknown_tenant_is_a_404(self, server):
+        status, body = request(
+            server, "/v1/jobs", {"tenant": "nobody", "n_jobs": 1}
+        )
+        assert status == 404
+        assert body["error"]["type"] == "unknown_tenant"
+
+    def test_unknown_route_is_a_404(self, server):
+        status, body = request(server, "/v1/nope")
+        assert status == 404
+        assert body["error"]["type"] == "not_found"
+        status, body = request(server, "/v1/health", {"x": 1})
+        assert status == 404  # POST to a GET-only path
+
+    def test_oversized_body_is_a_413(self, server):
+        blob = b'{"tenant": "' + b"a" * (70 * 1024) + b'"}'
+        status, body = request(server, "/v1/jobs", raw=blob)
+        assert status == 413
+        assert body["error"]["type"] == "body_too_large"
+
+    def test_quota_exhaustion_is_a_distinct_429(self, server):
+        first_status, first = request(
+            server, "/v1/jobs", {"tenant": "capped", "n_jobs": 5}
+        )
+        assert first_status == 200
+        reasons = [o["reason"] for o in first["outcomes"]]
+        assert reasons.count("quota") >= 3  # overflow past the quota of 2
+        # Once exhausted, the whole request is refused up front.
+        status, body = request(
+            server, "/v1/jobs", {"tenant": "capped", "n_jobs": 1}
+        )
+        assert status == 429
+        assert body["error"]["type"] == "quota_exhausted"
+        assert body["error"]["details"][0] == {"tenant": "capped", "quota_jobs": 2}
+
+    def test_server_survives_every_error_class(self, server):
+        request(server, "/v1/jobs", raw=b"{broken")
+        request(server, "/v1/jobs", {"tenant": "nobody", "n_jobs": 1})
+        request(server, "/v1/jobs", {"tenant": "roomy", "n_jobs": -3})
+        request(server, "/v1/jobs", {"tenant": "capped", "n_jobs": 5})
+        request(server, "/v1/jobs", {"tenant": "capped", "n_jobs": 1})  # 429
+        status, body = request(server, "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_internal_fault_returns_500_and_keeps_serving(self, server):
+        # Sabotage one handler path: an unregistered exception type must
+        # surface as a 500, not kill the server loop.
+        original = server.manager.shard_for
+        server.manager.shard_for = lambda tenant_id: (_ for _ in ()).throw(
+            OSError("disk on fire")
+        )
+        try:
+            status, body = request(
+                server, "/v1/jobs", {"tenant": "roomy", "n_jobs": 1}
+            )
+        finally:
+            server.manager.shard_for = original
+        assert status == 500
+        assert body["error"]["type"] == "internal"
+        assert "disk on fire" in body["error"]["message"]
+        status, _ = request(server, "/v1/health")
+        assert status == 200

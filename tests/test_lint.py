@@ -15,6 +15,8 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.lint import (
+    RULE_CODE_RE,
+    LintRule,
     Violation,
     all_rules,
     lint_source,
@@ -49,10 +51,39 @@ class TestFramework:
     def test_every_rule_has_identity(self):
         for cls in RULES:
             rule = cls()
-            assert len(rule.code) == 6, rule
+            assert RULE_CODE_RE.match(rule.code), rule
             assert rule.name != "unnamed-rule"
             assert rule.description
             assert rule.hint
+
+    @pytest.mark.parametrize("code", ["DET001", "FLT001", "UNI001", "MUT999"])
+    def test_rule_code_re_accepts_catalogue_codes(self, code):
+        assert RULE_CODE_RE.match(code)
+
+    @pytest.mark.parametrize(
+        "code",
+        ["", "XXX000", "DET1", "DET0001", "det001", "DET001x", " DET001"],
+    )
+    def test_rule_code_re_rejects_non_catalogue_codes(self, code):
+        assert not RULE_CODE_RE.match(code)
+
+    def test_all_rules_rejects_sentinel_code(self, monkeypatch):
+        """A rule that never declared a catalogue code cannot register."""
+        import repro.analysis.rules as rules_mod
+
+        class Undeclared(LintRule):
+            name = "undeclared"
+            description = "left the base-class sentinel in place"
+            hint = "declare a catalogue code"
+
+            def check(self, ctx):
+                return iter(())
+
+        monkeypatch.setattr(
+            rules_mod, "RULES", (*rules_mod.RULES, Undeclared)
+        )
+        with pytest.raises(ValueError, match="catalogue code"):
+            all_rules()
 
     def test_rule_codes_are_unique(self):
         rule_codes = [cls.code for cls in RULES]

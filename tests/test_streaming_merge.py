@@ -1,0 +1,177 @@
+"""Unit tests for cross-shard merging of streaming SLA stats.
+
+The fleet's aggregated report is only hashable because merging per-shard
+:class:`StreamingSLAStats` is deterministic: counters merge exactly, and
+the quantile reservoirs merge through a seeded weighted draw. These tests
+pin both halves — exactness where the contract promises it, and
+bit-reproducibility where it promises only that.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.metrics.streaming import ReservoirSampler, StreamingSLAStats
+from repro.sim.tracing import JobRecord
+
+
+def record(job_id: int, response_s: float, promise_s: float) -> JobRecord:
+    return JobRecord(
+        job_id=job_id,
+        batch_id=1,
+        arrival_time=100.0,
+        input_mb=1.0,
+        output_mb=1.0,
+        completion_time=100.0 + response_s,
+        promise_s=promise_s,
+    )
+
+
+def feed(stats: StreamingSLAStats, responses: list[float], promise_s: float) -> None:
+    for i, response_s in enumerate(responses):
+        stats.on_admission("accept")
+        stats.on_complete(record(i + 1, response_s, promise_s))
+
+
+# ----------------------------------------------------------------------
+# ReservoirSampler.merge
+# ----------------------------------------------------------------------
+class TestReservoirMerge:
+    def test_merge_is_exact_when_union_fits(self):
+        a = ReservoirSampler(capacity=16, seed=1)
+        b = ReservoirSampler(capacity=16, seed=2)
+        for v in (1.0, 2.0, 3.0):
+            a.add(v)
+        for v in (10.0, 20.0):
+            b.add(v)
+        a.merge(b)
+        assert a.values == [1.0, 2.0, 3.0, 10.0, 20.0]
+        assert a.n_seen == 5
+
+    def test_merge_with_empty_other_is_a_no_op(self):
+        a = ReservoirSampler(capacity=4, seed=1)
+        for v in (1.0, 2.0):
+            a.add(v)
+        before = a.values
+        a.merge(ReservoirSampler(capacity=4, seed=9))
+        assert a.values == before
+        assert a.n_seen == 2
+
+    def test_overflowing_merge_keeps_capacity_and_total_count(self):
+        a = ReservoirSampler(capacity=8, seed=1)
+        b = ReservoirSampler(capacity=8, seed=2)
+        for i in range(50):
+            a.add(float(i))
+            b.add(float(100 + i))
+        a.merge(b)
+        assert len(a.values) == 8
+        assert a.n_seen == 100
+        # Every retained value came from one of the two input samples.
+        assert all(v < 50 or v >= 100 for v in a.values)
+
+    def test_overflowing_merge_is_bit_reproducible(self):
+        def build() -> ReservoirSampler:
+            a = ReservoirSampler(capacity=8, seed=1)
+            b = ReservoirSampler(capacity=8, seed=2)
+            rng = random.Random(7)
+            for _ in range(200):
+                a.add(rng.random())
+                b.add(rng.random())
+            a.merge(b)
+            return a
+
+        first, second = build(), build()
+        assert first.values == second.values
+        assert first.n_seen == second.n_seen
+
+    def test_merge_seed_depends_on_prior_counts(self):
+        """Same retained values, different histories -> independent draws.
+
+        The merge RNG is seeded from both samplers' seeds *and* counts, so
+        the draw cannot silently correlate across different stream volumes.
+        """
+
+        def build(extra: int) -> list[float]:
+            a = ReservoirSampler(capacity=4, seed=1)
+            b = ReservoirSampler(capacity=4, seed=2)
+            rng = random.Random(3)
+            for _ in range(40 + extra):
+                a.add(rng.random())
+            for _ in range(40):
+                b.add(rng.random())
+            a.merge(b)
+            return a.values
+
+        assert build(0) != build(25)
+
+
+# ----------------------------------------------------------------------
+# StreamingSLAStats.merge
+# ----------------------------------------------------------------------
+class TestStatsMerge:
+    def test_counters_merge_exactly(self):
+        a, b = StreamingSLAStats(), StreamingSLAStats()
+        feed(a, [10.0, 20.0, 200.0], promise_s=60.0)
+        feed(b, [5.0, 400.0], promise_s=60.0)
+        a.on_admission("reject", "quota")
+        b.on_admission("reject", "quota")
+        b.on_admission("reject", "slack")
+        b.on_admission("accept_degraded")
+        a.on_penalty(3.5)
+        b.on_penalty(1.25)
+
+        merged = StreamingSLAStats()
+        merged.merge(a).merge(b)
+        assert merged.submitted == a.submitted + b.submitted
+        assert merged.completed == 5
+        assert merged.sla_met == 3
+        assert merged.sla_violated == 2
+        assert merged.accepted_degraded == 1
+        assert merged.rejections_by_reason == {"quota": 2, "slack": 1}
+        assert merged.response_sum_s == a.response_sum_s + b.response_sum_s
+        assert merged.penalty_usd == 4.75
+        assert merged.penalties_accrued == 2
+
+    def test_merged_attainment_matches_union_stream(self):
+        a, b = StreamingSLAStats(), StreamingSLAStats()
+        union = StreamingSLAStats()
+        feed(a, [10.0, 100.0], promise_s=50.0)
+        feed(b, [20.0, 30.0], promise_s=50.0)
+        feed(union, [10.0, 100.0, 20.0, 30.0], promise_s=50.0)
+        merged = StreamingSLAStats()
+        merged.merge(a).merge(b)
+        assert merged.attainment == union.attainment
+        assert merged.mean_response_s == union.mean_response_s
+
+    def test_merge_in_fixed_order_is_bit_reproducible(self):
+        def build() -> StreamingSLAStats:
+            shards = []
+            for k in range(3):
+                s = StreamingSLAStats(reservoir_seed=k)
+                rng = random.Random(k)
+                feed(s, [300.0 * rng.random() for _ in range(200)], 60.0)
+                shards.append(s)
+            total = StreamingSLAStats(reservoir_seed=99)
+            for s in shards:
+                total += s
+            return total
+
+        first, second = build(), build()
+        assert first.counters_dict() == second.counters_dict()
+        for q in (50, 90, 99):
+            assert first.response_percentile(q) == second.response_percentile(q)
+
+    def test_iadd_returns_merged_self(self):
+        a, b = StreamingSLAStats(), StreamingSLAStats()
+        feed(b, [1.0], promise_s=10.0)
+        before = a
+        a += b
+        assert a is before
+        assert a.completed == 1
+
+    def test_counters_dict_tracks_reservoir_volume(self):
+        a, b = StreamingSLAStats(), StreamingSLAStats()
+        feed(a, [1.0, 2.0], promise_s=10.0)
+        feed(b, [3.0], promise_s=10.0)
+        a.merge(b)
+        assert a.counters_dict()["responses_seen"] == 3
