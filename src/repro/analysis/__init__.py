@@ -7,6 +7,11 @@ Three complementary layers keep the simulator honest:
 * :mod:`repro.analysis.lint` — an AST lint (``repro lint``) that keeps
   wall-clock reads, unseeded randomness, float time equality, unit-less
   field names and out-of-band state mutation out of the source;
+  :mod:`repro.analysis.project` extends it whole-program: an import
+  graph and symbol tables feed the SEED (seed provenance), SHD
+  (shard safety) and UNI002 (unit-dimension flow) rule families, with
+  a checked-in baseline (:mod:`repro.analysis.baseline`) and JSON /
+  SARIF output (:mod:`repro.analysis.output`);
 * :mod:`repro.analysis.invariants` — an opt-in runtime checker asserting
   event-time monotonicity, job conservation, non-negative backlogs and
   the SIBS cross-queue policy while a simulation runs.
@@ -23,15 +28,26 @@ from .invariants import (
     install_invariants,
     invariants_enabled,
 )
+from .baseline import Baseline, BaselineDelta, discover_baseline
 from .lint import (
     LintRule,
     ModuleContext,
+    Severity,
     Violation,
     all_rules,
     lint_file,
     lint_source,
     render_report,
     run_lint,
+    violation_fingerprint,
+)
+from .output import render_json, render_sarif
+from .project import (
+    ModuleInfo,
+    ProjectIndex,
+    ProjectRule,
+    all_project_rules,
+    lint_project_sources,
 )
 from .queueing import (
     TheoryComparison,
@@ -51,8 +67,13 @@ __all__ = [
     "batch_arrival_scv", "allen_cunneen_wait", "within_batch_wait",
     "TheoryComparison", "compare_ic_only_with_theory",
     # static lint
-    "Violation", "ModuleContext", "LintRule", "all_rules",
+    "Violation", "ModuleContext", "LintRule", "Severity", "all_rules",
     "lint_source", "lint_file", "run_lint", "render_report",
+    "violation_fingerprint",
+    # project-wide pass, baseline, output formats
+    "ModuleInfo", "ProjectIndex", "ProjectRule", "all_project_rules",
+    "lint_project_sources", "Baseline", "BaselineDelta",
+    "discover_baseline", "render_json", "render_sarif",
     # runtime invariants
     "InvariantError", "InvariantStats", "EnvironmentInvariants",
     "install_invariants", "invariants_enabled",

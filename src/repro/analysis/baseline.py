@@ -1,0 +1,159 @@
+"""Checked-in lint baseline: adopt the tool without stopping the line.
+
+A baseline file records the fingerprints of findings the team has
+explicitly parked (``repro lint --write-baseline``). Subsequent runs
+subtract baselined findings from the gate, so only *new* violations
+fail CI — while the parked debt stays visible in the file and shrinks
+as code is fixed.
+
+Fingerprints (:func:`repro.analysis.lint.violation_fingerprint`) hash
+the rule code, the repo-relative path, the message, and the stripped
+source line — not the line *number* — so unrelated edits above a
+finding do not churn the baseline.
+
+Staleness is first-class: a baseline entry whose finding no longer
+fires is debt already paid. ``repro lint --stale-baseline=error`` (the
+CI setting) fails until the file is regenerated, keeping the checked-in
+ledger honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .lint import Violation
+
+__all__ = [
+    "Baseline",
+    "BaselineDelta",
+    "DEFAULT_BASELINE_NAME",
+    "discover_baseline",
+]
+
+#: File name auto-discovered by ``repro lint`` (repo root, next to
+#: ``pyproject.toml``).
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineDelta:
+    """Result of applying a baseline to one run's findings."""
+
+    #: Findings not in the baseline — these gate the run.
+    new: list[Violation] = field(default_factory=list)
+    #: Findings matched (and silenced) by a baseline entry.
+    suppressed: list[Violation] = field(default_factory=list)
+    #: Baseline entries that matched nothing — stale, debt already paid.
+    stale: list[dict[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class Baseline:
+    """A set of parked finding fingerprints with display metadata."""
+
+    #: fingerprint -> entry (code/path/message kept for human review of
+    #: the checked-in file; only the fingerprint drives matching).
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+    path: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(
+                f"{path}: not a lint baseline (expected a 'findings' list)"
+            )
+        entries: dict[str, dict[str, str]] = {}
+        for item in data["findings"]:
+            fp = item.get("fingerprint", "")
+            if not fp:
+                raise ValueError(f"{path}: baseline entry without fingerprint")
+            entries[fp] = {
+                "fingerprint": fp,
+                "code": item.get("code", ""),
+                "path": item.get("path", ""),
+                "message": item.get("message", ""),
+            }
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_violations(
+        cls, violations: Sequence[Violation], path: Optional[Path] = None
+    ) -> "Baseline":
+        entries = {
+            v.fingerprint: {
+                "fingerprint": v.fingerprint,
+                "code": v.code,
+                "path": v.path,
+                "message": v.message,
+            }
+            for v in violations
+            if v.fingerprint
+        }
+        return cls(entries=entries, path=path)
+
+    def write(self, path: Optional[Path] = None) -> Path:
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "repro lint",
+            "findings": [
+                self.entries[fp]
+                for fp in sorted(
+                    self.entries,
+                    key=lambda f: (
+                        self.entries[f]["path"],
+                        self.entries[f]["code"],
+                        f,
+                    ),
+                )
+            ],
+        }
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        self.path = target
+        return target
+
+    # ------------------------------------------------------------------
+    def apply(self, violations: Sequence[Violation]) -> BaselineDelta:
+        """Split findings into new vs baselined and spot stale entries."""
+        delta = BaselineDelta()
+        matched: set[str] = set()
+        for violation in violations:
+            if violation.fingerprint and violation.fingerprint in self.entries:
+                matched.add(violation.fingerprint)
+                delta.suppressed.append(violation)
+            else:
+                delta.new.append(violation)
+        delta.stale = [
+            self.entries[fp] for fp in sorted(self.entries) if fp not in matched
+        ]
+        return delta
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def discover_baseline(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` looking for :data:`DEFAULT_BASELINE_NAME`.
+
+    Mirrors how tools discover ``pyproject.toml``: the nearest enclosing
+    directory that has a baseline owns the run.
+    """
+    current = start if start.is_dir() else start.parent
+    current = current.resolve()
+    for candidate in [current, *current.parents]:
+        found = candidate / DEFAULT_BASELINE_NAME
+        if found.is_file():
+            return found
+    return None

@@ -31,10 +31,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, fields
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..experiments.config import DEFAULT_SPEC, ExperimentSpec
 from ..experiments.runner import PAPER_SCHEDULERS, build_workload, run_one
+from ..sim.environment import CloudBurstEnvironment
 from ..sim.tracing import JobRecord, RunTrace
 from .invariants import install_invariants
 
@@ -265,7 +266,7 @@ class EconDeterminismResult:
         return f"{self.scheduler:>8}: FAIL  {detail}"
 
 
-def _econ_hook():
+def _econ_hook() -> Callable[["CloudBurstEnvironment"], None]:
     """Env hook arming invariants plus a preemption-exercising econ config."""
     from ..econ import EconConfig, SpotMarketConfig, attach_econ
 
@@ -273,7 +274,7 @@ def _econ_hook():
         spot=SpotMarketConfig(bid_usd_per_hour=0.13, variation=0.4)
     )
 
-    def hook(env) -> None:
+    def hook(env: "CloudBurstEnvironment") -> None:
         install_invariants(env)
         attach_econ(env, config)
 

@@ -7,20 +7,32 @@ general-purpose linter knows about: no wall-clock reads or process-global
 randomness inside the simulation core, no exact float equality on
 simulation times, unit-suffixed float fields on the public dataclass
 boundaries, and no :class:`~repro.core.base.SystemState` mutation outside
-its commit methods. This module is the tiny AST-lint engine that enforces
-them; the rules themselves live in :mod:`repro.analysis.rules`.
+its commit methods. This module is the AST-lint engine that enforces
+them; the per-module rules live in :mod:`repro.analysis.rules` and the
+whole-program (dataflow) rules in :mod:`repro.analysis.project`.
+
+Two kinds of rule run under one driver:
+
+* **module rules** (:class:`LintRule`) see one parsed module at a time —
+  purely syntactic checks;
+* **project rules** (:class:`repro.analysis.project.ProjectRule`) see a
+  :class:`~repro.analysis.project.ProjectIndex` — the import graph and
+  per-module symbol tables over the whole ``repro`` package — and can
+  follow seed values through call edges, check shard-reachability, and
+  infer unit dimensions across assignments.
 
 Usage
 -----
 Command line (gates CI)::
 
     repro lint src/
+    repro lint src/ --format sarif --out lint.sarif
     python -m repro lint src/repro/sim
 
 Programmatic::
 
     from repro.analysis.lint import run_lint
-    violations = run_lint(["src/repro"])
+    result = run_lint(["src/repro"])
 
 Suppression
 -----------
@@ -29,15 +41,19 @@ A violation is silenced by a trailing comment on the *same physical line*::
     t_start = time.perf_counter()  # repro: allow[DET001] wall throughput is the measurement
 
 Multiple codes separate with commas: ``# repro: allow[DET001, FLT001]``.
-Anything after the closing bracket is a free-form justification; writing
-one is strongly encouraged (reviewers read suppressions first).
+Anything after the closing bracket is a free-form justification; a
+suppression *without* one is reported as a ``SUP001`` warning, and a
+suppression that silences nothing at all is reported as ``SUP002`` —
+the engine audits its own escape hatch.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -45,25 +61,64 @@ __all__ = [
     "Violation",
     "ModuleContext",
     "LintRule",
+    "RULE_FAMILIES",
     "RULE_CODE_RE",
+    "Severity",
     "all_rules",
     "run_lint",
     "lint_source",
     "lint_file",
     "module_name_for_path",
     "render_report",
+    "violation_fingerprint",
 ]
 
 
-#: ``# repro: allow[CODE]`` / ``# repro: allow[CODE1, CODE2] justification``.
-_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]")
+#: The documented rule families. This registry is the single source of
+#: truth for what a rule code may look like: ``<FAMILY><3 digits>`` where
+#: ``FAMILY`` is a key below. Register a new family here (with its
+#: one-line charter) *before* adding rules to it — :func:`all_rules`
+#: rejects any rule whose code names an unregistered family, so an
+#: undocumented family cannot ship by accident.
+RULE_FAMILIES: dict[str, str] = {
+    "DET": "determinism: no wall clock, no process-global randomness",
+    "FLT": "float discipline: no exact equality on simulation times",
+    "UNI": "units: declared unit suffixes and inferred unit dimensions",
+    "MUT": "state mutation: SystemState changes only through commits",
+    "SEED": "seed provenance: every RNG derives from the seed chain",
+    "SHD": "shard safety: no shared mutable or fork-unsafe module state",
+    "SUP": "suppression hygiene: justified, effective allow-comments",
+}
 
-#: Shape every *registered* rule code must take. The families are the
-#: documented catalogue prefixes (see ``repro.analysis.rules``); a rule
-#: that leaves the base class's empty sentinel in place — or invents an
-#: undocumented family — is rejected at registry instantiation rather
-#: than silently reporting under a bogus code.
-RULE_CODE_RE = re.compile(r"^(DET|FLT|UNI|MUT)\d{3}$")
+
+def _families_pattern() -> str:
+    # Longest first so SEED wins over a hypothetical SEE prefix.
+    return "|".join(sorted(RULE_FAMILIES, key=len, reverse=True))
+
+
+#: Shape every *registered* rule code must take, derived from
+#: :data:`RULE_FAMILIES`. A rule that leaves the base class's empty
+#: sentinel in place — or invents an undocumented family — is rejected
+#: at registry instantiation rather than silently reporting under a
+#: bogus code.
+RULE_CODE_RE = re.compile(rf"^(?:{_families_pattern()})\d{{3}}$")
+
+#: ``# repro: allow[CODE]`` / ``# repro: allow[CODE1, CODE2] justification``.
+_SUPPRESS_RE = re.compile(
+    rf"#\s*repro:\s*allow\[((?:{_families_pattern()})\d{{3}}"
+    rf"(?:\s*,\s*(?:{_families_pattern()})\d{{3}})*)\]\s*(.*)$"
+)
+
+
+class Severity:
+    """Finding severities (plain strings so reports serialise naturally).
+
+    ``ERROR`` findings gate CI; ``WARNING`` findings (suppression
+    hygiene, advisory rules) are reported but do not fail the build.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
 
 
 @dataclass(frozen=True)
@@ -76,12 +131,35 @@ class Violation:
     col: int
     message: str
     hint: str
+    severity: str = Severity.ERROR
+    #: Location-independent identity used by the baseline file and SARIF
+    #: ``partialFingerprints`` — stable across unrelated line shifts.
+    fingerprint: str = ""
 
     def render(self) -> str:
+        sev = "" if self.severity == Severity.ERROR else f" {self.severity}:"
         return (
-            f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}\n"
+            f"{self.path}:{self.line}:{self.col}:{sev} {self.code} {self.message}\n"
             f"    hint: {self.hint}"
         )
+
+
+def violation_fingerprint(violation: Violation, line_text: str) -> str:
+    """Stable identity of a finding, independent of its line number.
+
+    Hashes the code, the *repo-relative* path tail, the message, and the
+    stripped source line, so inserting code above a finding does not
+    invalidate a baseline entry, while editing the flagged line does.
+    """
+    import hashlib
+
+    path = Path(violation.path).as_posix()
+    if "repro/" in path:
+        path = "repro/" + path.rsplit("repro/", 1)[1]
+    payload = "\x1f".join(
+        [violation.code, path, violation.message, line_text.strip()]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -100,8 +178,45 @@ class ModuleContext:
         return ""
 
 
+@dataclass
+class _Suppression:
+    """One ``# repro: allow[...]`` comment found by the tokenizer."""
+
+    line: int
+    codes: frozenset[str]
+    justification: str
+    used: bool = False
+
+
+def _find_suppressions(source: str, path: str) -> dict[int, _Suppression]:
+    """Per-line suppression table from *comment tokens* only.
+
+    Tokenizing (rather than regex over raw lines) means an allow-comment
+    shown inside a docstring example is documentation, not an active —
+    and therefore auditable — suppression.
+    """
+    table: dict[int, _Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            table[line] = _Suppression(
+                line=line,
+                codes=frozenset(c.strip() for c in match.group(1).split(",")),
+                justification=match.group(2).strip(),
+            )
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+        pass
+    return table
+
+
 class LintRule:
-    """Base class for one lint rule.
+    """Base class for one per-module lint rule.
 
     Subclasses set the class attributes and implement :meth:`check`.
 
@@ -111,11 +226,11 @@ class LintRule:
         Stable error code (``DET001``-style) used in reports and
         suppressions. The base class leaves it as the empty-string
         sentinel; :func:`all_rules` refuses to register a rule that has
-        not overridden it with a real catalogue code (matching
-        :data:`RULE_CODE_RE`). The sentinel is deliberately *not* a
-        placeholder like ``XXX000`` — ``XXX`` is this repo's
-        to-do-marker convention, and a greppable marker inside the lint
-        framework itself produced permanent false hits.
+        not overridden it with a real catalogue code (a family from
+        :data:`RULE_FAMILIES` plus three digits). The sentinel is
+        deliberately *not* a placeholder like ``XXX000`` — ``XXX`` is
+        this repo's to-do-marker convention, and a greppable marker
+        inside the lint framework itself produced permanent false hits.
     name:
         Short kebab-case rule name.
     hint:
@@ -123,6 +238,9 @@ class LintRule:
     scope:
         Dotted module prefixes the rule applies to; empty tuple means the
         whole ``repro`` package.
+    severity:
+        :data:`Severity.ERROR` (default, gates CI) or
+        :data:`Severity.WARNING`.
     """
 
     code: str = ""  # sentinel: subclasses must declare a catalogue code
@@ -130,6 +248,7 @@ class LintRule:
     description: str = ""
     hint: str = ""
     scope: tuple[str, ...] = ()
+    severity: str = Severity.ERROR
 
     def applies_to(self, module: str) -> bool:
         if not self.scope:
@@ -150,27 +269,33 @@ class LintRule:
             col=getattr(node, "col_offset", 0),
             message=message,
             hint=self.hint,
+            severity=self.severity,
         )
 
 
-def all_rules() -> list[LintRule]:
-    """Fresh instances of every registered rule (import kept lazy so the
-    framework itself has no rule dependencies).
-
-    Raises ``ValueError`` for a registered rule whose ``code`` is still
-    the base-class sentinel or otherwise outside the documented
-    catalogue families (:data:`RULE_CODE_RE`).
-    """
-    from .rules import RULES
-
-    rules = [cls() for cls in RULES]
+def _validate_rule_codes(rules: Sequence["LintRule"]) -> None:
     for rule in rules:
         if not RULE_CODE_RE.match(rule.code):
             raise ValueError(
                 f"lint rule {type(rule).__name__} must declare a real "
-                f"catalogue code (DET|FLT|UNI|MUT + 3 digits), "
+                f"catalogue code (a RULE_FAMILIES family "
+                f"[{'|'.join(sorted(RULE_FAMILIES))}] + 3 digits), "
                 f"got {rule.code!r}"
             )
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered per-module rule (import kept
+    lazy so the framework itself has no rule dependencies).
+
+    Raises ``ValueError`` for a registered rule whose ``code`` is still
+    the base-class sentinel or otherwise outside the documented
+    catalogue families (:data:`RULE_FAMILIES`).
+    """
+    from .rules import RULES
+
+    rules = [cls() for cls in RULES]
+    _validate_rule_codes(rules)
     return rules
 
 
@@ -190,24 +315,119 @@ def module_name_for_path(path: Path) -> str:
     return name
 
 
-def _suppressed_codes(line_text: str) -> frozenset[str]:
-    match = _SUPPRESS_RE.search(line_text)
-    if match is None:
-        return frozenset()
-    return frozenset(code.strip() for code in match.group(1).split(","))
+@dataclass
+class _ParsedModule:
+    ctx: ModuleContext
+    suppressions: dict[int, _Suppression]
 
 
-def _check_module(
-    ctx: ModuleContext, rules: Sequence[LintRule]
+def _parse_module(source: str, module: str, path: str) -> _ParsedModule:
+    tree = ast.parse(source)
+    ctx = ModuleContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source_lines=tuple(source.splitlines()),
+    )
+    return _ParsedModule(ctx=ctx, suppressions=_find_suppressions(source, path))
+
+
+def _module_violations(
+    parsed: _ParsedModule, rules: Sequence[LintRule]
 ) -> list[Violation]:
     violations: list[Violation] = []
     for rule in rules:
-        if not rule.applies_to(ctx.module):
+        if not rule.applies_to(parsed.ctx.module):
             continue
-        for violation in rule.check(ctx):
-            if violation.code in _suppressed_codes(ctx.line_text(violation.line)):
+        violations.extend(rule.check(parsed.ctx))
+    return violations
+
+
+def _apply_suppressions(
+    violations: Iterable[Violation],
+    by_path: dict[str, _ParsedModule],
+) -> list[Violation]:
+    """Drop suppressed findings, marking the suppressions that earned
+    their keep, and stamp fingerprints on the survivors."""
+    kept: list[Violation] = []
+    for violation in violations:
+        parsed = by_path.get(violation.path)
+        if parsed is not None:
+            suppression = parsed.suppressions.get(violation.line)
+            if suppression is not None and violation.code in suppression.codes:
+                suppression.used = True
                 continue
-            violations.append(violation)
+        line_text = (
+            parsed.ctx.line_text(violation.line) if parsed is not None else ""
+        )
+        kept.append(
+            replace(
+                violation,
+                fingerprint=violation_fingerprint(violation, line_text),
+            )
+        )
+    return kept
+
+
+_SUPPRESSION_AUDIT_HINT = (
+    "suppressions are reviewed first: state *why* the rule does not "
+    "apply after the closing bracket, and delete allow-comments the "
+    "engine proves unnecessary"
+)
+
+
+def _audit_suppressions(by_path: dict[str, _ParsedModule]) -> list[Violation]:
+    """SUP001 (bare) / SUP002 (ineffective) warnings over every module."""
+    findings: list[Violation] = []
+    for path, parsed in by_path.items():
+        for suppression in parsed.suppressions.values():
+            if not suppression.justification:
+                findings.append(
+                    Violation(
+                        code="SUP001",
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        message=(
+                            "bare suppression "
+                            f"allow[{', '.join(sorted(suppression.codes))}] "
+                            "carries no justification"
+                        ),
+                        hint=_SUPPRESSION_AUDIT_HINT,
+                        severity=Severity.WARNING,
+                    )
+                )
+            if not suppression.used:
+                findings.append(
+                    Violation(
+                        code="SUP002",
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        message=(
+                            "suppression "
+                            f"allow[{', '.join(sorted(suppression.codes))}] "
+                            "matches no finding on this line — the engine "
+                            "proves it unnecessary"
+                        ),
+                        hint=_SUPPRESSION_AUDIT_HINT,
+                        severity=Severity.WARNING,
+                    )
+                )
+    for violation in findings:
+        parsed = by_path[violation.path]
+        object.__setattr__(  # frozen dataclass; engine-internal stamp
+            violation,
+            "fingerprint",
+            violation_fingerprint(
+                violation, parsed.ctx.line_text(violation.line)
+            ),
+        )
+    return findings
+
+
+def _sorted(violations: list[Violation]) -> list[Violation]:
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations
 
 
@@ -216,24 +436,27 @@ def lint_source(
     module: str = "repro.sim.snippet",
     path: str = "<snippet>",
     rules: Optional[Sequence[LintRule]] = None,
+    audit_suppressions: bool = True,
 ) -> list[Violation]:
-    """Lint a source string as if it were the given module (test entry point)."""
-    tree = ast.parse(source)
-    ctx = ModuleContext(
-        path=path,
-        module=module,
-        tree=tree,
-        source_lines=tuple(source.splitlines()),
-    )
-    return _check_module(ctx, all_rules() if rules is None else rules)
+    """Lint a source string as if it were the given module (test entry
+    point). Runs per-module rules plus the suppression audit; project
+    rules need a multi-module view — see
+    :func:`repro.analysis.project.lint_project_sources`.
+    """
+    parsed = _parse_module(source, module=module, path=path)
+    by_path = {path: parsed}
+    raw = _module_violations(parsed, all_rules() if rules is None else rules)
+    violations = _apply_suppressions(raw, by_path)
+    if audit_suppressions:
+        violations.extend(_audit_suppressions(by_path))
+    return _sorted(violations)
 
 
 def lint_file(
     path: Path, rules: Optional[Sequence[LintRule]] = None
 ) -> list[Violation]:
-    source = path.read_text()
     return lint_source(
-        source,
+        path.read_text(),
         module=module_name_for_path(path),
         path=str(path),
         rules=rules,
@@ -252,25 +475,59 @@ def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
 def run_lint(
     paths: Iterable[str | Path],
     rules: Optional[Sequence[LintRule]] = None,
+    project: bool = True,
+    audit_suppressions: bool = True,
 ) -> list[Violation]:
-    """Lint every ``.py`` under ``paths``; violations sorted by location."""
+    """Lint every ``.py`` under ``paths``; violations sorted by location.
+
+    Runs the per-module rule catalogue over each file, then — when
+    ``project`` is true — builds a
+    :class:`~repro.analysis.project.ProjectIndex` over everything parsed
+    and runs the whole-program rules (SEED/SHD/UNI dataflow families) on
+    top. Suppressions apply uniformly to both passes, and the
+    suppression audit (SUP001/SUP002) sees the union, so an
+    allow-comment justified by an interprocedural finding is correctly
+    counted as used.
+    """
     active = all_rules() if rules is None else list(rules)
-    violations: list[Violation] = []
+    by_path: dict[str, _ParsedModule] = {}
+    raw: list[Violation] = []
     for path in _iter_python_files(paths):
-        violations.extend(lint_file(path, rules=active))
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
-    return violations
+        parsed = _parse_module(
+            path.read_text(),
+            module=module_name_for_path(path),
+            path=str(path),
+        )
+        by_path[str(path)] = parsed
+        raw.extend(_module_violations(parsed, active))
+    if project:
+        from .project import ProjectIndex, all_project_rules
+
+        index = ProjectIndex.from_contexts(
+            [parsed.ctx for parsed in by_path.values()]
+        )
+        for project_rule in all_project_rules():
+            raw.extend(project_rule.check_project(index))
+    violations = _apply_suppressions(raw, by_path)
+    if audit_suppressions:
+        violations.extend(_audit_suppressions(by_path))
+    return _sorted(violations)
 
 
 def render_report(violations: Sequence[Violation]) -> str:
     """Human-readable report; ends with a one-line summary."""
     lines = [v.render() for v in violations]
     by_code: dict[str, int] = {}
+    errors = 0
     for v in violations:
         by_code[v.code] = by_code.get(v.code, 0) + 1
+        if v.severity == Severity.ERROR:
+            errors += 1
     if violations:
         summary = ", ".join(f"{code} x{n}" for code, n in sorted(by_code.items()))
-        lines.append(f"{len(violations)} violation(s): {summary}")
+        warnings = len(violations) - errors
+        tail = f" ({warnings} warning(s))" if warnings else ""
+        lines.append(f"{len(violations)} violation(s): {summary}{tail}")
     else:
         lines.append("no violations")
     return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Machine-readable renderers for ``repro lint`` findings.
+
+Two formats besides the human text report:
+
+* ``json`` — a flat, stable schema for scripting (one object per
+  finding, plus run-level counts);
+* ``sarif`` — SARIF 2.1.0, the interchange format code hosts ingest
+  for inline PR annotations. Rule metadata (description, hint,
+  default severity) rides along in ``tool.driver.rules`` and each
+  result carries the baseline fingerprint as a partial fingerprint,
+  so SARIF viewers de-duplicate across runs exactly like the
+  checked-in baseline does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Protocol, Sequence
+
+from .lint import Severity, Violation
+
+__all__ = ["render_json", "render_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: partialFingerprints key; bump the suffix if the fingerprint recipe
+#: in :func:`repro.analysis.lint.violation_fingerprint` ever changes.
+_FINGERPRINT_KEY = "reproLint/v1"
+
+
+class RuleLike(Protocol):
+    """What the renderers need from a rule (module or project)."""
+
+    code: str
+    name: str
+    description: str
+    hint: str
+    severity: str
+
+
+def _violation_payload(violation: Violation) -> dict[str, object]:
+    return {
+        "code": violation.code,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "severity": violation.severity,
+        "message": violation.message,
+        "hint": violation.hint,
+        "fingerprint": violation.fingerprint,
+    }
+
+
+def render_json(
+    violations: Sequence[Violation],
+    stale_baseline: Sequence[dict[str, str]] = (),
+) -> str:
+    """Stable JSON for scripting: findings plus run-level counts."""
+    errors = sum(1 for v in violations if v.severity == Severity.ERROR)
+    payload = {
+        "tool": "repro lint",
+        "findings": [_violation_payload(v) for v in violations],
+        "summary": {
+            "total": len(violations),
+            "errors": errors,
+            "warnings": len(violations) - errors,
+            "stale_baseline_entries": len(stale_baseline),
+        },
+        "stale_baseline": list(stale_baseline),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_level(severity: str) -> str:
+    return "warning" if severity == Severity.WARNING else "error"
+
+
+def _sarif_rules(rules: Sequence[RuleLike]) -> list[dict[str, object]]:
+    descriptors: list[dict[str, object]] = []
+    for rule in sorted(rules, key=lambda r: r.code):
+        descriptors.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.description},
+                "help": {"text": rule.hint},
+                "defaultConfiguration": {"level": _sarif_level(rule.severity)},
+            }
+        )
+    return descriptors
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    rules: Optional[Sequence[RuleLike]] = None,
+) -> str:
+    """SARIF 2.1.0 document for code-host ingestion."""
+    if rules is None:
+        from .lint import all_rules
+        from .project import all_project_rules
+
+        rules = [*all_rules(), *all_project_rules()]
+    descriptors = _sarif_rules(rules)
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results: list[dict[str, object]] = []
+    for violation in violations:
+        result: dict[str, object] = {
+            "ruleId": violation.code,
+            "level": _sarif_level(violation.severity),
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.code in rule_index:
+            result["ruleIndex"] = rule_index[violation.code]
+        if violation.fingerprint:
+            result["partialFingerprints"] = {
+                _FINGERPRINT_KEY: violation.fingerprint
+            }
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,335 @@
+"""Whole-program view for the dataflow lint rules (``repro lint``).
+
+The per-module rules in :mod:`repro.analysis.rules` are deliberately
+syntactic — one parsed file, no context. The bug classes that motivated
+lint v2 are invisible at that altitude: a seed that *exists* but never
+flows through :func:`repro.common.substream_seed`, shard code that
+quietly reaches module-level mutable state three imports away, a
+``_usd`` value added to a ``_s`` value two assignments after either was
+named. This module builds the project-wide context those rules need:
+
+* a **module table** — every parsed module of the ``repro`` package,
+  keyed by dotted name;
+* an **import graph** — which repro modules each module imports
+  (absolute and relative forms resolved), plus cycle-safe reachability
+  queries over it;
+* **per-module symbol tables** — what each local name means
+  (``substream_seed`` -> ``repro.common.substream_seed``,
+  ``np`` -> ``numpy``), so rules resolve calls without executing code;
+* a **function index** — top-level functions and methods by qualified
+  name, the unit the SEED rule's one-level interprocedural walk and the
+  UNI rules' return-type inference operate on.
+
+Project rules subclass :class:`ProjectRule` and receive the whole
+:class:`ProjectIndex`; everything else (suppressions, baselining,
+severities, output formats) is shared with the per-module engine in
+:mod:`repro.analysis.lint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from .lint import (
+    LintRule,
+    ModuleContext,
+    Violation,
+    _apply_suppressions,
+    _audit_suppressions,
+    _module_violations,
+    _parse_module,
+    _sorted,
+    _validate_rule_codes,
+)
+
+__all__ = [
+    "ModuleInfo",
+    "ProjectIndex",
+    "ProjectRule",
+    "all_project_rules",
+    "lint_project_sources",
+]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its resolved import environment."""
+
+    ctx: ModuleContext
+    #: Dotted repro modules this module imports (edges of the graph).
+    imports: set[str] = field(default_factory=set)
+    #: Local name -> fully qualified origin. Covers ``import x.y as z``
+    #: (``z`` -> ``x.y``), ``from m import f`` (``f`` -> ``m.f``) and
+    #: plain ``import x`` (``x`` -> ``x``).
+    symbols: dict[str, str] = field(default_factory=dict)
+    #: Top-level functions and methods: ``f`` / ``Class.method`` -> def.
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    #: Top-level classes by name.
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+
+    @property
+    def module(self) -> str:
+        return self.ctx.module
+
+    @property
+    def path(self) -> str:
+        return self.ctx.path
+
+
+def _package_of(module: str, is_package: bool) -> str:
+    """The package a module's relative imports resolve against."""
+    if is_package:
+        return module
+    return module.rpartition(".")[0]
+
+
+def _resolve_relative(package: str, level: int, target: Optional[str]) -> str:
+    """Dotted absolute form of ``from <dots><target> import ...``."""
+    parts = package.split(".") if package else []
+    # level=1 is the current package; each extra dot climbs one parent.
+    if level - 1 > 0:
+        parts = parts[: -(level - 1)] if level - 1 <= len(parts) else []
+    base = ".".join(parts)
+    if target:
+        return f"{base}.{target}" if base else target
+    return base
+
+
+def _index_module(ctx: ModuleContext, is_package: bool) -> ModuleInfo:
+    info = ModuleInfo(ctx=ctx)
+    package = _package_of(ctx.module, is_package)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                info.symbols[local] = origin
+                if alias.name.startswith("repro"):
+                    info.imports.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(package, node.level, node.module)
+            else:
+                base = node.module or ""
+            if base.startswith("repro") or base == "repro":
+                info.imports.add(base)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.symbols[local] = f"{base}.{alias.name}" if base else alias.name
+                # ``from repro.fleet import sharding`` imports a module,
+                # not a symbol; record the module edge as well.
+                if base.startswith("repro"):
+                    info.imports.add(f"{base}.{alias.name}")
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = stmt
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.functions[f"{stmt.name}.{sub.name}"] = sub
+    return info
+
+
+class ProjectIndex:
+    """Import graph + symbol tables over one lint invocation's modules."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        #: module -> repro modules it imports *that are in the index*
+        #: (edges to modules outside the linted set are kept too; the
+        #: reachability walk simply has nothing to expand them into).
+        self.import_graph: dict[str, set[str]] = {
+            name: set(info.imports) for name, info in modules.items()
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_contexts(cls, contexts: Sequence[ModuleContext]) -> "ProjectIndex":
+        packages = {ctx.module for ctx in contexts if ctx.path.endswith("__init__.py")}
+        modules: dict[str, ModuleInfo] = {}
+        for ctx in contexts:
+            modules[ctx.module] = _index_module(
+                ctx, is_package=ctx.module in packages
+            )
+        return cls(modules)
+
+    # ------------------------------------------------------------------
+    def _expand(self, module: str) -> Iterator[str]:
+        """Index modules an import edge lands on (a package edge also
+        reaches the package's ``__init__``; a symbol edge like
+        ``repro.common.substream_seed`` reaches ``repro.common``)."""
+        seen: set[str] = set()
+        for edge in self.import_graph.get(module, ()):
+            target = edge
+            while target and target not in self.modules:
+                target = target.rpartition(".")[0]
+            if target and target not in seen:
+                seen.add(target)
+                yield target
+
+    def reachable_from(self, roots: Sequence[str]) -> set[str]:
+        """Every index module importable (transitively) from ``roots``.
+
+        Roots are dotted prefixes: ``repro.fleet`` seeds the walk with
+        every index module under that prefix. The walk is BFS with a
+        visited set, so import cycles terminate.
+        """
+        frontier = [
+            name
+            for name in self.modules
+            for root in roots
+            if name == root or name.startswith(root + ".")
+        ]
+        reachable: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in reachable:
+                continue
+            reachable.add(current)
+            frontier.extend(
+                target
+                for target in self._expand(current)
+                if target not in reachable
+            )
+        return reachable
+
+    # ------------------------------------------------------------------
+    def resolve(self, module: str, name: str) -> Optional[str]:
+        """Fully qualified origin of a local name in ``module``."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info.symbols.get(name)
+
+    def resolve_call(self, module: str, node: ast.expr) -> Optional[str]:
+        """Qualified name of a call target: ``f`` via the symbol table,
+        ``a.b.c`` by resolving the root name then appending attributes."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.resolve(module, node.id)
+        root = origin if origin is not None else node.id
+        return ".".join([root, *reversed(parts)])
+
+    def function_def(
+        self, qualified: str
+    ) -> Optional[tuple[ModuleInfo, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        """Find a function definition by qualified name.
+
+        Accepts ``repro.common.substream_seed`` (module + function) and
+        local ``module:Class.method`` lookups via :meth:`local_function`.
+        """
+        module_name, _, func_name = qualified.rpartition(".")
+        while module_name and module_name not in self.modules:
+            # Peel class qualifiers: repro.fleet.sharding.FleetConfig.shard_seed
+            func_name = f"{module_name.rpartition('.')[2]}.{func_name}"
+            module_name = module_name.rpartition(".")[0]
+        if not module_name:
+            return None
+        info = self.modules[module_name]
+        func = info.functions.get(func_name)
+        if func is None:
+            return None
+        return info, func
+
+
+class ProjectRule:
+    """Base class for one whole-program rule.
+
+    Same identity contract as :class:`repro.analysis.lint.LintRule`
+    (``code`` from a registered family, ``name``, ``hint``, severity),
+    but :meth:`check_project` sees the :class:`ProjectIndex` instead of
+    one module. Per-line suppressions and the baseline apply to project
+    findings exactly as to module findings.
+    """
+
+    code: str = ""
+    name: str = "unnamed-project-rule"
+    description: str = ""
+    hint: str = ""
+    severity: str = "error"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Violation:
+        return Violation(
+            code=self.code,
+            path=info.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+            severity=severity if severity is not None else self.severity,
+        )
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Fresh instances of every registered project rule, identity-checked
+    against :data:`repro.analysis.lint.RULE_FAMILIES` like module rules."""
+    from .rules import PROJECT_RULES
+
+    rules = [cls() for cls in PROJECT_RULES]
+    _validate_rule_codes(rules)  # type: ignore[arg-type]
+    return rules
+
+
+def lint_project_sources(
+    sources: dict[str, str],
+    rules: Optional[Sequence[LintRule]] = None,
+    project_rules: Optional[Sequence[ProjectRule]] = None,
+    audit_suppressions: bool = False,
+) -> list[Violation]:
+    """Lint an in-memory module tree (test entry point).
+
+    ``sources`` maps dotted module names to source text; a name ending in
+    ``.__init__`` marks a package. Runs the per-module catalogue plus the
+    project rules over the synthetic tree, with suppressions applied —
+    the same pipeline as :func:`repro.analysis.lint.run_lint`, minus
+    file IO.
+    """
+    parsed_by_path = {}
+    contexts = []
+    for dotted, source in sources.items():
+        is_pkg = dotted.endswith(".__init__")
+        module = dotted[: -len(".__init__")] if is_pkg else dotted
+        pseudo_path = module.replace(".", "/") + (
+            "/__init__.py" if is_pkg else ".py"
+        )
+        parsed = _parse_module(source, module=module, path=pseudo_path)
+        parsed_by_path[pseudo_path] = parsed
+        contexts.append(parsed.ctx)
+    raw: list[Violation] = []
+    if rules is None and project_rules is not None:
+        module_rules: Sequence[LintRule] = ()  # project-rule-only run
+    else:
+        from .lint import all_rules
+
+        module_rules = all_rules() if rules is None else rules
+    for parsed in parsed_by_path.values():
+        raw.extend(_module_violations(parsed, module_rules))
+    index = ProjectIndex.from_contexts(contexts)
+    for project_rule in (
+        all_project_rules() if project_rules is None else project_rules
+    ):
+        raw.extend(project_rule.check_project(index))
+    violations = _apply_suppressions(raw, parsed_by_path)
+    if audit_suppressions:
+        violations.extend(_audit_suppressions(parsed_by_path))
+    return _sorted(violations)

@@ -1,44 +1,86 @@
 """Rule catalogue for ``repro lint``.
 
-Each module contributes one or two :class:`~repro.analysis.lint.LintRule`
-subclasses; :data:`RULES` is the registry the framework instantiates. The
+Each module contributes one or more rules; :data:`RULES` (per-module
+:class:`~repro.analysis.lint.LintRule`) and :data:`PROJECT_RULES`
+(whole-program :class:`~repro.analysis.project.ProjectRule`) are the
+registries the framework instantiates. Rule codes must belong to a
+family registered in :data:`repro.analysis.lint.RULE_FAMILIES`. The
 full catalogue — codes, rationale, suppression syntax, and how to add a
 rule — is documented in ``docs/analysis.md``.
 
-==========  =======================  ==========================================
-Code        Rule                     One-liner
-==========  =======================  ==========================================
-``DET001``  no-wall-clock            no ``time.time()``/``datetime.now()`` in
-                                     deterministic code
-``DET002``  no-unseeded-random       no process-global ``random``/``np.random``
-``FLT001``  no-float-time-equality   no ``==``/``!=`` on simulation times
-``UNI001``  units-suffix             public dataclass floats carry unit names
-``MUT001``  no-state-mutation        ``SystemState`` mutates only via commits
-==========  =======================  ==========================================
+==========  ========================  ==========================================
+Code        Rule                      One-liner
+==========  ========================  ==========================================
+``DET001``  no-wall-clock             no ``time.time()``/``datetime.now()`` in
+                                      deterministic code
+``DET002``  no-unseeded-random        no process-global ``random``/``np.random``
+``FLT001``  no-float-time-equality    no ``==``/``!=`` on simulation times
+``UNI001``  units-suffix              public dataclass floats carry unit names
+``MUT001``  no-state-mutation         ``SystemState`` mutates only via commits
+``SEED001`` seed-provenance           RNG seeds derive from the seed chain
+                                      (project-wide, one call level deep)
+``SEED002`` no-process-salted-hash    builtin ``hash()`` never feeds
+                                      deterministic code
+``SHD001``  no-module-mutable-state   no shared mutable module globals
+                                      reachable from shard code
+``SHD002``  no-fork-unsafe-import     no locks/handles/hooks at import time in
+                                      shard-reachable modules
+``SHD003``  no-loop-variable-capture  no late-bound loop captures in fleet code
+``UNI002``  unit-dimension-flow       no mixed-dimension arithmetic, compare,
+                                      or assignment (inferred units)
+``SUP001``  (engine)                  suppression without a justification
+``SUP002``  (engine)                  suppression that silences nothing
+==========  ========================  ==========================================
 """
 
 from __future__ import annotations
 
 from ..lint import LintRule
+from ..project import ProjectRule
 from .determinism import UnseededRandomRule, WallClockRule
 from .float_eq import FloatTimeEqualityRule
+from .seed_provenance import ProcessSaltedHashRule, SeedProvenanceRule
+from .shard_safety import (
+    ForkUnsafeImportRule,
+    LoopVariableCaptureRule,
+    ModuleMutableStateRule,
+)
 from .state_mutation import StateMutationRule
 from .units import UnitsSuffixRule
+from .units_flow import UnitFlowRule
 
 __all__ = [
     "RULES",
+    "PROJECT_RULES",
     "WallClockRule",
     "UnseededRandomRule",
     "FloatTimeEqualityRule",
     "UnitsSuffixRule",
     "StateMutationRule",
+    "SeedProvenanceRule",
+    "ProcessSaltedHashRule",
+    "ModuleMutableStateRule",
+    "ForkUnsafeImportRule",
+    "LoopVariableCaptureRule",
+    "UnitFlowRule",
 ]
 
-#: Registry consumed by :func:`repro.analysis.lint.all_rules`.
+#: Per-module registry consumed by :func:`repro.analysis.lint.all_rules`.
 RULES: tuple[type[LintRule], ...] = (
     WallClockRule,
     UnseededRandomRule,
     FloatTimeEqualityRule,
     UnitsSuffixRule,
     StateMutationRule,
+)
+
+#: Whole-program registry consumed by
+#: :func:`repro.analysis.project.all_project_rules`.
+PROJECT_RULES: tuple[type[ProjectRule], ...] = (
+    SeedProvenanceRule,
+    ProcessSaltedHashRule,
+    ModuleMutableStateRule,
+    ForkUnsafeImportRule,
+    LoopVariableCaptureRule,
+    UnitFlowRule,
 )

@@ -1,0 +1,265 @@
+"""SEED — seed/RNG provenance through the whole program.
+
+DET002 (per-module) guarantees no RNG is *unseeded*. It cannot see
+*where a seed came from*: ``default_rng(len(jobs))`` or
+``random.Random(id(self))`` passes DET002 while coupling the stream to
+incidental program state — exactly the class of bug that breaks the
+fleet's per-shard determinism contract (every shard substream must be a
+pure function of ``(run_seed, path)``; see
+:func:`repro.common.substream_seed`).
+
+Two project-wide rules close the gap over every module reachable from
+the simulation/fleet/service roots:
+
+``SEED001`` — every RNG construction's seed expression must *derive
+from the seed chain*: a literal, a name/attribute carrying a ``seed``
+token (``config.seed``, ``root_seed``), a call to
+:func:`~repro.common.substream_seed` / :func:`~repro.common.stable_hash`,
+a draw from an existing tracked generator (``self.rng.integers(...)``,
+``rng.spawn()``), or arithmetic over such values. When the seed is a
+call into a project function, the rule follows the call edge **one
+level** and applies the same test to that function's return
+expressions (parameters carrying a ``seed`` token count as derived).
+
+``SEED002`` — the builtin ``hash()`` never feeds anything in
+deterministic code: it is salted per process (PYTHONHASHSEED), so a
+seed, a shard route, or a tie-break derived from it differs between
+runs. Use :func:`repro.common.stable_hash`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..lint import Violation
+from ..project import ModuleInfo, ProjectIndex, ProjectRule
+
+__all__ = ["SeedProvenanceRule", "ProcessSaltedHashRule", "SEED_ROOTS"]
+
+#: The deterministic core the SEED rules police: everything reachable
+#: from these package roots must keep RNG provenance clean.
+SEED_ROOTS = ("repro.sim", "repro.fleet", "repro.service")
+
+#: Qualified names that construct an RNG from a seed in arg0 / ``seed=``.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "np.random.default_rng",
+        "np.random.RandomState",
+        "np.random.SeedSequence",
+    }
+)
+
+#: Qualified names that *are* the seed chain.
+_SEED_CHAIN_FUNCS = frozenset(
+    {
+        "repro.common.substream_seed",
+        "repro.common.stable_hash",
+    }
+)
+
+#: Methods that draw a child seed/stream from an existing generator.
+_GENERATOR_DERIVERS = frozenset({"integers", "spawn", "jumped", "randint"})
+
+#: Builtins that pass a seed value through unchanged (dimension-wise).
+_TRANSPARENT_CALLS = frozenset({"int", "abs", "min", "max"})
+
+
+def _has_seed_token(name: str) -> bool:
+    return "seed" in name.lower().split("_")
+
+
+def _terminal_attr(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _SeedClassifier:
+    """Decides whether one expression derives from the seed chain."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        info: ModuleInfo,
+        derived_names: frozenset[str] = frozenset(),
+        follow_calls: bool = True,
+    ) -> None:
+        self.index = index
+        self.info = info
+        self.derived_names = derived_names
+        self.follow_calls = follow_calls
+
+    def derived(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, int) and not isinstance(node.value, bool)
+        if isinstance(node, ast.Name):
+            return node.id in self.derived_names or _has_seed_token(node.id)
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+            return _has_seed_token(attr)
+        if isinstance(node, ast.BinOp):
+            return self.derived(node.left) or self.derived(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.derived(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.derived(node.body) and self.derived(node.orelse)
+        if isinstance(node, ast.Call):
+            return self._derived_call(node)
+        return False
+
+    def _derived_call(self, call: ast.Call) -> bool:
+        qualified = self.index.resolve_call(self.info.module, call.func)
+        if qualified is not None:
+            if qualified in _SEED_CHAIN_FUNCS:
+                return True
+            if qualified == "hash":
+                return False
+        # Transparent builtins: int(seed), abs(seed), ...
+        if (
+            isinstance(call.func, ast.Name)
+            and call.func.id in _TRANSPARENT_CALLS
+            and call.args
+        ):
+            return self.derived(call.args[0])
+        # Drawing from an existing generator: self.rng.integers(2**63),
+        # rng.spawn(), config.seed_sequence.spawn(1)[0] — the receiver
+        # must itself look seed/rng-flavoured.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _GENERATOR_DERIVERS
+        ):
+            receiver = _terminal_attr(call.func.value)
+            if receiver is not None and (
+                "rng" in receiver.lower() or _has_seed_token(receiver)
+            ):
+                return True
+        # Method whose *name* declares seed provenance: config.shard_seed(i).
+        if isinstance(call.func, ast.Attribute) and _has_seed_token(call.func.attr):
+            return True
+        # One-level interprocedural: a project function whose returns are
+        # all built from the seed chain (its own seed-token parameters
+        # count as derived inside it).
+        if self.follow_calls and qualified is not None:
+            resolved = self.index.function_def(qualified)
+            if resolved is None and "." not in qualified:
+                # Same-module call that the symbol table does not list.
+                resolved_local = self.info.functions.get(qualified)
+                if resolved_local is not None:
+                    resolved = (self.info, resolved_local)
+            if resolved is not None:
+                return self._function_returns_derived(*resolved)
+        return False
+
+    def _function_returns_derived(
+        self,
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> bool:
+        args = func.args
+        params = frozenset(
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if _has_seed_token(a.arg)
+        )
+        inner = _SeedClassifier(
+            self.index, info, derived_names=params, follow_calls=False
+        )
+        returns = [
+            node
+            for node in ast.walk(func)  # type: ignore[arg-type]
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+        if not returns:
+            return False
+        return all(inner.derived(node.value) for node in returns)
+
+
+class SeedProvenanceRule(ProjectRule):
+    """SEED001 — RNG seeds must trace back to the seed chain."""
+
+    code = "SEED001"
+    name = "seed-provenance"
+    description = (
+        "an RNG seeded from incidental program state (lengths, ids, "
+        "object hashes) passes DET002 yet breaks run reproducibility; "
+        "every generator reachable from sim/fleet code must derive its "
+        "seed from substream_seed/stable_hash, a config seed, or an "
+        "existing tracked generator"
+    )
+    hint = (
+        "derive the seed through the chain: substream_seed(root_seed, "
+        "\"component\", index) from repro.common, a SystemConfig/FleetConfig "
+        "seed field, or a draw from an already-seeded rng"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        in_scope = index.reachable_from(SEED_ROOTS)
+        for module_name in sorted(in_scope):
+            info = index.modules[module_name]
+            for node in ast.walk(info.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = index.resolve_call(module_name, node.func)
+                if qualified not in _RNG_CONSTRUCTORS:
+                    continue
+                seed_arg = self._seed_argument(node)
+                if seed_arg is None:
+                    continue  # unseeded is DET002's finding, not ours
+                classifier = _SeedClassifier(index, info)
+                if classifier.derived(seed_arg):
+                    continue
+                yield self.violation(
+                    info,
+                    node,
+                    f"seed of `{qualified}` does not derive from the "
+                    f"seed chain (got `{ast.unparse(seed_arg)}`)",
+                )
+
+    @staticmethod
+    def _seed_argument(call: ast.Call) -> Optional[ast.expr]:
+        if call.args:
+            return call.args[0]
+        for kw in call.keywords:
+            if kw.arg == "seed":
+                return kw.value
+        return None
+
+
+class ProcessSaltedHashRule(ProjectRule):
+    """SEED002 — no builtin ``hash()`` in the deterministic core."""
+
+    code = "SEED002"
+    name = "no-process-salted-hash"
+    description = (
+        "builtin hash() is salted per process (PYTHONHASHSEED); any "
+        "seed, shard route, or ordering derived from it differs "
+        "between runs and hosts"
+    )
+    hint = "use repro.common.stable_hash(text) — identical on every interpreter"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        in_scope = index.reachable_from(SEED_ROOTS)
+        for module_name in sorted(in_scope):
+            info = index.modules[module_name]
+            for node in ast.walk(info.ctx.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"
+                    # A local redefinition (symbol table entry) is not
+                    # the builtin.
+                    and index.resolve(module_name, "hash") is None
+                    and "hash" not in info.functions
+                ):
+                    yield self.violation(
+                        info,
+                        node,
+                        "process-salted builtin `hash()` in deterministic code",
+                    )

@@ -1,0 +1,376 @@
+"""SHD — shard-safety over everything the fleet can reach.
+
+The ROADMAP's next step for :mod:`repro.fleet` is real per-shard worker
+processes. The precondition is that shard code — *and every module it
+transitively imports* — holds no shared mutable module state, creates no
+fork-unsafe resources at import time, and never captures loop variables
+late in closures. These properties are invisible per-module: a harmless
+helper three imports below the fleet becomes a cross-shard coupling the
+moment it grows a module-level cache. The rules therefore run on the
+import graph, scoped to modules reachable from ``repro.fleet``:
+
+``SHD001`` — no module-level mutable state. A module-level ``list`` /
+``dict`` / ``set`` binding is flagged when it is written at runtime
+(a ``global`` statement, a mutator-method call, item assignment or
+augmented assignment anywhere in the module) **or** when its lowercase
+name signals a registry rather than a constant. An upper-case mutable
+binding that nothing ever writes is treated as a constant-by-convention
+and passes.
+
+``SHD002`` — no fork-unsafe construct at import time: module-level
+locks, thread/process primitives, open file handles, sockets, signal or
+atexit hooks. Such objects are silently duplicated (or broken) across
+``fork``, which is exactly how the multi-process fleet will start its
+shard workers.
+
+``SHD003`` — no late-bound loop-variable capture in fleet code: a
+``lambda`` or nested ``def`` inside a loop that references the loop
+variable without binding it (default argument) captures the *variable*,
+not the value — every closure sees the final shard, the classic
+cross-shard object-capture bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from ..lint import Violation
+from ..project import ModuleInfo, ProjectIndex, ProjectRule
+
+__all__ = [
+    "ModuleMutableStateRule",
+    "ForkUnsafeImportRule",
+    "LoopVariableCaptureRule",
+    "SHARD_ROOTS",
+]
+
+#: Everything reachable from these roots runs inside a shard worker.
+SHARD_ROOTS = ("repro.fleet",)
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "update", "add", "setdefault", "popitem", "appendleft",
+    }
+)
+
+#: Import-time constructs that do not survive (or silently double) a fork.
+_FORK_UNSAFE_CALLS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "threading.Thread",
+        "threading.local",
+        "multiprocessing.Lock",
+        "multiprocessing.Queue",
+        "multiprocessing.Pool",
+        "multiprocessing.Manager",
+        "open",
+        "socket.socket",
+        "atexit.register",
+        "signal.signal",
+        "os.fork",
+        "os.pipe",
+        "subprocess.Popen",
+    }
+)
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into module-level if/try bodies
+    (where conditional imports and version-gated globals live) but never
+    into function or class bodies."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _module_mutable_bindings(
+    info: ModuleInfo,
+) -> Iterator[tuple[str, ast.stmt]]:
+    for stmt in _module_level_statements(info.ctx.tree):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            value: Optional[ast.expr] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            value = stmt.value
+        else:
+            continue
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        if target.id == "__all__":
+            continue
+        if _is_mutable_value(value):
+            yield target.id, stmt
+
+
+def _runtime_writes(tree: ast.Module, names: set[str]) -> dict[str, ast.AST]:
+    """First runtime write per module-global name: ``global`` statements,
+    mutator calls, item/augmented assignment — anywhere in the module."""
+    writes: dict[str, ast.AST] = {}
+
+    def note(name: str, node: ast.AST) -> None:
+        if name in names and name not in writes:
+            writes[name] = node
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                note(name, node)
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _MUTATOR_METHODS
+                and isinstance(fn.value, ast.Name)
+            ):
+                note(fn.value.id, node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    note(target.value.id, node)
+    return writes
+
+
+class ModuleMutableStateRule(ProjectRule):
+    """SHD001 — no module-level mutable state reachable from shards."""
+
+    code = "SHD001"
+    name = "no-module-mutable-state"
+    description = (
+        "a module-level list/dict/set written at runtime is state shared "
+        "by every shard in-process and silently diverging across forked "
+        "shard workers"
+    )
+    hint = (
+        "move the state onto an object the shard owns (BrokerShard, the "
+        "environment, a config), or make it an immutable module constant "
+        "(tuple/frozenset/Mapping, UPPER_CASE, never written)"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        in_scope = index.reachable_from(SHARD_ROOTS)
+        for module_name in sorted(in_scope):
+            info = index.modules[module_name]
+            bindings = dict(
+                (name, stmt) for name, stmt in _module_mutable_bindings(info)
+            )
+            if not bindings:
+                continue
+            writes = _runtime_writes(info.ctx.tree, set(bindings))
+            for name, stmt in bindings.items():
+                written = name in writes
+                constant_case = name.lstrip("_").isupper()
+                if constant_case and not written:
+                    continue  # constant by convention, never touched
+                reason = (
+                    "is written at runtime"
+                    if written
+                    else "has a registry-style lowercase name"
+                )
+                yield self.violation(
+                    info,
+                    stmt,
+                    f"module-level mutable binding `{name}` {reason} in "
+                    f"shard-reachable module `{module_name}`",
+                )
+
+
+def _import_time_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Nodes of ``stmt`` that *execute at import*: descends everywhere
+    except into deferred bodies (functions, lambdas, class bodies)."""
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ForkUnsafeImportRule(ProjectRule):
+    """SHD002 — no fork-unsafe constructs at import time."""
+
+    code = "SHD002"
+    name = "no-fork-unsafe-import"
+    description = (
+        "locks, threads, open handles and signal/atexit hooks created at "
+        "import time break or silently double when the fleet forks its "
+        "per-shard workers"
+    )
+    hint = (
+        "create the resource inside the shard worker's own lifecycle "
+        "(construction or serve loop), never at module import"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        in_scope = index.reachable_from(SHARD_ROOTS)
+        for module_name in sorted(in_scope):
+            info = index.modules[module_name]
+            for stmt in _module_level_statements(info.ctx.tree):
+                for node in _import_time_nodes(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    qualified = index.resolve_call(module_name, node.func)
+                    if qualified in _FORK_UNSAFE_CALLS:
+                        yield self.violation(
+                            info,
+                            node,
+                            f"fork-unsafe `{qualified}(...)` at import time "
+                            f"of shard-reachable module `{module_name}`",
+                        )
+
+
+def _free_loop_captures(
+    closure: Union[_FuncDef, ast.Lambda], loop_vars: set[str]
+) -> set[str]:
+    """Loop variables a closure references without rebinding them."""
+    args = closure.args
+    bound = {
+        a.arg
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    }
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    captured: set[str] = set()
+    body = closure.body if isinstance(closure.body, list) else [closure.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in loop_vars
+                and node.id not in bound
+            ):
+                captured.add(node.id)
+    return captured
+
+
+def _loop_target_names(target: ast.expr) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(target)
+        if isinstance(node, ast.Name)
+    }
+
+
+class LoopVariableCaptureRule(ProjectRule):
+    """SHD003 — no late-bound loop-variable capture in fleet code."""
+
+    code = "SHD003"
+    name = "no-loop-variable-capture"
+    description = (
+        "a closure created inside a loop that reads the loop variable "
+        "captures the variable, not the value — every callback ends up "
+        "bound to the last shard/tenant of the loop"
+    )
+    hint = (
+        "bind the value at definition time (lambda shard=shard: ...), "
+        "use functools.partial, or hoist the closure out of the loop"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        in_scope = {
+            name
+            for name in index.modules
+            for root in SHARD_ROOTS
+            if name == root or name.startswith(root + ".")
+        }
+        for module_name in sorted(in_scope):
+            info = index.modules[module_name]
+            for loop in ast.walk(info.ctx.tree):
+                if isinstance(loop, (ast.For, ast.AsyncFor)):
+                    loop_vars = _loop_target_names(loop.target)
+                    loop_body: list[ast.stmt] = [*loop.body, *loop.orelse]
+                    closures = [
+                        node
+                        for stmt in loop_body
+                        for node in ast.walk(stmt)
+                        if isinstance(
+                            node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+                        )
+                    ]
+                elif isinstance(loop, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    loop_vars = set()
+                    for gen in loop.generators:
+                        loop_vars |= _loop_target_names(gen.target)
+                    elements = (
+                        [loop.key, loop.value]
+                        if isinstance(loop, ast.DictComp)
+                        else [loop.elt]
+                    )
+                    closures = [
+                        node
+                        for elt in elements
+                        for node in ast.walk(elt)
+                        if isinstance(node, ast.Lambda)
+                    ]
+                else:
+                    continue
+                for closure in closures:
+                    captured = _free_loop_captures(closure, loop_vars)
+                    if captured:
+                        kind = (
+                            "lambda"
+                            if isinstance(closure, ast.Lambda)
+                            else f"def {closure.name}"
+                        )
+                        yield self.violation(
+                            info,
+                            closure,
+                            f"`{kind}` captures loop variable(s) "
+                            f"{sorted(captured)} late — all iterations "
+                            f"share the final value",
+                        )

@@ -1,0 +1,463 @@
+"""UNI002 — inferred unit dimensions through assignments and arithmetic.
+
+UNI001 checks that public dataclass fields *declare* units in their
+names. This rule makes those declarations load-bearing: it infers a unit
+dimension for every name from the repo's suffix conventions —
+``_s``/``_ms``/``_hour`` (time), ``_usd`` (money), ``_mb``/``_gb``
+(data), ``_mbps`` (data/time), ``_jobs`` (count), instants (``now``,
+``*_time``, ``*_deadline``; seconds on the simulation axis), and the
+documented dimensionless tokens — then propagates dimensions through
+local assignments, arithmetic (``*``/``/`` compose dimensions,
+constants act as scalars), and function returns (a call to
+``penalty_usd(...)`` is money, whichever module it lives in). It flags:
+
+* **mixed-dimension** ``+``/``-``: ``cost_usd + delay_s``;
+* **mixed-dimension comparisons**: ``deadline_s < budget_usd``;
+* **cross-dimension assignment** to a unit-named target:
+  ``total_s = job.cost_usd`` (also augmented assignment);
+* **cross-dimension returns** from a unit-named function:
+  ``def penalty_usd(...): return slack_s``.
+
+The inference is deliberately conservative: an expression with no
+recognised unit tokens has *unknown* dimension and never conflicts, and
+an unknown operand inside ``*``/``/`` makes the whole product unknown
+(only literal constants act as dimensionless scalars) — an un-named
+rate like ``backlog_mb / up_rate`` must not masquerade as data. Scale
+mismatches within a dimension (``_ms`` vs ``_s``) are out of scope
+here — the dimension system treats both as time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..lint import Violation
+from ..project import ModuleInfo, ProjectIndex, ProjectRule
+
+__all__ = [
+    "UnitFlowRule",
+    "dimension_of_name",
+    "dimension_of_callable_name",
+    "format_dimension",
+]
+
+#: Modules held to unit-dimension discipline (UNI001's scope plus the
+#: fleet and metrics layers, which move the same quantities).
+UNIT_SCOPE = (
+    "repro.sim",
+    "repro.models",
+    "repro.service",
+    "repro.core",
+    "repro.econ",
+    "repro.fleet",
+    "repro.metrics",
+)
+
+#: Unit token -> base dimension. Scales collapse onto one base per
+#: dimension class: the rule checks *dimensions*, not magnitudes.
+_UNIT_TOKENS: dict[str, str] = {
+    "s": "time",
+    "ms": "time",
+    "hour": "time",
+    "hours": "time",
+    "usd": "money",
+    "mb": "data",
+    "gb": "data",
+    "kb": "data",
+    "jobs": "count",
+}
+
+#: Tokens that declare a quantity dimensionless (ratios, factors, ...).
+_DIMENSIONLESS_TOKENS = frozenset(
+    {
+        "ratio", "fraction", "frac", "factor", "alpha", "pct",
+        "utilization", "util", "speedup", "cv", "weight", "coverage",
+        "amplitude", "variation", "scale", "scaling",
+    }
+)
+
+#: Names that denote absolute simulation instants (seconds).
+_INSTANT_RE = re.compile(
+    r"(?:^(?:now|time|completion|deadline)$"
+    r"|_(?:time|start|end|at|completion|completions|deadline|free)$)"
+)
+
+#: A dimension is a sorted tuple of (base, exponent) — () is
+#: dimensionless, None is unknown.
+Dim = tuple[tuple[str, int], ...]
+
+DIMENSIONLESS: Dim = ()
+_TIME: Dim = (("time", 1),)
+
+
+def _make_dim(**bases: int) -> Dim:
+    return tuple(sorted((b, e) for b, e in bases.items() if e != 0))
+
+
+def _combine(left: Optional[Dim], right: Optional[Dim], sign: int) -> Optional[Dim]:
+    """Product (sign=+1) or quotient (sign=-1) of two dimensions.
+
+    ``None`` is tolerated here as "contributes nothing" for the name-
+    parsing paths; expression inference handles unknowns before calling
+    (see :meth:`_UnitInferencer._scaled_combine`)."""
+    if left is None and right is None:
+        return None
+    acc: dict[str, int] = dict(left or ())
+    for base, exp in right or ():
+        acc[base] = acc.get(base, 0) + sign * exp
+    return tuple(sorted((b, e) for b, e in acc.items() if e != 0))
+
+
+def format_dimension(dim: Optional[Dim]) -> str:
+    if dim is None:
+        return "?"
+    if not dim:
+        return "1"
+    num = [b if e == 1 else f"{b}^{e}" for b, e in dim if e > 0]
+    den = [b if e == -1 else f"{b}^{-e}" for b, e in dim if e < 0]
+    text = "*".join(num) if num else "1"
+    if den:
+        text += "/" + "*".join(den)
+    return text
+
+
+def dimension_of_name(name: str) -> Optional[Dim]:
+    """Dimension a bare identifier declares via the naming conventions."""
+    lowered = name.lower()
+    if _INSTANT_RE.search(lowered):
+        return _TIME
+    tokens = lowered.split("_")
+    if "mbps" in tokens:
+        return _make_dim(data=1, time=-1)
+    # X_per_Y rates: usd_per_hour, mb_per_s, jobs_per_s.
+    if "per" in tokens:
+        i = tokens.index("per")
+        num = _UNIT_TOKENS.get(tokens[i - 1]) if i > 0 else None
+        den = _UNIT_TOKENS.get(tokens[i + 1]) if i + 1 < len(tokens) else None
+        if num and den:
+            return _combine(_make_dim(**{num: 1}), _make_dim(**{den: 1}), -1)
+        if num:
+            return _make_dim(**{num: 1})
+    # Rightmost unit token wins: base_usd, mean_size_mb, n_jobs.
+    for token in reversed(tokens):
+        base = _UNIT_TOKENS.get(token)
+        if base is not None:
+            return _make_dim(**{base: 1})
+    if any(token in _DIMENSIONLESS_TOKENS for token in tokens):
+        return DIMENSIONLESS
+    return None
+
+
+def dimension_of_callable_name(name: str) -> Optional[Dim]:
+    """Dimension a *callable's* name declares for its result.
+
+    Same conventions as :func:`dimension_of_name` except the ``*_at``
+    instant suffix: ``price_at(t)`` / ``mean_at(t)`` are value-AT-time
+    accessors whose results carry the value's dimension, not time's —
+    their names declare nothing about the result.
+    """
+    if name.lower().endswith("_at"):
+        return None
+    return dimension_of_name(name)
+
+
+_TRANSPARENT_BUILTINS = frozenset({"abs", "min", "max", "sum", "round", "sorted"})
+
+
+class _Mismatch:
+    """One recorded dimension conflict inside an expression walk."""
+
+    def __init__(
+        self, node: ast.AST, kind: str, left: Dim, right: Dim
+    ) -> None:
+        self.node = node
+        self.kind = kind
+        self.left = left
+        self.right = right
+
+
+class _UnitInferencer:
+    """Infers dimensions over one function (or module) body."""
+
+    def __init__(self, index: ProjectIndex, info: ModuleInfo) -> None:
+        self.index = index
+        self.info = info
+        self.locals: dict[str, Dim] = {}
+        self.mismatches: list[_Mismatch] = []
+
+    # -- expression dimension ------------------------------------------
+    def dim(self, node: ast.expr) -> Optional[Dim]:
+        if isinstance(node, ast.Constant):
+            return None  # literals are scalars of any dimension
+        if isinstance(node, ast.Name):
+            if node.id in self.locals:
+                return self.locals[node.id]
+            return dimension_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return dimension_of_name(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self.dim(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop_dim(node)
+        if isinstance(node, ast.IfExp):
+            body, orelse = self.dim(node.body), self.dim(node.orelse)
+            if body is not None and orelse is not None and body == orelse:
+                return body
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_dim(node)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            dims = {self.dim(elt) for elt in node.elts}
+            dims.discard(None)
+            if len(dims) == 1:
+                return dims.pop()
+            return None
+        return None
+
+    def _binop_dim(self, node: ast.BinOp) -> Optional[Dim]:
+        left, right = self.dim(node.left), self.dim(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                self.mismatches.append(
+                    _Mismatch(
+                        node,
+                        "+" if isinstance(node.op, ast.Add) else "-",
+                        left,
+                        right,
+                    )
+                )
+                return None
+            return left if left is not None else right
+        if isinstance(node.op, ast.Mult):
+            return self._scaled_combine(node, left, right, +1)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return self._scaled_combine(node, left, right, -1)
+        if isinstance(node.op, ast.Mod):
+            return left
+        return None
+
+    @staticmethod
+    def _scaled_combine(
+        node: ast.BinOp, left: Optional[Dim], right: Optional[Dim], sign: int
+    ) -> Optional[Dim]:
+        """``*``/``/`` dimension. A literal constant is a dimensionless
+        scalar (``2 * cost_usd`` is money); an *unknown-named* operand
+        poisons the result to unknown — ``backlog_mb / up_rate`` is not
+        data, because ``up_rate`` silently carries data/time."""
+        if left is None:
+            if not isinstance(node.left, ast.Constant):
+                return None
+            left = DIMENSIONLESS
+        if right is None:
+            if not isinstance(node.right, ast.Constant):
+                return None
+            right = DIMENSIONLESS
+        return _combine(left, right, sign)
+
+    def _call_dim(self, node: ast.Call) -> Optional[Dim]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _TRANSPARENT_BUILTINS:
+            if node.args:
+                return self.dim(node.args[0])
+            return None
+        # The callable's own name declares the result: penalty_usd(...),
+        # schedule.penalty_usd(record), quote.promise_s().
+        terminal = (
+            func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+        )
+        if terminal is not None:
+            declared = dimension_of_callable_name(terminal)
+            if declared is not None:
+                return declared
+        # One level through the project: resolve the call target and use
+        # its name (already covered above for unit-suffixed names) — a
+        # non-unit-named function stays unknown by design.
+        return None
+
+    # -- statement walk -------------------------------------------------
+    def walk_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._walk_block(func.body, func)
+
+    def _walk_block(
+        self,
+        body: list[ast.stmt],
+        enclosing: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, enclosing)
+
+    def _walk_stmt(
+        self,
+        stmt: ast.stmt,
+        enclosing: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: fresh local table, same module context.
+            inner = _UnitInferencer(self.index, self.info)
+            inner.walk_function(stmt)
+            self.mismatches.extend(inner.mismatches)
+            return
+        if isinstance(stmt, ast.Assign):
+            value_dim = self.dim(stmt.value)
+            for target in stmt.targets:
+                self._note_assignment(stmt, target, value_dim)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._note_assignment(stmt, stmt.target, self.dim(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                target_dim = self._target_dim(stmt.target)
+                value_dim = self.dim(stmt.value)
+                if (
+                    target_dim is not None
+                    and value_dim is not None
+                    and target_dim != value_dim
+                ):
+                    self.mismatches.append(
+                        _Mismatch(stmt, "+=", target_dim, value_dim)
+                    )
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            value_dim = self.dim(stmt.value)
+            if value_dim is not None:
+                declared = dimension_of_callable_name(enclosing.name)
+                if declared is not None and declared != value_dim:
+                    self.mismatches.append(
+                        _Mismatch(stmt, "return", declared, value_dim)
+                    )
+        # Scan this statement's own expressions for +/-/compare conflicts,
+        # then recurse into control-flow bodies (so branch-level
+        # assignments are checked too, statement order preserved).
+        for node in self._own_expr_nodes(stmt):
+            self._scan_expr_node(node)
+        for child_body in self._child_blocks(stmt):
+            self._walk_block(child_body, enclosing)
+
+    @staticmethod
+    def _child_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, attr, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                blocks.append(value)
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        return blocks
+
+    @staticmethod
+    def _own_expr_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Expression nodes belonging to ``stmt`` itself: descends
+        through expressions but stops at nested statements and nested
+        function bodies (both walked separately)."""
+        stack: list[ast.AST] = [
+            child
+            for child in ast.iter_child_nodes(stmt)
+            if not isinstance(child, ast.stmt)
+        ]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if not isinstance(child, ast.stmt)
+            )
+
+    def _scan_expr_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            self._binop_dim(node)
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            dims = [self.dim(op) for op in operands]
+            for i in range(len(dims) - 1):
+                left, right = dims[i], dims[i + 1]
+                if left is not None and right is not None and left != right:
+                    self.mismatches.append(
+                        _Mismatch(node, "comparison", left, right)
+                    )
+
+    def _target_dim(self, target: ast.expr) -> Optional[Dim]:
+        if isinstance(target, ast.Name):
+            if target.id in self.locals:
+                return self.locals[target.id]
+            return dimension_of_name(target.id)
+        if isinstance(target, ast.Attribute):
+            return dimension_of_name(target.attr)
+        if isinstance(target, ast.Subscript):
+            return self._target_dim(target.value)
+        return None
+
+    def _note_assignment(
+        self, stmt: ast.stmt, target: ast.expr, value_dim: Optional[Dim]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            declared = dimension_of_name(target.id)
+            if declared is not None and value_dim is not None and declared != value_dim:
+                self.mismatches.append(_Mismatch(stmt, "=", declared, value_dim))
+            if declared is None:
+                if value_dim is not None:
+                    if target.id in self.locals and self.locals[target.id] != value_dim:
+                        # Re-bound with a different dimension: give up on
+                        # this name rather than chase flow-sensitivity.
+                        del self.locals[target.id]
+                    else:
+                        self.locals[target.id] = value_dim
+                elif target.id in self.locals:
+                    del self.locals[target.id]
+        elif isinstance(target, ast.Attribute):
+            declared = dimension_of_name(target.attr)
+            if declared is not None and value_dim is not None and declared != value_dim:
+                self.mismatches.append(_Mismatch(stmt, "=", declared, value_dim))
+
+
+class UnitFlowRule(ProjectRule):
+    """UNI002 — no mixed-dimension arithmetic, comparison or assignment."""
+
+    code = "UNI002"
+    name = "unit-dimension-flow"
+    description = (
+        "unit suffixes are contracts: adding money to seconds, comparing "
+        "MB to jobs, or storing a _usd value in a _s name is the unit "
+        "bug UNI001's declarations exist to prevent"
+    )
+    hint = (
+        "convert explicitly (multiply by the rate that changes dimension) "
+        "or fix the name; genuinely polymorphic code may suppress with a "
+        "justified '# repro: allow[UNI002]'"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in UNIT_SCOPE
+        )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        for module_name in sorted(index.modules):
+            if not self.applies_to(module_name):
+                continue
+            info = index.modules[module_name]
+            seen: set[tuple[int, int, str]] = set()
+            for func in info.functions.values():
+                inferencer = _UnitInferencer(index, info)
+                inferencer.walk_function(func)
+                for mismatch in inferencer.mismatches:
+                    key = (
+                        getattr(mismatch.node, "lineno", 0),
+                        getattr(mismatch.node, "col_offset", 0),
+                        mismatch.kind,
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.violation(
+                        info,
+                        mismatch.node,
+                        f"mixed unit dimensions in {mismatch.kind}: "
+                        f"{format_dimension(mismatch.left)} vs "
+                        f"{format_dimension(mismatch.right)}",
+                    )

@@ -64,7 +64,14 @@ __all__ = ["main"]
 
 #: Modules under ``mypy --strict`` — the "typed core" gate. Paths are
 #: relative to the package directory so the command works from any CWD.
-STRICT_TARGETS = ("sim/engine.py", "core", "analysis")
+STRICT_TARGETS = (
+    "sim/engine.py",
+    "core",
+    "analysis",
+    "econ",
+    "fleet",
+    "service",
+)
 
 
 def _package_root() -> Path:
@@ -74,16 +81,106 @@ def _package_root() -> Path:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis.lint import render_report, run_lint
+    from .analysis.baseline import Baseline, discover_baseline
+    from .analysis.lint import Severity, render_report, run_lint
+    from .analysis.output import render_json, render_sarif
 
     paths = [Path(p) for p in args.paths] if args.paths else [_package_root()]
     for path in paths:
         if not path.exists():
             print(f"repro lint: no such path: {path}", file=sys.stderr)
             return 2
-    violations = run_lint(paths)
-    print(render_report(violations))
-    return 1 if violations else 0
+    violations = run_lint(paths, project=not args.no_project)
+
+    # Resolve the baseline: explicit path wins, else auto-discover the
+    # checked-in lint-baseline.json walking up from the first path.
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not args.write_baseline and not baseline_path.is_file():
+            print(
+                f"repro lint: no such baseline: {baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+    elif not args.no_baseline:
+        baseline_path = discover_baseline(paths[0])
+
+    if args.write_baseline:
+        from .analysis.baseline import DEFAULT_BASELINE_NAME
+
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        written = Baseline.from_violations(violations).write(target)
+        print(
+            f"repro lint: baselined {len(violations)} finding(s) -> {written}"
+        )
+        return 0
+
+    stale: list[dict[str, str]] = []
+    n_baselined = 0
+    if baseline_path is not None:
+        delta = Baseline.load(baseline_path).apply(violations)
+        violations = delta.new
+        stale = delta.stale
+        n_baselined = len(delta.suppressed)
+
+    if args.format == "json":
+        rendered = render_json(violations, stale_baseline=stale)
+    elif args.format == "sarif":
+        rendered = render_sarif(violations)
+    else:
+        rendered = render_report(violations)
+        if n_baselined:
+            rendered += f"\n{n_baselined} finding(s) matched the baseline"
+        for entry in stale:
+            rendered += (
+                f"\nstale baseline entry: {entry['code']} {entry['path']} "
+                f"({entry['fingerprint']}) no longer fires"
+            )
+
+    if args.out:
+        Path(args.out).write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8",
+        )
+        print(f"repro lint: wrote {args.format} report to {args.out}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+
+    errors = [v for v in violations if v.severity == Severity.ERROR]
+    if stale and args.stale_baseline == "error":
+        print(
+            f"repro lint: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} — regenerate with "
+            "--write-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if errors else 0
+
+
+def _lint_gate() -> int:
+    """Static pre-pass for ``repro check``: a determinism run is not
+    trustworthy while SEED/SHD/DET findings are open. Error-severity
+    findings outside the checked-in baseline fail fast."""
+    from .analysis.baseline import Baseline, discover_baseline
+    from .analysis.lint import Severity, render_report, run_lint
+
+    root = _package_root()
+    violations = run_lint([root])
+    baseline_path = discover_baseline(root)
+    if baseline_path is not None:
+        violations = Baseline.load(baseline_path).apply(violations).new
+    errors = [v for v in violations if v.severity == Severity.ERROR]
+    if errors:
+        print("static lint gate failed (run `repro lint` for details):")
+        print(render_report(errors))
+        return 1
+    print(
+        "static lint gate: clean "
+        f"({'no baseline' if baseline_path is None else baseline_path.name})"
+    )
+    return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -106,6 +203,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not args.no_lint:
+        exit_code = _lint_gate()
+        if exit_code:
+            return exit_code
     spec = DEFAULT_SPEC
     if args.seed is not None:
         spec = spec.with_seed(args.seed)
@@ -177,9 +278,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_econ_report(args: argparse.Namespace) -> int:
-    from .econ import EconConfig, SpotMarketConfig, attach_econ
+    from .econ import EconConfig, EconRuntime, SpotMarketConfig, attach_econ
     from .experiments.config import DEFAULT_SPEC
     from .experiments.runner import SCHEDULER_NAMES, build_workload, run_one
+    from .sim.environment import CloudBurstEnvironment
 
     schedulers: Sequence[str] = args.scheduler or ["CostAware"]
     unknown = [s for s in schedulers if s not in SCHEDULER_NAMES]
@@ -199,9 +301,9 @@ def _cmd_econ_report(args: argparse.Namespace) -> int:
     )
     batches = build_workload(spec)
     for name in schedulers:
-        runtime = {}
+        runtime: dict[str, EconRuntime] = {}
 
-        def hook(env) -> None:
+        def hook(env: CloudBurstEnvironment) -> None:
             runtime["econ"] = attach_econ(env, config)
 
         run_one(name, spec, batches=batches, env_hook=hook)
@@ -239,11 +341,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_lint = sub.add_parser("lint", help="run the custom AST lint")
+    p_lint = sub.add_parser(
+        "lint", help="run the project-wide dataflow lint"
+    )
     p_lint.add_argument(
         "paths",
         nargs="*",
         help="files or directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--out",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of parked findings (default: auto-discover "
+            "lint-baseline.json walking up from the first path)"
+        ),
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any discovered baseline; report every finding",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="park the current findings in the baseline file and exit 0",
+    )
+    p_lint.add_argument(
+        "--stale-baseline",
+        choices=("warn", "error"),
+        default="warn",
+        help=(
+            "what to do when a baseline entry no longer fires "
+            "(CI uses error; default: warn)"
+        ),
+    )
+    p_lint.add_argument(
+        "--no-project",
+        action="store_true",
+        help="per-module rules only; skip the whole-program SEED/SHD/UNI002 pass",
     )
     p_lint.set_defaults(func=_cmd_lint)
 
@@ -272,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fleet",
         action="store_true",
         help="skip the fleet pass (cross-shard merged-digest determinism)",
+    )
+    p_check.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the static lint gate that runs before the double-run",
     )
     p_check.set_defaults(func=_cmd_check)
 

@@ -23,10 +23,13 @@ leaves every job trace bit-for-bit identical to the un-metered run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..sim.environment import CloudBurstEnvironment
-from ..sim.tracing import RunTrace
+from ..sim.tracing import JobRecord, RunTrace
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.metrics
+    from ..metrics.streaming import StreamingSLAStats
 from .billing import BillingMeter
 from .penalties import CostLedger, PenaltySchedule, promise_for_estimate
 from .policy import CostAwarePolicy, CostAwareScheduler, CostModel
@@ -104,7 +107,7 @@ class EconRuntime:
         self,
         env: CloudBurstEnvironment,
         config: EconConfig,
-        stats=None,
+        stats: Optional["StreamingSLAStats"] = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -142,11 +145,11 @@ class EconRuntime:
     def cost_model(self) -> CostModel:
         return self.config.cost_model()
 
-    def _on_preempt(self, item, elapsed_s: float) -> None:
+    def _on_preempt(self, item: object, elapsed_s: float) -> None:
         self.ledger.preemptions += 1
         self.ledger.lost_work_s += elapsed_s
 
-    def _on_complete(self, record) -> None:
+    def _on_complete(self, record: JobRecord) -> None:
         self.ledger.completed += 1
         self.meter.on_record_complete(record)
         penalty_usd = self.config.penalty.penalty_usd(record)
@@ -156,7 +159,7 @@ class EconRuntime:
             if self.stats is not None:
                 self.stats.on_penalty(penalty_usd)
 
-    def finalize(self, trace: RunTrace) -> dict:
+    def finalize(self, trace: RunTrace) -> dict[str, object]:
         """Close the books; returns the metadata block for the trace."""
         self.meter.close_all(trace.end_time)
         transfer_usd = 0.0
@@ -178,7 +181,7 @@ class EconRuntime:
 def attach_econ(
     env: CloudBurstEnvironment,
     config: Optional[EconConfig] = None,
-    stats=None,
+    stats: Optional["StreamingSLAStats"] = None,
 ) -> EconRuntime:
     """Arm cost accounting on a freshly built environment.
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, HTTPServer
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from .schema import SchemaError, validate
 from .sharding import FleetConfig, FleetManager, QuotaExceededError
@@ -125,7 +125,9 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise _APIError(400, "invalid_json", f"body is not JSON: {exc}") from None
 
-    def _dispatch(self, handler) -> None:
+    def _dispatch(
+        self, handler: Callable[[], tuple[int, dict[str, Any]]]
+    ) -> None:
         try:
             status, payload = handler()
         except _APIError as exc:

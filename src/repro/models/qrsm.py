@@ -69,7 +69,7 @@ def quadratic_design_matrix(X: np.ndarray) -> np.ndarray:
 
 
 #: Cached upper-triangle index pairs per dimensionality (cross-term order).
-_TRIU_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_TRIU_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}  # repro: allow[SHD001] pure-function memo; shard-local recompute is idempotent and value-identical
 
 
 def _triu_indices(d: int) -> tuple[np.ndarray, np.ndarray]:

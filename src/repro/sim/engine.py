@@ -83,7 +83,7 @@ class Event:
         # Hot path (every heap sift): locals instead of repeated slot loads.
         t = self.time
         o = other.time
-        if t != o:  # repro: allow[FLT001] bit-identity is the tie condition
+        if t != o:
             return t < o
         return self.seq < other.seq
 

@@ -17,7 +17,7 @@ The environment is the only component that knows the *ground truth*
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from .network import CapacityProcess, FluidLink, ProbeService
 from .pipeline import TransferPipeline
 from .resources import Machine
 from .tracing import JobRecord, Placement, RunTrace
+
+if TYPE_CHECKING:  # runtime import would cycle (econ imports this module)
+    from ..econ import EconRuntime
 
 __all__ = ["ECSiteSpec", "SystemConfig", "CloudBurstEnvironment", "Session"]
 
@@ -273,14 +276,14 @@ class CloudBurstEnvironment:
         #: Optional observer fired at every job completion with the final
         #: :class:`JobRecord` — the online broker's streaming SLA counters
         #: hang off this.
-        self.on_job_complete: Optional[callable] = None
+        self.on_job_complete: Optional[Callable[[JobRecord], None]] = None
         #: Additional completion observers (fan-out, fired after
         #: ``on_job_complete``) — the econ subsystem's penalty/billing
         #: accrual registers here without displacing the broker's slot.
-        self.completion_observers: list = []
+        self.completion_observers: list[Callable[[JobRecord], None]] = []
         #: Attached :class:`repro.econ.EconRuntime`, when cost accounting
         #: is enabled for this run (:func:`repro.econ.attach_econ`).
-        self.econ = None
+        self.econ: Optional["EconRuntime"] = None
         #: Runtime invariant checker, when installed
         #: (:func:`repro.analysis.invariants.install_invariants`); gets
         #: first-class lifecycle calls so observers above stay free for

@@ -56,16 +56,51 @@ class TestFramework:
             assert rule.description
             assert rule.hint
 
-    @pytest.mark.parametrize("code", ["DET001", "FLT001", "UNI001", "MUT999"])
+    @pytest.mark.parametrize(
+        "code",
+        ["DET001", "FLT001", "UNI001", "MUT999", "SEED001", "SHD003", "SUP001"],
+    )
     def test_rule_code_re_accepts_catalogue_codes(self, code):
         assert RULE_CODE_RE.match(code)
 
     @pytest.mark.parametrize(
         "code",
-        ["", "XXX000", "DET1", "DET0001", "det001", "DET001x", " DET001"],
+        [
+            "", "XXX000", "DET1", "DET0001", "det001", "DET001x", " DET001",
+            "ZZZ001",  # well-formed shape, but no such documented family
+        ],
     )
     def test_rule_code_re_rejects_non_catalogue_codes(self, code):
         assert not RULE_CODE_RE.match(code)
+
+    def test_rule_code_re_is_registry_driven(self):
+        """Every registered family (and nothing else) is accepted."""
+        from repro.analysis.lint import RULE_FAMILIES
+
+        for family in RULE_FAMILIES:
+            assert RULE_CODE_RE.match(f"{family}001")
+
+    def test_rule_with_undocumented_family_rejected_at_instantiation(
+        self, monkeypatch
+    ):
+        """A rule whose code uses a family missing from RULE_FAMILIES
+        cannot register, even if the code is otherwise well-formed."""
+        import repro.analysis.rules as rules_mod
+
+        class Undocumented(LintRule):
+            code = "ZZZ001"
+            name = "undocumented-family"
+            description = "family never added to RULE_FAMILIES"
+            hint = "register the family first"
+
+            def check(self, ctx):
+                return iter(())
+
+        monkeypatch.setattr(
+            rules_mod, "RULES", (*rules_mod.RULES, Undocumented)
+        )
+        with pytest.raises(ValueError, match="catalogue code"):
+            all_rules()
 
     def test_all_rules_rejects_sentinel_code(self, monkeypatch):
         """A rule that never declared a catalogue code cannot register."""
@@ -100,9 +135,24 @@ class TestFramework:
     def test_suppression_comment_silences_only_named_code(self):
         src = "import time\nt = time.time()  # repro: allow[DET001] measured wall time\n"
         assert lint(src) == []
-        # Wrong code in the comment does not silence it.
+        # Wrong code in the comment does not silence it — and the
+        # suppression audit reports the comment as bare (SUP001) and
+        # silencing nothing (SUP002), both as warnings.
         src_wrong = "import time\nt = time.time()  # repro: allow[FLT001]\n"
-        assert codes(lint(src_wrong)) == ["DET001"]
+        violations = lint(src_wrong)
+        assert sorted(codes(violations)) == ["DET001", "SUP001", "SUP002"]
+        by_code = {v.code: v for v in violations}
+        assert by_code["DET001"].severity == "error"
+        assert by_code["SUP001"].severity == "warning"
+        assert by_code["SUP002"].severity == "warning"
+
+    def test_justified_suppression_that_silences_nothing_is_unused(self):
+        src = "x = 1  # repro: allow[DET001] leftover from a removed clock\n"
+        assert codes(lint(src)) == ["SUP002"]
+
+    def test_bare_suppression_that_works_still_warns(self):
+        src = "import time\nt = time.time()  # repro: allow[DET001]\n"
+        assert codes(lint(src)) == ["SUP001"]
 
     def test_suppression_accepts_multiple_codes(self):
         src = (

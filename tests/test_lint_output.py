@@ -1,0 +1,300 @@
+"""Tests for lint output formats (JSON, SARIF) and the baseline file.
+
+The SARIF test validates against a vendored structural subset of the
+SARIF 2.1.0 schema — the properties code hosts actually require for
+ingestion (version/runs/tool.driver/results shape, level enum, region
+bounds) — via ``jsonschema``. The baseline tests exercise the
+round-trip that matters operationally: park findings, re-run clean,
+fix code, see the entry go stale, regenerate.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    discover_baseline,
+)
+from repro.analysis.lint import Severity, Violation, run_lint
+from repro.analysis.output import (
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+)
+
+#: Structural subset of the SARIF 2.1.0 schema: the fields GitHub-style
+#: ingestion validates. Mirrors sarif-schema-2.1.0.json constraints for
+#: the subset of properties repro-lint emits.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string", "minLength": 1},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {"type": "string"},
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+BAD_MODULE = textwrap.dedent(
+    """
+    import time
+
+    def wait(delay_usd):
+        t = time.time()
+        return t + delay_usd
+    """
+)
+
+
+def lint_tree(tmp_path: Path, source: str = BAD_MODULE) -> list[Violation]:
+    target = tmp_path / "repro" / "sim" / "bad.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return run_lint([tmp_path])
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+class TestSarif:
+    def test_document_validates_against_schema(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        assert violations, "fixture must produce findings"
+        document = json.loads(render_sarif(violations))
+        jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+
+    def test_empty_run_still_validates(self):
+        document = json.loads(render_sarif([]))
+        jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+        assert document["version"] == SARIF_VERSION
+        assert document["runs"][0]["results"] == []
+
+    def test_rules_metadata_covers_results(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        document = json.loads(render_sarif(violations))
+        run = document["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_results_carry_baseline_fingerprints(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        document = json.loads(render_sarif(violations))
+        fingerprints = {
+            result["partialFingerprints"]["reproLint/v1"]
+            for result in document["runs"][0]["results"]
+        }
+        assert fingerprints == {v.fingerprint for v in violations}
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+class TestJson:
+    def test_counts_split_severities(self, tmp_path):
+        violations = lint_tree(
+            tmp_path,
+            BAD_MODULE + "x = 1  # repro: allow[MUT001] stale suppression\n",
+        )
+        payload = json.loads(render_json(violations))
+        summary = payload["summary"]
+        assert summary["total"] == len(violations)
+        assert summary["errors"] == sum(
+            1 for v in violations if v.severity == Severity.ERROR
+        )
+        assert summary["warnings"] >= 1  # the SUP002 stale-suppression warning
+        assert summary["errors"] + summary["warnings"] == summary["total"]
+
+    def test_findings_are_complete_records(self, tmp_path):
+        payload = json.loads(render_json(lint_tree(tmp_path)))
+        for finding in payload["findings"]:
+            assert finding["code"]
+            assert finding["path"].endswith("bad.py")
+            assert finding["line"] >= 1
+            assert finding["severity"] in ("error", "warning")
+            assert finding["fingerprint"]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trips
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_park_then_clean_run(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        baseline = Baseline.from_violations(violations)
+        path = baseline.write(tmp_path / DEFAULT_BASELINE_NAME)
+        reloaded = Baseline.load(path)
+        delta = reloaded.apply(violations)
+        assert delta.new == []
+        assert len(delta.suppressed) == len(violations)
+        assert delta.stale == []
+
+    def test_new_finding_is_not_masked(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        baseline = Baseline.from_violations(violations)
+        worse = lint_tree(
+            tmp_path,
+            BAD_MODULE + "\ndef drift(cost_usd, wall_s):\n    return cost_usd + wall_s\n",
+        )
+        delta = baseline.apply(worse)
+        assert len(delta.new) == 1
+        assert delta.new[0].code == "UNI002"
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        baseline = Baseline.from_violations(violations)
+        clean = lint_tree(tmp_path, "def ok(delay_s):\n    return delay_s\n")
+        delta = baseline.apply(clean)
+        assert clean == [] and delta.new == []
+        assert len(delta.stale) == len(violations)
+        # Regenerating drops the paid-off entries.
+        regenerated = Baseline.from_violations(clean)
+        assert len(regenerated) == 0
+
+    def test_fingerprints_survive_unrelated_edits(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        baseline = Baseline.from_violations(violations)
+        shifted = lint_tree(tmp_path, "\n\n# a comment\n" + BAD_MODULE)
+        delta = baseline.apply(shifted)
+        assert delta.new == [] and delta.stale == []
+
+    def test_write_is_deterministic_and_sorted(self, tmp_path):
+        violations = lint_tree(tmp_path)
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        Baseline.from_violations(violations).write(a)
+        Baseline.from_violations(list(reversed(violations))).write(b)
+        assert a.read_text() == b.read_text()
+
+    def test_load_rejects_non_baseline_json(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"not": "a baseline"}')
+        with pytest.raises(ValueError, match="findings"):
+            Baseline.load(bogus)
+
+    def test_discover_walks_up(self, tmp_path):
+        (tmp_path / DEFAULT_BASELINE_NAME).write_text('{"findings": []}')
+        nested = tmp_path / "src" / "repro" / "sim"
+        nested.mkdir(parents=True)
+        assert discover_baseline(nested) == tmp_path / DEFAULT_BASELINE_NAME
+        assert discover_baseline(Path("/")) is None

@@ -1,0 +1,617 @@
+"""Tests for the whole-program lint pass (``repro.analysis.project``).
+
+Covers the ProjectIndex plumbing (import-graph resolution, cycles,
+reachability), the three project rule families (SEED, SHD, UNI002) and
+the interplay between per-line suppressions and interprocedural
+findings. Everything goes through :func:`lint_project_sources`, the
+in-memory twin of what ``repro lint`` does on disk.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import Violation
+from repro.analysis.project import (
+    ModuleContext,
+    ProjectIndex,
+    ProjectRule,
+    all_project_rules,
+    lint_project_sources,
+)
+from repro.analysis.rules import PROJECT_RULES
+from repro.analysis.rules.units_flow import (
+    dimension_of_callable_name,
+    dimension_of_name,
+    format_dimension,
+)
+
+
+def codes(violations: list[Violation]) -> list[str]:
+    return sorted(v.code for v in violations)
+
+
+def project_lint(sources: dict[str, str]) -> list[Violation]:
+    return lint_project_sources(
+        {k: textwrap.dedent(v) for k, v in sources.items()}
+    )
+
+
+def build_index(sources: dict[str, str]) -> ProjectIndex:
+    contexts = []
+    for dotted, source in sources.items():
+        is_pkg = dotted.endswith(".__init__")
+        module = dotted[: -len(".__init__")] if is_pkg else dotted
+        path = module.replace(".", "/") + ("/__init__.py" if is_pkg else ".py")
+        import ast
+
+        contexts.append(
+            ModuleContext(
+                path=path,
+                module=module,
+                tree=ast.parse(textwrap.dedent(source)),
+                source_lines=tuple(textwrap.dedent(source).splitlines()),
+            )
+        )
+    return ProjectIndex.from_contexts(contexts)
+
+
+# ----------------------------------------------------------------------
+# ProjectIndex: import graph, symbols, reachability
+# ----------------------------------------------------------------------
+class TestProjectIndex:
+    def test_symbol_resolution_forms(self):
+        index = build_index(
+            {
+                "repro.sim.a": """
+                import numpy as np
+                from repro.common import substream_seed as sub
+                from . import engine
+                """,
+                "repro.sim.engine": "x = 1\n",
+                "repro.common": "def substream_seed(*a): ...\n",
+            }
+        )
+        assert index.resolve("repro.sim.a", "np") == "numpy"
+        assert index.resolve("repro.sim.a", "sub") == "repro.common.substream_seed"
+        assert index.resolve("repro.sim.a", "engine") == "repro.sim.engine"
+
+    def test_resolve_call_through_attribute_chain(self):
+        import ast
+
+        index = build_index(
+            {"repro.sim.a": "import numpy as np\nr = np.random.default_rng(1)\n"}
+        )
+        tree = index.modules["repro.sim.a"].ctx.tree
+        call = next(n for n in ast.walk(tree) if isinstance(n, ast.Call))
+        assert (
+            index.resolve_call("repro.sim.a", call.func)
+            == "numpy.random.default_rng"
+        )
+
+    def test_reachability_follows_imports(self):
+        index = build_index(
+            {
+                "repro.fleet.api": "from repro.models import helper\n",
+                "repro.models.helper": "import repro.common\n",
+                "repro.common": "x = 1\n",
+                "repro.econ.billing": "y = 2\n",  # not imported by fleet
+            }
+        )
+        reach = index.reachable_from(("repro.fleet",))
+        assert "repro.fleet.api" in reach
+        assert "repro.models.helper" in reach
+        assert "repro.common" in reach
+        assert "repro.econ.billing" not in reach
+
+    def test_import_cycle_terminates(self):
+        index = build_index(
+            {
+                "repro.fleet.a": "from repro.fleet import b\n",
+                "repro.fleet.b": "from repro.fleet import a\n",
+            }
+        )
+        reach = index.reachable_from(("repro.fleet",))
+        assert reach == {"repro.fleet.a", "repro.fleet.b"}
+
+    def test_relative_import_resolution(self):
+        index = build_index(
+            {
+                "repro.fleet.__init__": "",
+                "repro.fleet.sub.worker": "from ..api import handle\n",
+                "repro.fleet.api": "def handle(): ...\n",
+            }
+        )
+        info = index.modules["repro.fleet.sub.worker"]
+        assert "repro.fleet.api" in info.imports
+        assert info.symbols["handle"] == "repro.fleet.api.handle"
+
+    def test_function_index_includes_methods(self):
+        index = build_index(
+            {
+                "repro.fleet.api": """
+                class Broker:
+                    def route(self, key): ...
+                def top(): ...
+                """
+            }
+        )
+        assert index.function_def("repro.fleet.api.top") is not None
+        assert index.function_def("repro.fleet.api.Broker.route") is not None
+        assert index.function_def("repro.fleet.api.missing") is None
+
+    def test_all_project_rules_registry_is_validated(self):
+        rules = all_project_rules()
+        assert {type(r) for r in rules} == set(PROJECT_RULES)
+        assert all(r.code for r in rules)
+
+    def test_project_rule_with_undocumented_family_rejected(self, monkeypatch):
+        import repro.analysis.rules as rules_mod
+
+        class Rogue(ProjectRule):
+            code = "QQQ001"
+            name = "rogue"
+            description = "family not in RULE_FAMILIES"
+            hint = "register the family"
+
+            def check_project(self, index):
+                return iter(())
+
+        monkeypatch.setattr(
+            rules_mod, "PROJECT_RULES", (*rules_mod.PROJECT_RULES, Rogue)
+        )
+        with pytest.raises(ValueError, match="catalogue code"):
+            all_project_rules()
+
+
+# ----------------------------------------------------------------------
+# SEED001 / SEED002: seed provenance
+# ----------------------------------------------------------------------
+class TestSeedProvenance:
+    def test_flags_seed_from_incidental_state(self):
+        violations = project_lint(
+            {
+                "repro.sim.workload": """
+                import numpy as np
+                def make(jobs):
+                    return np.random.default_rng(len(jobs))
+                """
+            }
+        )
+        assert "SEED001" in codes(violations)
+
+    def test_seed_chain_call_is_derived(self):
+        violations = project_lint(
+            {
+                "repro.sim.workload": """
+                import numpy as np
+                from repro.common import substream_seed
+                def make(root_seed):
+                    return np.random.default_rng(substream_seed(root_seed, "wl"))
+                """,
+                "repro.common": "def substream_seed(*path): ...\n",
+            }
+        )
+        assert "SEED001" not in codes(violations)
+
+    def test_config_seed_attribute_is_derived(self):
+        violations = project_lint(
+            {
+                "repro.sim.workload": """
+                import random
+                def make(config):
+                    return random.Random(config.seed + 3)
+                """
+            }
+        )
+        assert "SEED001" not in codes(violations)
+
+    def test_draw_from_tracked_generator_is_derived(self):
+        violations = project_lint(
+            {
+                "repro.sim.workload": """
+                import random
+                def split(rng):
+                    return random.Random(rng.integers(2**63))
+                """
+            }
+        )
+        assert "SEED001" not in codes(violations)
+
+    def test_interprocedural_derived_helper_passes(self):
+        violations = project_lint(
+            {
+                "repro.fleet.worker": """
+                import random
+                from repro.fleet.routing import shard_seed
+                def make(run_seed, shard):
+                    return random.Random(shard_seed(run_seed, shard))
+                """,
+                "repro.fleet.routing": """
+                from repro.common import substream_seed
+                def shard_seed(run_seed, shard):
+                    return substream_seed(run_seed, "shard", shard)
+                """,
+                "repro.common": "def substream_seed(*path): ...\n",
+            }
+        )
+        assert "SEED001" not in codes(violations)
+
+    def test_interprocedural_underived_helper_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.fleet.worker": """
+                import random
+                from repro.fleet.routing import pick
+                def make(jobs):
+                    return random.Random(pick(jobs))
+                """,
+                "repro.fleet.routing": """
+                def pick(jobs):
+                    return len(jobs)
+                """,
+            }
+        )
+        assert "SEED001" in codes(violations)
+
+    def test_unseeded_rng_is_not_seed001s_finding(self):
+        violations = project_lint(
+            {
+                "repro.sim.workload": """
+                import numpy as np
+                def make():
+                    return np.random.default_rng()
+                """
+            }
+        )
+        # DET002 owns unseeded; SEED001 stays quiet.
+        assert "SEED001" not in codes(violations)
+        assert "DET002" in codes(violations)
+
+    def test_builtin_hash_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.fleet.routing": """
+                def route(key, n):
+                    return hash(key) % n
+                """
+            }
+        )
+        assert "SEED002" in codes(violations)
+
+    def test_stable_hash_is_fine(self):
+        violations = project_lint(
+            {
+                "repro.fleet.routing": """
+                from repro.common import stable_hash
+                def route(key, n):
+                    return stable_hash(key) % n
+                """,
+                "repro.common": "def stable_hash(text): ...\n",
+            }
+        )
+        assert "SEED002" not in codes(violations)
+
+    def test_outside_seed_roots_is_ignored(self):
+        violations = project_lint(
+            {
+                "repro.experiments.plots": """
+                import numpy as np
+                def jitter(points):
+                    return np.random.default_rng(len(points))
+                """
+            }
+        )
+        assert "SEED001" not in codes(violations)
+
+
+# ----------------------------------------------------------------------
+# SHD001/002/003: shard safety
+# ----------------------------------------------------------------------
+class TestShardSafety:
+    def test_written_module_registry_in_reachable_module_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.fleet.api": "from repro.models import helper\n",
+                "repro.models.helper": """
+                _cache = {}
+                def get(k):
+                    if k not in _cache:
+                        _cache[k] = k * 2
+                    return _cache[k]
+                """,
+            }
+        )
+        assert "SHD001" in codes(violations)
+
+    def test_upper_case_never_written_constant_passes(self):
+        violations = project_lint(
+            {
+                "repro.fleet.api": """
+                TIERS = {"gold": 1.0, "silver": 0.5}
+                def weight(tier):
+                    return TIERS[tier]
+                """
+            }
+        )
+        assert "SHD001" not in codes(violations)
+
+    def test_unreachable_module_is_not_flagged(self):
+        violations = project_lint(
+            {
+                "repro.fleet.api": "x = 1\n",
+                "repro.experiments.cache": """
+                _memo = {}
+                def f(k):
+                    _memo[k] = k
+                """,
+            }
+        )
+        assert "SHD001" not in codes(violations)
+
+    def test_import_time_lock_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.fleet.api": """
+                import threading
+                _LOCK = threading.Lock()
+                """
+            }
+        )
+        assert "SHD002" in codes(violations)
+
+    def test_lock_inside_function_is_fine(self):
+        violations = project_lint(
+            {
+                "repro.fleet.api": """
+                import threading
+                def start():
+                    return threading.Lock()
+                """
+            }
+        )
+        assert "SHD002" not in codes(violations)
+
+    def test_loop_lambda_capture_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.fleet.api": """
+                def wire(shards):
+                    handlers = []
+                    for shard in shards:
+                        handlers.append(lambda req: shard.handle(req))
+                    return handlers
+                """
+            }
+        )
+        assert "SHD003" in codes(violations)
+
+    def test_default_arg_binding_is_fine(self):
+        violations = project_lint(
+            {
+                "repro.fleet.api": """
+                def wire(shards):
+                    handlers = []
+                    for shard in shards:
+                        handlers.append(lambda req, shard=shard: shard.handle(req))
+                    return handlers
+                """
+            }
+        )
+        assert "SHD003" not in codes(violations)
+
+    def test_capture_outside_fleet_is_not_flagged(self):
+        violations = project_lint(
+            {
+                "repro.experiments.plots": """
+                def wire(axes):
+                    cbs = []
+                    for ax in axes:
+                        cbs.append(lambda ev: ax.draw(ev))
+                    return cbs
+                """
+            }
+        )
+        assert "SHD003" not in codes(violations)
+
+
+# ----------------------------------------------------------------------
+# UNI002: unit-dimension flow
+# ----------------------------------------------------------------------
+class TestUnitFlow:
+    def test_name_dimension_conventions(self):
+        assert format_dimension(dimension_of_name("delay_s")) == "time"
+        assert format_dimension(dimension_of_name("cost_usd")) == "money"
+        assert format_dimension(dimension_of_name("bandwidth_mbps")) == "data/time"
+        assert format_dimension(dimension_of_name("usd_per_hour")) == "money/time"
+        assert format_dimension(dimension_of_name("n_jobs")) == "count"
+        assert format_dimension(dimension_of_name("utilization")) == "1"
+        assert dimension_of_name("counter") is None
+
+    def test_value_at_time_callable_declares_nothing(self):
+        # submitted_at is an instant *variable*; price_at is an accessor
+        # returning the price AT a time — the callable form is exempt.
+        assert format_dimension(dimension_of_name("submitted_at")) == "time"
+        assert dimension_of_callable_name("price_at") is None
+        assert format_dimension(dimension_of_callable_name("delay_s")) == "time"
+
+    def test_mixed_addition_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def total(cost_usd, delay_s):
+                    return cost_usd + delay_s
+                """
+            }
+        )
+        assert "UNI002" in codes(violations)
+
+    def test_constant_scalar_keeps_dimension(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def double(cost_usd, other_usd):
+                    return 2 * cost_usd + other_usd
+                """
+            }
+        )
+        assert "UNI002" not in codes(violations)
+
+    def test_unknown_name_poisons_product(self):
+        # up_rate carries data/time invisibly; the division must become
+        # unknown, not data — so adding it to an instant stays silent.
+        violations = project_lint(
+            {
+                "repro.core.snippet": """
+                def eta(now, backlog_mb, up_rate):
+                    return now + backlog_mb / up_rate
+                """
+            }
+        )
+        assert "UNI002" not in codes(violations)
+
+    def test_cross_dimension_assignment_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def store(record):
+                    total_s = record.cost_usd
+                    return total_s
+                """
+            }
+        )
+        assert "UNI002" in codes(violations)
+
+    def test_mixed_comparison_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.core.snippet": """
+                def over(deadline_s, budget_usd):
+                    return deadline_s < budget_usd
+                """
+            }
+        )
+        assert "UNI002" in codes(violations)
+
+    def test_cross_dimension_return_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def penalty_usd(slack_s):
+                    return slack_s
+                """
+            }
+        )
+        assert "UNI002" in codes(violations)
+
+    def test_augmented_assignment_mismatch_is_flagged(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def accumulate(ledger, delay_s):
+                    ledger.total_usd += delay_s
+                """
+            }
+        )
+        assert "UNI002" in codes(violations)
+
+    def test_dimension_propagates_through_locals(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def flow(cost_usd, delay_s):
+                    x = cost_usd
+                    return x + delay_s
+                """
+            }
+        )
+        assert "UNI002" in codes(violations)
+
+    def test_branch_level_mismatch_is_caught(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def flow(flag, cost_usd, delay_s):
+                    if flag:
+                        y = cost_usd + delay_s
+                        return y
+                    return 0.0
+                """
+            }
+        )
+        assert "UNI002" in codes(violations)
+
+    def test_rate_times_time_is_consistent(self):
+        violations = project_lint(
+            {
+                "repro.econ.snippet": """
+                def bill(usd_per_hour, hours):
+                    spend_usd = usd_per_hour * hours
+                    return spend_usd
+                """
+            }
+        )
+        assert "UNI002" not in codes(violations)
+
+    def test_out_of_scope_module_is_skipped(self):
+        violations = project_lint(
+            {
+                "repro.experiments.tables": """
+                def cell(cost_usd, delay_s):
+                    return cost_usd + delay_s
+                """
+            }
+        )
+        assert "UNI002" not in codes(violations)
+
+
+# ----------------------------------------------------------------------
+# Suppressions vs project findings
+# ----------------------------------------------------------------------
+class TestProjectSuppressions:
+    def test_project_finding_is_suppressible_inline(self):
+        violations = lint_project_sources(
+            {
+                "repro.fleet.routing": (
+                    "def route(key, n):\n"
+                    "    return hash(key) % n  "
+                    "# repro: allow[SEED002] route only feeds a local cache\n"
+                )
+            },
+            audit_suppressions=True,
+        )
+        assert codes(violations) == []
+
+    def test_interprocedural_finding_marks_suppression_used(self):
+        # The SEED001 finding fires in the *caller* module; the inline
+        # suppression there must count as used even though the evidence
+        # (the helper's body) lives in another module.
+        violations = lint_project_sources(
+            {
+                "repro.fleet.worker": (
+                    "import random\n"
+                    "from repro.fleet.routing import pick\n"
+                    "def make(jobs):\n"
+                    "    return random.Random(pick(jobs))  "
+                    "# repro: allow[SEED001] replay harness reuses job count\n"
+                ),
+                "repro.fleet.routing": ("def pick(jobs):\n    return len(jobs)\n"),
+            },
+            audit_suppressions=True,
+        )
+        assert codes(violations) == []
+
+    def test_unused_suppression_on_project_code_warns(self):
+        violations = lint_project_sources(
+            {
+                "repro.fleet.routing": (
+                    "def route(key, n):\n"
+                    "    return (key * 31) % n  "
+                    "# repro: allow[SEED002] nothing here any more\n"
+                )
+            },
+            audit_suppressions=True,
+        )
+        assert codes(violations) == ["SUP002"]
