@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fleet client tour: serve a sharded fleet and drive it over HTTP.
+
+Stands up the fleet API server in this process (socket bound before the
+fleet is built, so there is no startup race), then talks to it exclusively
+through the typed :class:`repro.fleet.FleetClient` — the one public API
+over the HTTP front: health, tenant directory, quotes, submissions,
+live stats, and the error envelope on a bad request.
+
+Run:  python examples/fleet_client.py
+"""
+
+import threading
+
+from repro.fleet import (
+    FleetAPIError,
+    FleetAPIServer,
+    FleetClient,
+    FleetConfig,
+    FleetManager,
+    default_registry,
+)
+
+
+def main() -> None:
+    # 1. Bind the socket first (port 0: OS picks), then build the fleet
+    #    behind it and attach. Requests racing the boot get a clean 503.
+    server = FleetAPIServer(None, port=0)
+    print(f"bound {server.url}")
+    manager = FleetManager(
+        FleetConfig(n_shards=2, seed=7, pretrain_jobs=50),
+        default_registry(6),
+    )
+    server.attach(manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    with FleetClient(server.url) as client:
+        # 2. Liveness and topology.
+        health = client.health()
+        print(
+            f"health: {health.status}, {health.n_shards} shards "
+            f"({health.executor} executor), {health.n_tenants} tenants"
+        )
+
+        # 3. The tenant directory: SLA class, home shard, quota state.
+        tenants = client.tenants()
+        for info in tenants:
+            quota = "∞" if info.quota_jobs is None else str(info.quota_jobs)
+            print(
+                f"  {info.tenant_id:10s} {info.sla_class:6s} "
+                f"shard {info.shard}  quota {quota}"
+            )
+
+        # 4. Price one job without admitting it, then submit a burst.
+        tenant_id = tenants[0].tenant_id
+        quote = client.quote(tenant_id)
+        print(
+            f"quote for {tenant_id}: promise {quote.promise_s:.0f}s, "
+            f"slack {quote.slack_s:.0f}s"
+        )
+        submitted = client.submit(tenant_id, n_jobs=5)
+        print(
+            f"submitted {len(submitted.outcomes)} jobs to shard "
+            f"{submitted.shard}: {submitted.n_admitted} admitted"
+        )
+
+        # 5. Live fleet-wide counters.
+        stats = client.stats()
+        print(f"fleet counters: {stats.fleet['submitted']} submitted, "
+              f"{stats.fleet['accepted']} accepted")
+
+        # 6. Every failure wears one envelope: {"error": {code, message, path}}.
+        try:
+            client.submit("no-such-tenant", 1)
+        except FleetAPIError as exc:
+            print(f"error envelope: status={exc.status} code={exc.code}")
+
+    # 7. Drain the fleet; the digest certifies the whole run.
+    server.shutdown()
+    server.server_close()
+    report = manager.finish()
+    print(f"fleet sha256: {report.sha256}")
+
+
+if __name__ == "__main__":
+    main()

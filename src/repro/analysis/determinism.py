@@ -53,6 +53,8 @@ __all__ = [
     "check_econ",
     "FleetDeterminismResult",
     "check_fleet",
+    "ExecutorParityResult",
+    "check_executor_parity",
 ]
 
 #: JobRecord fields in declaration order — the canonical hashing schema.
@@ -390,8 +392,8 @@ def check_fleet(
         FleetConfig,
         FleetLoadConfig,
         FleetReport,
-        Tenant,
         TenantRegistry,
+        TenantSpec,
         default_registry,
         run_fleet_load,
     )
@@ -401,7 +403,7 @@ def check_fleet(
         # A deliberately starved tenant: the quota refusal path must be
         # part of what the digest certifies.
         registry.register(
-            Tenant(tenant_id="starved-012", sla_class=BRONZE, quota_jobs=5)
+            TenantSpec(tenant_id="starved-012", sla_class=BRONZE, quota_jobs=5)
         )
         result = run_fleet_load(
             FleetConfig(n_shards=n_shards, seed=seed, scheduler=scheduler),
@@ -420,4 +422,88 @@ def check_fleet(
         shard_hashes_b=tuple(report_b.shard_hashes),
         n_records=len(report_a.trace.records),
         quota_rejected=report_a.quota_rejected,
+    )
+
+
+@dataclass(frozen=True)
+class ExecutorParityResult:
+    """Outcome of the executor-parity pass: same workload, two executors.
+
+    The fleet's aggregation contract says *who drives the shards cannot
+    change any result* — the in-process executor and one-worker-process-
+    per-shard executor must fold into the same ``fleet_sha256``. This
+    pass runs the identical seeded workload under both and compares.
+    """
+
+    n_shards: int
+    seed: int
+    sha_inprocess: str
+    sha_multiprocess: str
+    shard_hashes_inprocess: tuple[str, ...]
+    shard_hashes_multiprocess: tuple[str, ...]
+    n_records: int
+
+    @property
+    def identical(self) -> bool:
+        return self.sha_inprocess == self.sha_multiprocess
+
+    def render(self) -> str:
+        label = f"exec[{self.n_shards}]"
+        if self.identical:
+            return (
+                f"{label:>8}: OK  inprocess == multiprocess, "
+                f"{self.n_records} records, "
+                f"fleet sha {self.sha_inprocess[:16]}"
+            )
+        divergent = [
+            i
+            for i, (a, b) in enumerate(
+                zip(self.shard_hashes_inprocess, self.shard_hashes_multiprocess)
+            )
+            if a != b
+        ]
+        if divergent:
+            detail = f"shard trace hash(es) differ at index {divergent}"
+        else:
+            detail = (
+                "shard traces agree; merged stats/ledger state diverged "
+                f"({self.sha_inprocess[:16]} vs {self.sha_multiprocess[:16]})"
+            )
+        return f"{label:>8}: FAIL  {detail}"
+
+
+def check_executor_parity(
+    n_shards: int = 4,
+    n_jobs: int = 200,
+    seed: int = 2024,
+    scheduler: str = "Op",
+) -> ExecutorParityResult:
+    """Run one seeded fleet workload under both executors; compare digests.
+
+    This is the gate behind the multiprocess executor's whole design: the
+    command protocol, the spawn-context shard rebuild, and the
+    shard-index-order fold must be invisible to the digest. Worker
+    processes are real (spawn context), so this pass also proves the
+    shard state pickles faithfully.
+    """
+    from ..fleet import FleetConfig, FleetLoadConfig, run_fleet_load
+
+    def one_run(executor: str) -> "object":
+        result = run_fleet_load(
+            FleetConfig(n_shards=n_shards, seed=seed, scheduler=scheduler),
+            FleetLoadConfig(n_jobs=n_jobs, rate_per_s=50.0, seed=seed),
+            executor=executor,
+        )
+        return result.report
+
+    report_in = one_run("inprocess")
+    report_mp = one_run("multiprocess")
+    return ExecutorParityResult(
+        n_shards=n_shards,
+        seed=seed,
+        sha_inprocess=report_in.sha256,
+        sha_multiprocess=report_mp.sha256,
+        shard_hashes_inprocess=tuple(report_in.shard_hashes),
+        shard_hashes_multiprocess=tuple(report_mp.shard_hashes),
+        n_records=len(report_in.trace.records),
     )

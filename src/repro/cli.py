@@ -188,6 +188,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         ECON_SCHEDULERS,
         check_determinism,
         check_econ,
+        check_executor_parity,
         check_fleet,
     )
     from .analysis.invariants import InvariantError
@@ -244,6 +245,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
             )
             print(fleet_result.render())
             failed = failed or not fleet_result.deterministic
+            print(
+                "executor parity: same 4-shard workload under inprocess "
+                "and multiprocess executors, one digest"
+            )
+            parity_result = check_executor_parity(
+                seed=args.seed if args.seed is not None else 2024
+            )
+            print(parity_result.render())
+            failed = failed or not parity_result.identical
     except InvariantError as exc:
         print(f"invariant violated during check run: {exc}", file=sys.stderr)
         return 1

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["Placement", "stable_hash", "substream_seed"]
+__all__ = ["Placement", "split_evenly", "stable_hash", "substream_seed"]
 
 
 class Placement:
@@ -23,6 +23,23 @@ class Placement:
 
     IC = "IC"
     EC = "EC"
+
+
+def split_evenly(total: int, parts: int) -> list[int]:
+    """Split ``total`` into ``parts`` equal floor shares, remainder last.
+
+    The fleet's share convention: every part gets ``total // parts`` and
+    the **last** part absorbs the remainder. The placement of the
+    remainder is load-bearing — per-shard workloads seed per-shard
+    substreams, so moving it would change every digest downstream. Kept
+    here (and tested) so every splitter in the tree agrees.
+    """
+    if parts < 1:
+        raise ValueError("parts must be positive")
+    if total < 0:
+        raise ValueError("total cannot be negative")
+    share = total // parts
+    return [share] * (parts - 1) + [total - share * (parts - 1)]
 
 
 def stable_hash(text: str) -> int:

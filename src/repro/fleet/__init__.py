@@ -10,25 +10,61 @@ determinism contract:
 * **sharding** (:mod:`~repro.fleet.sharding`) — N independent broker
   partitions, each a full environment+session+stats+econ stack seeded by
   :func:`repro.common.substream_seed`, sharing no mutable state;
+* **executors** (:mod:`~repro.fleet.executor`) — who drives the shards:
+  in this process (default) or one spawn-context worker process per
+  shard behind a bounded command protocol with health beats, crash
+  detection and graceful SIGTERM drain; the digest is byte-identical
+  across executors (``repro check``'s executor-parity pass);
 * **aggregation** (:mod:`~repro.fleet.aggregate`) — shard-index-ordered
   merging of traces, streaming SLA stats and cost ledgers, digested into
   one fleet SHA-256 that two runs of the same ``(seed, n_shards)``
   reproduce bit-for-bit (enforced by ``repro check``'s fleet pass);
+  crashed shards fold in as deterministic ``LOST`` markers;
 * **API** (:mod:`~repro.fleet.api`) — a stdlib HTTP/JSON front with
-  schema-validated submit/quote/stats endpoints; malformed bodies get
-  400s, unknown tenants 404s, exhausted quotas 429s, and no request can
-  crash a shard;
+  schema-validated submit/quote/stats endpoints; every failure wears the
+  one versioned envelope ``{"error": {"code", "message", "path"}}``;
+* **client** (:mod:`~repro.fleet.client`) — the typed
+  :class:`FleetClient`, the one public API over the HTTP front (and the
+  only module in the tree that speaks raw ``http.client``);
 * **load** (:mod:`~repro.fleet.loadgen`) — the aggregate heavy-traffic
-  driver behind ``repro fleet loadgen`` and the ``fleet_loadgen`` bench
-  scenario.
+  driver behind ``repro fleet loadgen`` and the ``fleet_loadgen`` /
+  ``fleet_loadgen_procs`` bench scenarios.
 
-See ``docs/fleet.md`` for the tenancy model, routing and determinism
-contract in prose.
+See ``docs/fleet.md`` for the tenancy model, routing, executor process
+model and determinism contract in prose.
 """
+
+import warnings
+from typing import Any
 
 from .aggregate import FleetReport, TenantReport, aggregate_shards, fleet_sha256
 from .api import FleetAPIServer, serve_fleet
-from .loadgen import FleetLoadConfig, FleetLoadResult, run_fleet_load
+from .client import (
+    FleetAPIError,
+    FleetClient,
+    HealthInfo,
+    JobOutcome,
+    QuoteResult,
+    StatsResult,
+    SubmitResult,
+    TenantInfo,
+)
+from .executor import (
+    EXECUTOR_NAMES,
+    InProcessExecutor,
+    MultiprocessExecutor,
+    ShardExecutor,
+    ShardLostError,
+    ShardStatsSnapshot,
+    WorkerHealth,
+    make_executor,
+)
+from .loadgen import (
+    FleetLoadConfig,
+    FleetLoadResult,
+    drive_shard_load,
+    run_fleet_load,
+)
 from .schema import SchemaError, validate
 from .sharding import (
     BrokerShard,
@@ -45,7 +81,7 @@ from .tenants import (
     SLA_CLASSES,
     ScaledTicket,
     SLAClass,
-    Tenant,
+    TenantSpec,
     TenantRegistry,
     UnknownTenantError,
     default_registry,
@@ -53,12 +89,31 @@ from .tenants import (
 
 __all__ = [
     "SLAClass", "GOLD", "SILVER", "BRONZE", "SLA_CLASSES",
-    "ScaledTicket", "Tenant", "TenantRegistry", "UnknownTenantError",
-    "default_registry",
+    "ScaledTicket", "TenantSpec", "Tenant", "TenantRegistry",
+    "UnknownTenantError", "default_registry",
     "SchemaError", "validate",
     "FleetConfig", "BrokerShard", "FleetManager", "TenantAccount",
     "ShardResult", "QuotaExceededError",
+    "EXECUTOR_NAMES", "ShardExecutor", "InProcessExecutor",
+    "MultiprocessExecutor", "make_executor", "ShardLostError",
+    "ShardStatsSnapshot", "WorkerHealth",
     "FleetReport", "TenantReport", "aggregate_shards", "fleet_sha256",
     "FleetAPIServer", "serve_fleet",
-    "FleetLoadConfig", "FleetLoadResult", "run_fleet_load",
+    "FleetClient", "FleetAPIError", "HealthInfo", "JobOutcome",
+    "QuoteResult", "StatsResult", "SubmitResult", "TenantInfo",
+    "FleetLoadConfig", "FleetLoadResult", "drive_shard_load",
+    "run_fleet_load",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    """One-release deprecation shim: ``Tenant`` -> :class:`TenantSpec`."""
+    if name == "Tenant":
+        warnings.warn(
+            "repro.fleet.Tenant is deprecated and will be removed next "
+            "release; use TenantSpec",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TenantSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,14 +15,23 @@ order, which is what makes every derived artifact a pure function of
   per-tenant ledger hashes (sorted by tenant id) and the merged counter
   state, floats canonicalised via ``hex()`` exactly like the trace hash.
   Two runs of the same fleet agree on this digest bit-for-bit; the
-  ``repro check`` fleet pass enforces it.
+  ``repro check`` fleet pass enforces it — and the executor parity pass
+  additionally proves the digest independent of *who* drove the shards
+  (in-process vs one worker process per shard).
+
+**Lost shards** (a worker crashed mid-run under the multiprocess
+executor) fold in as a deterministic marker: the shard's digest line
+becomes ``LOST(<cause>)`` — the cause string carries no pids, ports or
+timestamps — and the surviving shards still fold in shard-index order.
+Two runs that lose the same shard at the same point agree bit-for-bit
+on the degraded digest too.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
 
 from ..analysis.determinism import hash_trace
 from ..econ.penalties import CostLedger
@@ -107,6 +116,9 @@ class FleetReport:
     ledger: CostLedger
     tenants: list[TenantReport]
     sha256: str
+    #: Shards whose workers died before draining: index -> deterministic
+    #: cause string (already folded into ``shard_hashes``/``sha256``).
+    lost_shards: dict[int, str] = field(default_factory=dict)
 
     @property
     def n_shards(self) -> int:
@@ -142,6 +154,7 @@ class FleetReport:
                 for t in self.tenants
             },
             "fleet_sha256": self.sha256,
+            "lost_shards": {str(i): c for i, c in sorted(self.lost_shards.items())},
         }
 
     def render(self) -> str:
@@ -150,6 +163,8 @@ class FleetReport:
             f"seed {self.config.seed}",
             f"fleet sha256: {self.sha256}",
         ]
+        for index, cause in sorted(self.lost_shards.items()):
+            lines.append(f"LOST shard {index}: {cause}")
         lines.append(self.stats.render())
         lines.append(self.ledger.render())
         if self.quota_rejected:
@@ -183,16 +198,39 @@ def aggregate_shards(
     config: FleetConfig,
     registry: TenantRegistry,
     results: Sequence[ShardResult],
+    lost: Optional[Mapping[int, str]] = None,
 ) -> FleetReport:
-    """Fold shard results (already in shard-index order) into one report."""
+    """Fold shard results into one report, in shard-index order.
+
+    ``lost`` maps crashed shards to their deterministic cause string;
+    each occupies its index position in ``shard_hashes`` as
+    ``LOST(<cause>)``, so the fleet digest certifies the loss exactly.
+    """
+    lost = dict(lost or {})
     results = sorted(results, key=lambda r: r.index)
-    shard_hashes = [hash_trace(r.trace) for r in results]
+    if not results:
+        raise ValueError(
+            "every shard was lost; nothing to aggregate "
+            f"(causes: {sorted(lost.items())})"
+        )
+    by_index = {r.index: r for r in results}
+    shard_hashes = []
+    for index in range(config.n_shards):
+        if index in by_index:
+            shard_hashes.append(hash_trace(by_index[index].trace))
+        elif index in lost:
+            shard_hashes.append(f"LOST({lost[index]})")
+        # Indexes never driven (impossible today) simply do not appear.
     trace = merge_traces([r.trace for r in results])
     trace.metadata["fleet"] = {
-        "n_shards": len(results),
+        "n_shards": config.n_shards,
         "seed": config.seed,
         "shard_hashes": list(shard_hashes),
     }
+    if lost:
+        trace.metadata["fleet"]["lost_shards"] = {
+            str(i): c for i, c in sorted(lost.items())
+        }
 
     stats = StreamingSLAStats(reservoir_seed=config.seed)
     ledger = CostLedger()
@@ -221,4 +259,5 @@ def aggregate_shards(
         ledger=ledger,
         tenants=tenants,
         sha256=sha,
+        lost_shards=lost,
     )

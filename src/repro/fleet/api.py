@@ -4,37 +4,56 @@ A deliberately thin service layer over :class:`~repro.fleet.sharding.
 FleetManager`: one single-threaded :class:`http.server.HTTPServer`
 (submissions mutate shard state, so serialising requests is the
 correctness-preserving default, not a limitation), JSON in and out,
-every request body schema-validated *before* it can touch a shard.
+every request body schema-validated *before* it can touch a shard. The
+handler talks to the **manager only** — never to shard objects — so the
+same front serves the in-process and the multiprocess executor
+unchanged.
 
 Endpoints:
 
 ========  ====================  ==========================================
 Method    Path                  Behaviour
 ========  ====================  ==========================================
-GET       ``/v1/health``        liveness + shard count
+GET       ``/v1/health``        liveness + shard count + worker health
 GET       ``/v1/tenants``       tenant directory with quota state
 GET       ``/v1/stats``         live fleet-wide and per-shard counters
 POST      ``/v1/jobs``          submit ``n_jobs`` for a tenant
 POST      ``/v1/quotes``        price one job for a tenant, no admission
 ========  ====================  ==========================================
 
-Error contract (the acceptance criterion): malformed bodies — bad JSON,
-wrong types, missing keys, out-of-range values — return **400** with a
-path-qualified schema error and the serving shard is untouched; an
-unknown tenant returns **404**; a tenant whose quota is already
-exhausted returns **429** with the distinct ``quota_exhausted`` error
-type. Unexpected server faults return 500 and the server keeps serving.
+Error contract — **one versioned envelope** across every failure
+status::
+
+    {"error": {"code": "<machine-readable>", "message": "<human>",
+               "path": "<json-pointer-ish body path, or request path>"}}
+
+* **400** ``invalid_json`` / ``empty_body`` / ``schema_violation`` /
+  ``invalid_request`` — malformed bodies never touch a shard; schema
+  violations carry the offending body path (``$.n_jobs``);
+* **404** ``unknown_tenant`` / ``not_found``;
+* **413** ``body_too_large``;
+* **429** ``quota_exhausted`` — the tenant's per-run quota is spent;
+* **500** ``internal`` — and the server keeps serving;
+* **503** ``shard_lost`` / ``starting`` — a worker died (multiprocess
+  executor) or the fleet is still booting behind the bound socket.
+
+:class:`~repro.fleet.client.FleetClient` is the typed consumer of this
+contract (and still parses the pre-PR-8 ``type``/``details`` shape for
+one release, with a deprecation warning).
 """
 
 from __future__ import annotations
 
 import json
+import math
+import signal
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Any, Callable, Optional
 
+from .executor import ShardLostError
 from .schema import SchemaError, validate
 from .sharding import FleetConfig, FleetManager, QuotaExceededError
-from .tenants import TenantRegistry, UnknownTenantError
+from .tenants import TenantRegistry, UnknownTenantError, default_registry
 
 __all__ = [
     "SUBMIT_SCHEMA",
@@ -73,19 +92,29 @@ MAX_BODY_BYTES = 64 * 1024
 
 
 class _APIError(Exception):
-    """A request failure with a wire status and typed error body."""
+    """A request failure with a wire status and enveloped error body.
 
-    def __init__(self, status: int, error_type: str, message: str,
-                 details: Optional[list] = None) -> None:
+    ``path`` locates the fault: a body path (``$.n_jobs``) for schema
+    violations, the request path otherwise.
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, path: str = ""
+    ) -> None:
         self.status = status
-        self.body = {
+        self.code = code
+        self.message = message
+        self.path = path
+        super().__init__(message)
+
+    def body(self, request_path: str) -> dict:
+        return {
             "error": {
-                "type": error_type,
-                "message": message,
-                "details": details or [],
+                "code": self.code,
+                "message": self.message,
+                "path": self.path or request_path,
             }
         }
-        super().__init__(message)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -111,6 +140,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_error(self, error: _APIError) -> None:
+        self._send_json(error.status, error.body(self.path))
+
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0:
@@ -125,58 +157,41 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise _APIError(400, "invalid_json", f"body is not JSON: {exc}") from None
 
+    def _manager(self) -> FleetManager:
+        manager = self.server.manager
+        if manager is None:
+            raise _APIError(
+                503, "starting", "fleet is still booting behind this socket"
+            )
+        return manager
+
     def _dispatch(
         self, handler: Callable[[], tuple[int, dict[str, Any]]]
     ) -> None:
         try:
             status, payload = handler()
         except _APIError as exc:
-            self._send_json(exc.status, exc.body)
+            self._send_error(exc)
         except SchemaError as exc:
-            self._send_json(400, {
-                "error": {
-                    "type": "schema_violation",
-                    "message": str(exc),
-                    "details": [{"path": exc.path, "message": exc.message}],
-                }
-            })
+            self._send_error(
+                _APIError(400, "schema_violation", exc.message, exc.path)
+            )
         except UnknownTenantError as exc:
-            self._send_json(404, {
-                "error": {
-                    "type": "unknown_tenant",
-                    "message": f"no such tenant: {exc.args[0]!r}",
-                    "details": [],
-                }
-            })
+            self._send_error(
+                _APIError(404, "unknown_tenant", f"no such tenant: {exc.args[0]!r}")
+            )
+        except ShardLostError as exc:
+            self._send_error(_APIError(503, "shard_lost", str(exc)))
         except ValueError as exc:
             # Request-induced domain errors (e.g. an arrival time behind
             # the shard's virtual clock) are the client's fault, not ours.
-            self._send_json(400, {
-                "error": {
-                    "type": "invalid_request",
-                    "message": str(exc),
-                    "details": [],
-                }
-            })
+            self._send_error(_APIError(400, "invalid_request", str(exc)))
         except QuotaExceededError as exc:
-            self._send_json(429, {
-                "error": {
-                    "type": "quota_exhausted",
-                    "message": str(exc),
-                    "details": [{
-                        "tenant": exc.tenant_id,
-                        "quota_jobs": exc.quota_jobs,
-                    }],
-                }
-            })
+            self._send_error(_APIError(429, "quota_exhausted", str(exc)))
         except Exception as exc:  # noqa: BLE001 — a fault must not kill the server
-            self._send_json(500, {
-                "error": {
-                    "type": "internal",
-                    "message": f"{type(exc).__name__}: {exc}",
-                    "details": [],
-                }
-            })
+            self._send_error(
+                _APIError(500, "internal", f"{type(exc).__name__}: {exc}")
+            )
         else:
             self._send_json(status, payload)
 
@@ -191,10 +206,7 @@ class _Handler(BaseHTTPRequestHandler):
         }
         handler = routes.get(self.path)
         if handler is None:
-            self._send_json(404, {"error": {
-                "type": "not_found", "message": f"no route {self.path}",
-                "details": [],
-            }})
+            self._send_error(_APIError(404, "not_found", f"no route {self.path}"))
             return
         self._dispatch(handler)
 
@@ -205,27 +217,35 @@ class _Handler(BaseHTTPRequestHandler):
         }
         handler = routes.get(self.path)
         if handler is None:
-            self._send_json(404, {"error": {
-                "type": "not_found", "message": f"no route {self.path}",
-                "details": [],
-            }})
+            self._send_error(_APIError(404, "not_found", f"no route {self.path}"))
             return
         self._dispatch(handler)
 
     # ------------------------------------------------------------------
     def _get_health(self) -> tuple[int, dict]:
-        manager = self.server.manager
+        manager = self._manager()
+        workers = [
+            {
+                "index": h.index,
+                "alive": h.alive,
+                "beat_age_s": None if math.isinf(h.beat_age_s) else h.beat_age_s,
+            }
+            for h in manager.health()
+        ]
         return 200, {
-            "status": "ok",
+            "status": "ok" if all(w["alive"] for w in workers) else "degraded",
             "n_shards": manager.n_shards,
             "n_tenants": len(manager.registry),
+            "executor": manager.executor_name,
+            "workers": workers,
         }
 
     def _get_tenants(self) -> tuple[int, dict]:
-        manager = self.server.manager
+        manager = self._manager()
+        accounts = manager.accounts()
         out = []
         for tenant in manager.registry:
-            account = manager.account(tenant.tenant_id)
+            account = accounts[tenant.tenant_id]
             out.append({
                 "tenant": tenant.tenant_id,
                 "sla_class": tenant.sla_class.name,
@@ -239,18 +259,20 @@ class _Handler(BaseHTTPRequestHandler):
         return 200, {"tenants": out}
 
     def _get_stats(self) -> tuple[int, dict]:
-        manager = self.server.manager
+        manager = self._manager()
+        snapshots = manager.stats_snapshots()
         shards = [
             {
-                "index": shard.index,
-                "tenants": shard.tenant_ids,
-                "stats": shard.stats.counters_dict(),
+                "index": snap.index,
+                "tenants": list(snap.tenant_ids),
+                "stats": snap.counters,
+                **({"lost": snap.lost} if snap.lost else {}),
             }
-            for shard in manager.shards
+            for snap in snapshots
         ]
-        fleet = {}
-        for shard in manager.shards:
-            for key, value in shard.stats.counters_dict().items():
+        fleet: dict[str, Any] = {}
+        for snap in snapshots:
+            for key, value in snap.counters.items():
                 if isinstance(value, dict):
                     bucket = fleet.setdefault(key, {})
                     for reason, count in sorted(value.items()):
@@ -262,21 +284,20 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_jobs(self) -> tuple[int, dict]:
         body = self._read_json()
         validate(body, SUBMIT_SCHEMA)
-        manager = self.server.manager
+        manager = self._manager()
         tenant_id = body["tenant"]
-        shard = manager.shard_for(tenant_id)  # raises UnknownTenantError
-        account = shard.account(tenant_id)
+        shard_index = manager.shard_index_for(tenant_id)  # raises UnknownTenantError
+        account = manager.account(tenant_id)
         if account.quota_remaining == 0:
             # Refuse before synthesis so a pure-429 path leaves the
             # shard's job substream untouched.
             raise QuotaExceededError(tenant_id, account.quota_jobs or 0)
-        arrival_time, jobs = shard.synthesize_jobs(
-            body["n_jobs"], body.get("arrival_time_s")
+        arrival_time, outcomes = manager.submit_count(
+            tenant_id, body["n_jobs"], body.get("arrival_time_s")
         )
-        outcomes = shard.submit(tenant_id, jobs, arrival_time=arrival_time)
         return 200, {
             "tenant": tenant_id,
-            "shard": shard.index,
+            "shard": shard_index,
             "arrival_time_s": arrival_time,
             "outcomes": [
                 {
@@ -294,14 +315,13 @@ class _Handler(BaseHTTPRequestHandler):
     def _post_quotes(self) -> tuple[int, dict]:
         body = self._read_json()
         validate(body, QUOTE_SCHEMA)
-        manager = self.server.manager
+        manager = self._manager()
         tenant_id = body["tenant"]
-        shard = manager.shard_for(tenant_id)  # raises UnknownTenantError
-        _, jobs = shard.synthesize_jobs(1)
-        quote = shard.quote(tenant_id, jobs[0])
+        shard_index = manager.shard_index_for(tenant_id)  # raises UnknownTenantError
+        quote = manager.quote(tenant_id)
         return 200, {
             "tenant": tenant_id,
-            "shard": shard.index,
+            "shard": shard_index,
             "promise_s": quote.promise_s,
             "est_proc_s": quote.est_proc_s,
             "est_completion_s": quote.est_completion,
@@ -316,11 +336,17 @@ class FleetAPIServer(HTTPServer):
     carries the real port. ``handle_request`` serves exactly one request
     (deterministic single-step driving); ``serve_forever`` serves until
     shutdown.
+
+    The socket binds in ``__init__`` — *before* any fleet exists when
+    ``manager=None`` — so callers can print the real address, then build
+    shards/workers behind the already-listening socket and
+    :meth:`attach` the manager. Requests racing the boot get a clean
+    503 ``starting`` instead of a connection refusal.
     """
 
     def __init__(
         self,
-        manager: FleetManager,
+        manager: Optional[FleetManager] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
@@ -328,6 +354,10 @@ class FleetAPIServer(HTTPServer):
         self.manager = manager
         self.verbose = verbose
         super().__init__((host, port), _Handler)
+
+    def attach(self, manager: FleetManager) -> None:
+        """Hand the bound socket its fleet (see class docstring)."""
+        self.manager = manager
 
     @property
     def url(self) -> str:
@@ -341,17 +371,41 @@ def serve_fleet(
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = True,
+    executor: Optional[str] = None,
 ) -> None:
-    """Stand up a fleet and serve it until interrupted (CLI entry)."""
-    manager = FleetManager(config, registry)
-    server = FleetAPIServer(manager, host=host, port=port, verbose=verbose)
+    """Stand up a fleet and serve it until interrupted (CLI entry).
+
+    The socket is bound — and the real address printed — *before* the
+    fleet (and, under the multiprocess executor, its worker processes)
+    is built, so scripts and tests can never race the server start: once
+    the address line appears, connecting succeeds. SIGTERM (and Ctrl-C)
+    triggers a graceful drain: every shard is finished, the fleet digest
+    printed, and workers shut down.
+    """
+    config = config if config is not None else FleetConfig()
+    registry = registry if registry is not None else default_registry()
+    server = FleetAPIServer(None, host=host, port=port, verbose=verbose)
+    print(f"fleet API listening on {server.url}", flush=True)
+    manager = FleetManager(config, registry, executor=executor)
+    server.attach(manager)
     print(
-        f"fleet API on {server.url}: {manager.n_shards} shards, "
-        f"{len(manager.registry)} tenants"
+        f"fleet ready: {manager.n_shards} shards via "
+        f"{manager.executor_name} executor, {len(manager.registry)} tenants",
+        flush=True,
     )
+
+    def _on_term(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_term)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        print("\ndraining fleet", flush=True)
+        report = manager.finish()
+        print(f"fleet sha256: {report.sha256}")
+        for index, cause in sorted(report.lost_shards.items()):
+            print(f"LOST shard {index}: {cause}")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()

@@ -6,7 +6,10 @@ Subcommands (registered into the unified ``repro`` parser):
   fleet and serve until interrupted.
 * ``repro fleet loadgen`` — the aggregate heavy-traffic driver: per-shard
   open-loop arrival streams, fleet-wide throughput figures, merged
-  report with the fleet SHA-256.
+  report with the fleet SHA-256. ``--executor multiprocess`` fans the
+  shards out to one worker process each; ``--strict`` exits nonzero if
+  any shard was lost; ``--url`` instead drives a *served* fleet over
+  HTTP through the typed :class:`~repro.fleet.client.FleetClient`.
 * ``repro fleet report`` — a small deterministic fleet run printed as
   the aggregated multi-tenant report (quick look at routing, quotas and
   per-class attainment without load-driver wall times).
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 
 __all__ = ["register_fleet_commands"]
@@ -32,6 +36,7 @@ def _fleet_config(args: argparse.Namespace) -> "object":
         scheduler=args.scheduler,
         system=SystemConfig(),
         bucket=Bucket(args.bucket),
+        executor=args.executor,
     )
 
 
@@ -49,28 +54,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry=_registry(args),
         host=args.host,
         port=args.port,
+        executor=args.executor,
     )
     return 0
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
-    from .loadgen import FleetLoadConfig, run_fleet_load
+    if args.url:
+        from .loadgen import run_client_load
 
-    load = FleetLoadConfig(
-        n_jobs=args.jobs,
-        rate_per_s=args.rate,
-        process=args.process,
-        mean_burst_jobs=args.mean_burst,
-        seed=args.seed,
-    )
-    result = run_fleet_load(_fleet_config(args), load, registry=_registry(args))
-    text = result.render()
+        client_result = run_client_load(
+            args.url, n_jobs=args.jobs, seed=args.seed
+        )
+        text = client_result.render()
+    else:
+        from .loadgen import FleetLoadConfig, run_fleet_load
+
+        load = FleetLoadConfig(
+            n_jobs=args.jobs,
+            rate_per_s=args.rate,
+            process=args.process,
+            mean_burst_jobs=args.mean_burst,
+            seed=args.seed,
+        )
+        result = run_fleet_load(
+            _fleet_config(args), load, registry=_registry(args)
+        )
+        text = result.render()
     print(text)
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
         print(f"wrote {out}")
+    if not args.url and args.strict and result.lost_shards:
+        print(
+            f"strict: {len(result.lost_shards)} shard(s) lost",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -90,6 +112,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _add_common_args(parser: argparse.ArgumentParser) -> None:
     from ..experiments.runner import SCHEDULER_NAMES
+    from .executor import EXECUTOR_NAMES
 
     parser.add_argument("--shards", type=int, default=4,
                         help="number of independent broker partitions")
@@ -99,6 +122,10 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bucket", default="uniform",
                         choices=["small", "uniform", "large"])
     parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--executor", default="inprocess",
+                        choices=list(EXECUTOR_NAMES),
+                        help="who drives the shards: this process, or one "
+                             "spawned worker process per shard")
 
 
 def register_fleet_commands(sub: "argparse._SubParsersAction") -> None:
@@ -131,6 +158,11 @@ def register_fleet_commands(sub: "argparse._SubParsersAction") -> None:
     p_load.add_argument("--mean-burst", type=float, default=10.0)
     p_load.add_argument("--out", default=None,
                         help="also write the rendered summary to a file")
+    p_load.add_argument("--strict", action="store_true",
+                        help="exit 3 if any shard was lost mid-run")
+    p_load.add_argument("--url", default=None,
+                        help="drive an already-served fleet over HTTP via "
+                             "FleetClient instead of running one in-process")
     p_load.set_defaults(func=_cmd_loadgen)
 
     p_report = fleet_sub.add_parser(

@@ -2,9 +2,14 @@
 
 Each shard gets its own seeded arrival stream (substream-derived, so the
 fleet's total workload is a pure function of ``(seed, n_shards)``) and
-its own tenant rotation drawn from the tenants routed to it. Shards are
-driven to completion one at a time — the shards share nothing, so the
-interleave cannot change any result, only the wall clock.
+its own tenant rotation drawn from the tenants routed to it. *Who*
+drives the shards is the executor's business (:mod:`repro.fleet.
+executor`): the in-process executor drives them to completion one at a
+time; the multiprocess executor fans the same per-shard streams out to
+one worker process each and they run concurrently. The shards share
+nothing, so the executor cannot change any result — only the wall
+clock — and the ``repro check`` executor-parity pass holds both to one
+``fleet_sha256``.
 
 Throughput is reported two ways, and the distinction matters on a
 one-core container:
@@ -14,11 +19,13 @@ one-core container:
   (one core per shard, which is the deployment the sharding exists for)
   would deliver, since shards progress independently.
 * ``serial_jobs_per_s`` — total jobs over the *sum* of shard submission
-  walls: what this process actually did, the honest lower bound.
+  walls: what one sequential process does, the honest lower bound.
 
 Both figures land in the bench report (``BENCH_core.json``); the fleet
 acceptance target (≥100k jobs/s aggregate across ≥4 shards) is scored
-on the aggregate figure.
+on the aggregate figure, and the ``fleet_loadgen_procs`` scenario
+additionally scores the multiprocess executor against the in-process
+serial figure.
 """
 
 from __future__ import annotations
@@ -26,23 +33,29 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
-from ..common import substream_seed
+from ..common import split_evenly, substream_seed
 from ..service.loadgen import (
     LoadGenConfig,
     SubmissionTiming,
     drive_arrivals,
     generate_arrivals,
 )
-from ..workload.distributions import Bucket
 from ..workload.document import Job
 from ..workload.generator import WorkloadGenerator
 from .aggregate import FleetReport
 from .sharding import BrokerShard, FleetConfig, FleetManager
 from .tenants import TenantRegistry
 
-__all__ = ["FleetLoadConfig", "FleetLoadResult", "run_fleet_load"]
+__all__ = [
+    "FleetLoadConfig",
+    "FleetLoadResult",
+    "ClientLoadResult",
+    "drive_shard_load",
+    "run_fleet_load",
+    "run_client_load",
+]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -50,7 +63,8 @@ class FleetLoadConfig:
     """Knobs of one fleet-wide load run.
 
     ``n_jobs`` is the fleet total; each populated shard receives an equal
-    share (the last populated shard absorbs the remainder).
+    share (the last populated shard absorbs the remainder — the
+    :func:`repro.common.split_evenly` convention).
     """
 
     n_jobs: int = 100_000
@@ -77,10 +91,19 @@ class FleetLoadResult:
     report: FleetReport
     shard_timings: list[SubmissionTiming]
     drain_wall_s: float = 0.0
+    #: Parent-side wall clock around the whole submission phase — under
+    #: the multiprocess executor this is the *concurrent* figure (all
+    #: workers driving at once), honest end-to-end including IPC.
+    submit_phase_wall_s: float = 0.0
+    executor_name: str = "inprocess"
 
     @property
     def n_submitted(self) -> int:
         return sum(t.n_submitted for t in self.shard_timings)
+
+    @property
+    def lost_shards(self) -> dict[int, str]:
+        return dict(self.report.lost_shards)
 
     @property
     def max_shard_wall_s(self) -> float:
@@ -91,11 +114,26 @@ class FleetLoadResult:
         return sum(t.submit_wall_s for t in self.shard_timings)
 
     @property
+    def max_shard_cpu_s(self) -> float:
+        """Slowest shard by CPU clock — per-worker cost on its own core."""
+        return max((t.submit_cpu_s for t in self.shard_timings), default=0.0)
+
+    @property
     def aggregate_jobs_per_s(self) -> float:
         """Scale-out capacity: total jobs over the slowest shard's wall."""
         if self.max_shard_wall_s <= 0:
             return 0.0
         return self.n_submitted / self.max_shard_wall_s
+
+    @property
+    def aggregate_cpu_jobs_per_s(self) -> float:
+        """Scale-out capacity on the CPU clock: total jobs over the
+        slowest shard's submit *CPU* time. Identical to
+        :attr:`aggregate_jobs_per_s` when each worker has its own core;
+        still the one-core-per-shard figure when workers timeshare."""
+        if self.max_shard_cpu_s <= 0:
+            return 0.0
+        return self.n_submitted / self.max_shard_cpu_s
 
     @property
     def serial_jobs_per_s(self) -> float:
@@ -104,12 +142,19 @@ class FleetLoadResult:
             return 0.0
         return self.n_submitted / self.total_shard_wall_s
 
+    @property
+    def wall_jobs_per_s(self) -> float:
+        """Total jobs over the parent's submission-phase wall clock."""
+        if self.submit_phase_wall_s <= 0:
+            return 0.0
+        return self.n_submitted / self.submit_phase_wall_s
+
     def render(self) -> str:
         c = self.config
         lines = [
             f"fleet load: {self.n_submitted} jobs over "
             f"{len(self.shard_timings)} shards via {c.process} arrivals "
-            f"@ {c.rate_per_s:g}/s per shard",
+            f"@ {c.rate_per_s:g}/s per shard ({self.executor_name} executor)",
             f"throughput: {self.aggregate_jobs_per_s:,.0f} jobs/s aggregate "
             f"(slowest shard {self.max_shard_wall_s:.2f}s), "
             f"{self.serial_jobs_per_s:,.0f} jobs/s serial "
@@ -121,21 +166,47 @@ class FleetLoadResult:
 
 
 def _tenant_rotation(
-    shard: BrokerShard, root_seed: int
+    tenant_ids: list[str], shard_index: int, root_seed: int
 ) -> Iterator[str]:
     """Endless deterministic tenant draw over one shard's tenants."""
-    tenant_ids = shard.tenant_ids
     rng = random.Random(
-        substream_seed(root_seed, "shard", shard.index, "tenant-rotation")
+        substream_seed(root_seed, "shard", shard_index, "tenant-rotation")
     )
     while True:
         yield tenant_ids[rng.randrange(len(tenant_ids))]
+
+
+def drive_shard_load(
+    shard: BrokerShard, stream: LoadGenConfig, rotation_seed: int
+) -> SubmissionTiming:
+    """Drive one shard's arrival stream to completion, wherever it runs.
+
+    This is the body of the executor's ``load`` op: the in-process
+    executor calls it here, a worker process calls it on its own shard —
+    the stream and rotation are regenerated from seeds either way, so
+    the submissions are byte-identical across executors.
+    """
+    generator = WorkloadGenerator(bucket=stream.bucket, seed=stream.seed)
+    rotation = _tenant_rotation(shard.tenant_ids, shard.index, rotation_seed)
+    # The tenant draw rides the arrival iterator, outside the timed
+    # region: drive_arrivals times submit() round trips only.
+    arrivals = (
+        (arrival_time, _Tagged(jobs, next(rotation)))
+        for arrival_time, jobs in generate_arrivals(stream, generator=generator)
+    )
+    submit: Callable[[float, list[Job]], object] = (
+        lambda arrival_time, jobs: shard.submit(
+            jobs.tenant_id, jobs, arrival_time=arrival_time  # type: ignore[attr-defined]
+        )
+    )
+    return drive_arrivals(submit, arrivals)
 
 
 def run_fleet_load(
     fleet_config: Optional[FleetConfig] = None,
     load_config: Optional[FleetLoadConfig] = None,
     registry: Optional[TenantRegistry] = None,
+    executor: Optional[str] = None,
 ) -> FleetLoadResult:
     """Drive one open-loop load run through a fresh fleet.
 
@@ -143,60 +214,145 @@ def run_fleet_load(
     brokers still run to completion so the merged trace covers the whole
     fleet. Submission timing excludes job synthesis and tenant draws —
     only the quote/admit/dispatch round trip is on the clock, same
-    convention as the single-broker driver.
+    convention as the single-broker driver. ``executor`` overrides the
+    fleet config's choice (the CLI's ``--executor`` flag lands here).
     """
     fleet_config = fleet_config if fleet_config is not None else FleetConfig()
     load_config = load_config if load_config is not None else FleetLoadConfig()
-    manager = FleetManager(fleet_config, registry)
+    manager = FleetManager(fleet_config, registry, executor=executor)
 
-    populated = [s for s in manager.shards if s.tenant_ids]
+    n_shards = manager.n_shards
+    populated = [
+        index
+        for index in range(n_shards)
+        if manager.registry.tenants_for_shard(index, n_shards)
+    ]
     if not populated:
         raise ValueError("no shard has any tenants routed to it")
-    share = load_config.n_jobs // len(populated)
-    timings: dict[int, SubmissionTiming] = {
-        s.index: SubmissionTiming() for s in manager.shards
-    }
-    for k, shard in enumerate(populated):
-        n_jobs = share if k < len(populated) - 1 else load_config.n_jobs - share * k
+    shares = split_evenly(load_config.n_jobs, len(populated))
+    assignments: dict[int, tuple[LoadGenConfig, int]] = {}
+    for index, n_jobs in zip(populated, shares):
         if n_jobs == 0:
             continue
-        shard_stream = LoadGenConfig(
-            n_jobs=n_jobs,
-            rate_per_s=load_config.rate_per_s,
-            process=load_config.process,
-            mean_burst_jobs=load_config.mean_burst_jobs,
-            bucket=fleet_config.bucket,
-            seed=substream_seed(load_config.seed, "shard", shard.index, "arrivals"),
-        )
-        generator = WorkloadGenerator(
-            bucket=fleet_config.bucket, seed=shard_stream.seed
-        )
-        rotation = _tenant_rotation(shard, load_config.seed)
-        # The tenant draw rides the arrival iterator, outside the timed
-        # region: drive_arrivals times submit() round trips only.
-        arrivals = (
-            (arrival_time, _Tagged(jobs, next(rotation)))
-            for arrival_time, jobs in generate_arrivals(
-                shard_stream, generator=generator
-            )
-        )
-        timings[shard.index] = drive_arrivals(
-            lambda arrival_time, jobs, shard=shard: shard.submit(
-                jobs.tenant_id, jobs, arrival_time=arrival_time
+        assignments[index] = (
+            LoadGenConfig(
+                n_jobs=n_jobs,
+                rate_per_s=load_config.rate_per_s,
+                process=load_config.process,
+                mean_burst_jobs=load_config.mean_burst_jobs,
+                bucket=fleet_config.bucket,
+                seed=substream_seed(load_config.seed, "shard", index, "arrivals"),
             ),
-            arrivals,
+            load_config.seed,
         )
+
+    t0 = time.perf_counter()  # repro: allow[DET001] submit-phase meter
+    driven = manager.executor.run_load(assignments)
+    submit_phase_wall_s = time.perf_counter() - t0  # repro: allow[DET001] submit-phase meter
 
     t0 = time.perf_counter()  # repro: allow[DET001] drain-time meter
     report = manager.finish()
     drain_wall_s = time.perf_counter() - t0  # repro: allow[DET001] drain-time meter
+
+    timings: list[SubmissionTiming] = []
+    for index in range(n_shards):
+        timing = driven.get(index)
+        timings.append(timing if timing is not None else SubmissionTiming())
     return FleetLoadResult(
         config=load_config,
         fleet=fleet_config,
         report=report,
-        shard_timings=[timings[s.index] for s in manager.shards],
+        shard_timings=timings,
         drain_wall_s=drain_wall_s,
+        submit_phase_wall_s=submit_phase_wall_s,
+        executor_name=manager.executor_name,
     )
+
+
+@dataclass
+class ClientLoadResult:
+    """Summary of one HTTP client-driven load run (``loadgen --url``)."""
+
+    url: str
+    n_submitted: int = 0
+    n_admitted: int = 0
+    n_rejected: int = 0
+    n_groups: int = 0
+    quota_refusals: int = 0
+    exhausted_tenants: tuple[str, ...] = ()
+    submit_wall_s: float = 0.0
+
+    @property
+    def jobs_per_s(self) -> float:
+        if self.submit_wall_s <= 0:
+            return 0.0
+        return self.n_submitted / self.submit_wall_s
+
+    def render(self) -> str:
+        lines = [
+            f"client load: {self.n_submitted} jobs in {self.n_groups} "
+            f"requests against {self.url} "
+            f"({self.jobs_per_s:,.0f} jobs/s over HTTP)",
+            f"outcomes: {self.n_admitted} admitted, {self.n_rejected} "
+            f"rejected, {self.quota_refusals} quota refusals",
+        ]
+        if self.exhausted_tenants:
+            lines.append(
+                "exhausted tenants: " + ", ".join(self.exhausted_tenants)
+            )
+        return "\n".join(lines)
+
+
+def run_client_load(
+    url: str,
+    n_jobs: int = 200,
+    mean_group_jobs: float = 5.0,
+    seed: int = 2024,
+    timeout_s: float = 30.0,
+) -> ClientLoadResult:
+    """Drive a *served* fleet over HTTP through :class:`FleetClient`.
+
+    The in-process driver (:func:`run_fleet_load`) measures the brokers;
+    this drives the whole service — schema validation, routing, JSON —
+    against whatever ``repro fleet serve`` stood up. The tenant draw and
+    group sizes are seeded, so two runs against identical servers issue
+    identical requests. Tenants whose quota the server reports exhausted
+    (HTTP 429) are retired from the rotation; the run ends when ``n_jobs``
+    have been accepted for processing or every tenant is exhausted.
+    """
+    from .client import FleetAPIError, FleetClient
+
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be positive")
+    rng = random.Random(substream_seed(seed, "client-load"))
+    result = ClientLoadResult(url=url)
+    with FleetClient(url, timeout_s=timeout_s) as client:
+        pool = [t.tenant_id for t in client.tenants()]
+        if not pool:
+            raise ValueError(f"fleet at {url} has no tenants")
+        exhausted: list[str] = []
+        span = max(1, round(2 * mean_group_jobs) - 1)
+        while result.n_submitted < n_jobs and pool:
+            tenant_id = pool[rng.randrange(len(pool))]
+            size = min(1 + rng.randrange(span), n_jobs - result.n_submitted)
+            t0 = time.perf_counter()  # repro: allow[DET001] throughput meter
+            try:
+                submitted = client.submit(tenant_id, size)
+            except FleetAPIError as exc:
+                if exc.code == "quota_exhausted":
+                    pool.remove(tenant_id)
+                    exhausted.append(tenant_id)
+                    result.quota_refusals += 1
+                    continue
+                raise
+            finally:
+                result.submit_wall_s += time.perf_counter() - t0  # repro: allow[DET001] throughput meter
+            result.n_groups += 1
+            result.n_submitted += len(submitted.outcomes)
+            result.n_admitted += submitted.n_admitted
+            result.n_rejected += len(submitted.outcomes) - submitted.n_admitted
+        result.exhausted_tenants = tuple(exhausted)
+    return result
 
 
 class _Tagged(list):

@@ -32,8 +32,9 @@ CostLedger`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..common import substream_seed
 from ..econ.billing import BillingMeter
@@ -49,7 +50,11 @@ from ..sim.tracing import JobRecord, RunTrace
 from ..workload.distributions import Bucket
 from ..workload.document import Job
 from ..workload.generator import WorkloadGenerator
-from .tenants import Tenant, TenantRegistry, default_registry
+from .tenants import TenantSpec, TenantRegistry, default_registry
+
+if TYPE_CHECKING:
+    from .aggregate import FleetReport
+    from .executor import ShardExecutor, ShardStatsSnapshot
 
 __all__ = [
     "FleetConfig",
@@ -65,26 +70,112 @@ __all__ = [
 QUOTA_REASON = "quota"
 
 
-@dataclass(frozen=True, kw_only=True)
+@dataclass(frozen=True, kw_only=True, init=False)
 class FleetConfig:
-    """Everything needed to stand up one fleet."""
+    """Everything needed to stand up one fleet.
 
-    n_shards: int = 4
-    seed: int = 2024
-    scheduler: str = "Op"
-    system: SystemConfig = SystemConfig()
-    policy: SLAPolicy = field(default_factory=SLAPolicy)
-    penalty: PenaltySchedule = field(default_factory=PenaltySchedule)
-    on_demand: OnDemandPrice = field(default_factory=OnDemandPrice)
-    bucket: Bucket = Bucket.UNIFORM
-    pretrain: bool = True
-    pretrain_samples: int = 400
+    ``executor`` names who drives the shards — ``"inprocess"`` (default;
+    shards as plain objects in this process) or ``"multiprocess"`` (one
+    spawn-context worker process per shard, see :mod:`repro.fleet.
+    executor`). The executor choice cannot change any digest: that is
+    the executor-parity contract ``repro check`` enforces.
 
-    def __post_init__(self) -> None:
-        if self.n_shards < 1:
+    ``pretrain_jobs`` was called ``pretrain_samples`` through PR 7; the
+    old keyword (and attribute) survive one release behind a
+    ``DeprecationWarning``.
+    """
+
+    n_shards: int
+    seed: int
+    scheduler: str
+    system: SystemConfig
+    policy: SLAPolicy
+    penalty: PenaltySchedule
+    on_demand: OnDemandPrice
+    bucket: Bucket
+    pretrain: bool
+    pretrain_jobs: int
+    executor: str
+    command_timeout_s: float
+    drain_timeout_s: float
+    command_queue_depth: int
+
+    def __init__(
+        self,
+        *,
+        n_shards: int = 4,
+        seed: int = 2024,
+        scheduler: str = "Op",
+        system: Optional[SystemConfig] = None,
+        policy: Optional[SLAPolicy] = None,
+        penalty: Optional[PenaltySchedule] = None,
+        on_demand: Optional[OnDemandPrice] = None,
+        bucket: Bucket = Bucket.UNIFORM,
+        pretrain: bool = True,
+        pretrain_jobs: Optional[int] = None,
+        executor: str = "inprocess",
+        command_timeout_s: float = 30.0,
+        drain_timeout_s: float = 600.0,
+        command_queue_depth: int = 16,
+        pretrain_samples: Optional[int] = None,
+    ) -> None:
+        if pretrain_samples is not None:
+            warnings.warn(
+                "FleetConfig(pretrain_samples=...) is deprecated and will be "
+                "removed next release; use pretrain_jobs=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if pretrain_jobs is not None:
+                raise TypeError(
+                    "pass pretrain_jobs or pretrain_samples, not both"
+                )
+            pretrain_jobs = pretrain_samples
+        if pretrain_jobs is None:
+            pretrain_jobs = 400
+        if n_shards < 1:
             raise ValueError("n_shards must be positive")
-        if self.pretrain_samples < 1:
-            raise ValueError("pretrain_samples must be positive")
+        if pretrain_jobs < 1:
+            raise ValueError("pretrain_jobs must be positive")
+        if command_timeout_s <= 0 or drain_timeout_s <= 0:
+            raise ValueError("executor timeouts must be positive")
+        if command_queue_depth < 1:
+            raise ValueError("command_queue_depth must be positive")
+        object.__setattr__(self, "n_shards", n_shards)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "scheduler", scheduler)
+        object.__setattr__(
+            self, "system", system if system is not None else SystemConfig()
+        )
+        object.__setattr__(
+            self, "policy", policy if policy is not None else SLAPolicy()
+        )
+        object.__setattr__(
+            self, "penalty", penalty if penalty is not None else PenaltySchedule()
+        )
+        object.__setattr__(
+            self,
+            "on_demand",
+            on_demand if on_demand is not None else OnDemandPrice(),
+        )
+        object.__setattr__(self, "bucket", bucket)
+        object.__setattr__(self, "pretrain", pretrain)
+        object.__setattr__(self, "pretrain_jobs", pretrain_jobs)
+        object.__setattr__(self, "executor", executor)
+        object.__setattr__(self, "command_timeout_s", command_timeout_s)
+        object.__setattr__(self, "drain_timeout_s", drain_timeout_s)
+        object.__setattr__(self, "command_queue_depth", command_queue_depth)
+
+    @property
+    def pretrain_samples(self) -> int:
+        """Deprecated alias for :attr:`pretrain_jobs` (one release)."""
+        warnings.warn(
+            "FleetConfig.pretrain_samples is deprecated and will be removed "
+            "next release; read pretrain_jobs",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.pretrain_jobs
 
     def shard_seed(self, index: int) -> int:
         """The environment master seed of shard ``index``."""
@@ -113,7 +204,7 @@ class TenantAccount:
     shared, so instance-time is not attributable to one tenant.
     """
 
-    tenant: Tenant
+    tenant: TenantSpec
     policy: SLAPolicy
     penalty: PenaltySchedule
     stats: StreamingSLAStats
@@ -150,7 +241,7 @@ class BrokerShard:
         self,
         index: int,
         config: FleetConfig,
-        tenants: Sequence[Tenant],
+        tenants: Sequence[TenantSpec],
     ) -> None:
         self.index = index
         self.config = config
@@ -162,7 +253,7 @@ class BrokerShard:
                 seed=substream_seed(config.seed, "shard", index, "pretrain"),
             )
             self.env.pretrain_qrsm(
-                *trainer.sample_training_set(config.pretrain_samples)
+                *trainer.sample_training_set(config.pretrain_jobs)
             )
         scheduler = make_scheduler(config.scheduler, self.env)
         self.stats = StreamingSLAStats(
@@ -351,26 +442,36 @@ class BrokerShard:
 class FleetManager:
     """The multi-tenant front: routing, validation, lifecycle.
 
+    The manager owns the routing table and one :class:`~repro.fleet.
+    executor.ShardExecutor`; every shard operation goes through the
+    executor's command protocol, so the manager behaves identically
+    whether shards live in this process (``"inprocess"``, the default)
+    or one worker process each (``"multiprocess"``). Callers that poke
+    shard objects directly — tests mostly — use :attr:`shards` /
+    :meth:`shard_for`, which exist only on the in-process executor.
+
     Shards are constructed eagerly (environment instantiation is cheap —
-    pinned by ``tests/test_environment_isolation.py``) so routing never
-    observes a half-built fleet.
+    pinned by ``tests/test_environment_isolation.py``; worker boot is
+    confirmed by a handshake) so routing never observes a half-built
+    fleet.
     """
 
     def __init__(
         self,
         config: Optional[FleetConfig] = None,
         registry: Optional[TenantRegistry] = None,
+        executor: Optional[str] = None,
     ) -> None:
+        from .executor import make_executor
+
         self.config = config if config is not None else FleetConfig()
         self.registry = registry if registry is not None else default_registry()
-        self.shards = [
-            BrokerShard(
-                i,
-                self.config,
-                self.registry.tenants_for_shard(i, self.config.n_shards),
-            )
-            for i in range(self.config.n_shards)
-        ]
+        self.executor_name = (
+            executor if executor is not None else self.config.executor
+        )
+        self.executor: "ShardExecutor" = make_executor(
+            self.executor_name, self.config, self.registry
+        )
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -378,14 +479,60 @@ class FleetManager:
     def n_shards(self) -> int:
         return self.config.n_shards
 
-    def shard_for(self, tenant_id: str) -> BrokerShard:
-        """Route a tenant to its home shard (raises UnknownTenantError)."""
+    @property
+    def shards(self) -> list[BrokerShard]:
+        """Direct shard access — in-process executor only."""
+        shards = getattr(self.executor, "shards", None)
+        if shards is None:
+            raise RuntimeError(
+                "direct shard access requires the in-process executor; "
+                f"this fleet runs {self.executor_name!r}"
+            )
+        return list(shards)
+
+    def shard_index_for(self, tenant_id: str) -> int:
+        """Route a tenant to its home shard index (raises UnknownTenantError)."""
         tenant = self.registry.get(tenant_id)
-        index = self.registry.shard_index(tenant.tenant_id, self.n_shards)
-        return self.shards[index]
+        return self.registry.shard_index(tenant.tenant_id, self.n_shards)
+
+    def shard_for(self, tenant_id: str) -> BrokerShard:
+        """Route a tenant to its home shard object (in-process only)."""
+        return self.shards[self.shard_index_for(tenant_id)]
 
     def account(self, tenant_id: str) -> TenantAccount:
-        return self.shard_for(tenant_id).account(tenant_id)
+        """One tenant's books — live in-process, a point-in-time copy
+        when the shard runs in a worker process."""
+        index = self.shard_index_for(tenant_id)
+        account = self.executor.call(index, "account", tenant_id)
+        assert isinstance(account, TenantAccount)
+        return account
+
+    def accounts(self) -> dict[str, TenantAccount]:
+        """Every tenant's books, fleet-wide (one op per shard)."""
+        merged: dict[str, TenantAccount] = {}
+        for index in range(self.n_shards):
+            merged.update(self.executor.call(index, "accounts"))
+        return merged
+
+    def stats_snapshots(self) -> "list[ShardStatsSnapshot]":
+        """Per-shard counter snapshots; lost shards marked, not raised."""
+        from .executor import ShardLostError, ShardStatsSnapshot
+
+        out: list[ShardStatsSnapshot] = []
+        for index in range(self.n_shards):
+            try:
+                out.append(self.executor.call(index, "stats"))
+            except ShardLostError as exc:
+                out.append(
+                    ShardStatsSnapshot(
+                        index=index, tenant_ids=(), counters={}, lost=exc.cause
+                    )
+                )
+        return out
+
+    def health(self) -> "list[Any]":
+        """Per-worker liveness (see :class:`~repro.fleet.executor.WorkerHealth`)."""
+        return list(self.executor.health())
 
     # ------------------------------------------------------------------
     def submit(
@@ -396,20 +543,50 @@ class FleetManager:
     ) -> list[SubmissionOutcome]:
         if self._finished:
             raise RuntimeError("fleet already finished")
-        return self.shard_for(tenant_id).submit(
-            tenant_id, jobs, arrival_time=arrival_time
+        index = self.shard_index_for(tenant_id)
+        _, outcomes = self.executor.call(
+            index, "submit", tenant_id, list(jobs), None, arrival_time
         )
+        return list(outcomes)
 
-    def quote(self, tenant_id: str, job: Job) -> SLAQuote:
-        return self.shard_for(tenant_id).quote(tenant_id, job)
+    def submit_count(
+        self,
+        tenant_id: str,
+        n_jobs: int,
+        arrival_time_s: Optional[float] = None,
+    ) -> tuple[float, list[SubmissionOutcome]]:
+        """Submit ``n_jobs`` synthesised from the home shard's seeded
+        API substream (the HTTP front's submission path)."""
+        if self._finished:
+            raise RuntimeError("fleet already finished")
+        index = self.shard_index_for(tenant_id)
+        arrival_time, outcomes = self.executor.call(
+            index, "submit", tenant_id, None, n_jobs, arrival_time_s
+        )
+        return float(arrival_time), list(outcomes)
+
+    def quote(self, tenant_id: str, job: Optional[Job] = None) -> SLAQuote:
+        """Price one job (synthesised on the shard when not supplied)."""
+        index = self.shard_index_for(tenant_id)
+        quote = self.executor.call(index, "quote", tenant_id, job)
+        assert isinstance(quote, SLAQuote)
+        return quote
 
     # ------------------------------------------------------------------
     def finish(self) -> "FleetReport":
-        """Drain every shard in index order and aggregate the fleet."""
-        from .aggregate import FleetReport, aggregate_shards
+        """Drain every shard in index order and aggregate the fleet.
+
+        Shards whose workers died are folded in as deterministic
+        ``LOST`` markers — the digest still certifies exactly what
+        happened, surviving shards still fold in shard-index order.
+        """
+        from .aggregate import aggregate_shards
 
         if self._finished:
             raise RuntimeError("fleet already finished")
         self._finished = True
-        results = [shard.finish() for shard in self.shards]
-        return aggregate_shards(self.config, self.registry, results)
+        try:
+            results, lost = self.executor.drain()
+        finally:
+            self.executor.close()
+        return aggregate_shards(self.config, self.registry, results, lost=lost)

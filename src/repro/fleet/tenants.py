@@ -11,8 +11,9 @@ job is arriving. This module supplies that vocabulary:
   weight** (breaking a gold promise costs proportionally more, wired
   into :class:`repro.econ.penalties.PenaltySchedule` via its ``scaled``
   knob), and default quota sizing.
-* :class:`Tenant` — one customer: identity, class, per-run job quota and
-  the derived admission policy / penalty schedule.
+* :class:`TenantSpec` — one customer: identity, class, per-run job quota
+  and the derived admission policy / penalty schedule. (``Tenant`` is a
+  one-release deprecated alias.)
 * :class:`TenantRegistry` — the fleet's directory: registration, lookup,
   and deterministic hash routing of tenants onto N broker shards
   (:func:`repro.common.stable_hash` — never the process-salted builtin
@@ -21,8 +22,9 @@ job is arriving. This module supplies that vocabulary:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 from ..common import stable_hash
 from ..econ.penalties import PenaltySchedule
@@ -37,7 +39,8 @@ __all__ = [
     "BRONZE",
     "SLA_CLASSES",
     "ScaledTicket",
-    "Tenant",
+    "TenantSpec",
+    "Tenant",  # deprecated alias for TenantSpec, one release
     "TenantRegistry",
     "UnknownTenantError",
     "default_registry",
@@ -100,7 +103,7 @@ class ScaledTicket:
 
 
 @dataclass(frozen=True, kw_only=True)
-class Tenant:
+class TenantSpec:
     """One registered customer of the fleet.
 
     ``quota_jobs`` caps the number of jobs this tenant may have
@@ -160,18 +163,18 @@ class TenantRegistry:
     fleet run may depend on incidental ordering.
     """
 
-    def __init__(self, tenants: "Optional[list[Tenant]]" = None) -> None:
-        self._tenants: dict[str, Tenant] = {}
+    def __init__(self, tenants: "Optional[list[TenantSpec]]" = None) -> None:
+        self._tenants: dict[str, TenantSpec] = {}
         for tenant in tenants or []:
             self.register(tenant)
 
-    def register(self, tenant: Tenant) -> Tenant:
+    def register(self, tenant: TenantSpec) -> TenantSpec:
         if tenant.tenant_id in self._tenants:
             raise ValueError(f"tenant {tenant.tenant_id!r} already registered")
         self._tenants[tenant.tenant_id] = tenant
         return tenant
 
-    def get(self, tenant_id: str) -> Tenant:
+    def get(self, tenant_id: str) -> TenantSpec:
         try:
             return self._tenants[tenant_id]
         except KeyError:
@@ -183,7 +186,7 @@ class TenantRegistry:
     def __len__(self) -> int:
         return len(self._tenants)
 
-    def __iter__(self) -> Iterator[Tenant]:
+    def __iter__(self) -> Iterator[TenantSpec]:
         return iter(self._tenants.values())
 
     @property
@@ -200,7 +203,7 @@ class TenantRegistry:
             raise ValueError("n_shards must be positive")
         return stable_hash("tenant/" + tenant_id) % n_shards
 
-    def tenants_for_shard(self, shard: int, n_shards: int) -> list[Tenant]:
+    def tenants_for_shard(self, shard: int, n_shards: int) -> list[TenantSpec]:
         """The tenants routed to one shard, in registration order."""
         return [
             t
@@ -222,9 +225,22 @@ def default_registry(n_tenants: int = 12) -> TenantRegistry:
     registry = TenantRegistry()
     for i in range(n_tenants):
         registry.register(
-            Tenant(
+            TenantSpec(
                 tenant_id=f"acme-{i + 1:03d}",
                 sla_class=cycle[i % len(cycle)],
             )
         )
     return registry
+
+
+def __getattr__(name: str) -> Any:
+    """One-release deprecation shim: ``Tenant`` -> :class:`TenantSpec`."""
+    if name == "Tenant":
+        warnings.warn(
+            "repro.fleet.tenants.Tenant is deprecated and will be removed "
+            "next release; use TenantSpec",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TenantSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,22 +24,33 @@ optimises, each reported with the metric an operator would regress on:
   slowest shard's submission wall — the N-process deployment rate the
   sharding exists for) and the honest single-process serial figure,
   plus the run's fleet SHA-256 so a bench run doubles as a determinism
-  witness.
+  witness;
+* **fleet_loadgen_procs** — the same fleet workload under the
+  *multiprocess* executor (one spawned worker process per shard) next
+  to an in-process baseline. The two executors must produce one fleet
+  SHA-256 (enforced — this scenario is the bench-side executor-parity
+  witness); the scored figure is the aggregate rate on the per-worker
+  CPU clock (total jobs over the slowest shard's submit CPU seconds:
+  what one-core-per-shard deploys at, measured honestly even when the
+  bench box timeshares the workers on fewer cores), and
+  ``speedup_vs_inprocess`` pins it against the in-process serial
+  figure.
 
 ``run_bench`` writes the machine-readable report to ``BENCH_core.json``
 (schema below) and returns it; ``repro bench --smoke`` runs a tiny preset
 that exercises every scenario in seconds for CI.
 
-JSON schema (``schema_version`` 3)::
+JSON schema (``schema_version`` 4)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "smoke": bool,
       "python": "3.x.y",
       "preset": {"engine_events": int, "offline_n_batches": int,
                  "offline_reps": int, "loadgen_jobs": int,
                  "loadgen_bursty_jobs": int, "fleet_jobs": int,
-                 "fleet_shards": int, "fleet_reps": int},
+                 "fleet_shards": int, "fleet_reps": int,
+                 "fleet_procs_jobs": int},
       "scenarios": {
         "engine":  {"events_per_s": float, "n_events": int,
                     "wall_s": float, "compactions": int},
@@ -58,7 +69,16 @@ JSON schema (``schema_version`` 3)::
                     "scheduler": str, "process": str,
                     "max_shard_wall_s": float,
                     "total_shard_wall_s": float, "drain_wall_s": float,
-                    "quota_rejected": int, "fleet_sha256": str}
+                    "quota_rejected": int, "fleet_sha256": str},
+        "fleet_loadgen_procs": {"aggregate_jobs_per_s": float,
+                    "wall_jobs_per_s": float,
+                    "inprocess_serial_jobs_per_s": float,
+                    "speedup_vs_inprocess": float, "n_jobs": int,
+                    "n_shards": int, "reps": int, "scheduler": str,
+                    "process": str, "executor": "multiprocess",
+                    "max_shard_cpu_s": float,
+                    "submit_phase_wall_s": float, "drain_wall_s": float,
+                    "fleet_sha256": str}
       }
     }
 
@@ -77,7 +97,7 @@ from typing import Any, Optional
 
 __all__ = ["SCHEMA_VERSION", "BenchPreset", "BenchReport", "run_bench", "main"]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -92,6 +112,9 @@ class BenchPreset:
     fleet_jobs: int = 0
     fleet_shards: int = 4
     fleet_reps: int = 1
+    #: Jobs for the multiprocess-executor scenario (0 skips it); it
+    #: reuses ``fleet_shards`` for the shard count.
+    fleet_procs_jobs: int = 0
 
 
 #: The canonical preset: large enough that per-run noise is small and the
@@ -105,6 +128,7 @@ FULL = BenchPreset(
     fleet_jobs=40_000,
     fleet_shards=8,
     fleet_reps=3,
+    fleet_procs_jobs=8_000,
 )
 
 #: CI preset: every scenario runs, nothing takes more than a few seconds.
@@ -115,6 +139,7 @@ SMOKE = BenchPreset(
     loadgen_jobs=200,
     loadgen_bursty_jobs=150,
     fleet_jobs=400,
+    fleet_procs_jobs=400,
 )
 
 
@@ -353,6 +378,119 @@ def _fleet_scenario(n_jobs: int, n_shards: int, reps: int) -> dict[str, Any]:
     }
 
 
+def _fleet_procs_scenario(n_jobs: int, n_shards: int, reps: int) -> dict[str, Any]:
+    """The fleet workload under one worker process per shard.
+
+    Two runs per rep: the multiprocess executor (spawn-context workers
+    driving their shards concurrently) and the in-process baseline
+    driving the same shards sequentially. Every run — both executors,
+    all reps — must land on one fleet SHA-256; this is the bench-side
+    half of the ``repro check`` executor-parity gate.
+
+    The scored figure is the aggregate rate on the **per-worker CPU
+    clock**: total jobs over the slowest shard's submit CPU seconds
+    (best across reps, the min-wall convention). One core per shard is
+    the deployment the multiprocess executor exists for, and the CPU
+    clock measures that deployment honestly even when the bench box
+    timeshares all workers on fewer cores — wall-clock aggregate on an
+    oversubscribed box would charge scheduler interleaving against
+    fleet capacity. The parent-side ``wall_jobs_per_s`` (jobs over the
+    whole concurrent submission phase, IPC included) is reported
+    unscored for exactly that reason.
+    """
+    import gc
+
+    from ..fleet import (
+        FleetConfig,
+        FleetLoadConfig,
+        default_registry,
+        run_fleet_load,
+    )
+    from ..metrics.tickets import ProportionalTicket
+    from ..service import SLAPolicy
+
+    fleet = FleetConfig(
+        n_shards=n_shards,
+        seed=2024,
+        scheduler="Op",
+        policy=SLAPolicy(
+            ticket=ProportionalTicket(base_s=300.0, factor=6.0),
+            degraded_slack_s=-120.0,
+            max_in_system=60,
+        ),
+    )
+    load = FleetLoadConfig(
+        n_jobs=n_jobs,
+        rate_per_s=50.0,
+        process="bursty",
+        mean_burst_jobs=8.0,
+        seed=2024,
+    )
+    reps = max(1, reps)
+    mp_results = []
+    base_results = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            mp_results.append(
+                run_fleet_load(
+                    fleet,
+                    load,
+                    registry=default_registry(3 * n_shards),
+                    executor="multiprocess",
+                )
+            )
+            base_results.append(
+                run_fleet_load(
+                    fleet,
+                    load,
+                    registry=default_registry(3 * n_shards),
+                    executor="inprocess",
+                )
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    digests = {r.report.sha256 for r in mp_results + base_results}
+    if len(digests) != 1:
+        raise RuntimeError(
+            "executor parity broken in bench: multiprocess and in-process "
+            f"runs produced {len(digests)} distinct fleet digests: "
+            f"{sorted(digests)}"
+        )
+    lost = {i for r in mp_results for i in r.lost_shards}
+    if lost:
+        raise RuntimeError(f"bench fleet lost worker shard(s) {sorted(lost)}")
+    first = mp_results[0]
+    n_submitted = first.n_submitted
+    best_cpu = [
+        min(r.shard_timings[i].submit_cpu_s for r in mp_results)
+        for i in range(len(first.shard_timings))
+    ]
+    max_cpu = max(best_cpu, default=0.0)
+    serial_wall = min(r.total_shard_wall_s for r in base_results)
+    phase_wall = min(r.submit_phase_wall_s for r in mp_results)
+    aggregate = n_submitted / max_cpu if max_cpu > 0 else 0.0
+    serial = n_submitted / serial_wall if serial_wall > 0 else 0.0
+    return {
+        "aggregate_jobs_per_s": aggregate,
+        "wall_jobs_per_s": n_submitted / phase_wall if phase_wall > 0 else 0.0,
+        "inprocess_serial_jobs_per_s": serial,
+        "speedup_vs_inprocess": aggregate / serial if serial > 0 else 0.0,
+        "n_jobs": n_submitted,
+        "n_shards": n_shards,
+        "reps": reps,
+        "scheduler": fleet.scheduler,
+        "process": load.process,
+        "executor": "multiprocess",
+        "max_shard_cpu_s": max_cpu,
+        "submit_phase_wall_s": phase_wall,
+        "drain_wall_s": min(r.drain_wall_s for r in mp_results),
+        "fleet_sha256": first.report.sha256,
+    }
+
+
 # ----------------------------------------------------------------------
 # Report
 # ----------------------------------------------------------------------
@@ -409,6 +547,17 @@ class BenchReport:
                 f"{fl['n_jobs']} jobs via {fl['process']}, "
                 f"best of {fl['reps']} reps, sha {fl['fleet_sha256'][:12]})"
             )
+        fp = self.scenarios.get("fleet_loadgen_procs")
+        if fp is not None:
+            lines.append(
+                f"  fleet_loadgen_procs {fp['scheduler']}: "
+                f"{fp['aggregate_jobs_per_s']:,.0f} jobs/s aggregate over "
+                f"{fp['n_shards']} worker processes "
+                f"({fp['speedup_vs_inprocess']:.1f}x in-process serial, "
+                f"{fp['wall_jobs_per_s']:,.0f} jobs/s phase wall, "
+                f"{fp['n_jobs']} jobs, best of {fp['reps']} reps, "
+                f"sha {fp['fleet_sha256'][:12]})"
+            )
         return "\n".join(lines)
 
 
@@ -434,6 +583,10 @@ def run_bench(
     if preset.fleet_jobs > 0:
         scenarios["fleet_loadgen"] = _fleet_scenario(
             preset.fleet_jobs, preset.fleet_shards, preset.fleet_reps
+        )
+    if preset.fleet_procs_jobs > 0:
+        scenarios["fleet_loadgen_procs"] = _fleet_procs_scenario(
+            preset.fleet_procs_jobs, preset.fleet_shards, preset.fleet_reps
         )
     report = BenchReport(smoke=smoke, preset=preset, scenarios=scenarios)
     path = Path(out_path)

@@ -47,9 +47,14 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class LoadGenConfig:
-    """Knobs of one load-generation run."""
+    """Knobs of one load-generation run.
+
+    Keyword-only since PR 8 (the API-redesign convention every config in
+    the tree follows): positional construction fails loudly rather than
+    silently binding the wrong knob.
+    """
 
     n_jobs: int = 100_000
     rate_per_s: float = 50.0
@@ -122,6 +127,11 @@ class SubmissionTiming:
     n_submitted: int = 0
     n_groups: int = 0
     submit_wall_s: float = 0.0
+    #: CPU seconds this process spent inside submit() round trips. On a
+    #: loaded machine wall > cpu; per-worker cpu is what one shard would
+    #: cost on its own core, which is what the fleet's modeled aggregate
+    #: figure needs when workers timeshare fewer cores than shards.
+    submit_cpu_s: float = 0.0
     quote_latency_s: list[float] = field(default_factory=list)
 
 
@@ -140,8 +150,10 @@ def drive_arrivals(
     timing = SubmissionTiming()
     for arrival_time, jobs in arrivals:
         t0 = time.perf_counter()  # repro: allow[DET001] quote-latency meter
+        c0 = time.process_time()  # repro: allow[DET001] quote-latency meter
         submit(arrival_time, jobs)
         group_s = time.perf_counter() - t0  # repro: allow[DET001] quote-latency meter
+        timing.submit_cpu_s += time.process_time() - c0  # repro: allow[DET001] quote-latency meter
         timing.submit_wall_s += group_s
         per_job = group_s / len(jobs)
         timing.quote_latency_s.extend([per_job] * len(jobs))

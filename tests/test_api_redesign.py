@@ -154,6 +154,7 @@ class TestBenchReportSchema:
             fleet_jobs=60,
             fleet_shards=2,
             fleet_reps=2,
+            fleet_procs_jobs=60,
         )
         report = run_bench(smoke=True, out_path=out, preset=preset)
         assert report.path == out
@@ -187,6 +188,15 @@ class TestBenchReportSchema:
         assert fleet["aggregate_jobs_per_s"] >= fleet["serial_jobs_per_s"] > 0
         assert len(fleet["fleet_sha256"]) == 64
         assert fleet["quota_rejected"] >= 0
+        procs = scenarios["fleet_loadgen_procs"]
+        assert procs["executor"] == "multiprocess"
+        assert procs["n_jobs"] == 60
+        assert procs["aggregate_jobs_per_s"] > 0
+        assert procs["inprocess_serial_jobs_per_s"] > 0
+        assert procs["speedup_vs_inprocess"] > 0
+        # The scenario itself enforces executor parity; the digest it
+        # reports is the same workload the in-process scenario hashed.
+        assert procs["fleet_sha256"] == fleet["fleet_sha256"]
 
     def test_fleet_scenario_skipped_when_zeroed(self, tmp_path):
         preset = BenchPreset(
@@ -197,9 +207,10 @@ class TestBenchReportSchema:
         )
         report = run_bench(smoke=True, out_path=tmp_path / "b.json", preset=preset)
         assert "fleet_loadgen" not in report.scenarios
+        assert "fleet_loadgen_procs" not in report.scenarios
 
     def test_committed_bench_artifact_meets_fleet_target(self):
-        """BENCH_core.json is the acceptance artifact: schema v3 with the
+        """BENCH_core.json is the acceptance artifact: schema v4 with the
         fleet scenario sustaining >=100k jobs/s aggregate over >=4 shards."""
         bench_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
         data = json.loads(bench_path.read_text())
@@ -208,6 +219,19 @@ class TestBenchReportSchema:
         assert fleet["n_shards"] >= 4
         assert fleet["aggregate_jobs_per_s"] >= 100_000
         assert len(fleet["fleet_sha256"]) == 64
+
+    def test_committed_bench_artifact_meets_procs_target(self):
+        """ISSUE 8 acceptance: the multiprocess executor sustains >=2x
+        the in-process serial rate on >=4 shards (CPU-clock aggregate —
+        the one-core-per-shard deployment figure), and its digest is the
+        same workload digest the in-process fleet scenario reports."""
+        bench_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+        data = json.loads(bench_path.read_text())
+        procs = data["scenarios"]["fleet_loadgen_procs"]
+        assert procs["executor"] == "multiprocess"
+        assert procs["n_shards"] >= 4
+        assert procs["speedup_vs_inprocess"] >= 2.0
+        assert len(procs["fleet_sha256"]) == 64
 
     def test_bursty_scenario_skipped_when_zeroed(self, tmp_path):
         preset = BenchPreset(

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 
 from repro.analysis.determinism import hash_trace
-from repro.fleet import FleetConfig, Tenant
+from repro.fleet import FleetConfig, TenantSpec
 from repro.fleet.sharding import BrokerShard
 from repro.sim.environment import CloudBurstEnvironment, SystemConfig
 
@@ -43,10 +43,10 @@ class TestNoSharedMutableState:
         assert b.rng.random() == first_draw
 
     def test_pretraining_one_estimator_leaves_the_twin_unfitted(self):
-        shard_config = FleetConfig(n_shards=1, pretrain_samples=40)
+        shard_config = FleetConfig(n_shards=1, pretrain_jobs=40)
         untrained = make_env()
         shard = BrokerShard(
-            0, shard_config, [Tenant(tenant_id="only")]
+            0, shard_config, [TenantSpec(tenant_id="only")]
         )
         assert shard.env.qrsm.coef_ is not None
         assert untrained.qrsm.coef_ is None
@@ -61,8 +61,8 @@ class TestInterleavedShardsStayIndependent:
             shard.submit("only", jobs, arrival_time=arrival_time)
 
     def test_interleaved_run_hashes_equal_sequential_run(self):
-        config = FleetConfig(n_shards=1, seed=2024, pretrain_samples=40)
-        tenants = [Tenant(tenant_id="only")]
+        config = FleetConfig(n_shards=1, seed=2024, pretrain_jobs=40)
+        tenants = [TenantSpec(tenant_id="only")]
 
         solo = BrokerShard(0, config, tenants)
         self.drive(solo, 6)
@@ -70,7 +70,7 @@ class TestInterleavedShardsStayIndependent:
 
         subject = BrokerShard(0, config, tenants)
         noisy_neighbor = BrokerShard(
-            0, FleetConfig(n_shards=1, seed=999, pretrain_samples=40), tenants
+            0, FleetConfig(n_shards=1, seed=999, pretrain_jobs=40), tenants
         )
         for _ in range(6):
             self.drive(subject, 1)

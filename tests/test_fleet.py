@@ -22,7 +22,7 @@ from repro.fleet import (
     FleetManager,
     ScaledTicket,
     SLAClass,
-    Tenant,
+    TenantSpec,
     TenantRegistry,
     UnknownTenantError,
     default_registry,
@@ -37,7 +37,7 @@ from repro.sim.tracing import JobRecord
 def fast_config(**overrides) -> FleetConfig:
     """A small fleet with a minimal QRSM pretrain (quotes need a fitted
     estimator; unit tests don't need a well-calibrated one)."""
-    defaults = dict(n_shards=2, seed=2024, pretrain_samples=40)
+    defaults = dict(n_shards=2, seed=2024, pretrain_jobs=40)
     defaults.update(overrides)
     return FleetConfig(**defaults)
 
@@ -89,7 +89,7 @@ class TestSLAClasses:
 class TestTenant:
     def test_gold_policy_rescales_only_the_ticket(self):
         base = SLAPolicy(ticket=ProportionalTicket(base_s=100.0, factor=2.0))
-        gold = Tenant(tenant_id="g", sla_class=GOLD).policy(base)
+        gold = TenantSpec(tenant_id="g", sla_class=GOLD).policy(base)
         assert isinstance(gold.ticket, ScaledTicket)
         assert gold.ticket.multiplier == GOLD.promise_multiplier
         assert gold.degraded_slack_s == base.degraded_slack_s
@@ -97,16 +97,16 @@ class TestTenant:
 
     def test_silver_policy_is_the_base_unchanged(self):
         base = SLAPolicy(ticket=ProportionalTicket(base_s=100.0, factor=2.0))
-        assert Tenant(tenant_id="s", sla_class=SILVER).policy(base) is base
+        assert TenantSpec(tenant_id="s", sla_class=SILVER).policy(base) is base
 
     def test_promise_free_base_stays_promise_free(self):
         base = SLAPolicy(ticket=None)
-        assert Tenant(tenant_id="g", sla_class=GOLD).policy(base) is base
+        assert TenantSpec(tenant_id="g", sla_class=GOLD).policy(base) is base
 
     def test_penalty_schedule_scales_by_class_weight(self):
         base = PenaltySchedule()
-        gold = Tenant(tenant_id="g", sla_class=GOLD).penalty_schedule(base)
-        bronze = Tenant(tenant_id="b", sla_class=BRONZE).penalty_schedule(base)
+        gold = TenantSpec(tenant_id="g", sla_class=GOLD).penalty_schedule(base)
+        bronze = TenantSpec(tenant_id="b", sla_class=BRONZE).penalty_schedule(base)
         assert bronze is base  # weight 1.0
         late = record()
         late.promise_s = 10.0
@@ -122,22 +122,22 @@ class TestTenant:
             penalty_weight=1.0,
             default_quota_jobs=7,
         )
-        assert Tenant(tenant_id="a", sla_class=capped_class).effective_quota_jobs == 7
+        assert TenantSpec(tenant_id="a", sla_class=capped_class).effective_quota_jobs == 7
         assert (
-            Tenant(
+            TenantSpec(
                 tenant_id="b", sla_class=capped_class, quota_jobs=3
             ).effective_quota_jobs
             == 3
         )
-        assert Tenant(tenant_id="c").effective_quota_jobs is None
+        assert TenantSpec(tenant_id="c").effective_quota_jobs is None
 
     def test_tenant_id_validation(self):
         with pytest.raises(ValueError):
-            Tenant(tenant_id="")
+            TenantSpec(tenant_id="")
         with pytest.raises(ValueError):
-            Tenant(tenant_id="a/b")
+            TenantSpec(tenant_id="a/b")
         with pytest.raises(ValueError):
-            Tenant(tenant_id="ok", quota_jobs=0)
+            TenantSpec(tenant_id="ok", quota_jobs=0)
 
 
 # ----------------------------------------------------------------------
@@ -145,11 +145,11 @@ class TestTenant:
 # ----------------------------------------------------------------------
 class TestRegistryRouting:
     def test_register_get_and_unknown(self):
-        registry = TenantRegistry([Tenant(tenant_id="a")])
+        registry = TenantRegistry([TenantSpec(tenant_id="a")])
         assert registry.get("a").tenant_id == "a"
         assert "a" in registry and "zzz" not in registry
         with pytest.raises(ValueError):
-            registry.register(Tenant(tenant_id="a"))
+            registry.register(TenantSpec(tenant_id="a"))
         with pytest.raises(UnknownTenantError):
             registry.get("zzz")
 
@@ -188,7 +188,7 @@ class TestRegistryRouting:
 class TestQuota:
     def make_fleet(self, quota_jobs: int = 3) -> FleetManager:
         registry = TenantRegistry(
-            [Tenant(tenant_id="capped", quota_jobs=quota_jobs)]
+            [TenantSpec(tenant_id="capped", quota_jobs=quota_jobs)]
         )
         return FleetManager(fast_config(n_shards=1), registry)
 
@@ -248,7 +248,7 @@ class TestFleetDeterminism:
     def run_once(self, seed: int = 2024):
         registry = default_registry(7)
         registry.register(
-            Tenant(tenant_id="starved", sla_class=BRONZE, quota_jobs=5)
+            TenantSpec(tenant_id="starved", sla_class=BRONZE, quota_jobs=5)
         )
         return run_fleet_load(
             fast_config(n_shards=2, seed=seed),

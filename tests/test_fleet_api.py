@@ -1,9 +1,11 @@
 """Integration tests for the fleet HTTP/JSON front, over a real socket.
 
-Pins the error contract from the module docstring: malformed bodies get
-a 400 with a path-qualified schema error and never touch a shard,
-unknown tenants get 404, exhausted quotas get the distinct 429, and no
-request — including one that trips an internal fault — kills the server.
+Pins the error contract from the module docstring: every failure wears
+the one versioned envelope ``{"error": {"code", "message", "path"}}`` —
+malformed bodies get a 400 with a path-qualified schema error and never
+touch a shard, unknown tenants get 404, exhausted quotas get the
+distinct 429, and no request — including one that trips an internal
+fault — kills the server.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from repro.fleet import (
     FleetAPIServer,
     FleetConfig,
     FleetManager,
-    Tenant,
+    TenantSpec,
     TenantRegistry,
 )
 
@@ -28,12 +30,12 @@ from repro.fleet import (
 def server():
     registry = TenantRegistry(
         [
-            Tenant(tenant_id="roomy"),
-            Tenant(tenant_id="capped", quota_jobs=2),
+            TenantSpec(tenant_id="roomy"),
+            TenantSpec(tenant_id="capped", quota_jobs=2),
         ]
     )
     manager = FleetManager(
-        FleetConfig(n_shards=2, seed=2024, pretrain_samples=40), registry
+        FleetConfig(n_shards=2, seed=2024, pretrain_jobs=40), registry
     )
     srv = FleetAPIServer(manager, port=0)
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
@@ -71,7 +73,11 @@ class TestEndpoints:
     def test_health(self, server):
         status, body = request(server, "/v1/health")
         assert status == 200
-        assert body == {"status": "ok", "n_shards": 2, "n_tenants": 2}
+        assert body["status"] == "ok"
+        assert body["n_shards"] == 2
+        assert body["n_tenants"] == 2
+        assert body["executor"] == "inprocess"
+        assert all(w["alive"] for w in body["workers"])
 
     def test_tenants_directory_reports_quota_state(self, server):
         status, body = request(server, "/v1/tenants")
@@ -119,12 +125,13 @@ class TestErrorContract:
     def test_bad_json_is_a_400(self, server):
         status, body = request(server, "/v1/jobs", raw=b"{not json")
         assert status == 400
-        assert body["error"]["type"] == "invalid_json"
+        assert body["error"]["code"] == "invalid_json"
+        assert body["error"]["path"] == "/v1/jobs"
 
     def test_empty_body_is_a_400(self, server):
         status, body = request(server, "/v1/jobs", raw=b"")
         assert status == 400
-        assert body["error"]["type"] == "empty_body"
+        assert body["error"]["code"] == "empty_body"
 
     @pytest.mark.parametrize(
         "payload, path, fragment",
@@ -146,10 +153,9 @@ class TestErrorContract:
     ):
         status, body = request(server, "/v1/jobs", payload)
         assert status == 400
-        assert body["error"]["type"] == "schema_violation"
-        detail = body["error"]["details"][0]
-        assert detail["path"] == path
-        assert fragment in detail["message"]
+        assert body["error"]["code"] == "schema_violation"
+        assert body["error"]["path"] == path
+        assert fragment in body["error"]["message"]
 
     def test_schema_violation_leaves_the_shard_untouched(self, server):
         request(server, "/v1/jobs", {"tenant": "roomy", "n_jobs": -1})
@@ -162,12 +168,13 @@ class TestErrorContract:
             server, "/v1/jobs", {"tenant": "nobody", "n_jobs": 1}
         )
         assert status == 404
-        assert body["error"]["type"] == "unknown_tenant"
+        assert body["error"]["code"] == "unknown_tenant"
 
     def test_unknown_route_is_a_404(self, server):
         status, body = request(server, "/v1/nope")
         assert status == 404
-        assert body["error"]["type"] == "not_found"
+        assert body["error"]["code"] == "not_found"
+        assert body["error"]["path"] == "/v1/nope"
         status, body = request(server, "/v1/health", {"x": 1})
         assert status == 404  # POST to a GET-only path
 
@@ -175,7 +182,7 @@ class TestErrorContract:
         blob = b'{"tenant": "' + b"a" * (70 * 1024) + b'"}'
         status, body = request(server, "/v1/jobs", raw=blob)
         assert status == 413
-        assert body["error"]["type"] == "body_too_large"
+        assert body["error"]["code"] == "body_too_large"
 
     def test_quota_exhaustion_is_a_distinct_429(self, server):
         first_status, first = request(
@@ -189,8 +196,8 @@ class TestErrorContract:
             server, "/v1/jobs", {"tenant": "capped", "n_jobs": 1}
         )
         assert status == 429
-        assert body["error"]["type"] == "quota_exhausted"
-        assert body["error"]["details"][0] == {"tenant": "capped", "quota_jobs": 2}
+        assert body["error"]["code"] == "quota_exhausted"
+        assert "capped" in body["error"]["message"]
 
     def test_server_survives_every_error_class(self, server):
         request(server, "/v1/jobs", raw=b"{broken")
@@ -205,8 +212,8 @@ class TestErrorContract:
     def test_internal_fault_returns_500_and_keeps_serving(self, server):
         # Sabotage one handler path: an unregistered exception type must
         # surface as a 500, not kill the server loop.
-        original = server.manager.shard_for
-        server.manager.shard_for = lambda tenant_id: (_ for _ in ()).throw(
+        original = server.manager.submit_count
+        server.manager.submit_count = lambda *a, **kw: (_ for _ in ()).throw(
             OSError("disk on fire")
         )
         try:
@@ -214,9 +221,9 @@ class TestErrorContract:
                 server, "/v1/jobs", {"tenant": "roomy", "n_jobs": 1}
             )
         finally:
-            server.manager.shard_for = original
+            server.manager.submit_count = original
         assert status == 500
-        assert body["error"]["type"] == "internal"
+        assert body["error"]["code"] == "internal"
         assert "disk on fire" in body["error"]["message"]
         status, _ = request(server, "/v1/health")
         assert status == 200

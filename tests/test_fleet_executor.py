@@ -1,0 +1,341 @@
+"""Fleet executor layer: parity, crash handling, drains, deprecations.
+
+The contracts under test, from ISSUE 8:
+
+* **executor parity** — the in-process and multiprocess executors fold
+  the same seeded workload into one byte-identical ``fleet_sha256``;
+* **worker loss** — killing a worker mid-run surfaces a deterministic
+  "shard lost" error, surviving shards still fold in shard-index order,
+  and two runs losing the same shard the same way agree on the digest;
+* **graceful drain** — a SIGTERM'd worker finishes its shard and its
+  books fold in exactly as if the parent had drained it;
+* **strict mode** — ``repro fleet loadgen --strict`` exits nonzero when
+  any shard was lost;
+* **one-release aliases** — ``Tenant``/``pretrain_samples`` and the
+  old error envelope keep working behind ``DeprecationWarning``s, and
+  positional config construction fails loudly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.fleet import (
+    FleetAPIServer,
+    FleetClient,
+    FleetConfig,
+    FleetManager,
+    ShardLostError,
+    TenantRegistry,
+    TenantSpec,
+)
+from repro.fleet.client import parse_error
+from repro.fleet.executor import MultiprocessExecutor
+from repro.service.loadgen import LoadGenConfig
+
+
+def small_registry() -> TenantRegistry:
+    # Four tenants that land on both shards of a 2-shard fleet.
+    return TenantRegistry(
+        [TenantSpec(tenant_id=f"acme-{i:03d}") for i in range(1, 5)]
+    )
+
+
+def small_config(**overrides) -> FleetConfig:
+    defaults = dict(n_shards=2, seed=2024, pretrain_jobs=20)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def tenants_by_shard(manager: FleetManager) -> dict[int, str]:
+    """One representative tenant per shard index."""
+    out: dict[int, str] = {}
+    for tenant in manager.registry:
+        out.setdefault(manager.shard_index_for(tenant.tenant_id), tenant.tenant_id)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Parity
+# ----------------------------------------------------------------------
+class TestExecutorParity:
+    def test_both_executors_produce_one_digest(self):
+        from repro.analysis.determinism import check_executor_parity
+
+        result = check_executor_parity(n_shards=2, n_jobs=80, seed=7)
+        assert result.identical, result.render()
+        assert result.sha_inprocess == result.sha_multiprocess
+        assert "OK" in result.render()
+
+    def test_manager_ops_agree_across_executors(self):
+        # The command protocol's submit/quote/stats/accounts ops must
+        # return the same answers the in-process dispatch does.
+        outcomes = {}
+        for executor in ("inprocess", "multiprocess"):
+            manager = FleetManager(
+                small_config(), small_registry(), executor=executor
+            )
+            tenant_id = tenants_by_shard(manager)[0]
+            arrival, submitted = manager.submit_count(tenant_id, 3)
+            quote = manager.quote(tenant_id)
+            account = manager.account(tenant_id)
+            report = manager.finish()
+            outcomes[executor] = (
+                arrival,
+                [(o.job.job_id, o.result.decision) for o in submitted],
+                (quote.promise_s, quote.est_completion),
+                account.admitted_jobs,
+                report.sha256,
+            )
+        assert outcomes["inprocess"] == outcomes["multiprocess"]
+
+    def test_unknown_executor_name_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            FleetManager(small_config(), small_registry(), executor="threads")
+
+    def test_direct_shard_access_requires_inprocess(self):
+        manager = FleetManager(
+            small_config(), small_registry(), executor="multiprocess"
+        )
+        try:
+            with pytest.raises(RuntimeError, match="in-process"):
+                manager.shards
+        finally:
+            manager.finish()
+
+
+# ----------------------------------------------------------------------
+# Worker loss
+# ----------------------------------------------------------------------
+class TestWorkerLoss:
+    def kill_worker(self, manager: FleetManager, index: int) -> None:
+        executor = manager.executor
+        assert isinstance(executor, MultiprocessExecutor)
+        process = executor._handles[index].process
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=10)
+
+    def one_lossy_run(self) -> "object":
+        manager = FleetManager(
+            small_config(), small_registry(), executor="multiprocess"
+        )
+        victims = tenants_by_shard(manager)
+        # Both shards do real work first, then shard 0's worker dies.
+        manager.submit_count(victims[0], 2)
+        manager.submit_count(victims[1], 2)
+        self.kill_worker(manager, 0)
+        with pytest.raises(ShardLostError, match="shard 0 lost"):
+            manager.submit_count(victims[0], 1)
+        return manager.finish()
+
+    def test_killed_worker_surfaces_deterministic_loss(self):
+        report = self.one_lossy_run()
+        assert list(report.lost_shards) == [0]
+        cause = report.lost_shards[0]
+        # Stable cause string: no pids, ports or timestamps.
+        assert cause == "worker process died during 'submit' command"
+        # The lost shard holds its index position in the fold; the
+        # surviving shard's books still made it in.
+        assert report.shard_hashes[0] == f"LOST({cause})"
+        assert not report.shard_hashes[1].startswith("LOST")
+        assert report.trace.metadata["fleet"]["lost_shards"] == {"0": cause}
+        assert "LOST shard 0" in report.render()
+
+    def test_same_loss_reproduces_the_same_digest(self):
+        report_a = self.one_lossy_run()
+        report_b = self.one_lossy_run()
+        assert report_a.sha256 == report_b.sha256
+        assert report_a.shard_hashes == report_b.shard_hashes
+
+    def test_lost_shard_digest_differs_from_intact_run(self):
+        lossy = self.one_lossy_run()
+        manager = FleetManager(
+            small_config(), small_registry(), executor="multiprocess"
+        )
+        victims = tenants_by_shard(manager)
+        manager.submit_count(victims[0], 2)
+        manager.submit_count(victims[1], 2)
+        intact = manager.finish()
+        assert not intact.lost_shards
+        assert lossy.sha256 != intact.sha256
+
+    def test_every_shard_lost_is_an_error(self):
+        manager = FleetManager(
+            small_config(), small_registry(), executor="multiprocess"
+        )
+        victims = tenants_by_shard(manager)
+        self.kill_worker(manager, 0)
+        self.kill_worker(manager, 1)
+        for index in (0, 1):
+            with pytest.raises(ShardLostError):
+                manager.submit_count(victims[index], 1)
+        with pytest.raises(ValueError, match="every shard was lost"):
+            manager.finish()
+
+    def test_health_reports_the_dead_worker(self):
+        manager = FleetManager(
+            small_config(), small_registry(), executor="multiprocess"
+        )
+        try:
+            assert all(h.alive for h in manager.health())
+            self.kill_worker(manager, 1)
+            health = {h.index: h.alive for h in manager.health()}
+            assert health[0] is True
+            assert health[1] is False
+        finally:
+            manager.finish()
+
+    def test_strict_loadgen_exits_nonzero_on_loss(self, monkeypatch, capsys):
+        import repro.cli as cli
+        import repro.fleet.loadgen as loadgen_mod
+
+        class FakeResult:
+            lost_shards = {1: "worker process died during 'load' command"}
+
+            def render(self) -> str:
+                return "fake fleet load"
+
+        monkeypatch.setattr(
+            loadgen_mod, "run_fleet_load", lambda *a, **kw: FakeResult()
+        )
+        rc = cli.main(["fleet", "loadgen", "--jobs", "10", "--strict"])
+        assert rc == 3
+        assert "1 shard(s) lost" in capsys.readouterr().err
+        # Without --strict the same loss is reported, not fatal.
+        rc = cli.main(["fleet", "loadgen", "--jobs", "10"])
+        assert rc == 0
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_sigterm_worker_drains_and_folds_in(self):
+        def one_run(send_term: bool) -> "object":
+            manager = FleetManager(
+                small_config(), small_registry(), executor="multiprocess"
+            )
+            victims = tenants_by_shard(manager)
+            manager.submit_count(victims[0], 2)
+            manager.submit_count(victims[1], 2)
+            if send_term:
+                executor = manager.executor
+                process = executor._handles[0].process
+                os.kill(process.pid, signal.SIGTERM)
+                process.join(timeout=30)
+                assert not process.is_alive()
+            return manager.finish()
+
+        terminated = one_run(send_term=True)
+        control = one_run(send_term=False)
+        # The TERM'd worker finished its shard and pushed its books: no
+        # loss, and the digest matches the undisturbed run exactly.
+        assert not terminated.lost_shards
+        assert terminated.sha256 == control.sha256
+
+
+# ----------------------------------------------------------------------
+# FleetClient round trip
+# ----------------------------------------------------------------------
+class TestFleetClient:
+    def test_round_trip_against_live_server(self):
+        manager = FleetManager(small_config(), small_registry())
+        server = FleetAPIServer(manager, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with FleetClient(server.url) as client:
+                health = client.health()
+                assert health.n_shards == 2
+                assert health.executor == "inprocess"
+                tenants = client.tenants()
+                assert {t.tenant_id for t in tenants} == {
+                    t.tenant_id for t in small_registry()
+                }
+                submitted = client.submit(tenants[0].tenant_id, 2)
+                assert len(submitted.outcomes) == 2
+                assert submitted.n_admitted <= 2
+                quote = client.quote(tenants[0].tenant_id)
+                assert quote.est_completion_s > 0
+                stats = client.stats()
+                assert stats.fleet["submitted"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_new_envelope_parses_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            err = parse_error(
+                404,
+                {"error": {"code": "unknown_tenant", "message": "m",
+                           "path": "/v1/jobs"}},
+            )
+        assert err.status == 404
+        assert err.code == "unknown_tenant"
+        assert err.path == "/v1/jobs"
+
+    def test_old_envelope_parses_with_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="pre-v1 error envelope"):
+            err = parse_error(
+                400,
+                {"error": {"type": "schema_violation", "message": "bad",
+                           "details": [{"path": "$.n_jobs"}]}},
+            )
+        assert err.code == "schema_violation"
+        assert err.path == "$.n_jobs"
+
+    def test_https_refused(self):
+        with pytest.raises(ValueError, match="plain http"):
+            FleetClient("https://example.com")
+
+
+# ----------------------------------------------------------------------
+# One-release aliases and loud failures
+# ----------------------------------------------------------------------
+class TestDeprecationAliases:
+    def test_tenant_alias_warns_and_is_tenantspec(self):
+        import repro.fleet as fleet
+        import repro.fleet.tenants as tenants_mod
+
+        for module in (fleet, tenants_mod):
+            with pytest.warns(DeprecationWarning, match="TenantSpec"):
+                alias = module.Tenant
+            assert alias is TenantSpec
+
+    def test_pretrain_samples_kwarg_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="pretrain_jobs"):
+            config = FleetConfig(n_shards=2, pretrain_samples=33)
+        assert config.pretrain_jobs == 33
+
+    def test_pretrain_samples_property_warns(self):
+        config = FleetConfig(n_shards=2, pretrain_jobs=33)
+        with pytest.warns(DeprecationWarning, match="pretrain_jobs"):
+            assert config.pretrain_samples == 33
+
+    def test_both_pretrain_spellings_is_an_error(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="both"):
+                FleetConfig(pretrain_jobs=10, pretrain_samples=10)
+
+    def test_configs_reject_positional_construction(self):
+        from repro.fleet import FleetLoadConfig
+
+        with pytest.raises(TypeError):
+            FleetConfig(8)
+        with pytest.raises(TypeError):
+            LoadGenConfig(100)
+        with pytest.raises(TypeError):
+            FleetLoadConfig(100)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
