@@ -70,13 +70,25 @@ def main() -> None:
         print(f"fleet counters: {stats.fleet['submitted']} submitted, "
               f"{stats.fleet['accepted']} accepted")
 
-        # 6. Every failure wears one envelope: {"error": {code, message, path}}.
+        # 6. The telemetry plane: scrape /v1/metrics (Prometheus text)
+        #    into typed families. Strictly an observer — the scrape (and
+        #    telemetry itself) never moves the fleet digest.
+        scrape = client.metrics()
+        admission = scrape.family("repro_admission_total")
+        admitted = sum(s.value for s in admission.samples)
+        print(
+            f"metrics: {len(scrape.families)} families, "
+            f"{scrape.family('fleet_shards').value():.0f} shards, "
+            f"{admitted:.0f} admission verdicts recorded"
+        )
+
+        # 7. Every failure wears one envelope: {"error": {code, message, path}}.
         try:
             client.submit("no-such-tenant", 1)
         except FleetAPIError as exc:
             print(f"error envelope: status={exc.status} code={exc.code}")
 
-    # 7. Drain the fleet; the digest certifies the whole run.
+    # 8. Drain the fleet; the digest certifies the whole run.
     server.shutdown()
     server.server_close()
     report = manager.finish()

@@ -55,6 +55,8 @@ __all__ = [
     "check_fleet",
     "ExecutorParityResult",
     "check_executor_parity",
+    "ObsParityResult",
+    "check_obs_parity",
 ]
 
 #: JobRecord fields in declaration order — the canonical hashing schema.
@@ -506,4 +508,118 @@ def check_executor_parity(
         shard_hashes_inprocess=tuple(report_in.shard_hashes),
         shard_hashes_multiprocess=tuple(report_mp.shard_hashes),
         n_records=len(report_in.trace.records),
+    )
+
+
+# ----------------------------------------------------------------------
+# Obs pass: telemetry must be a pure observer
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObsParityResult:
+    """Outcome of the observer pass: telemetry on vs off, one answer.
+
+    :mod:`repro.obs` promises to be a *pure observer*: attaching the
+    metrics registry and span recorder may add data to
+    ``trace.metadata`` but must not move a single hashed bit. This pass
+    certifies both halves of that contract — the single-environment
+    trace hash (telemetry attached vs not) and the fleet digest
+    (``FleetConfig(telemetry=...)`` on vs off).
+    """
+
+    scheduler: str
+    hash_plain: str
+    hash_obs: str
+    fleet_sha_plain: str
+    fleet_sha_obs: str
+    n_records: int
+    n_metric_families: int
+    spans_kept: int
+    registry_sha: str
+
+    @property
+    def invisible(self) -> bool:
+        return (
+            self.hash_plain == self.hash_obs
+            and self.fleet_sha_plain == self.fleet_sha_obs
+        )
+
+    def render(self) -> str:
+        label = "obs"
+        if self.invisible:
+            return (
+                f"{label:>8}: OK  telemetry invisible "
+                f"({self.n_metric_families} families, "
+                f"{self.spans_kept} spans, "
+                f"registry {self.registry_sha[:16]})"
+            )
+        if self.hash_plain != self.hash_obs:
+            detail = (
+                "trace hash moved when telemetry attached: "
+                f"{self.hash_plain[:16]} vs {self.hash_obs[:16]}"
+            )
+        else:
+            detail = (
+                "fleet sha moved under telemetry: "
+                f"{self.fleet_sha_plain[:16]} vs {self.fleet_sha_obs[:16]}"
+            )
+        return f"{label:>8}: FAIL  {detail}"
+
+
+def check_obs_parity(
+    scheduler: str = "Op",
+    spec: ExperimentSpec = DEFAULT_SPEC,
+    n_shards: int = 4,
+    n_jobs: int = 200,
+    seed: int = 2024,
+) -> ObsParityResult:
+    """Prove telemetry cannot move a digest.
+
+    Two witnesses, both on identical seeded workloads:
+
+    * one environment run twice — bare, then with
+      :func:`repro.obs.attach_obs` recording the full metric catalogue
+      and span stream — must produce one trace hash;
+    * one sharded fleet run twice — ``telemetry=False``, then
+      ``telemetry=True`` with worker-plane meters armed — must produce
+      one fleet SHA-256.
+    """
+    from ..fleet import FleetConfig, FleetLoadConfig, run_fleet_load
+    from ..obs import ObsRuntime, attach_obs
+
+    batches = build_workload(spec)
+    trace_plain = run_one(scheduler, spec, batches=batches)
+    holder: dict[str, ObsRuntime] = {}
+
+    def hook(env: "CloudBurstEnvironment") -> None:
+        holder["obs"] = attach_obs(env)
+
+    trace_obs = run_one(scheduler, spec, batches=batches, env_hook=hook)
+    obs_meta = trace_obs.metadata["obs"]
+    assert isinstance(obs_meta, dict)
+
+    def fleet_sha(telemetry: bool) -> str:
+        result = run_fleet_load(
+            FleetConfig(
+                n_shards=n_shards,
+                seed=seed,
+                scheduler=scheduler,
+                telemetry=telemetry,
+            ),
+            FleetLoadConfig(n_jobs=n_jobs, rate_per_s=50.0, seed=seed),
+        )
+        return str(result.report.sha256)
+
+    runtime = holder["obs"]
+    return ObsParityResult(
+        scheduler=scheduler,
+        hash_plain=hash_trace(trace_plain),
+        hash_obs=hash_trace(trace_obs),
+        fleet_sha_plain=fleet_sha(False),
+        fleet_sha_obs=fleet_sha(True),
+        n_records=len(trace_obs.records),
+        n_metric_families=len(runtime.registry.families()),
+        spans_kept=len(runtime.spans),
+        registry_sha=str(obs_meta["registry_sha256"]),
     )

@@ -8,14 +8,17 @@ can gate on them:
 * ``repro lint [paths...]`` — run the custom AST lint
   (:mod:`repro.analysis.lint`) over source trees; defaults to the
   installed ``repro`` package itself. Exit 1 on any violation.
-* ``repro check [--scheduler NAME] [--no-econ] [--no-fleet]`` — the
+* ``repro check [--scheduler NAME] [--no-econ] [--no-fleet] [--no-obs]``
+  — the
   determinism harness (:mod:`repro.analysis.determinism`): run each
   paper scheduler twice on the same seeded workload with runtime
   invariants enabled and compare trace hashes; then repeat with cost
   accounting and spot preemption attached, additionally comparing
-  ``CostLedger`` hashes; finally double-run a small sharded multi-tenant
-  fleet and compare the merged trace/stats/ledger digest. Exit 1 on
-  divergence or invariant violation.
+  ``CostLedger`` hashes; then double-run a small sharded multi-tenant
+  fleet and compare the merged trace/stats/ledger digest; finally run
+  the obs-parity pass — telemetry attached vs not, neither the trace
+  hash nor the fleet digest may move. Exit 1 on divergence or
+  invariant violation.
 * ``repro typecheck`` — ``mypy --strict`` over the typed core
   (``repro.sim.engine``, ``repro.core``, ``repro.analysis``). Skips with
   exit 0 when mypy is not installed (the pinned container image carries
@@ -36,7 +39,15 @@ can gate on them:
 * ``repro fleet loadgen`` — aggregate heavy-traffic driver across all
   shards (the ≥100k jobs/s figure in ``BENCH_core.json``).
 * ``repro fleet report`` — small deterministic fleet run, aggregated
-  multi-tenant report.
+  multi-tenant report (``--format markdown|json`` for machine use).
+
+**Observability** (:mod:`repro.obs`)
+
+* ``repro obs summary`` — deterministic run with telemetry attached,
+  metric-catalogue summary.
+* ``repro obs spans`` — the sampled decision-point span stream.
+* ``repro obs export`` — the same registry as Prometheus text
+  exposition or a canonical JSON snapshot.
 
 **Benchmarks**
 
@@ -70,6 +81,7 @@ STRICT_TARGETS = (
     "analysis",
     "econ",
     "fleet",
+    "obs",
     "service",
 )
 
@@ -190,6 +202,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         check_econ,
         check_executor_parity,
         check_fleet,
+        check_obs_parity,
     )
     from .analysis.invariants import InvariantError
     from .experiments.config import DEFAULT_SPEC
@@ -254,6 +267,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
             )
             print(parity_result.render())
             failed = failed or not parity_result.identical
+        if not args.no_obs:
+            print(
+                "obs check: telemetry on vs off, trace hash and fleet "
+                "digest must not move"
+            )
+            obs_result = check_obs_parity(
+                spec=spec,
+                seed=args.seed if args.seed is not None else 2024,
+            )
+            print(obs_result.render())
+            failed = failed or not obs_result.invisible
     except InvariantError as exc:
         print(f"invariant violated during check run: {exc}", file=sys.stderr)
         return 1
@@ -431,6 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the fleet pass (cross-shard merged-digest determinism)",
     )
     p_check.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="skip the obs pass (telemetry observer-invisibility parity)",
+    )
+    p_check.add_argument(
         "--no-lint",
         action="store_true",
         help="skip the static lint gate that runs before the double-run",
@@ -447,6 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .fleet.cli import register_fleet_commands
 
     register_fleet_commands(sub)
+
+    from .obs.cli import register_obs_commands
+
+    register_obs_commands(sub)
 
     p_econ = sub.add_parser(
         "econ", help="cost accounting: ledgers and the cost-vs-SLA frontier"

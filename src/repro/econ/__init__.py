@@ -148,6 +148,8 @@ class EconRuntime:
     def _on_preempt(self, item: object, elapsed_s: float) -> None:
         self.ledger.preemptions += 1
         self.ledger.lost_work_s += elapsed_s
+        if self.env.obs is not None:
+            self.env.obs.on_preempt(elapsed_s, self.env.sim.now)
 
     def _on_complete(self, record: JobRecord) -> None:
         self.ledger.completed += 1

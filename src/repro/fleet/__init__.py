@@ -28,7 +28,11 @@ determinism contract:
   only module in the tree that speaks raw ``http.client``);
 * **load** (:mod:`~repro.fleet.loadgen`) — the aggregate heavy-traffic
   driver behind ``repro fleet loadgen`` and the ``fleet_loadgen`` /
-  ``fleet_loadgen_procs`` bench scenarios.
+  ``fleet_loadgen_procs`` bench scenarios;
+* **telemetry** (:mod:`repro.obs`) — every shard carries a metrics
+  registry and span recorder (``FleetConfig(telemetry=...)``), folded in
+  shard-index order and served as Prometheus text on ``GET
+  /v1/metrics``; strictly an observer, so no digest can move.
 
 See ``docs/fleet.md`` for the tenancy model, routing, executor process
 model and determinism contract in prose.
@@ -44,6 +48,7 @@ from .client import (
     FleetClient,
     HealthInfo,
     JobOutcome,
+    MetricsResult,
     QuoteResult,
     StatsResult,
     SubmitResult,
@@ -100,7 +105,8 @@ __all__ = [
     "FleetReport", "TenantReport", "aggregate_shards", "fleet_sha256",
     "FleetAPIServer", "serve_fleet",
     "FleetClient", "FleetAPIError", "HealthInfo", "JobOutcome",
-    "QuoteResult", "StatsResult", "SubmitResult", "TenantInfo",
+    "MetricsResult", "QuoteResult", "StatsResult", "SubmitResult",
+    "TenantInfo",
     "FleetLoadConfig", "FleetLoadResult", "drive_shard_load",
     "run_fleet_load",
 ]

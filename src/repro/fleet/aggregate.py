@@ -36,6 +36,7 @@ from typing import Mapping, Optional, Sequence
 from ..analysis.determinism import hash_trace
 from ..econ.penalties import CostLedger
 from ..metrics.streaming import StreamingSLAStats
+from ..obs import MetricsRegistry
 from ..sim.tracing import RunTrace, merge_traces
 from .sharding import FleetConfig, ShardResult, TenantAccount
 from .tenants import TenantRegistry
@@ -119,6 +120,11 @@ class FleetReport:
     #: Shards whose workers died before draining: index -> deterministic
     #: cause string (already folded into ``shard_hashes``/``sha256``).
     lost_shards: dict[int, str] = field(default_factory=dict)
+    #: Fleet-wide telemetry: every shard's final registry folded in
+    #: shard-index order. Strictly an observer — it is *not* an input to
+    #: ``sha256`` (the parity check would catch it if it ever became
+    #: one); ``obs_snapshot()`` stamps the digest alongside instead.
+    obs: Optional[MetricsRegistry] = None
 
     @property
     def n_shards(self) -> int:
@@ -155,6 +161,80 @@ class FleetReport:
             },
             "fleet_sha256": self.sha256,
             "lost_shards": {str(i): c for i, c in sorted(self.lost_shards.items())},
+            "rows": self.tenant_rows(),
+            "obs": self.obs_snapshot(),
+        }
+
+    def tenant_rows(self) -> list[dict[str, object]]:
+        """Tenant table rows, one dict per tenant in tenant-id order.
+
+        The single source for both the markdown table and the JSON
+        report — ``--format json`` and ``--format markdown`` emit
+        exactly these rows.
+        """
+        return [
+            {
+                "tenant_id": t.tenant_id,
+                "sla_class": t.sla_class,
+                "shard": t.shard,
+                "quota_jobs": t.quota_jobs,
+                "submitted": t.submitted,
+                "admitted": t.admitted,
+                "rejected": t.rejected,
+                "quota_rejected": t.quota_rejected,
+                "completed": t.completed,
+                "attainment": t.attainment,
+                "penalty_usd": t.penalty_usd,
+                "ledger_hash": t.ledger_hash,
+            }
+            for t in self.tenants
+        ]
+
+    def render_markdown(self) -> str:
+        """The report as a markdown document with one tenant table."""
+        lines = [
+            f"# Fleet report — {self.n_shards} shards, "
+            f"scheduler {self.config.scheduler}, seed {self.config.seed}",
+            "",
+            f"- fleet sha256: `{self.sha256}`",
+            f"- completed: {self.stats.completed} / submitted {self.stats.submitted}",
+            f"- penalties: ${self.ledger.penalty_usd:,.2f}",
+        ]
+        if self.obs is not None:
+            lines.append(f"- obs registry sha256: `{self.obs.snapshot_sha256()}`")
+        for index, cause in sorted(self.lost_shards.items()):
+            lines.append(f"- **LOST** shard {index}: {cause}")
+        lines += [
+            "",
+            "| tenant | class | shard | quota | submitted | admitted "
+            "| rejected | quota-rej | completed | attainment | penalty |",
+            "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|",
+        ]
+        for row in self.tenant_rows():
+            quota = "∞" if row["quota_jobs"] is None else str(row["quota_jobs"])
+            attainment = float(row["attainment"])  # type: ignore[arg-type]
+            penalty_usd = float(row["penalty_usd"])  # type: ignore[arg-type]
+            lines.append(
+                f"| {row['tenant_id']} | {row['sla_class']} | {row['shard']} "
+                f"| {quota} | {row['submitted']} | {row['admitted']} "
+                f"| {row['rejected']} | {row['quota_rejected']} "
+                f"| {row['completed']} | {100 * attainment:.1f}% "
+                f"| ${penalty_usd:,.2f} |"
+            )
+        return "\n".join(lines)
+
+    def obs_snapshot(self) -> Optional[dict[str, object]]:
+        """The merged telemetry snapshot, stamped with the fleet digest.
+
+        The stamp ties a scraped/exported snapshot back to the exact run
+        that produced it without ever making telemetry a digest input.
+        """
+        if self.obs is None:
+            return None
+        return {
+            "registry": self.obs.snapshot(),
+            "registry_sha256": self.obs.snapshot_sha256(),
+            "fleet_sha256": self.sha256,
         }
 
     def render(self) -> str:
@@ -234,10 +314,18 @@ def aggregate_shards(
 
     stats = StreamingSLAStats(reservoir_seed=config.seed)
     ledger = CostLedger()
+    obs: Optional[MetricsRegistry] = None
     tenants: list[TenantReport] = []
     for result in results:
         stats.merge(result.stats)
         ledger.merge(result.ledger)
+        if result.obs is not None:
+            if obs is None:
+                obs = MetricsRegistry()
+            # Same shard-index-order fold as stats/ledgers (results are
+            # sorted above); merge is associative so the digest-free
+            # telemetry totals are run invariants too.
+            obs.merge_snapshot(result.obs)
         # Registration order within a shard; sorted fleet-wide below.
         tenants.extend(
             _tenant_report(result.index, account)
@@ -260,4 +348,5 @@ def aggregate_shards(
         tenants=tenants,
         sha256=sha,
         lost_shards=lost,
+        obs=obs,
     )

@@ -17,6 +17,7 @@ Method    Path                  Behaviour
 GET       ``/v1/health``        liveness + shard count + worker health
 GET       ``/v1/tenants``       tenant directory with quota state
 GET       ``/v1/stats``         live fleet-wide and per-shard counters
+GET       ``/v1/metrics``       Prometheus text exposition (telemetry plane)
 POST      ``/v1/jobs``          submit ``n_jobs`` for a tenant
 POST      ``/v1/quotes``        price one job for a tenant, no admission
 ========  ====================  ==========================================
@@ -50,6 +51,8 @@ import signal
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Any, Callable, Optional
 
+from ..obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.exposition import render_exposition
 from .executor import ShardLostError
 from .schema import SchemaError, validate
 from .sharding import FleetConfig, FleetManager, QuotaExceededError
@@ -140,6 +143,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self, status: int, text: str, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_error(self, error: _APIError) -> None:
         self._send_json(error.status, error.body(self.path))
 
@@ -199,6 +212,10 @@ class _Handler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        if self.path == "/v1/metrics":
+            # Text exposition, not the JSON envelope; errors still use it.
+            self._dispatch_metrics()
+            return
         routes = {
             "/v1/health": self._get_health,
             "/v1/tenants": self._get_tenants,
@@ -222,6 +239,25 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(handler)
 
     # ------------------------------------------------------------------
+    def _dispatch_metrics(self) -> None:
+        """Serve ``GET /v1/metrics`` as Prometheus text exposition.
+
+        Lost shards cost their own series only — the sweep behind
+        :meth:`FleetManager.metrics_registry` marks them, it does not
+        raise — so a degraded fleet still scrapes cleanly.
+        """
+        try:
+            manager = self._manager()
+            text = render_exposition(manager.metrics_registry())
+        except _APIError as exc:
+            self._send_error(exc)
+        except Exception as exc:  # noqa: BLE001 — a fault must not kill the server
+            self._send_error(
+                _APIError(500, "internal", f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            self._send_text(200, text, METRICS_CONTENT_TYPE)
+
     def _get_health(self) -> tuple[int, dict]:
         manager = self._manager()
         workers = [

@@ -103,8 +103,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
         n_jobs=args.jobs, rate_per_s=args.rate, seed=args.seed
     )
     result = run_fleet_load(_fleet_config(args), load, registry=_registry(args))
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(json.dumps(result.report.as_dict(), indent=2))
+    elif fmt == "markdown":
+        print(result.report.render_markdown())
     else:
         print(result.report.render())
     return 0
@@ -171,6 +174,11 @@ def register_fleet_commands(sub: "argparse._SubParsersAction") -> None:
     _add_common_args(p_report)
     p_report.add_argument("--jobs", type=int, default=2_000)
     p_report.add_argument("--rate", type=float, default=50.0)
+    p_report.add_argument("--format", default="text",
+                          choices=["text", "markdown", "json"],
+                          help="output format; markdown and json emit the "
+                               "same tenant rows (json adds the obs "
+                               "snapshot stamped with the fleet sha)")
     p_report.add_argument("--json", action="store_true",
-                          help="emit the report as JSON instead of text")
+                          help="shorthand for --format json")
     p_report.set_defaults(func=_cmd_report)

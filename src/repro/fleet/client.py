@@ -25,6 +25,8 @@ from dataclasses import dataclass
 from typing import Any, Optional
 from urllib.parse import urlsplit
 
+from ..obs.exposition import MetricFamilySamples, parse_exposition
+
 __all__ = [
     "FleetAPIError",
     "HealthInfo",
@@ -34,6 +36,7 @@ __all__ = [
     "ShardStats",
     "StatsResult",
     "TenantInfo",
+    "MetricsResult",
     "FleetClient",
     "parse_error",
 ]
@@ -161,6 +164,27 @@ class TenantInfo:
     admitted_jobs: int
 
 
+@dataclass(frozen=True)
+class MetricsResult:
+    """GET /v1/metrics, parsed from the Prometheus text exposition."""
+
+    families: tuple[MetricFamilySamples, ...]
+
+    def family(self, name: str) -> MetricFamilySamples:
+        for family in self.families:
+            if family.name == name:
+                return family
+        raise KeyError(f"no metric family {name!r} in scrape")
+
+    def value(self, name: str, **labels: str) -> float:
+        """Value of one sample: ``metrics.value("fleet_shards")``."""
+        return self.family(name).value(**labels)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(family.name for family in self.families)
+
+
 class FleetClient:
     """A persistent-connection client for one fleet API server.
 
@@ -181,9 +205,10 @@ class FleetClient:
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> Any:
-        payload = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"} if payload else {}
+    def _roundtrip(
+        self, method: str, path: str, payload: Optional[bytes], headers: dict
+    ) -> tuple[http.client.HTTPResponse, bytes]:
+        """One request/response with the reconnect-once policy."""
         for attempt in (0, 1):
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
@@ -192,14 +217,19 @@ class FleetClient:
             try:
                 self._conn.request(method, path, body=payload, headers=headers)
                 response = self._conn.getresponse()
-                raw = response.read()
-                break
+                return response, response.read()
             except (http.client.HTTPException, ConnectionError, OSError):
                 # One reconnect per request: a keep-alive the server
                 # closed is routine, a second failure is real.
                 self.close()
                 if attempt == 1:
                     raise
+        raise AssertionError("unreachable")
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> Any:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        response, raw = self._roundtrip(method, path, payload, headers)
         try:
             decoded = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -244,6 +274,28 @@ class FleetClient:
             )
             for row in data.get("tenants", [])
         )
+
+    def metrics(self) -> MetricsResult:
+        """Scrape ``GET /v1/metrics`` into typed metric families.
+
+        The endpoint speaks Prometheus text, not the JSON envelope, so
+        this bypasses :meth:`_request`; error statuses still carry the
+        JSON envelope and raise :class:`FleetAPIError` as usual.
+        """
+        response, raw = self._roundtrip("GET", "/v1/metrics", None, {})
+        if response.status >= 400:
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {}
+            raise parse_error(response.status, decoded)
+        try:
+            families = parse_exposition(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise FleetAPIError(
+                response.status, "invalid_exposition", str(exc), "/v1/metrics"
+            ) from None
+        return MetricsResult(families=families)
 
     def stats(self) -> StatsResult:
         data = self._request("GET", "/v1/stats")

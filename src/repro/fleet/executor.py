@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional, Protocol, Sequence
 
+from ..obs import MetricsRegistry
 from .sharding import BrokerShard, FleetConfig, ShardResult
 from .tenants import TenantRegistry, TenantSpec
 
@@ -80,6 +81,10 @@ _BOOT_TIMEOUT_S = 120.0
 #: Health-beat publication period (worker side).
 _BEAT_INTERVAL_S = 0.2
 
+#: CPU-clock buckets for worker command handling (seconds of process
+#: time — these are real-machine measurements, not simulation time).
+_CMD_CPU_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
 
 class ShardLostError(RuntimeError):
     """A shard's worker died or stopped responding.
@@ -105,6 +110,9 @@ class ShardStatsSnapshot:
     tenant_ids: tuple[str, ...]
     counters: dict[str, Any]
     lost: Optional[str] = None
+    #: Telemetry registry snapshot piggybacked on the same reply — the
+    #: executor plane ships its metrics without a second round trip.
+    obs: Optional[dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -145,6 +153,7 @@ def _apply(shard: BrokerShard, op: str, args: tuple[Any, ...]) -> Any:
             index=shard.index,
             tenant_ids=tuple(shard.tenant_ids),
             counters=shard.stats.counters_dict(),
+            obs=shard.obs_snapshot(),
         )
     if op == "load":
         from .loadgen import drive_shard_load
@@ -192,6 +201,28 @@ def _worker_main(
         return
     out_q.put((_BOOT_TAG, "ok", index))
 
+    # Worker-plane telemetry lands in the shard's own registry, so it
+    # ships home piggybacked on the stats/drain replies every other
+    # counter already rides — no new round trips, and the parent's
+    # shard-index-order fold picks it up like any other family.
+    obs = shard.obs
+    if obs is not None:
+        _cmd_counter = obs.registry.counter(
+            "fleet_worker_commands_total",
+            "Commands handled by this shard's worker, by op.",
+            labels=("op",),
+        )
+        _cmd_cpu = obs.registry.histogram(
+            "fleet_worker_command_cpu_seconds",
+            "Worker CPU clock spent handling one command, by op.",
+            buckets=_CMD_CPU_BUCKETS,
+            labels=("op",),
+        )
+        _depth_gauge = obs.registry.gauge(
+            "fleet_worker_queue_depth",
+            "Command-queue depth observed after each dequeue.",
+        )
+
     stop_beat = threading.Event()
 
     def _publish_beats() -> None:
@@ -221,11 +252,23 @@ def _worker_main(
             if op == "shutdown":
                 out_q.put((cmd_id, "ok", "bye"))
                 break
+            if obs is not None:
+                try:
+                    _depth_gauge.set(float(cmd_q.qsize()))
+                except NotImplementedError:  # qsize unsupported on some hosts
+                    pass
+                cpu0 = time.process_time()  # repro: allow[DET001] worker command-latency meter
             try:
                 payload = _apply(shard, op, args)
             except BaseException as exc:  # noqa: BLE001 — report, keep serving
                 out_q.put((cmd_id, "error", _picklable(exc)))
                 continue
+            finally:
+                if obs is not None:
+                    _cmd_counter.counter_labels(op).inc()
+                    _cmd_cpu.histogram_labels(op).observe(
+                        time.process_time() - cpu0  # repro: allow[DET001] worker command-latency meter
+                    )
             if op == "drain":
                 drained = True
             out_q.put((cmd_id, "ok", payload))
@@ -237,6 +280,10 @@ class ShardExecutor(Protocol):
     """The contract both executors satisfy (structural, no base class)."""
 
     name: str
+    #: Control-plane telemetry owned by the executor itself (send
+    #: retries, lost shards) — merged into the fleet metrics view after
+    #: the per-shard registries.
+    telemetry: MetricsRegistry
 
     @property
     def n_shards(self) -> int: ...
@@ -264,6 +311,7 @@ class InProcessExecutor:
 
     def __init__(self, config: FleetConfig, registry: TenantRegistry) -> None:
         self.config = config
+        self.telemetry = MetricsRegistry()
         self.shards = [
             BrokerShard(i, config, registry.tenants_for_shard(i, config.n_shards))
             for i in range(config.n_shards)
@@ -344,6 +392,17 @@ class MultiprocessExecutor:
 
     def __init__(self, config: FleetConfig, registry: TenantRegistry) -> None:
         self.config = config
+        self.telemetry = MetricsRegistry()
+        self._retries = self.telemetry.counter(
+            "fleet_executor_retries_total",
+            "Command sends/receives granted a second window, by op.",
+            labels=("op",),
+        )
+        self._lost_total = self.telemetry.counter(
+            "fleet_shards_lost_total",
+            "Shards declared lost by the parent, by stable cause.",
+            labels=("cause",),
+        )
         ctx = multiprocessing.get_context("spawn")
         self._handles: list[_WorkerHandle] = []
         for i in range(config.n_shards):
@@ -402,6 +461,7 @@ class MultiprocessExecutor:
     def _lose(self, handle: _WorkerHandle, op: str, cause: str) -> ShardLostError:
         if handle.lost_cause is None:
             handle.lost_cause = f"{cause} during {op!r} command"
+            self._lost_total.counter_labels(cause).inc()
         error = ShardLostError(handle.index, op, cause)
         return error
 
@@ -448,6 +508,7 @@ class MultiprocessExecutor:
                     raise self._lose(
                         handle, op, "command queue stayed full"
                     ) from None
+                self._retries.counter_labels(op).inc()
         raise AssertionError("unreachable")
 
     def _receive(self, handle: _WorkerHandle, cmd_id: int, op: str) -> Any:
@@ -464,6 +525,7 @@ class MultiprocessExecutor:
                     raise self._lose(
                         handle, op, "command timed out"
                     ) from None
+                self._retries.counter_labels(op).inc()
                 continue
             if tag == _TERM_TAG:
                 handle.term_result = payload

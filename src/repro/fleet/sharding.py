@@ -42,6 +42,7 @@ from ..econ.penalties import CostLedger, PenaltySchedule
 from ..econ.pricing import OnDemandPrice
 from ..experiments.runner import make_scheduler
 from ..metrics.streaming import StreamingSLAStats
+from ..obs import MetricsRegistry, ObsRuntime, attach_obs
 from ..service.broker import BurstBroker, SubmissionOutcome
 from ..service.policy import AdmissionDecision, AdmissionResult, SLAPolicy
 from ..service.quotes import SLAQuote, quote_job
@@ -99,6 +100,7 @@ class FleetConfig:
     command_timeout_s: float
     drain_timeout_s: float
     command_queue_depth: int
+    telemetry: bool
 
     def __init__(
         self,
@@ -117,6 +119,7 @@ class FleetConfig:
         command_timeout_s: float = 30.0,
         drain_timeout_s: float = 600.0,
         command_queue_depth: int = 16,
+        telemetry: bool = True,
         pretrain_samples: Optional[int] = None,
     ) -> None:
         if pretrain_samples is not None:
@@ -165,6 +168,7 @@ class FleetConfig:
         object.__setattr__(self, "command_timeout_s", command_timeout_s)
         object.__setattr__(self, "drain_timeout_s", drain_timeout_s)
         object.__setattr__(self, "command_queue_depth", command_queue_depth)
+        object.__setattr__(self, "telemetry", telemetry)
 
     @property
     def pretrain_samples(self) -> int:
@@ -232,6 +236,10 @@ class ShardResult:
     stats: StreamingSLAStats
     ledger: CostLedger
     accounts: dict[str, TenantAccount]
+    #: Final telemetry registry snapshot (canonical dict form, ready to
+    #: merge in shard-index order); ``None`` when telemetry is disabled.
+    #: Strictly outside every aggregation digest.
+    obs: Optional[dict[str, object]] = None
 
 
 class BrokerShard:
@@ -247,6 +255,12 @@ class BrokerShard:
         self.config = config
         self.seed = config.shard_seed(index)
         self.env = CloudBurstEnvironment(config.system.with_seed(self.seed))
+        #: Telemetry rides along unless the fleet disables it; strictly
+        #: an observer, so this cannot move any digest (the ``check
+        #: obs`` parity pass pins that).
+        self.obs: Optional[ObsRuntime] = (
+            attach_obs(self.env) if config.telemetry else None
+        )
         if config.pretrain:
             trainer = WorkloadGenerator(
                 bucket=config.bucket,
@@ -290,6 +304,12 @@ class BrokerShard:
     @property
     def tenant_ids(self) -> list[str]:
         return list(self.accounts)
+
+    def obs_snapshot(self) -> Optional[dict[str, object]]:
+        """Point-in-time canonical registry snapshot (``None`` if off)."""
+        if self.obs is None:
+            return None
+        return self.obs.registry.snapshot()
 
     def account(self, tenant_id: str) -> TenantAccount:
         return self.accounts[tenant_id]
@@ -380,6 +400,10 @@ class BrokerShard:
             # != accepted + degraded + rejected at finish.
             self.stats.on_admission(result.decision, result.reason)
             account.stats.on_admission(result.decision, result.reason)
+            if self.obs is not None:
+                self.obs.on_admission(
+                    result.decision, result.reason, self.env.sim.now
+                )
             quote = self.quote(tenant_id, job)
             outcomes.append(SubmissionOutcome(job=job, quote=quote, result=result))
         return outcomes
@@ -436,6 +460,7 @@ class BrokerShard:
             stats=self.stats,
             ledger=self.ledger,
             accounts=self.accounts,
+            obs=self.obs_snapshot(),
         )
 
 
@@ -533,6 +558,32 @@ class FleetManager:
     def health(self) -> "list[Any]":
         """Per-worker liveness (see :class:`~repro.fleet.executor.WorkerHealth`)."""
         return list(self.executor.health())
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The live fleet-wide telemetry view behind ``GET /v1/metrics``.
+
+        Folds each shard's current registry snapshot — piggybacked on
+        the same ``stats`` command the counters ride, no extra round
+        trip — in shard-index order, then merges the executor's own
+        control-plane registry (retries, lost shards). Always includes
+        the fleet-level gauges, so the exposition is well-formed even
+        with per-shard telemetry disabled.
+        """
+        merged = MetricsRegistry()
+        merged.gauge(
+            "fleet_shards", "Shards configured in this fleet."
+        ).set(float(self.n_shards))
+        up = 0
+        for snapshot in self.stats_snapshots():
+            if snapshot.lost is None:
+                up += 1
+            if snapshot.obs is not None:
+                merged.merge_snapshot(snapshot.obs)
+        merged.gauge(
+            "fleet_shards_up", "Shards that answered the last stats sweep."
+        ).set(float(up))
+        merged.merge(self.executor.telemetry)
+        return merged
 
     # ------------------------------------------------------------------
     def submit(

@@ -1,0 +1,175 @@
+"""``repro obs`` — inspect the telemetry of a deterministic run.
+
+Subcommands (registered into the unified ``repro`` parser):
+
+* ``repro obs summary`` — run one scheduler on the default seeded
+  workload with telemetry attached; print the metric catalogue with
+  live values plus the span-stream bookkeeping.
+* ``repro obs spans`` — the sampled decision-point spans themselves,
+  one JSON object per line (name, virtual-clock start/end, attributes).
+* ``repro obs export`` — the same registry as Prometheus text
+  exposition (``--format text``) or the canonical JSON snapshot stamped
+  with its SHA-256 (``--format json``).
+
+All three drive the same small deterministic experiment, so two
+invocations with the same flags print byte-identical output — the
+telemetry of a seeded run is exactly as reproducible as the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..sim.tracing import RunTrace
+    from . import ObsRuntime
+
+__all__ = ["register_obs_commands"]
+
+
+def _run_with_obs(args: argparse.Namespace) -> "tuple[RunTrace, ObsRuntime]":
+    """One seeded run of ``args.scheduler`` with telemetry attached."""
+    from ..experiments.config import DEFAULT_SPEC
+    from ..experiments.runner import run_one
+    from ..sim.environment import CloudBurstEnvironment
+    from . import ObsConfig, ObsRuntime, attach_obs
+
+    spec = DEFAULT_SPEC
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    config = ObsConfig(span_sample_fraction=args.sample)
+    holder: dict[str, ObsRuntime] = {}
+
+    def hook(env: CloudBurstEnvironment) -> None:
+        holder["obs"] = attach_obs(env, config)
+
+    trace = run_one(args.scheduler, spec, env_hook=hook)
+    return trace, holder["obs"]
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from .registry import HistogramSeries
+
+    trace, obs = _run_with_obs(args)
+    meta = trace.metadata["obs"]
+    assert isinstance(meta, dict)
+    families = obs.registry.families()
+    n_series = sum(len(family.series_items()) for family in families)
+    print(
+        f"obs summary: scheduler {args.scheduler}, "
+        f"{len(trace.records)} job records"
+    )
+    print(
+        f"registry: {len(families)} families, {n_series} series, "
+        f"sha256 {meta['registry_sha256']}"
+    )
+    for family in families:
+        print(f"  {family.name} ({family.kind}): {family.help}")
+        for values, series in family.series_items():
+            labels = (
+                "{"
+                + ",".join(
+                    f"{k}={v}" for k, v in zip(family.label_names, values)
+                )
+                + "}"
+                if values
+                else ""
+            )
+            if isinstance(series, HistogramSeries):
+                print(
+                    f"    {family.name}{labels} count={series.count} "
+                    f"sum={series.sum:.6g}"
+                )
+            else:
+                print(f"    {family.name}{labels} = {series.value:.6g}")
+    summary = obs.spans.summary()
+    print(
+        f"spans: {summary['offered']} offered, {summary['kept']} kept, "
+        f"{summary['in_ring']} in ring "
+        f"(capacity {summary['capacity']}, "
+        f"fraction {summary['sample_fraction']})"
+    )
+    by_name = summary["by_name"]
+    assert isinstance(by_name, dict)
+    for name, count in by_name.items():
+        print(f"  {name}: {count}")
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    _, obs = _run_with_obs(args)
+    rows = obs.spans.as_dicts()
+    if args.limit is not None:
+        rows = rows[: args.limit]
+    for row in rows:
+        print(json.dumps(row, sort_keys=True))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .exposition import render_exposition
+
+    trace, obs = _run_with_obs(args)
+    if args.format == "json":
+        meta = trace.metadata["obs"]
+        text = json.dumps(meta, indent=2, sort_keys=True)
+    else:
+        text = render_exposition(obs.registry)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    from ..experiments.runner import SCHEDULER_NAMES
+
+    parser.add_argument("--scheduler", default="Op", choices=SCHEDULER_NAMES)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the workload seed")
+    parser.add_argument("--sample", type=float, default=1.0,
+                        help="span sampling fraction in [0, 1] "
+                             "(deterministic, off its own substream)")
+
+
+def register_obs_commands(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    """Attach the ``obs`` subcommand group to the ``repro`` parser."""
+    p_obs = sub.add_parser(
+        "obs",
+        help="telemetry of a deterministic run: metrics, spans, exposition",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_summary = obs_sub.add_parser(
+        "summary", help="metric catalogue with live values + span bookkeeping"
+    )
+    _add_common_args(p_summary)
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_spans = obs_sub.add_parser(
+        "spans", help="sampled decision-point spans, one JSON object per line"
+    )
+    _add_common_args(p_spans)
+    p_spans.add_argument("--limit", type=int, default=None,
+                         help="print at most this many spans")
+    p_spans.set_defaults(func=_cmd_spans)
+
+    p_export = obs_sub.add_parser(
+        "export", help="Prometheus text exposition or canonical JSON snapshot"
+    )
+    _add_common_args(p_export)
+    p_export.add_argument("--format", default="text",
+                          choices=["text", "json"],
+                          help="text = Prometheus exposition; json = the "
+                               "canonical registry snapshot + spans, "
+                               "stamped with its sha256")
+    p_export.add_argument("--out", default=None,
+                          help="write to this file instead of stdout")
+    p_export.set_defaults(func=_cmd_export)

@@ -1,0 +1,263 @@
+"""Prometheus text exposition: render, parse, validate.
+
+The fleet API serves :func:`render_exposition` output on
+``GET /v1/metrics``; :meth:`~repro.fleet.client.FleetClient.metrics`
+round-trips it through :func:`parse_exposition` into typed samples; the
+CI smoke job runs :func:`validate_exposition` over the scraped body.
+
+Rendering is canonical — families sorted by name, label children sorted
+by label values, one ``# HELP`` and ``# TYPE`` line per family — so the
+same registry always yields byte-identical text (the golden-file test
+pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .registry import HistogramSeries, MetricsRegistry
+
+__all__ = [
+    "MetricSample",
+    "MetricFamilySamples",
+    "render_exposition",
+    "parse_exposition",
+    "validate_exposition",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One exposition line: sample name, sorted label pairs, value."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float  # repro: allow[UNI001] unit-polymorphic: units live on the family name
+
+    def label(self, name: str) -> str:
+        for key, value in self.labels:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class MetricFamilySamples:
+    """One parsed family: metadata plus every sample under it."""
+
+    name: str
+    kind: str
+    help: str
+    samples: tuple[MetricSample, ...]
+
+    def value(self, **labels: str) -> float:
+        """The value of the single sample matching ``labels`` exactly."""
+        want = tuple(sorted(labels.items()))
+        for sample in self.samples:
+            if sample.name == self.name and sample.labels == want:
+                return sample.value
+        raise KeyError(f"{self.name}: no sample with labels {labels!r}")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _unescape(text: str) -> str:
+    out: list[str] = []
+    it = iter(text)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ("\\", '"'):
+            out.append(nxt)
+        else:
+            out.append("\\" + nxt)
+    return "".join(out)
+
+
+def format_value(value: float) -> str:
+    """Render a sample value; integral floats drop the trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_block(pairs: tuple[tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """Canonical Prometheus text format for one registry."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, series in family.series_items():
+            pairs = tuple(zip(family.label_names, values))
+            if isinstance(series, HistogramSeries):
+                cumulative = 0
+                for bound, count in zip(series.bounds, series.counts):
+                    cumulative += count
+                    bucket_pairs = pairs + (("le", format_value(bound)),)
+                    lines.append(
+                        f"{family.name}_bucket{_label_block(bucket_pairs)}"
+                        f" {cumulative}"
+                    )
+                cumulative += series.counts[-1]
+                inf_pairs = pairs + (("le", "+Inf"),)
+                lines.append(
+                    f"{family.name}_bucket{_label_block(inf_pairs)} {cumulative}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_label_block(pairs)}"
+                    f" {format_value(series.sum)}"
+                )
+                lines.append(f"{family.name}_count{_label_block(pairs)} {cumulative}")
+            else:
+                lines.append(
+                    f"{family.name}{_label_block(pairs)} {format_value(series.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def _parse_labels(block: str) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    i = 0
+    n = len(block)
+    while i < n:
+        eq = block.index("=", i)
+        key = block[i:eq].strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"malformed label block: {block!r}")
+        j = eq + 2
+        raw: list[str] = []
+        while j < n:
+            ch = block[j]
+            if ch == "\\":
+                raw.append(block[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value: {block!r}")
+        pairs.append((key, _unescape("".join(raw))))
+        i = j + 1
+        if i < n and block[i] == ",":
+            i += 1
+    return tuple(sorted(pairs))
+
+
+def _family_of(sample_name: str, known: dict[str, str]) -> str:
+    """Map a sample name back to its family (histogram suffixes fold in)."""
+    if sample_name in known:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in known:
+                return base
+    return sample_name
+
+
+def parse_exposition(text: str) -> tuple[MetricFamilySamples, ...]:
+    """Parse exposition text into families sorted by name.
+
+    Raises :class:`ValueError` on malformed lines, duplicate family
+    metadata, or samples that belong to no announced family.
+    """
+    helps: dict[str, str] = {}
+    kinds: dict[str, str] = {}
+    samples: dict[str, list[MetricSample]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            if name in helps:
+                raise ValueError(f"line {lineno}: duplicate HELP for {name!r}")
+            helps[name] = _unescape(help_text)
+            samples.setdefault(name, [])
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            if name in kinds:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            kinds[name] = kind.strip()
+            samples.setdefault(name, [])
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rindex("}")
+            sample_name = line[:brace]
+            labels = _parse_labels(line[brace + 1 : close])
+            value_text = line[close + 1 :].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = ()
+            value_text = value_text.strip()
+        family = _family_of(sample_name, kinds)
+        if family not in kinds:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE line"
+            )
+        samples.setdefault(family, []).append(
+            MetricSample(sample_name, labels, _parse_value(value_text))
+        )
+    out: list[MetricFamilySamples] = []
+    for name in sorted(samples):
+        out.append(
+            MetricFamilySamples(
+                name=name,
+                kind=kinds.get(name, "untyped"),
+                help=helps.get(name, ""),
+                samples=tuple(samples[name]),
+            )
+        )
+    return tuple(out)
+
+
+def validate_exposition(text: str) -> tuple[MetricFamilySamples, ...]:
+    """Parse and enforce the CI contract: HELP + TYPE for every family."""
+    families = parse_exposition(text)
+    for family in families:
+        if family.kind == "untyped":
+            raise ValueError(f"family {family.name!r} missing TYPE line")
+        if not family.help:
+            raise ValueError(f"family {family.name!r} missing HELP line")
+    return families

@@ -1,0 +1,361 @@
+"""Label-aware metric families with an associative, shard-ordered merge.
+
+The registry is the telemetry plane's data model: counters, gauges and
+fixed-bucket histograms, each optionally fanned out over a small set of
+label values. Two properties drive the design:
+
+* **Zero-allocation hot path.** ``family.labels(...)`` resolves a label
+  child *once*; the returned series object exposes plain attribute
+  arithmetic (``inc``/``observe``) with no dict lookups, string
+  formatting or allocation per event. Instrument points cache the series
+  at attach time and touch only it afterwards.
+* **Associative merge.** Per-shard registries fold into one fleet view
+  the same way ledgers and streaming stats do — in shard-index order —
+  via :meth:`MetricsRegistry.merge`, which sums counters, gauges and
+  histogram buckets. Summation is associative, so any bracketing of the
+  shard fold yields the same totals; the fleet still pins shard-index
+  order so float accumulation is bit-stable too.
+
+Everything lives on instances (no module-level mutable state), keeping
+the package shard-safe under the SHD lint rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_left
+from typing import Iterable, Optional, Union
+
+__all__ = [
+    "CounterSeries",
+    "GaugeSeries",
+    "HistogramSeries",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_RATIO_BUCKETS",
+]
+
+#: Fixed latency buckets (seconds) spanning sub-second transfers through
+#: multi-hour batch turnarounds.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.1,
+    1.0,
+    10.0,
+    60.0,
+    300.0,
+    1800.0,
+    3600.0,
+    14400.0,
+)
+
+#: Fixed buckets for dimensionless ratios (relative errors, fractions).
+DEFAULT_RATIO_BUCKETS: tuple[float, ...] = (
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+_KINDS = (COUNTER, GAUGE, HISTOGRAM)
+
+
+class CounterSeries:
+    """One monotonically increasing sample stream."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class GaugeSeries:
+    """One point-in-time sample stream (merged across shards by sum)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class HistogramSeries:
+    """Fixed-bucket histogram; the final bucket is the +Inf overflow."""
+
+    __slots__ = ("bounds", "counts", "sum")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+
+Series = Union[CounterSeries, GaugeSeries, HistogramSeries]
+
+
+class MetricFamily:
+    """One named metric plus its label children.
+
+    ``labels(*values)`` returns (creating on first use) the series for
+    one label-value tuple; hold on to the result and call ``inc`` /
+    ``observe`` on it directly in hot paths. Families declared with no
+    label names proxy ``inc``/``set``/``observe`` straight to their
+    single anonymous series.
+    """
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...] = (),
+        buckets: Optional[tuple[float, ...]] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if kind == HISTOGRAM:
+            if not buckets:
+                raise ValueError(f"histogram {name!r} needs bucket bounds")
+            if list(buckets) != sorted(buckets):
+                raise ValueError(f"histogram {name!r} buckets must be sorted")
+        elif buckets is not None:
+            raise ValueError(f"{kind} {name!r} must not declare buckets")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._children: dict[tuple[str, ...], Series] = {}
+
+    def _new_series(self) -> Series:
+        if self.kind == COUNTER:
+            return CounterSeries()
+        if self.kind == GAUGE:
+            return GaugeSeries()
+        assert self.buckets is not None
+        return HistogramSeries(self.buckets)
+
+    def labels(self, *values: str) -> Series:
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected {len(self.label_names)} label "
+                f"values, got {len(values)}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._new_series()
+            self._children[values] = child
+        return child
+
+    def counter_labels(self, *values: str) -> CounterSeries:
+        """Typed ``labels`` for counter families (hot-path caching)."""
+        series = self.labels(*values)
+        assert isinstance(series, CounterSeries)
+        return series
+
+    def gauge_labels(self, *values: str) -> GaugeSeries:
+        """Typed ``labels`` for gauge families (hot-path caching)."""
+        series = self.labels(*values)
+        assert isinstance(series, GaugeSeries)
+        return series
+
+    def histogram_labels(self, *values: str) -> HistogramSeries:
+        """Typed ``labels`` for histogram families (hot-path caching)."""
+        series = self.labels(*values)
+        assert isinstance(series, HistogramSeries)
+        return series
+
+    # -- no-label conveniences -------------------------------------------
+    def inc(self, amount: float = 1.0) -> None:
+        series = self.labels()
+        assert isinstance(series, (CounterSeries, GaugeSeries))
+        series.inc(amount)
+
+    def set(self, value: float) -> None:
+        series = self.labels()
+        assert isinstance(series, GaugeSeries)
+        series.set(value)
+
+    def observe(self, value: float) -> None:
+        series = self.labels()
+        assert isinstance(series, HistogramSeries)
+        series.observe(value)
+
+    # -- snapshot ---------------------------------------------------------
+    def series_items(self) -> list[tuple[tuple[str, ...], Series]]:
+        """Children sorted by label values (canonical order)."""
+        return sorted(self._children.items(), key=lambda kv: kv[0])
+
+
+def _series_value(series: Series) -> object:
+    if isinstance(series, HistogramSeries):
+        return {"counts": list(series.counts), "sum": series.sum}
+    return series.value
+
+
+class MetricsRegistry:
+    """A set of metric families plus the fold that merges registries.
+
+    Families register once (``counter``/``gauge``/``histogram``) and are
+    addressed by name afterwards; re-registering an identical signature
+    returns the existing family, while a conflicting signature raises.
+    ``snapshot()`` emits a canonical, JSON-safe dict (sorted label
+    children, plain lists) that travels over the fleet command protocol;
+    ``merge_snapshot()`` folds such a dict back in by summation.
+    """
+
+    __slots__ = ("_families",)
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def families(self) -> list[MetricFamily]:
+        """All families sorted by name (canonical order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        buckets: Optional[tuple[float, ...]],
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if (
+                existing.kind != kind
+                or existing.label_names != label_names
+                or existing.buckets != buckets
+            ):
+                raise ValueError(f"metric {name!r} re-registered with a new signature")
+            return existing
+        family = MetricFamily(name, kind, help_text, label_names, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str, labels: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._register(name, COUNTER, help_text, labels, None)
+
+    def gauge(
+        self, name: str, help_text: str, labels: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._register(name, GAUGE, help_text, labels, None)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS,
+        labels: tuple[str, ...] = (),
+    ) -> MetricFamily:
+        return self._register(name, HISTOGRAM, help_text, labels, tuple(buckets))
+
+    # -- snapshot / merge -------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Canonical JSON-safe dump: families and series in sorted order."""
+        families: dict[str, object] = {}
+        for family in self.families():
+            entry: dict[str, object] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "series": [
+                    [list(values), _series_value(series)]
+                    for values, series in family.series_items()
+                ],
+            }
+            if family.buckets is not None:
+                entry["buckets"] = list(family.buckets)
+            families[family.name] = entry
+        return {"families": families}
+
+    def snapshot_sha256(
+        self, snapshot: Optional[dict[str, object]] = None
+    ) -> str:
+        """Content hash of the canonical snapshot (stamps reports).
+
+        Pass an already-taken ``snapshot()`` to avoid re-walking the
+        families when both the dict and its hash are needed.
+        """
+        if snapshot is None:
+            snapshot = self.snapshot()
+        blob = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def merge_snapshot(self, snap: dict[str, object]) -> None:
+        """Fold one canonical snapshot into this registry by summation."""
+        families = snap.get("families")
+        if not isinstance(families, dict):
+            raise ValueError("snapshot missing 'families' mapping")
+        for name in sorted(families):
+            entry = families[name]
+            if not isinstance(entry, dict):
+                raise ValueError(f"snapshot family {name!r} is not a mapping")
+            kind = str(entry["kind"])
+            label_names = tuple(str(label) for label in entry["labels"])
+            raw_buckets = entry.get("buckets")
+            buckets: Optional[tuple[float, ...]] = (
+                tuple(float(b) for b in raw_buckets)
+                if isinstance(raw_buckets, list)
+                else None
+            )
+            family = self._register(name, kind, str(entry["help"]), label_names, buckets)
+            series_list = entry["series"]
+            if not isinstance(series_list, list):
+                raise ValueError(f"snapshot family {name!r} series is not a list")
+            for pair in series_list:
+                values_raw, value = pair
+                values = tuple(str(v) for v in values_raw)
+                series = family.labels(*values)
+                if isinstance(series, HistogramSeries):
+                    if not isinstance(value, dict):
+                        raise ValueError(f"{name}: histogram series needs counts+sum")
+                    counts = value["counts"]
+                    if not isinstance(counts, list) or len(counts) != len(
+                        series.counts
+                    ):
+                        raise ValueError(f"{name}: bucket layout mismatch in merge")
+                    for i, c in enumerate(counts):
+                        series.counts[i] += int(c)
+                    series.sum += float(value["sum"])
+                else:
+                    series.inc(float(value))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (associative summation)."""
+        self.merge_snapshot(other.snapshot())

@@ -1,0 +1,142 @@
+"""Virtual-clock span tracing with deterministic sampling.
+
+Spans record *why* the system did something at the decision points that
+matter — scheduler burst/hold plans, admission verdicts, preemptions,
+transfer pipeline stages — on the simulator's clock, never the wall
+clock. The recorder is a fixed-capacity ring (old spans fall off the
+back) with head sampling driven by its own :func:`substream_seed`-derived
+generator, so two runs of the same seed sample the same spans and the
+simulation's RNG streams are never touched. Telemetry stays an observer.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common import substream_seed
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded interval on the simulation clock.
+
+    ``attrs`` is a canonically sorted tuple of key/value pairs;
+    instantaneous decision points carry ``start_s == end_s``.
+    """
+
+    name: str
+    start_s: float
+    end_s: float
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": {key: value for key, value in self.attrs},
+        }
+
+
+class SpanRecorder:
+    """Ring-buffered span sink with seeded head sampling.
+
+    ``sample_fraction`` keeps that share of offered spans (decided by a
+    private ``random.Random`` seeded via
+    ``substream_seed(seed, "obs", "spans")``); the ring then keeps the
+    most recent ``capacity`` survivors. Both stages are deterministic
+    given the seed and the (deterministic) offer order.
+    """
+
+    __slots__ = ("capacity", "sample_fraction", "offered", "kept", "_rng", "_ring")
+
+    def __init__(
+        self,
+        seed: int,
+        capacity: int = 4096,
+        sample_fraction: float = 1.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("span capacity must be positive")
+        if not 0.0 <= sample_fraction <= 1.0:
+            raise ValueError("span sample_fraction must be within [0, 1]")
+        self.capacity = capacity
+        self.sample_fraction = sample_fraction
+        self.offered = 0
+        self.kept = 0
+        self._rng = random.Random(substream_seed(seed, "obs", "spans"))
+        # Hot path: the ring holds raw (name, start, end, attrs-dict)
+        # tuples; Span objects (and the canonical attr sort) materialise
+        # lazily at read time, keeping record() allocation-light.
+        self._ring: deque[
+            tuple[str, float, float, Optional[dict[str, object]]]
+        ] = deque(maxlen=capacity)
+
+    def record(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        attrs: Optional[dict[str, object]] = None,
+    ) -> None:
+        """Offer one span; sampling may drop it, the ring may evict."""
+        self.offered += 1
+        if self.sample_fraction < 1.0 and self._rng.random() >= self.sample_fraction:
+            return
+        self.kept += 1
+        self._ring.append((name, start_s, end_s, attrs))
+
+    def point(
+        self,
+        name: str,
+        at_s: float,
+        attrs: Optional[dict[str, object]] = None,
+    ) -> None:
+        """Record an instantaneous decision point (zero-length span)."""
+        self.record(name, at_s, at_s, attrs)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def spans(self) -> list[Span]:
+        """Ring contents as :class:`Span` objects, oldest first."""
+        return [
+            Span(name, start_s, end_s, tuple(sorted(attrs.items())) if attrs else ())
+            for name, start_s, end_s, attrs in self._ring
+        ]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        # Built straight off the raw ring (no Span objects): this runs
+        # inside finalize on every instrumented run, over a full ring.
+        return [
+            {
+                "name": name,
+                "start_s": start_s,
+                "end_s": end_s,
+                "attrs": dict(attrs) if attrs else {},
+            }
+            for name, start_s, end_s, attrs in self._ring
+        ]
+
+    def summary(self) -> dict[str, object]:
+        """Counts by span name plus sampling bookkeeping."""
+        by_name: dict[str, int] = {}
+        for name, _, _, _ in self._ring:
+            by_name[name] = by_name.get(name, 0) + 1
+        return {
+            "offered": self.offered,
+            "kept": self.kept,
+            "in_ring": len(self._ring),
+            "capacity": self.capacity,
+            "sample_fraction": self.sample_fraction,
+            "by_name": {name: by_name[name] for name in sorted(by_name)},
+        }

@@ -25,6 +25,11 @@ optimises, each reported with the metric an operator would regress on:
   sharding exists for) and the honest single-process serial figure,
   plus the run's fleet SHA-256 so a bench run doubles as a determinism
   witness;
+* **obs_overhead** — the bursty loadgen run twice per rep, telemetry
+  attached (:func:`repro.obs.attach_obs`, full metric catalogue + span
+  recording) vs bare, min CPU seconds over reps on both arms; the
+  scored figure is ``overhead_pct``, the telemetry tax on the broker
+  hot path. The repo's observer contract budgets this at ≤ 5%;
 * **fleet_loadgen_procs** — the same fleet workload under the
   *multiprocess* executor (one spawned worker process per shard) next
   to an in-process baseline. The two executors must produce one fleet
@@ -40,17 +45,18 @@ optimises, each reported with the metric an operator would regress on:
 (schema below) and returns it; ``repro bench --smoke`` runs a tiny preset
 that exercises every scenario in seconds for CI.
 
-JSON schema (``schema_version`` 4)::
+JSON schema (``schema_version`` 5)::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "smoke": bool,
       "python": "3.x.y",
       "preset": {"engine_events": int, "offline_n_batches": int,
                  "offline_reps": int, "loadgen_jobs": int,
                  "loadgen_bursty_jobs": int, "fleet_jobs": int,
                  "fleet_shards": int, "fleet_reps": int,
-                 "fleet_procs_jobs": int},
+                 "fleet_procs_jobs": int, "obs_jobs": int,
+                 "obs_reps": int},
       "scenarios": {
         "engine":  {"events_per_s": float, "n_events": int,
                     "wall_s": float, "compactions": int},
@@ -63,6 +69,10 @@ JSON schema (``schema_version`` 4)::
                     "drain_wall_s": float, "quote_p50_ms": float,
                     "quote_p95_ms": float},
         "loadgen_bursty": <same shape as "loadgen">,
+        "obs_overhead": {"overhead_pct": float, "plain_cpu_s": float,
+                    "obs_cpu_s": float, "plain_jobs_per_s": float,
+                    "obs_jobs_per_s": float, "n_jobs": int, "reps": int,
+                    "n_metric_families": int, "spans_kept": int},
         "fleet_loadgen": {"aggregate_jobs_per_s": float,
                     "serial_jobs_per_s": float, "n_jobs": int,
                     "n_shards": int, "n_tenants": int, "reps": int,
@@ -97,7 +107,7 @@ from typing import Any, Optional
 
 __all__ = ["SCHEMA_VERSION", "BenchPreset", "BenchReport", "run_bench", "main"]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -115,6 +125,9 @@ class BenchPreset:
     #: Jobs for the multiprocess-executor scenario (0 skips it); it
     #: reuses ``fleet_shards`` for the shard count.
     fleet_procs_jobs: int = 0
+    #: Jobs for the telemetry-overhead scenario (0 skips it).
+    obs_jobs: int = 0
+    obs_reps: int = 3
 
 
 #: The canonical preset: large enough that per-run noise is small and the
@@ -129,6 +142,8 @@ FULL = BenchPreset(
     fleet_shards=8,
     fleet_reps=3,
     fleet_procs_jobs=8_000,
+    obs_jobs=4_000,
+    obs_reps=5,
 )
 
 #: CI preset: every scenario runs, nothing takes more than a few seconds.
@@ -140,6 +155,7 @@ SMOKE = BenchPreset(
     loadgen_bursty_jobs=150,
     fleet_jobs=400,
     fleet_procs_jobs=400,
+    obs_jobs=200,
 )
 
 
@@ -281,6 +297,86 @@ def _loadgen_scenario(n_jobs: int, process: str = "poisson") -> dict[str, Any]:
         "drain_wall_s": result.drain_wall_s,
         "quote_p50_ms": result.latency_percentile_ms(50),
         "quote_p95_ms": result.latency_percentile_ms(95),
+    }
+
+
+def _obs_overhead_scenario(n_jobs: int, reps: int) -> dict[str, Any]:
+    """The telemetry tax: one bursty loadgen run, bare vs instrumented.
+
+    Identical seeded workload both ways; the instrumented arm attaches
+    the full :mod:`repro.obs` catalogue (counters, histograms, span
+    recording at fraction 1.0) before the run, and its cost includes
+    ``finalize`` — the snapshot, its SHA-256, and the span export are
+    part of what an instrumented run pays. Per rep the two arms
+    alternate so slow drift of the bench box charges both equally, and
+    the clock is the **process CPU clock**: the absolute telemetry cost
+    is a few ms, which wall-clock jitter on a shared box would bury.
+    The scored figure compares min CPU seconds across reps; the repo's
+    observer contract budgets ``overhead_pct`` at <= 5%.
+    """
+    import gc
+
+    from ..experiments.config import DEFAULT_SPEC
+    from ..experiments.runner import make_scheduler
+    from ..metrics.tickets import ProportionalTicket
+    from ..obs import ObsRuntime, attach_obs
+    from ..service import LoadGenConfig, SLAPolicy, run_load
+    from ..sim.environment import CloudBurstEnvironment
+
+    config = LoadGenConfig(
+        n_jobs=n_jobs,
+        rate_per_s=50.0,
+        process="bursty",
+        mean_burst_jobs=8.0,
+        seed=2024,
+    )
+
+    def one(with_obs: bool) -> tuple[float, float, Optional[ObsRuntime]]:
+        env = CloudBurstEnvironment(DEFAULT_SPEC.system)
+        runtime = attach_obs(env) if with_obs else None
+        scheduler = make_scheduler("Op", env)
+        policy = SLAPolicy(
+            ticket=ProportionalTicket(base_s=300.0, factor=6.0),
+            degraded_slack_s=-120.0,
+            max_in_system=60,
+        )
+        t0 = time.process_time()  # repro: allow[DET001] CPU cost is the measurement
+        result = run_load(env, scheduler, policy, config)
+        cpu_s = time.process_time() - t0  # repro: allow[DET001] CPU cost is the measurement
+        return cpu_s, result.jobs_per_s, runtime
+
+    reps = max(1, reps)
+    plain_cpus: list[float] = []
+    obs_cpus: list[float] = []
+    plain_rate = obs_rate = 0.0
+    runtime: Optional[ObsRuntime] = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            cpu_s, rate, _ = one(False)
+            plain_cpus.append(cpu_s)
+            plain_rate = max(plain_rate, rate)
+            cpu_s, rate, runtime = one(True)
+            obs_cpus.append(cpu_s)
+            obs_rate = max(obs_rate, rate)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert runtime is not None
+    plain_cpu = min(plain_cpus)
+    obs_cpu = min(obs_cpus)
+    overhead = (obs_cpu / plain_cpu - 1.0) * 100.0 if plain_cpu > 0 else 0.0
+    return {
+        "overhead_pct": overhead,
+        "plain_cpu_s": plain_cpu,
+        "obs_cpu_s": obs_cpu,
+        "plain_jobs_per_s": plain_rate,
+        "obs_jobs_per_s": obs_rate,
+        "n_jobs": n_jobs,
+        "reps": reps,
+        "n_metric_families": len(runtime.registry.families()),
+        "spans_kept": runtime.spans.kept,
     }
 
 
@@ -537,6 +633,14 @@ class BenchReport:
                 f"submit ({lg['n_jobs']} jobs via {lg['process']}, quote p50 "
                 f"{lg['quote_p50_ms']:.3f}ms, p95 {lg['quote_p95_ms']:.3f}ms)"
             )
+        ov = self.scenarios.get("obs_overhead")
+        if ov is not None:
+            lines.append(
+                f"  obs_overhead: {ov['overhead_pct']:+.2f}% "
+                f"({ov['n_metric_families']} families, "
+                f"{ov['spans_kept']} spans, {ov['n_jobs']} jobs, "
+                f"best of {ov['reps']} reps)"
+            )
         fl = self.scenarios.get("fleet_loadgen")
         if fl is not None:
             lines.append(
@@ -579,6 +683,10 @@ def run_bench(
     if preset.loadgen_bursty_jobs > 0:
         scenarios["loadgen_bursty"] = _loadgen_scenario(
             preset.loadgen_bursty_jobs, process="bursty"
+        )
+    if preset.obs_jobs > 0:
+        scenarios["obs_overhead"] = _obs_overhead_scenario(
+            preset.obs_jobs, preset.obs_reps
         )
     if preset.fleet_jobs > 0:
         scenarios["fleet_loadgen"] = _fleet_scenario(

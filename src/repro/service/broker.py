@@ -138,6 +138,8 @@ class BurstBroker:
                 admitted.append((job, quote))
                 in_system += 1
             self.stats.on_admission(result.decision, result.reason)
+            if self.env.obs is not None:
+                self.env.obs.on_admission(result.decision, result.reason, self.now)
             outcomes.append(SubmissionOutcome(job=job, quote=quote, result=result))
 
         if admitted:

@@ -36,8 +36,9 @@ from .pipeline import TransferPipeline
 from .resources import Machine
 from .tracing import JobRecord, Placement, RunTrace
 
-if TYPE_CHECKING:  # runtime import would cycle (econ imports this module)
+if TYPE_CHECKING:  # runtime import would cycle (econ/obs import this module)
     from ..econ import EconRuntime
+    from ..obs import ObsRuntime
 
 __all__ = ["ECSiteSpec", "SystemConfig", "CloudBurstEnvironment", "Session"]
 
@@ -284,6 +285,11 @@ class CloudBurstEnvironment:
         #: Attached :class:`repro.econ.EconRuntime`, when cost accounting
         #: is enabled for this run (:func:`repro.econ.attach_econ`).
         self.econ: Optional["EconRuntime"] = None
+        #: Attached :class:`repro.obs.ObsRuntime`, when telemetry is
+        #: enabled for this run (:func:`repro.obs.attach_obs`). Strictly
+        #: an observer: its hooks read simulation state, never steer it,
+        #: and its output lands in unhashed ``trace.metadata["obs"]``.
+        self.obs: Optional["ObsRuntime"] = None
         #: Runtime invariant checker, when installed
         #: (:func:`repro.analysis.invariants.install_invariants`); gets
         #: first-class lifecycle calls so observers above stay free for
@@ -556,6 +562,8 @@ class CloudBurstEnvironment:
         )
         if self.econ is not None:
             trace.metadata["econ"] = self.econ.finalize(trace)
+        if self.obs is not None:
+            trace.metadata["obs"] = self.obs.finalize(trace)
         if self.invariants is not None:
             self.invariants.on_finish(trace)
         return trace
@@ -652,6 +660,8 @@ class CloudBurstEnvironment:
         if state is None:
             state = self.build_state()
         plan = self._scheduler.plan_online(list(batch.jobs), state)
+        if self.obs is not None:
+            self.obs.on_plan(len(plan.decisions), plan.n_bursted, self.sim.now)
         if plan.upload_bounds is not None:
             self.upload.set_size_bounds(*plan.upload_bounds)
         for decision in plan.decisions:

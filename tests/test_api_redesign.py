@@ -233,6 +233,17 @@ class TestBenchReportSchema:
         assert procs["speedup_vs_inprocess"] >= 2.0
         assert len(procs["fleet_sha256"]) == 64
 
+    def test_committed_bench_artifact_meets_obs_budget(self):
+        """PR 9 acceptance: attaching the full telemetry catalogue costs
+        at most 5% of the broker hot path (CPU clock, min over reps)."""
+        bench_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+        data = json.loads(bench_path.read_text())
+        ov = data["scenarios"]["obs_overhead"]
+        assert ov["n_metric_families"] >= 10
+        assert ov["spans_kept"] > 0
+        assert ov["plain_cpu_s"] > 0 and ov["obs_cpu_s"] > 0
+        assert ov["overhead_pct"] <= 5.0
+
     def test_bursty_scenario_skipped_when_zeroed(self, tmp_path):
         preset = BenchPreset(
             engine_events=1000,

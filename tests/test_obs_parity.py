@@ -1,0 +1,87 @@
+"""Telemetry is a pure observer: digests must not move when it attaches.
+
+These are the acceptance tests for the observability PR's core contract:
+``hash_trace`` over a run with :func:`attach_obs` equals the bare run,
+and a fleet run with ``telemetry=True`` produces the same fleet sha256
+as ``telemetry=False``. The obs output itself (metric snapshot, spans)
+rides in ``trace.metadata`` — which the hash deliberately excludes — and
+must be deterministic across repeated runs of the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.determinism import ObsParityResult, check_obs_parity, hash_trace
+from repro.experiments.runner import make_scheduler
+from repro.obs import ObsConfig, ObsRuntime, attach_obs
+from repro.sim.environment import CloudBurstEnvironment
+from repro.workload.distributions import Bucket
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def run_trace(config, *, instrument: bool):
+    env = CloudBurstEnvironment(config)
+    gen = WorkloadGenerator(bucket=Bucket.UNIFORM, seed=11)
+    env.pretrain_qrsm(*gen.sample_training_set(150))
+    obs = attach_obs(env, ObsConfig()) if instrument else None
+    workload = gen.generate(
+        WorkloadConfig(bucket=Bucket.UNIFORM, n_batches=4, mean_jobs_per_batch=6, seed=11)
+    )
+    trace = env.run(workload, make_scheduler("Op", env))
+    return trace, obs
+
+
+class TestTraceParity:
+    def test_trace_hash_unchanged_by_instrumentation(self, fast_config):
+        bare, _ = run_trace(fast_config, instrument=False)
+        instrumented, obs = run_trace(fast_config, instrument=True)
+        assert hash_trace(instrumented) == hash_trace(bare)
+        assert isinstance(obs, ObsRuntime)
+
+    def test_obs_output_lands_in_metadata_only(self, fast_config):
+        bare, _ = run_trace(fast_config, instrument=False)
+        instrumented, _ = run_trace(fast_config, instrument=True)
+        assert "obs" not in bare.metadata
+        meta = instrumented.metadata["obs"]
+        assert meta["registry_sha256"]
+        assert meta["registry"]["families"]
+        assert meta["spans"]["summary"]["kept"] > 0
+
+    def test_obs_metadata_deterministic_across_runs(self, fast_config):
+        first, _ = run_trace(fast_config, instrument=True)
+        second, _ = run_trace(fast_config, instrument=True)
+        assert first.metadata["obs"] == second.metadata["obs"]
+
+    def test_double_attach_raises(self, fast_config):
+        env = CloudBurstEnvironment(fast_config)
+        attach_obs(env)
+        with pytest.raises(RuntimeError, match="already attached"):
+            attach_obs(env)
+
+
+class TestCheckObsParity:
+    def test_check_reports_invisible(self):
+        result = check_obs_parity(n_shards=2, n_jobs=80)
+        assert isinstance(result, ObsParityResult)
+        assert result.invisible
+        assert result.hash_plain == result.hash_obs
+        assert result.fleet_sha_plain == result.fleet_sha_obs
+        assert result.n_metric_families >= 10
+        assert result.spans_kept > 0
+        assert "OK" in result.render()
+
+    def test_render_flags_divergence(self):
+        broken = ObsParityResult(
+            scheduler="Op",
+            hash_plain="aaaa",
+            hash_obs="bbbb",
+            fleet_sha_plain="cccc",
+            fleet_sha_obs="cccc",
+            n_records=1,
+            n_metric_families=13,
+            spans_kept=1,
+            registry_sha="dddd",
+        )
+        assert not broken.invisible
+        assert "FAIL" in broken.render()

@@ -1,0 +1,179 @@
+"""The metrics registry: merge algebra, snapshots, text exposition.
+
+The fleet folds per-shard registries in shard-index order, exactly like
+ledgers and streaming stats — so the merge must be associative, and the
+canonical snapshot must survive a JSON round trip (it travels over the
+fleet command protocol). The exposition tests pin the Prometheus text
+format byte-for-byte: it is scraped by external tooling, so drift is an
+interface break, not a cosmetic change.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
+
+
+def make_shard_registry(shard: int) -> MetricsRegistry:
+    """A registry shaped like one shard's, with shard-dependent values."""
+    reg = MetricsRegistry()
+    completed = reg.counter(
+        "repro_jobs_completed_total", "Jobs completed.", labels=("placement",)
+    )
+    completed.counter_labels("IC").inc(10.0 * (shard + 1))
+    if shard % 2 == 0:
+        completed.counter_labels("EC").inc(3.0 + shard)
+    depth = reg.gauge("fleet_worker_queue_depth", "Commands queued.")
+    depth.set(float(shard))
+    hist = reg.histogram(
+        "repro_response_seconds",
+        "Response time.",
+        buckets=(1.0, 10.0, 100.0),
+    )
+    for value in (0.5 * (shard + 1), 5.0, 50.0 + shard):
+        hist.observe(value)
+    return reg
+
+
+def merged(*registries: MetricsRegistry) -> MetricsRegistry:
+    out = MetricsRegistry()
+    for reg in registries:
+        out.merge(reg)
+    return out
+
+
+class TestMergeAlgebra:
+    def test_merge_is_associative(self):
+        a, b, c = (make_shard_registry(i) for i in range(3))
+        left = merged(merged(a, b), c)
+        right = merged(a, merged(b, c))
+        assert left.snapshot_sha256() == right.snapshot_sha256()
+
+    def test_shard_index_order_fold_matches_elementwise_sums(self):
+        shards = [make_shard_registry(i) for i in range(4)]
+        fold = merged(*shards)
+        ic = fold.get("repro_jobs_completed_total").counter_labels("IC")
+        assert ic.value == sum(10.0 * (i + 1) for i in range(4))
+        ec = fold.get("repro_jobs_completed_total").counter_labels("EC")
+        assert ec.value == (3.0 + 0) + (3.0 + 2)
+        hist = fold.get("repro_response_seconds").histogram_labels()
+        assert hist.count == 12
+        depth = fold.get("fleet_worker_queue_depth").gauge_labels()
+        assert depth.value == 0.0 + 1.0 + 2.0 + 3.0
+
+    def test_merge_does_not_mutate_the_source(self):
+        a, b = make_shard_registry(0), make_shard_registry(1)
+        before = b.snapshot_sha256()
+        a.merge(b)
+        assert b.snapshot_sha256() == before
+
+    def test_snapshot_survives_json_round_trip(self):
+        source = make_shard_registry(2)
+        wire = json.loads(json.dumps(source.snapshot()))
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_snapshot(wire)
+        assert rebuilt.snapshot_sha256() == source.snapshot_sha256()
+
+    def test_bucket_layout_mismatch_refuses_to_merge(self):
+        a = MetricsRegistry()
+        a.histogram("h_s", "h", buckets=(1.0, 2.0))
+        snap = a.snapshot()
+        b = MetricsRegistry()
+        b.histogram("h_s", "h", buckets=(1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            b.merge_snapshot(snap)
+
+    def test_reregister_identical_signature_returns_same_family(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x_total", "x", labels=("a",))
+        again = reg.counter("x_total", "x", labels=("a",))
+        assert first is again
+
+    def test_reregister_conflicting_signature_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "x")
+
+
+GOLDEN_EXPOSITION = """\
+# HELP demo_depth Queue depth.
+# TYPE demo_depth gauge
+demo_depth 7
+# HELP demo_jobs_total Jobs seen.
+# TYPE demo_jobs_total counter
+demo_jobs_total{placement="EC"} 2.5
+demo_jobs_total{placement="IC"} 4
+# HELP demo_latency_seconds Latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="1"} 1
+demo_latency_seconds_bucket{le="10"} 3
+demo_latency_seconds_bucket{le="+Inf"} 4
+demo_latency_seconds_sum 117.5
+demo_latency_seconds_count 4
+"""
+
+
+def make_golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    jobs = reg.counter("demo_jobs_total", "Jobs seen.", labels=("placement",))
+    jobs.counter_labels("IC").inc(4.0)
+    jobs.counter_labels("EC").inc(2.5)
+    reg.gauge("demo_depth", "Queue depth.").set(7.0)
+    hist = reg.histogram("demo_latency_seconds", "Latency.", buckets=(1.0, 10.0))
+    for value in (0.5, 5.0, 7.0, 105.0):
+        hist.observe(value)
+    return reg
+
+
+class TestExposition:
+    def test_golden_text(self):
+        assert render_exposition(make_golden_registry()) == GOLDEN_EXPOSITION
+
+    def test_parse_round_trip(self):
+        families = parse_exposition(GOLDEN_EXPOSITION)
+        by_name = {f.name: f for f in families}
+        assert set(by_name) == {
+            "demo_depth", "demo_jobs_total", "demo_latency_seconds",
+        }
+        assert by_name["demo_jobs_total"].kind == "counter"
+        assert by_name["demo_jobs_total"].value(placement="IC") == 4.0
+        assert by_name["demo_jobs_total"].value(placement="EC") == 2.5
+        assert by_name["demo_depth"].value() == 7.0
+        hist = by_name["demo_latency_seconds"]
+        assert hist.kind == "histogram"
+        by_sample = {(s.name, s.labels): s.value for s in hist.samples}
+        assert by_sample[("demo_latency_seconds_count", ())] == 4.0
+        assert by_sample[("demo_latency_seconds_sum", ())] == 117.5
+        assert by_sample[
+            ("demo_latency_seconds_bucket", (("le", "+Inf"),))
+        ] == 4.0
+
+    def test_validate_accepts_the_golden(self):
+        validate_exposition(GOLDEN_EXPOSITION)
+
+    def test_validate_rejects_duplicate_family(self):
+        text = GOLDEN_EXPOSITION + "# HELP demo_depth again\n"
+        with pytest.raises(ValueError):
+            validate_exposition(text)
+
+    def test_validate_rejects_untyped_sample(self):
+        with pytest.raises(ValueError):
+            validate_exposition("mystery_metric 1\n")
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("esc_total", "Escaping.", labels=("path",))
+        fam.counter_labels('a"b\\c\nd').inc()
+        text = render_exposition(reg)
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in text
+        parsed = parse_exposition(text)
+        assert parsed[0].samples[0].label("path") == 'a"b\\c\nd'

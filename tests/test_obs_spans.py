@@ -1,0 +1,110 @@
+"""Span recording: deterministic sampling, ring eviction, canonical form.
+
+The recorder's sampling RNG is seeded via ``substream_seed(seed, "obs",
+"spans")`` — never the simulation's streams — so the kept-span set is a
+pure function of (seed, offer sequence). Two recorders fed the same
+offers must agree span-for-span; that property is what lets sampled
+tracing coexist with the bit-reproducibility contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SpanRecorder
+
+
+def offer_stream(rec: SpanRecorder, n: int) -> None:
+    for i in range(n):
+        rec.record(f"op{i % 3}", float(i), float(i) + 0.5, {"i": i})
+
+
+class TestSampling:
+    def test_same_seed_same_offers_same_spans(self):
+        a = SpanRecorder(2024, sample_fraction=0.5)
+        b = SpanRecorder(2024, sample_fraction=0.5)
+        offer_stream(a, 500)
+        offer_stream(b, 500)
+        assert a.kept == b.kept
+        assert a.spans() == b.spans()
+        assert a.as_dicts() == b.as_dicts()
+
+    def test_double_run_summary_identical(self):
+        a = SpanRecorder(7, sample_fraction=0.25)
+        b = SpanRecorder(7, sample_fraction=0.25)
+        offer_stream(a, 1000)
+        offer_stream(b, 1000)
+        assert a.summary() == b.summary()
+
+    def test_different_seeds_sample_differently(self):
+        a = SpanRecorder(1, sample_fraction=0.5)
+        b = SpanRecorder(2, sample_fraction=0.5)
+        offer_stream(a, 1000)
+        offer_stream(b, 1000)
+        assert a.spans() != b.spans()
+
+    def test_fraction_one_keeps_everything_without_rng(self):
+        rec = SpanRecorder(2024)
+        offer_stream(rec, 100)
+        assert rec.offered == rec.kept == 100
+        # fraction 1.0 must not consume RNG draws: a fresh recorder at
+        # fraction 0.5 starts from the same substream state regardless.
+        half = SpanRecorder(2024, sample_fraction=0.5)
+        offer_stream(half, 100)
+        assert 0 < half.kept < 100
+
+    def test_fraction_zero_keeps_nothing(self):
+        rec = SpanRecorder(2024, sample_fraction=0.0)
+        offer_stream(rec, 50)
+        assert rec.offered == 50
+        assert rec.kept == 0
+        assert len(rec) == 0
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        rec = SpanRecorder(2024, capacity=8)
+        offer_stream(rec, 20)
+        assert rec.offered == rec.kept == 20
+        assert len(rec) == 8
+        spans = rec.spans()
+        assert spans[0].start_s == 12.0
+        assert spans[-1].start_s == 19.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(2024, capacity=0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(2024, sample_fraction=1.5)
+        with pytest.raises(ValueError):
+            SpanRecorder(2024, sample_fraction=-0.1)
+
+
+class TestCanonicalForm:
+    def test_attrs_sorted_in_span_objects(self):
+        rec = SpanRecorder(2024)
+        rec.record("x", 1.0, 2.0, {"zeta": 1, "alpha": 2})
+        (span,) = rec.spans()
+        assert span.attrs == (("alpha", 2), ("zeta", 1))
+        assert span.duration_s == 1.0
+        assert span.as_dict()["attrs"] == {"alpha": 2, "zeta": 1}
+
+    def test_point_spans_are_zero_length(self):
+        rec = SpanRecorder(2024)
+        rec.point("decide", 42.0, {"why": "because"})
+        (span,) = rec.spans()
+        assert span.start_s == span.end_s == 42.0
+        assert span.duration_s == 0.0
+
+    def test_summary_counts_by_name(self):
+        rec = SpanRecorder(2024, capacity=100)
+        offer_stream(rec, 10)
+        summary = rec.summary()
+        assert summary["offered"] == 10
+        assert summary["kept"] == 10
+        assert summary["in_ring"] == 10
+        assert summary["capacity"] == 100
+        assert summary["by_name"] == {"op0": 4, "op1": 3, "op2": 3}
+        assert list(summary["by_name"]) == sorted(summary["by_name"])
