@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, fields
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:
+    from ..policy.runtime import PolicyConfig
 
 from ..experiments.config import DEFAULT_SPEC, ExperimentSpec
 from ..experiments.runner import PAPER_SCHEDULERS, build_workload, run_one
@@ -57,6 +60,11 @@ __all__ = [
     "check_executor_parity",
     "ObsParityResult",
     "check_obs_parity",
+    "PolicyDeterminismResult",
+    "check_scheduler_policy",
+    "check_policy",
+    "PolicyIdleResult",
+    "check_policy_idle",
 ]
 
 #: JobRecord fields in declaration order — the canonical hashing schema.
@@ -508,6 +516,204 @@ def check_executor_parity(
         shard_hashes_inprocess=tuple(report_in.shard_hashes),
         shard_hashes_multiprocess=tuple(report_mp.shard_hashes),
         n_records=len(report_in.trace.records),
+    )
+
+
+# ----------------------------------------------------------------------
+# Policy pass: convergence under churn must replay bit-for-bit
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyDeterminismResult:
+    """Verdict for one scheduler with a converger steering the EC pool.
+
+    The policy plane is *not* an observer — it launches and drains
+    machines — so its contract is the strong one: two seeded runs with
+    the same policy set, spot preemption active mid-convergence, must
+    agree on the job-trace hash **and** on the converger's audit-log
+    sha256 (every tick's observation, winner, and steps).
+    """
+
+    scheduler: str
+    hash_a: str
+    hash_b: str
+    audit_a: str
+    audit_b: str
+    n_records: int
+    ticks: int
+    steps_applied: int
+    preemptions: int
+    divergence: Optional[Divergence] = None
+
+    @property
+    def deterministic(self) -> bool:
+        return self.hash_a == self.hash_b and self.audit_a == self.audit_b
+
+    def render(self) -> str:
+        if self.deterministic:
+            return (
+                f"{self.scheduler:>8}: OK  {self.n_records} records, "
+                f"{self.ticks} ticks, {self.steps_applied} steps, "
+                f"{self.preemptions} preemptions, "
+                f"audit {self.audit_a[:16]}"
+            )
+        if self.hash_a != self.hash_b:
+            detail = (
+                self.divergence.render() if self.divergence else "hashes differ"
+            )
+        else:
+            detail = (
+                f"audit hashes differ: {self.audit_a[:16]} vs "
+                f"{self.audit_b[:16]}"
+            )
+        return f"{self.scheduler:>8}: FAIL  {detail}"
+
+
+def _policy_check_config() -> "PolicyConfig":
+    """The convergence-under-churn policy the check pass drives.
+
+    A steady target above the default EC pool size, converging
+    *effective* capacity with a launch delay — so spot preemptions and
+    offline windows force replacement launches mid-run and the
+    delete-offline reclaim path runs too.
+    """
+    from ..policy import ConvergerConfig, PolicyConfig, ScalingPolicy
+
+    return PolicyConfig(
+        policies=(
+            ScalingPolicy(
+                name="hold-capacity", action="target", amount=6,
+                max_capacity=16,
+            ),
+        ),
+        converger=ConvergerConfig(interval_s=180.0, launch_delay_s=30.0),
+    )
+
+
+def check_scheduler_policy(
+    scheduler_name: str,
+    spec: ExperimentSpec = DEFAULT_SPEC,
+) -> PolicyDeterminismResult:
+    """Double-run one scheduler with invariants, spot churn, and a
+    capacity-holding policy attached; compare trace + audit hashes."""
+    from ..econ import EconConfig, SpotMarketConfig, attach_econ
+    from ..policy import PolicyRuntime, attach_policy
+
+    econ_config = EconConfig(
+        spot=SpotMarketConfig(bid_usd_per_hour=0.13, variation=0.4)
+    )
+    policy_config = _policy_check_config()
+    batches = build_workload(spec)
+    holder: dict[str, PolicyRuntime] = {}
+
+    def hook(env: "CloudBurstEnvironment") -> None:
+        install_invariants(env)
+        attach_econ(env, econ_config)
+        holder["policy"] = attach_policy(env, policy_config)
+
+    trace_a = run_one(scheduler_name, spec, batches=batches, env_hook=hook)
+    runtime = holder["policy"]
+    trace_b = run_one(scheduler_name, spec, batches=batches, env_hook=hook)
+    hash_a, hash_b = hash_trace(trace_a), hash_trace(trace_b)
+    meta_a = trace_a.metadata["policy"]
+    meta_b = trace_b.metadata["policy"]
+    divergence = None
+    if hash_a != hash_b:
+        divergence = first_divergence(trace_a, trace_b)
+    totals = runtime.converger.step_totals()
+    return PolicyDeterminismResult(
+        scheduler=scheduler_name,
+        hash_a=hash_a,
+        hash_b=hash_b,
+        audit_a=str(meta_a["audit_sha256"]),
+        audit_b=str(meta_b["audit_sha256"]),
+        n_records=len(trace_a.records),
+        ticks=runtime.converger.ticks,
+        steps_applied=sum(
+            n for kind, n in totals.items() if kind != "failed"
+        ),
+        preemptions=int(trace_a.metadata["econ"]["preemptions"]),
+        divergence=divergence,
+    )
+
+
+def check_policy(
+    schedulers: Sequence[str] = ECON_SCHEDULERS,
+    spec: ExperimentSpec = DEFAULT_SPEC,
+) -> list[PolicyDeterminismResult]:
+    """The policy half of ``repro check``: audit verdicts per scheduler."""
+    return [check_scheduler_policy(name, spec=spec) for name in schedulers]
+
+
+@dataclass(frozen=True)
+class PolicyIdleResult:
+    """Outcome of the idle-policy parity witness.
+
+    A converger whose policies never trigger adds events to the loop
+    but must not move a single hashed bit — the job trace with an
+    attached-but-idle policy plane hashes identically to a run with no
+    policy plane at all. (Runs with the plane *not attached* are the
+    seed bit-for-bit by construction; every other pass certifies that.)
+    """
+
+    scheduler: str
+    hash_plain: str
+    hash_idle: str
+    ticks: int
+
+    @property
+    def invisible(self) -> bool:
+        return self.hash_plain == self.hash_idle
+
+    def render(self) -> str:
+        label = "idle"
+        if self.invisible:
+            return (
+                f"{label:>8}: OK  idle policy invisible over "
+                f"{self.ticks} ticks (trace {self.hash_plain[:16]})"
+            )
+        return (
+            f"{label:>8}: FAIL  trace hash moved under an idle policy: "
+            f"{self.hash_plain[:16]} vs {self.hash_idle[:16]}"
+        )
+
+
+def check_policy_idle(
+    scheduler: str = "Op",
+    spec: ExperimentSpec = DEFAULT_SPEC,
+) -> PolicyIdleResult:
+    """Prove a never-triggering policy set cannot move the trace hash."""
+    from ..policy import (
+        ConvergerConfig,
+        PolicyConfig,
+        PolicyRuntime,
+        ScalingPolicy,
+        attach_policy,
+    )
+
+    idle_config = PolicyConfig(
+        policies=(
+            ScalingPolicy(
+                name="never", trigger="queue", queue_at_least=10**9,
+                action="step_up",
+            ),
+        ),
+        converger=ConvergerConfig(interval_s=120.0),
+    )
+    batches = build_workload(spec)
+    trace_plain = run_one(scheduler, spec, batches=batches)
+    holder: dict[str, PolicyRuntime] = {}
+
+    def hook(env: "CloudBurstEnvironment") -> None:
+        holder["policy"] = attach_policy(env, idle_config)
+
+    trace_idle = run_one(scheduler, spec, batches=batches, env_hook=hook)
+    return PolicyIdleResult(
+        scheduler=scheduler,
+        hash_plain=hash_trace(trace_plain),
+        hash_idle=hash_trace(trace_idle),
+        ticks=holder["policy"].converger.ticks,
     )
 
 

@@ -127,7 +127,7 @@ class UnitsSuffixRule(LintRule):
     )
     scope = (
         "repro.sim", "repro.models", "repro.service", "repro.core",
-        "repro.econ", "repro.obs",
+        "repro.econ", "repro.obs", "repro.policy",
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:

@@ -53,6 +53,7 @@ UNIT_SCOPE = (
     "repro.econ",
     "repro.fleet",
     "repro.metrics",
+    "repro.policy",
 )
 
 #: Unit token -> base dimension. Scales collapse onto one base per

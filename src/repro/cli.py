@@ -15,10 +15,13 @@ can gate on them:
   invariants enabled and compare trace hashes; then repeat with cost
   accounting and spot preemption attached, additionally comparing
   ``CostLedger`` hashes; then double-run a small sharded multi-tenant
-  fleet and compare the merged trace/stats/ledger digest; finally run
+  fleet and compare the merged trace/stats/ledger digest; then run
   the obs-parity pass — telemetry attached vs not, neither the trace
-  hash nor the fleet digest may move. Exit 1 on divergence or
-  invariant violation.
+  hash nor the fleet digest may move; finally the policy pass — the
+  convergence autoscaler under spot churn, double-run comparing both
+  the trace hash and the convergence audit sha256, plus the idle-policy
+  parity run (attached-but-idle trace == no-policy trace). Exit 1 on
+  divergence or invariant violation.
 * ``repro typecheck`` — ``mypy --strict`` over the typed core
   (``repro.sim.engine``, ``repro.core``, ``repro.analysis``). Skips with
   exit 0 when mypy is not installed (the pinned container image carries
@@ -48,6 +51,15 @@ can gate on them:
 * ``repro obs spans`` — the sampled decision-point span stream.
 * ``repro obs export`` — the same registry as Prometheus text
   exposition or a canonical JSON snapshot.
+
+**Policy** (:mod:`repro.policy`)
+
+* ``repro policy validate`` — schema-check a JSON/TOML policy file.
+* ``repro policy show`` — render a policy file's winner order and
+  triggers (``--json`` for the canonical document).
+* ``repro policy simulate`` — drive a seeded run with the converger
+  attached; ``--preempt --require-converged`` asserts capacity
+  re-reaches desired after spot preemption.
 
 **Benchmarks**
 
@@ -82,6 +94,7 @@ STRICT_TARGETS = (
     "econ",
     "fleet",
     "obs",
+    "policy",
     "service",
 )
 
@@ -203,6 +216,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         check_executor_parity,
         check_fleet,
         check_obs_parity,
+        check_policy,
+        check_policy_idle,
     )
     from .analysis.invariants import InvariantError
     from .experiments.config import DEFAULT_SPEC
@@ -278,6 +293,25 @@ def _cmd_check(args: argparse.Namespace) -> int:
             )
             print(obs_result.render())
             failed = failed or not obs_result.invisible
+        if not args.no_policy:
+            policy_schedulers = (
+                args.scheduler if args.scheduler else list(ECON_SCHEDULERS)
+            )
+            print(
+                f"policy check: {len(policy_schedulers)} scheduler(s), "
+                "convergence autoscaler under spot churn, "
+                "trace + audit sha256 double-run"
+            )
+            for policy_result in check_policy(policy_schedulers, spec=spec):
+                print(policy_result.render())
+                failed = failed or not policy_result.deterministic
+            print(
+                "policy idle parity: never-firing policy attached, "
+                "trace hash must equal the no-policy run"
+            )
+            idle_result = check_policy_idle(spec=spec)
+            print(idle_result.render())
+            failed = failed or not idle_result.invisible
     except InvariantError as exc:
         print(f"invariant violated during check run: {exc}", file=sys.stderr)
         return 1
@@ -464,6 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the static lint gate that runs before the double-run",
     )
+    p_check.add_argument(
+        "--no-policy",
+        action="store_true",
+        help="skip the policy pass (convergence-audit determinism + idle parity)",
+    )
     p_check.set_defaults(func=_cmd_check)
 
     p_type = sub.add_parser(
@@ -480,6 +519,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .obs.cli import register_obs_commands
 
     register_obs_commands(sub)
+
+    from .policy.cli import register_policy_commands
+
+    register_policy_commands(sub)
 
     p_econ = sub.add_parser(
         "econ", help="cost accounting: ledgers and the cost-vs-SLA frontier"

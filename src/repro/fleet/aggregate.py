@@ -125,6 +125,11 @@ class FleetReport:
     #: ``sha256`` (the parity check would catch it if it ever became
     #: one); ``obs_snapshot()`` stamps the digest alongside instead.
     obs: Optional[MetricsRegistry] = None
+    #: Per-shard converger snapshots in shard-index order, when the
+    #: fleet ran with ``FleetConfig(scaling=...)``. Outside ``sha256``
+    #: like ``obs`` — but each snapshot carries its own deterministic
+    #: ``audit_sha256``, which the policy tests double-run.
+    policy: Optional[list[dict[str, object]]] = None
 
     @property
     def n_shards(self) -> int:
@@ -163,6 +168,7 @@ class FleetReport:
             "lost_shards": {str(i): c for i, c in sorted(self.lost_shards.items())},
             "rows": self.tenant_rows(),
             "obs": self.obs_snapshot(),
+            "policy": self.policy,
         }
 
     def tenant_rows(self) -> list[dict[str, object]]:
@@ -315,6 +321,7 @@ def aggregate_shards(
     stats = StreamingSLAStats(reservoir_seed=config.seed)
     ledger = CostLedger()
     obs: Optional[MetricsRegistry] = None
+    policy: Optional[list[dict[str, object]]] = None
     tenants: list[TenantReport] = []
     for result in results:
         stats.merge(result.stats)
@@ -326,6 +333,12 @@ def aggregate_shards(
             # sorted above); merge is associative so the digest-free
             # telemetry totals are run invariants too.
             obs.merge_snapshot(result.obs)
+        if result.policy is not None:
+            if policy is None:
+                policy = []
+            # Shard-index order (results are sorted above): the list
+            # position is the shard index among policy-bearing shards.
+            policy.append(dict(result.policy, shard=result.index))
         # Registration order within a shard; sorted fleet-wide below.
         tenants.extend(
             _tenant_report(result.index, account)
@@ -349,4 +362,5 @@ def aggregate_shards(
         sha256=sha,
         lost_shards=lost,
         obs=obs,
+        policy=policy,
     )

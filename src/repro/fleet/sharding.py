@@ -43,6 +43,7 @@ from ..econ.pricing import OnDemandPrice
 from ..experiments.runner import make_scheduler
 from ..metrics.streaming import StreamingSLAStats
 from ..obs import MetricsRegistry, ObsRuntime, attach_obs
+from ..policy.runtime import PolicyConfig, PolicyRuntime, attach_policy
 from ..service.broker import BurstBroker, SubmissionOutcome
 from ..service.policy import AdmissionDecision, AdmissionResult, SLAPolicy
 from ..service.quotes import SLAQuote, quote_job
@@ -84,6 +85,12 @@ class FleetConfig:
     ``pretrain_jobs`` was called ``pretrain_samples`` through PR 7; the
     old keyword (and attribute) survive one release behind a
     ``DeprecationWarning``.
+
+    ``scaling`` arms the same declarative converger
+    (:class:`repro.policy.PolicyConfig`) on *every* shard's EC pool —
+    shard environments are substream-seeded, so a policy-driven fleet
+    stays deterministic and its per-shard audit logs merge in
+    shard-index order into ``FleetReport.policy``, outside the digest.
     """
 
     n_shards: int
@@ -101,6 +108,7 @@ class FleetConfig:
     drain_timeout_s: float
     command_queue_depth: int
     telemetry: bool
+    scaling: Optional[PolicyConfig]
 
     def __init__(
         self,
@@ -120,6 +128,7 @@ class FleetConfig:
         drain_timeout_s: float = 600.0,
         command_queue_depth: int = 16,
         telemetry: bool = True,
+        scaling: Optional[PolicyConfig] = None,
         pretrain_samples: Optional[int] = None,
     ) -> None:
         if pretrain_samples is not None:
@@ -169,6 +178,7 @@ class FleetConfig:
         object.__setattr__(self, "drain_timeout_s", drain_timeout_s)
         object.__setattr__(self, "command_queue_depth", command_queue_depth)
         object.__setattr__(self, "telemetry", telemetry)
+        object.__setattr__(self, "scaling", scaling)
 
     @property
     def pretrain_samples(self) -> int:
@@ -240,6 +250,10 @@ class ShardResult:
     #: merge in shard-index order); ``None`` when telemetry is disabled.
     #: Strictly outside every aggregation digest.
     obs: Optional[dict[str, object]] = None
+    #: Final converger snapshot (ticks, applied steps, audit sha) when
+    #: the fleet runs with ``FleetConfig(scaling=...)``; ``None``
+    #: otherwise. Outside every aggregation digest, like ``obs``.
+    policy: Optional[dict[str, object]] = None
 
 
 class BrokerShard:
@@ -260,6 +274,14 @@ class BrokerShard:
         #: obs`` parity pass pins that).
         self.obs: Optional[ObsRuntime] = (
             attach_obs(self.env) if config.telemetry else None
+        )
+        #: Declarative EC scaling, when the fleet runs with a policy
+        #: config. Attached after obs so converger decisions land on the
+        #: shard's telemetry gauges.
+        self.policy: Optional[PolicyRuntime] = (
+            attach_policy(self.env, config.scaling)
+            if config.scaling is not None
+            else None
         )
         if config.pretrain:
             trainer = WorkloadGenerator(
@@ -310,6 +332,12 @@ class BrokerShard:
         if self.obs is None:
             return None
         return self.obs.registry.snapshot()
+
+    def policy_snapshot(self) -> Optional[dict[str, object]]:
+        """Point-in-time converger snapshot (``None`` when no policy)."""
+        if self.policy is None:
+            return None
+        return self.policy.snapshot()
 
     def account(self, tenant_id: str) -> TenantAccount:
         return self.accounts[tenant_id]
@@ -461,6 +489,7 @@ class BrokerShard:
             ledger=self.ledger,
             accounts=self.accounts,
             obs=self.obs_snapshot(),
+            policy=self.policy_snapshot(),
         )
 
 

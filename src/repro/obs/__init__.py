@@ -178,6 +178,27 @@ class ObsRuntime:
             "repro_preempted_work_seconds_total",
             "Execution seconds lost to spot preemptions.",
         ).counter_labels()
+        self._policy_desired = reg.gauge(
+            "repro_policy_desired_capacity",
+            "EC capacity the winning scaling policy wants (last tick).",
+        )
+        self._policy_observed = reg.gauge(
+            "repro_policy_observed_capacity",
+            "EC capacity the converger observed on its basis (last tick).",
+        )
+        self._policy_steps = reg.counter(
+            "repro_policy_steps_total",
+            "Convergence steps applied, by kind (launch/drain/delete).",
+            labels=("kind",),
+        )
+        # One series per step kind; resolved lazily like admissions.
+        self._policy_step_series: dict[str, CounterSeries] = {}
+        self._policy_lag = reg.histogram(
+            "repro_policy_convergence_lag_seconds",
+            "Virtual seconds from a desired-capacity change until the "
+            "observed capacity first matched it.",
+            buckets=DEFAULT_SECONDS_BUCKETS,
+        ).histogram_labels()
         self._events_gauge = reg.gauge(
             "repro_engine_events_processed",
             "Simulator events processed over the run (stamped at finalize).",
@@ -257,6 +278,33 @@ class ObsRuntime:
         series.inc()
         self.spans.record(
             "admit", at_s, at_s, {"decision": decision, "reason": reason}
+        )
+
+    def on_converge(
+        self,
+        *,
+        desired: Optional[int],
+        observed: int,
+        steps: dict[str, int],
+        lag_s: Optional[float],
+        at_s: float,
+    ) -> None:
+        """Called by the policy runtime after every converger tick."""
+        if desired is not None:
+            self._policy_desired.set(float(desired))
+        self._policy_observed.set(float(observed))
+        for kind, count in steps.items():
+            series = self._policy_step_series.get(kind)
+            if series is None:
+                series = self._policy_steps.counter_labels(kind)
+                self._policy_step_series[kind] = series
+            series.inc(float(count))
+        if lag_s is not None:
+            self._policy_lag.observe(lag_s)
+        self.spans.point(
+            "converge",
+            at_s,
+            {"desired": desired, "observed": observed, "steps": steps},
         )
 
     def on_preempt(self, elapsed_s: float, at_s: float) -> None:

@@ -30,6 +30,15 @@ optimises, each reported with the metric an operator would regress on:
   recording) vs bare, min CPU seconds over reps on both arms; the
   scored figure is ``overhead_pct``, the telemetry tax on the broker
   hot path. The repo's observer contract budgets this at ≤ 5%;
+* **policy_convergence** — the bursty loadgen run twice per rep, the
+  convergence autoscaler (:mod:`repro.policy`) attached vs bare. The
+  attached arm's policy proposes exactly the current capacity, so the
+  converger runs its full observe/resolve/audit loop every interval
+  while emitting zero scaling steps — the figure is the pure control-
+  plane tax, not the (intended) cost of actually scaling. Min CPU
+  seconds over reps on both arms; ``overhead_pct`` is budgeted at
+  ≤ 5%, and all reps must agree on the convergence audit SHA-256 so
+  the scenario doubles as a determinism witness;
 * **fleet_loadgen_procs** — the same fleet workload under the
   *multiprocess* executor (one spawned worker process per shard) next
   to an in-process baseline. The two executors must produce one fleet
@@ -45,10 +54,10 @@ optimises, each reported with the metric an operator would regress on:
 (schema below) and returns it; ``repro bench --smoke`` runs a tiny preset
 that exercises every scenario in seconds for CI.
 
-JSON schema (``schema_version`` 5)::
+JSON schema (``schema_version`` 6)::
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "smoke": bool,
       "python": "3.x.y",
       "preset": {"engine_events": int, "offline_n_batches": int,
@@ -56,7 +65,8 @@ JSON schema (``schema_version`` 5)::
                  "loadgen_bursty_jobs": int, "fleet_jobs": int,
                  "fleet_shards": int, "fleet_reps": int,
                  "fleet_procs_jobs": int, "obs_jobs": int,
-                 "obs_reps": int},
+                 "obs_reps": int, "policy_jobs": int,
+                 "policy_reps": int},
       "scenarios": {
         "engine":  {"events_per_s": float, "n_events": int,
                     "wall_s": float, "compactions": int},
@@ -73,6 +83,12 @@ JSON schema (``schema_version`` 5)::
                     "obs_cpu_s": float, "plain_jobs_per_s": float,
                     "obs_jobs_per_s": float, "n_jobs": int, "reps": int,
                     "n_metric_families": int, "spans_kept": int},
+        "policy_convergence": {"overhead_pct": float,
+                    "plain_cpu_s": float, "policy_cpu_s": float,
+                    "plain_jobs_per_s": float,
+                    "policy_jobs_per_s": float, "n_jobs": int,
+                    "reps": int, "ticks": int, "steps_applied": int,
+                    "audit_sha256": str},
         "fleet_loadgen": {"aggregate_jobs_per_s": float,
                     "serial_jobs_per_s": float, "n_jobs": int,
                     "n_shards": int, "n_tenants": int, "reps": int,
@@ -107,7 +123,7 @@ from typing import Any, Optional
 
 __all__ = ["SCHEMA_VERSION", "BenchPreset", "BenchReport", "run_bench", "main"]
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -128,6 +144,9 @@ class BenchPreset:
     #: Jobs for the telemetry-overhead scenario (0 skips it).
     obs_jobs: int = 0
     obs_reps: int = 3
+    #: Jobs for the policy control-plane overhead scenario (0 skips it).
+    policy_jobs: int = 0
+    policy_reps: int = 3
 
 
 #: The canonical preset: large enough that per-run noise is small and the
@@ -144,6 +163,8 @@ FULL = BenchPreset(
     fleet_procs_jobs=8_000,
     obs_jobs=4_000,
     obs_reps=5,
+    policy_jobs=4_000,
+    policy_reps=5,
 )
 
 #: CI preset: every scenario runs, nothing takes more than a few seconds.
@@ -156,6 +177,7 @@ SMOKE = BenchPreset(
     fleet_jobs=400,
     fleet_procs_jobs=400,
     obs_jobs=200,
+    policy_jobs=200,
 )
 
 
@@ -377,6 +399,122 @@ def _obs_overhead_scenario(n_jobs: int, reps: int) -> dict[str, Any]:
         "reps": reps,
         "n_metric_families": len(runtime.registry.families()),
         "spans_kept": runtime.spans.kept,
+    }
+
+
+def _policy_convergence_scenario(n_jobs: int, reps: int) -> dict[str, Any]:
+    """The policy control-plane tax: one bursty loadgen run, bare vs
+    converger-attached.
+
+    Identical seeded workload both ways; the attached arm runs the
+    convergence autoscaler (:mod:`repro.policy`) with a steady-state
+    policy whose target equals the pool's current capacity, so every
+    tick pays the full observe/resolve/propose/audit loop but emits
+    zero scaling steps — the measured delta is pure control plane, not
+    the (intended) cost of launching or draining machines. Same noise
+    discipline as ``_obs_overhead_scenario``: arms alternate per rep,
+    GC is paused, the clock is the process CPU clock, and min CPU
+    seconds across reps are compared. ``overhead_pct`` is budgeted at
+    <= 5%. All reps must land on one convergence audit SHA-256, making
+    the scenario a bench-side determinism witness for the policy plane.
+    """
+    import gc
+
+    from ..experiments.config import DEFAULT_SPEC
+    from ..experiments.runner import make_scheduler
+    from ..metrics.tickets import ProportionalTicket
+    from ..policy import ConvergerConfig, PolicyConfig, PolicyRuntime
+    from ..policy import ScalingPolicy, attach_policy
+    from ..service import LoadGenConfig, SLAPolicy, run_load
+    from ..sim.environment import CloudBurstEnvironment
+
+    config = LoadGenConfig(
+        n_jobs=n_jobs,
+        rate_per_s=50.0,
+        process="bursty",
+        mean_burst_jobs=8.0,
+        seed=2024,
+    )
+
+    def one(with_policy: bool) -> tuple[float, float, Optional[PolicyRuntime]]:
+        env = CloudBurstEnvironment(DEFAULT_SPEC.system)
+        runtime: Optional[PolicyRuntime] = None
+        if with_policy:
+            capacity = env.ec.n_machines
+            runtime = attach_policy(
+                env,
+                PolicyConfig(
+                    policies=(
+                        ScalingPolicy(
+                            name="hold-steady",
+                            action="target",
+                            amount=capacity,
+                            max_capacity=max(capacity, 64),
+                        ),
+                    ),
+                    converger=ConvergerConfig(interval_s=30.0),
+                ),
+            )
+        scheduler = make_scheduler("Op", env)
+        policy = SLAPolicy(
+            ticket=ProportionalTicket(base_s=300.0, factor=6.0),
+            degraded_slack_s=-120.0,
+            max_in_system=60,
+        )
+        t0 = time.process_time()  # repro: allow[DET001] CPU cost is the measurement
+        result = run_load(env, scheduler, policy, config)
+        cpu_s = time.process_time() - t0  # repro: allow[DET001] CPU cost is the measurement
+        return cpu_s, result.jobs_per_s, runtime
+
+    reps = max(1, reps)
+    plain_cpus: list[float] = []
+    policy_cpus: list[float] = []
+    plain_rate = policy_rate = 0.0
+    audits: set[str] = set()
+    runtime: Optional[PolicyRuntime] = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            cpu_s, rate, _ = one(False)
+            plain_cpus.append(cpu_s)
+            plain_rate = max(plain_rate, rate)
+            cpu_s, rate, runtime = one(True)
+            policy_cpus.append(cpu_s)
+            policy_rate = max(policy_rate, rate)
+            assert runtime is not None
+            audits.add(runtime.converger.audit_sha256())
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert runtime is not None
+    if len(audits) != 1:
+        raise RuntimeError(
+            f"policy bench diverged across {reps} reps: {sorted(audits)}"
+        )
+    totals = runtime.converger.step_totals()
+    applied = sum(n for kind, n in totals.items() if kind != "failed")
+    if applied:
+        raise RuntimeError(
+            "policy bench scaled the pool — the steady-state policy must "
+            f"emit zero steps to measure pure control-plane cost: {totals}"
+        )
+    plain_cpu = min(plain_cpus)
+    policy_cpu = min(policy_cpus)
+    overhead = (
+        (policy_cpu / plain_cpu - 1.0) * 100.0 if plain_cpu > 0 else 0.0
+    )
+    return {
+        "overhead_pct": overhead,
+        "plain_cpu_s": plain_cpu,
+        "policy_cpu_s": policy_cpu,
+        "plain_jobs_per_s": plain_rate,
+        "policy_jobs_per_s": policy_rate,
+        "n_jobs": n_jobs,
+        "reps": reps,
+        "ticks": runtime.converger.ticks,
+        "steps_applied": applied,
+        "audit_sha256": audits.pop(),
     }
 
 
@@ -641,6 +779,14 @@ class BenchReport:
                 f"{ov['spans_kept']} spans, {ov['n_jobs']} jobs, "
                 f"best of {ov['reps']} reps)"
             )
+        pc = self.scenarios.get("policy_convergence")
+        if pc is not None:
+            lines.append(
+                f"  policy_convergence: {pc['overhead_pct']:+.2f}% "
+                f"({pc['ticks']} ticks, {pc['steps_applied']} steps, "
+                f"{pc['n_jobs']} jobs, best of {pc['reps']} reps, "
+                f"audit {pc['audit_sha256'][:12]})"
+            )
         fl = self.scenarios.get("fleet_loadgen")
         if fl is not None:
             lines.append(
@@ -687,6 +833,10 @@ def run_bench(
     if preset.obs_jobs > 0:
         scenarios["obs_overhead"] = _obs_overhead_scenario(
             preset.obs_jobs, preset.obs_reps
+        )
+    if preset.policy_jobs > 0:
+        scenarios["policy_convergence"] = _policy_convergence_scenario(
+            preset.policy_jobs, preset.policy_reps
         )
     if preset.fleet_jobs > 0:
         scenarios["fleet_loadgen"] = _fleet_scenario(

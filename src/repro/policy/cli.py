@@ -1,0 +1,280 @@
+"""``repro policy`` — script, inspect, and simulate scaling policies.
+
+Three subcommands, exit-status driven like every other ``repro`` group:
+
+* ``repro policy validate FILE`` — schema-check a JSON/TOML policy file;
+  exit 2 with the path-qualified error on the first violation.
+* ``repro policy show FILE`` — render the parsed policy set (winner
+  order, triggers, damping) as a table, or ``--json`` for the canonical
+  round-trippable document.
+* ``repro policy simulate --policy FILE`` — drive a full seeded run
+  with the converger attached (``--preempt`` arms the spot market so
+  capacity is torn down mid-convergence), print the convergence
+  summary, and optionally write the audit log (``--out``). With
+  ``--require-converged`` the exit status asserts the converger reached
+  desired capacity again *after* replacement launches — the
+  end-to-end acceptance path for convergence under churn.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["register_policy_commands"]
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .loader import PolicySchemaError, load_policy_config
+
+    try:
+        config = load_policy_config(args.file)
+    except PolicySchemaError as exc:
+        print(f"repro policy: invalid policy file: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{args.file}: OK — {len(config.policies)} policies, "
+        f"interval {config.converger.interval_s}s, "
+        f"basis {config.converger.basis}, "
+        f"{'enabled' if config.enabled else 'disabled'}"
+    )
+    return 0
+
+
+def _render_config(config: "object") -> str:
+    from .model import PolicySet
+    from .runtime import PolicyConfig
+
+    assert isinstance(config, PolicyConfig)
+    conv = config.converger
+    lines = [
+        f"converger: every {conv.interval_s}s on {conv.basis} capacity, "
+        f"launch delay {conv.launch_delay_s}s, "
+        f"offline reclaim {'on' if conv.delete_offline else 'off'}",
+        f"policies ({len(config.policies)}), winner = highest severity, "
+        "then registration order:",
+    ]
+    resolution = PolicySet(config.policies).resolution_order(config.policies)
+    rank = {p.name: i for i, p in enumerate(resolution)}
+    for policy in config.policies:
+        trig = policy.trigger
+        if trig == "queue":
+            trig += f"(>= {policy.queue_at_least} queued)"
+        elif trig == "idle":
+            trig += f"(>= {policy.idle_at_least} idle)"
+        elif trig == "sla":
+            trig += f"(attainment < {policy.min_attainment_ratio})"
+        elif trig == "cost":
+            trig += f"(spend >= ${policy.budget_usd:,.2f})"
+        elif trig == "scheduled":
+            trig += f"(every {policy.period_s}s + {policy.phase_s}s)"
+        elif trig == "webhook":
+            trig += f"({policy.webhook!r})"
+        action = policy.action
+        if action == "target":
+            action += f" {policy.amount}"
+        else:
+            action += f" by {policy.amount}"
+        lines.append(
+            f"  #{rank[policy.name]} {policy.name:<16} severity "
+            f"{policy.severity:>3}  {trig:<36} -> {action} "
+            f"in [{policy.min_capacity}, {policy.max_capacity}]"
+            + (
+                f", sustain {policy.sustain_periods}"
+                if policy.sustain_periods > 1
+                else ""
+            )
+            + (
+                f", cooldown {policy.cooldown_s}s"
+                if policy.cooldown_s > 0
+                else ""
+            )
+        )
+    if not config.enabled:
+        lines.append("NOTE: enabled = false — the converger will not start")
+    return "\n".join(lines)
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from .loader import (
+        PolicySchemaError,
+        dump_policy_config,
+        load_policy_config,
+    )
+
+    try:
+        config = load_policy_config(args.file)
+    except PolicySchemaError as exc:
+        print(f"repro policy: invalid policy file: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(dump_policy_config(config), end="")
+    else:
+        print(f"policy file: {args.file}")
+        print(_render_config(config))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from ..experiments.config import DEFAULT_SPEC
+    from ..experiments.runner import SCHEDULER_NAMES, build_workload, run_one
+    from .loader import PolicySchemaError, load_policy_config
+    from .runtime import PolicyRuntime, attach_policy
+
+    if args.scheduler not in SCHEDULER_NAMES:
+        print(
+            f"repro policy: unknown scheduler {args.scheduler!r}; "
+            f"choose from {SCHEDULER_NAMES}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = load_policy_config(args.policy)
+    except PolicySchemaError as exc:
+        print(f"repro policy: invalid policy file: {exc}", file=sys.stderr)
+        return 2
+
+    spec = DEFAULT_SPEC
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    holder: dict[str, PolicyRuntime] = {}
+
+    def hook(env: "object") -> None:
+        if args.preempt:
+            from ..econ import EconConfig, SpotMarketConfig, attach_econ
+
+            attach_econ(
+                env,  # type: ignore[arg-type]
+                EconConfig(
+                    spot=SpotMarketConfig(bid_usd_per_hour=0.13, variation=0.4)
+                ),
+            )
+        holder["policy"] = attach_policy(config=config, env=env)  # type: ignore[arg-type]
+
+    batches = build_workload(spec)
+    trace = run_one(args.scheduler, spec, batches=batches, env_hook=hook)
+    runtime = holder["policy"]
+    decisions = runtime.converger.decisions
+    summary = runtime.snapshot()
+
+    print(f"policy file: {args.policy}")
+    print(_render_config(config))
+    print(
+        f"run: scheduler {args.scheduler}, seed {spec.workload_seed}, "
+        f"{len(trace.records)} records, makespan {trace.makespan:.1f}s"
+    )
+    steps = summary["steps"]
+    print(
+        f"converger: {summary['ticks']} ticks, steps {steps}, "
+        f"desired {summary['desired']}, observed {summary['observed']}, "
+        f"audit {summary['audit_sha256']}"
+    )
+    if args.preempt:
+        econ_meta = trace.metadata.get("econ", {})
+        assert isinstance(econ_meta, dict)
+        print(f"spot preemptions injected: {econ_meta.get('preemptions', 0)}")
+    reconverged = [d for d in decisions if d.lag_s is not None]
+    if reconverged:
+        lags = ", ".join(f"{d.lag_s:.0f}s@t={d.time_s:.0f}" for d in reconverged)
+        print(f"convergence events ({len(reconverged)}): {lags}")
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(
+                {
+                    "policy_file": str(args.policy),
+                    "scheduler": args.scheduler,
+                    "seed": spec.workload_seed,
+                    "summary": summary,
+                    "decisions": [d.as_dict() for d in decisions],
+                    "audit_sha256": summary["audit_sha256"],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote audit log to {out}")
+
+    if args.require_converged:
+        first_launch: Optional[int] = next(
+            (
+                d.tick
+                for d in decisions
+                if any(s.kind == "launch" and s.ok for s in d.steps)
+            ),
+            None,
+        )
+        ok = first_launch is not None and any(
+            d.lag_s is not None and d.tick >= first_launch for d in decisions
+        )
+        if not ok:
+            print(
+                "require-converged: FAIL — no convergence event at or "
+                "after the first replacement launch",
+                file=sys.stderr,
+            )
+            return 1
+        print("require-converged: OK — capacity re-reached desired after launches")
+    return 0
+
+
+def register_policy_commands(sub: "argparse._SubParsersAction") -> None:
+    """Add the ``repro policy`` command group to the root parser."""
+    p_policy = sub.add_parser(
+        "policy",
+        help="declarative EC scaling: validate, show, simulate policy files",
+    )
+    policy_sub = p_policy.add_subparsers(dest="policy_command", required=True)
+
+    p_validate = policy_sub.add_parser(
+        "validate", help="schema-check a JSON/TOML policy file"
+    )
+    p_validate.add_argument("file", help="policy file (.json or .toml)")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_show = policy_sub.add_parser(
+        "show", help="render a policy file: winner order, triggers, damping"
+    )
+    p_show.add_argument("file", help="policy file (.json or .toml)")
+    p_show.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON document instead of the table",
+    )
+    p_show.set_defaults(func=_cmd_show)
+
+    p_sim = policy_sub.add_parser(
+        "simulate",
+        help="drive a seeded run with the converger attached end-to-end",
+    )
+    p_sim.add_argument(
+        "--policy", required=True, help="policy file (.json or .toml)"
+    )
+    p_sim.add_argument(
+        "--scheduler", default="Op", help="scheduler to run (default: Op)"
+    )
+    p_sim.add_argument(
+        "--seed", type=int, default=None, help="override the workload seed"
+    )
+    p_sim.add_argument(
+        "--preempt",
+        action="store_true",
+        help="arm the seeded spot market so capacity is preempted mid-run",
+    )
+    p_sim.add_argument(
+        "--out", default=None, help="write the full audit log (JSON) here"
+    )
+    p_sim.add_argument(
+        "--require-converged",
+        action="store_true",
+        help=(
+            "exit 1 unless observed capacity re-reached the desired value "
+            "at or after the first replacement launch"
+        ),
+    )
+    p_sim.set_defaults(func=_cmd_simulate)

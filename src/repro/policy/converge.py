@@ -1,0 +1,433 @@
+"""The convergence plane: make observed capacity match desired capacity.
+
+Production autoscalers converged on this shape (PAPERS.md: Teylo et
+al.'s spot-replacement loops, Mäcker et al.'s rent/return decisions):
+rather than imperative "scale up now" commands, a :class:`Converger`
+wakes every ``interval_s`` of virtual time, snapshots the pool
+(:class:`~repro.policy.model.CapacityObservation`), asks the
+:class:`~repro.policy.model.PolicySet` for the winning desired
+capacity, and emits the idempotent steps that close the gap:
+
+* ``launch`` — add a machine (optionally after ``launch_delay_s``,
+  during which it counts as *pending* so the next tick does not
+  double-launch);
+* ``drain`` — graceful scale-down via ``Cluster.retire_machine`` (idle
+  machines leave now, busy ones finish their job first);
+* ``delete`` — reclaim an *offline* idle machine outright (spot
+  capacity the provider already took away is pure cost — converging on
+  effective capacity replaces it, deleting it stops the meter).
+
+A spot preemption or outage mid-convergence is not a special case: the
+next tick simply observes fewer online machines and emits more steps.
+Steps that cannot apply (``retire_machine`` refusing to go below one
+machine) are retried on subsequent ticks while the (desired, observed)
+gap persists, bounded by ``max_step_retries`` consecutive failed ticks
+— then the converger backs off until the observation changes.
+
+Every tick appends one :class:`ConvergenceDecision` to the audit log.
+The log is deterministic — :meth:`Converger.audit_sha256` hashes it
+with the same float-bit canonicalisation the trace hash uses — and
+lands in ``trace.metadata["policy"]``, *outside* every existing digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim.cluster import Cluster
+from ..sim.engine import Simulator
+from .model import CapacityObservation, PolicyInput, PolicySet
+
+__all__ = [
+    "STEP_KINDS",
+    "StepRecord",
+    "ConvergenceDecision",
+    "ConvergerConfig",
+    "Converger",
+]
+
+#: Step kinds the converger can emit, in documentation order.
+STEP_KINDS = ("launch", "drain", "delete")
+
+#: Diff bases: ``"effective"`` converges dispatchable capacity
+#: (online + pending, preemption-aware); ``"gross"`` converges paid
+#: capacity (every pool machine + pending, the legacy scaler's view).
+BASIS_KINDS = ("effective", "gross")
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One emitted step and whether it applied."""
+
+    kind: str  # "launch" | "drain" | "delete"
+    ok: bool
+
+    def as_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "ok": self.ok}
+
+
+@dataclass(frozen=True, kw_only=True)
+class ConvergenceDecision:
+    """One audit-log entry: what a tick saw, chose, and did.
+
+    ``candidates`` lists every eligible policy in resolution order
+    (winner first); ``lag_s`` is set on the tick where observed
+    capacity first reached the current desired value — the
+    convergence lag the obs plane histograms.
+    """
+
+    tick: int
+    time_s: float
+    observation: CapacityObservation
+    candidates: tuple[str, ...]
+    winner: Optional[str]
+    desired: Optional[int]
+    basis: int
+    steps: tuple[StepRecord, ...]
+    total_after: int
+    note: str = ""
+    lag_s: Optional[float] = None
+
+    def canonical(self) -> str:
+        """Hash-stable one-line form (floats by their IEEE-754 bits)."""
+        obs = self.observation
+        parts = [
+            f"tick={self.tick}",
+            f"time={self.time_s.hex()}",
+            "obs=" + ",".join(f"{k}:{v}" for k, v in obs.as_dict().items()),
+            "candidates=" + "|".join(self.candidates),
+            f"winner={self.winner}",
+            f"desired={self.desired}",
+            f"basis={self.basis}",
+            "steps=" + "|".join(f"{s.kind}:{int(s.ok)}" for s in self.steps),
+            f"after={self.total_after}",
+            f"note={self.note}",
+            f"lag={'-' if self.lag_s is None else self.lag_s.hex()}",
+        ]
+        return ";".join(parts)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "tick": self.tick,
+            "time_s": self.time_s,
+            "observation": self.observation.as_dict(),
+            "candidates": list(self.candidates),
+            "winner": self.winner,
+            "desired": self.desired,
+            "basis": self.basis,
+            "steps": [s.as_dict() for s in self.steps],
+            "total_after": self.total_after,
+            "note": self.note,
+            "lag_s": self.lag_s,
+        }
+
+
+@dataclass(frozen=True, kw_only=True)
+class ConvergerConfig:
+    """Knobs of one convergence loop.
+
+    ``max_launch_per_tick`` / ``max_drain_per_tick`` bound how fast one
+    tick may move (0 = close the whole gap at once);
+    ``delete_offline`` reclaims offline idle machines once effective
+    capacity is being converged (meaningless — and off — under the
+    ``"gross"`` basis, which already counts them).
+    """
+
+    interval_s: float = 60.0
+    launch_delay_s: float = 0.0
+    basis: str = "effective"
+    max_launch_per_tick: int = 0
+    max_drain_per_tick: int = 0
+    max_step_retries: int = 5
+    delete_offline: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if self.launch_delay_s < 0:
+            raise ValueError("launch_delay_s must be >= 0")
+        if self.basis not in BASIS_KINDS:
+            raise ValueError(
+                f"unknown basis {self.basis!r}; choose from {BASIS_KINDS}"
+            )
+        if self.max_launch_per_tick < 0 or self.max_drain_per_tick < 0:
+            raise ValueError("per-tick step bounds must be >= 0")
+        if self.max_step_retries < 0:
+            raise ValueError("max_step_retries must be >= 0")
+
+
+class Converger:
+    """The per-cluster convergence loop.
+
+    Owns all mutable policy state (sustain streaks, cooldown stamps,
+    pending launches, the audit log); the
+    :class:`~repro.policy.model.PolicySet` stays a frozen value.
+    ``attainment_ratio`` and ``spend_usd`` are optional snapshot
+    providers (the runtime wires them to the broker-side SLA counters
+    and the econ ledger); ``on_decision`` fires after every tick with
+    the appended audit entry (the runtime forwards it to telemetry).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        policies: PolicySet,
+        config: Optional[ConvergerConfig] = None,
+        *,
+        attainment_ratio: Optional[Callable[[], Optional[float]]] = None,
+        spend_usd: Optional[Callable[[], Optional[float]]] = None,
+        on_decision: Optional[Callable[[ConvergenceDecision], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.policies = policies
+        self.config = config if config is not None else ConvergerConfig()
+        self._attainment_ratio = attainment_ratio
+        self._spend_usd = spend_usd
+        self._on_decision = on_decision
+        self.decisions: list[ConvergenceDecision] = []
+        self.ticks = 0
+        self._started = False
+        self._streak: dict[str, int] = {p.name: 0 for p in policies}
+        self._last_fired_s: dict[str, float] = {}
+        self._pending_launch = 0
+        self._webhooks: set[str] = set()
+        self._prev_tick_s: Optional[float] = None
+        # Bounded retry: consecutive all-failed ticks for one
+        # (desired, basis) gap; past the budget the converger backs off
+        # until the gap changes shape.
+        self._fail_streak = 0
+        self._failed_attempt: Optional[tuple[int, int]] = None
+        # Convergence-lag tracking: when the desired value last changed,
+        # and whether its attainment has been reported yet.
+        self._desired_current: Optional[int] = None
+        self._desired_since_s = 0.0
+        self._lag_reported = True
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the loop: first tick one interval from now. Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(self.config.interval_s, self._tick)
+
+    def fire_webhook(self, name: str) -> None:
+        """Arm a programmatic trigger; consumed by the next tick."""
+        self._webhooks.add(name)
+
+    # ------------------------------------------------------------------
+    def observe(self) -> CapacityObservation:
+        """Snapshot the pool (plus this loop's in-flight launches)."""
+        cluster = self.cluster
+        return CapacityObservation(
+            total=cluster.n_machines,
+            online=cluster.online_machines,
+            offline=cluster.offline_machines,
+            draining=cluster.draining_machines,
+            pending=self._pending_launch,
+            busy=cluster.busy_machines,
+            idle=cluster.idle_machines,
+            queue_length=cluster.queue_length,
+        )
+
+    def _basis(self, obs: CapacityObservation) -> int:
+        return obs.gross if self.config.basis == "gross" else obs.effective
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self.sim.schedule(self.config.interval_s, self._tick)
+        now_s = self.sim.now
+        obs = self.observe()
+        inp = PolicyInput(
+            now_s=now_s,
+            prev_tick_s=self._prev_tick_s,
+            interval_s=self.config.interval_s,
+            observation=obs,
+            attainment_ratio=(
+                self._attainment_ratio() if self._attainment_ratio else None
+            ),
+            spend_usd=self._spend_usd() if self._spend_usd else None,
+            webhooks=frozenset(self._webhooks),
+        )
+        self._webhooks.clear()
+
+        eligible: list[object] = []
+        for policy in self.policies:
+            streak = self._streak[policy.name] + 1 if policy.triggered(inp) else 0
+            self._streak[policy.name] = streak
+            if streak < policy.sustain_periods:
+                continue
+            fired_s = self._last_fired_s.get(policy.name)
+            if (
+                fired_s is not None
+                and policy.cooldown_s > 0
+                and now_s - fired_s < policy.cooldown_s
+            ):
+                continue
+            eligible.append(policy)
+        ordered = self.policies.resolution_order(eligible)  # type: ignore[arg-type]
+        winner = ordered[0] if ordered else None
+        basis = self._basis(obs)
+        desired = winner.propose(basis) if winner is not None else None
+
+        if (
+            desired is not None
+            and desired == self._desired_current
+            and self._lag_reported
+            and basis != desired
+        ):
+            # A held desired has diverged again (preemption or outage
+            # between ticks): re-arm the lag clock from this observation
+            # so every churn cycle reports its own convergence lag.
+            self._desired_since_s = now_s
+            self._lag_reported = False
+
+        steps: tuple[StepRecord, ...] = ()
+        note = ""
+        if desired is not None:
+            gap = (desired, basis)
+            if gap != self._failed_attempt:
+                self._fail_streak = 0
+                self._failed_attempt = None
+            if self._fail_streak > self.config.max_step_retries:
+                note = "backoff"
+            else:
+                steps = tuple(self._apply(desired, obs))
+                succeeded = any(s.ok for s in steps)
+                if succeeded and winner is not None:
+                    self._last_fired_s[winner.name] = now_s
+                    self._streak[winner.name] = 0
+                if steps and not succeeded:
+                    self._fail_streak += 1
+                    self._failed_attempt = gap
+                    if self._fail_streak > self.config.max_step_retries:
+                        note = "retries-exhausted"
+                elif steps:
+                    self._fail_streak = 0
+                    self._failed_attempt = None
+            if desired != self._desired_current:
+                self._desired_current = desired
+                self._desired_since_s = now_s
+                self._lag_reported = False
+
+        lag_s: Optional[float] = None
+        if self._desired_current is not None and not self._lag_reported:
+            post = self.observe()
+            if self._basis(post) == self._desired_current:
+                lag_s = now_s - self._desired_since_s
+                self._lag_reported = True
+                if not note:
+                    note = "converged"
+
+        decision = ConvergenceDecision(
+            tick=self.ticks,
+            time_s=now_s,
+            observation=obs,
+            candidates=tuple(p.name for p in ordered),
+            winner=winner.name if winner is not None else None,
+            desired=desired,
+            basis=basis,
+            steps=steps,
+            total_after=self.cluster.n_machines,
+            note=note,
+            lag_s=lag_s,
+        )
+        self.decisions.append(decision)
+        self.ticks += 1
+        self._prev_tick_s = now_s
+        if self._on_decision is not None:
+            self._on_decision(decision)
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self, desired: int, obs: CapacityObservation
+    ) -> list[StepRecord]:
+        """Emit and apply the steps that move ``basis`` toward
+        ``desired``; offline reclaim rides along when configured."""
+        config = self.config
+        steps: list[StepRecord] = []
+        diff = desired - self._basis(obs)
+        if diff > 0:
+            n = diff
+            if config.max_launch_per_tick:
+                n = min(n, config.max_launch_per_tick)
+            for _ in range(n):
+                steps.append(self._launch())
+        elif diff < 0:
+            n = -diff
+            if config.max_drain_per_tick:
+                n = min(n, config.max_drain_per_tick)
+            for _ in range(n):
+                steps.append(StepRecord("drain", self.cluster.retire_machine()))
+        if config.delete_offline and config.basis == "effective":
+            # Offline machines are outside the effective basis but still
+            # on the meter; delete them while the pool is oversized.
+            while (
+                self.cluster.offline_machines > 0
+                and self.cluster.n_machines + self._pending_launch > desired
+            ):
+                if not self.cluster.remove_offline_machine():
+                    break
+                steps.append(StepRecord("delete", True))
+        return steps
+
+    def _launch(self) -> StepRecord:
+        if self.config.launch_delay_s <= 0:
+            self.cluster.add_machine()
+        else:
+            self._pending_launch += 1
+            self.sim.schedule(self.config.launch_delay_s, self._complete_launch)
+        return StepRecord("launch", True)
+
+    def _complete_launch(self) -> None:
+        self._pending_launch -= 1
+        self.cluster.add_machine()
+
+    # ------------------------------------------------------------------
+    def step_totals(self) -> dict[str, int]:
+        """Applied steps by kind, plus the failed count."""
+        totals = {kind: 0 for kind in STEP_KINDS}
+        failed = 0
+        for decision in self.decisions:
+            for step in decision.steps:
+                if step.ok:
+                    totals[step.kind] += 1
+                else:
+                    failed += 1
+        totals["failed"] = failed
+        return totals
+
+    @property
+    def converged(self) -> bool:
+        """Whether the last tick saw observed capacity at the desired
+        value (vacuously true while no policy has proposed one)."""
+        if self._desired_current is None:
+            return True
+        return self._basis(self.observe()) == self._desired_current
+
+    def audit_sha256(self) -> str:
+        """Deterministic digest of the whole decision log."""
+        digest = hashlib.sha256()
+        for decision in self.decisions:
+            digest.update(decision.canonical().encode())
+            digest.update(b"\x1e")
+        return digest.hexdigest()
+
+    def summary(self) -> dict[str, object]:
+        last = self.decisions[-1] if self.decisions else None
+        return {
+            "ticks": self.ticks,
+            "policies": list(self.policies.names()),
+            "interval_s": self.config.interval_s,
+            "basis": self.config.basis,
+            "steps": self.step_totals(),
+            "desired": self._desired_current,
+            "observed": self._basis(self.observe()),
+            "converged": self.converged,
+            "last_winner": last.winner if last is not None else None,
+            "audit_sha256": self.audit_sha256(),
+        }

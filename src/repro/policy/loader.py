@@ -1,0 +1,247 @@
+"""Load scaling policies from JSON/TOML: scripts, not schedulers.
+
+The point of the policy plane is that burst/idle behaviour is *data* —
+a reviewer can diff a policy file, CI can run it, and nobody touches a
+scheduler. This loader is deliberately strict: unknown keys, wrong
+types, and out-of-range values all raise :class:`PolicySchemaError`
+with a path-qualified message (``policies[2].cooldown_s: ...``) instead
+of half-applying a typo'd file.
+
+Document shape (JSON shown; TOML mirrors it)::
+
+    {
+      "enabled": true,
+      "converger": {"interval_s": 120.0, "basis": "effective"},
+      "policies": [
+        {"name": "burst", "trigger": "queue", "queue_at_least": 4,
+         "action": "step_up", "amount": 2, "severity": 10,
+         "cooldown_s": 300.0, "max_capacity": 16}
+      ]
+    }
+
+TOML support rides the stdlib ``tomllib`` (Python 3.11+); on older
+interpreters ``.toml`` files raise a clear error and JSON keeps
+working. :func:`config_to_dict` is the inverse — round-tripping a
+loaded config through it and :func:`parse_policy_config` is identity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # Python 3.11+ stdlib; gated so 3.10 keeps JSON support.
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - version-dependent
+    tomllib = None  # type: ignore[assignment]
+
+from .converge import BASIS_KINDS, ConvergerConfig
+from .model import ACTION_KINDS, TRIGGER_KINDS, ScalingPolicy
+from .runtime import PolicyConfig
+
+__all__ = [
+    "PolicySchemaError",
+    "parse_policy_config",
+    "load_policy_config",
+    "config_to_dict",
+    "dump_policy_config",
+]
+
+
+class PolicySchemaError(ValueError):
+    """A policy document that does not match the schema."""
+
+
+# Field tables: name -> (kind, required). Kinds drive type checking;
+# range/consistency checks stay in the dataclasses' __post_init__ so the
+# CLI and programmatic construction enforce identical rules.
+_POLICY_FIELDS: dict[str, str] = {
+    "name": "str",
+    "action": "str",
+    "amount": "int",
+    "trigger": "str",
+    "severity": "int",
+    "cooldown_s": "float",
+    "sustain_periods": "int",
+    "min_capacity": "int",
+    "max_capacity": "int",
+    "queue_at_least": "int",
+    "idle_at_least": "int",
+    "min_attainment_ratio": "float",
+    "budget_usd": "float",
+    "period_s": "float",
+    "phase_s": "float",
+    "webhook": "str",
+}
+_POLICY_REQUIRED = ("name", "action")
+
+_CONVERGER_FIELDS: dict[str, str] = {
+    "interval_s": "float",
+    "launch_delay_s": "float",
+    "basis": "str",
+    "max_launch_per_tick": "int",
+    "max_drain_per_tick": "int",
+    "max_step_retries": "int",
+    "delete_offline": "bool",
+}
+
+
+def _typed(value: object, kind: str, path: str) -> object:
+    """Check ``value`` against ``kind``, promoting int -> float."""
+    if kind == "str":
+        if not isinstance(value, str):
+            raise PolicySchemaError(f"{path}: expected a string, got {value!r}")
+        return value
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise PolicySchemaError(f"{path}: expected a boolean, got {value!r}")
+        return value
+    if kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise PolicySchemaError(f"{path}: expected an integer, got {value!r}")
+        return value
+    # float: accept ints too (JSON has one number type in practice)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise PolicySchemaError(f"{path}: expected a number, got {value!r}")
+    return float(value)
+
+
+def _mapping(value: object, path: str) -> dict[str, object]:
+    if not isinstance(value, dict):
+        raise PolicySchemaError(f"{path}: expected a table/object, got {value!r}")
+    for key in value:
+        if not isinstance(key, str):
+            raise PolicySchemaError(f"{path}: non-string key {key!r}")
+    return value
+
+
+def _parse_policy(data: object, path: str) -> ScalingPolicy:
+    table = _mapping(data, path)
+    unknown = sorted(set(table) - set(_POLICY_FIELDS))
+    if unknown:
+        raise PolicySchemaError(
+            f"{path}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(sorted(_POLICY_FIELDS))}"
+        )
+    for key in _POLICY_REQUIRED:
+        if key not in table:
+            raise PolicySchemaError(f"{path}: missing required key {key!r}")
+    kwargs = {
+        key: _typed(value, _POLICY_FIELDS[key], f"{path}.{key}")
+        for key, value in table.items()
+    }
+    trigger = kwargs.get("trigger", "always")
+    if trigger not in TRIGGER_KINDS:
+        raise PolicySchemaError(
+            f"{path}.trigger: unknown trigger {trigger!r}; "
+            f"choose from {TRIGGER_KINDS}"
+        )
+    if kwargs["action"] not in ACTION_KINDS:
+        raise PolicySchemaError(
+            f"{path}.action: unknown action {kwargs['action']!r}; "
+            f"choose from {ACTION_KINDS}"
+        )
+    try:
+        return ScalingPolicy(**kwargs)  # type: ignore[arg-type]
+    except ValueError as exc:
+        raise PolicySchemaError(f"{path}: {exc}") from exc
+
+
+def _parse_converger(data: object, path: str) -> ConvergerConfig:
+    table = _mapping(data, path)
+    unknown = sorted(set(table) - set(_CONVERGER_FIELDS))
+    if unknown:
+        raise PolicySchemaError(
+            f"{path}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(sorted(_CONVERGER_FIELDS))}"
+        )
+    kwargs = {
+        key: _typed(value, _CONVERGER_FIELDS[key], f"{path}.{key}")
+        for key, value in table.items()
+    }
+    basis = kwargs.get("basis", "effective")
+    if basis not in BASIS_KINDS:
+        raise PolicySchemaError(
+            f"{path}.basis: unknown basis {basis!r}; choose from {BASIS_KINDS}"
+        )
+    try:
+        return ConvergerConfig(**kwargs)  # type: ignore[arg-type]
+    except ValueError as exc:
+        raise PolicySchemaError(f"{path}: {exc}") from exc
+
+
+def parse_policy_config(data: object, source: str = "<policy>") -> PolicyConfig:
+    """Validate one already-parsed document into a :class:`PolicyConfig`."""
+    root = _mapping(data, source)
+    unknown = sorted(set(root) - {"enabled", "policies", "converger"})
+    if unknown:
+        raise PolicySchemaError(
+            f"{source}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            "valid keys: 'converger', 'enabled', 'policies'"
+        )
+    enabled = root.get("enabled", True)
+    if not isinstance(enabled, bool):
+        raise PolicySchemaError(
+            f"{source}.enabled: expected a boolean, got {enabled!r}"
+        )
+    raw_policies = root.get("policies", [])
+    if not isinstance(raw_policies, list):
+        raise PolicySchemaError(
+            f"{source}.policies: expected an array, got {raw_policies!r}"
+        )
+    policies = tuple(
+        _parse_policy(item, f"{source}.policies[{i}]")
+        for i, item in enumerate(raw_policies)
+    )
+    converger = (
+        _parse_converger(root["converger"], f"{source}.converger")
+        if "converger" in root
+        else ConvergerConfig()
+    )
+    try:
+        return PolicyConfig(
+            policies=policies, converger=converger, enabled=enabled
+        )
+    except ValueError as exc:
+        raise PolicySchemaError(f"{source}: {exc}") from exc
+
+
+def load_policy_config(path: Union[str, Path]) -> PolicyConfig:
+    """Load ``.json`` or ``.toml`` policy file from disk."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise PolicySchemaError(f"{path}: invalid JSON: {exc}") from exc
+    elif suffix == ".toml":
+        if tomllib is None:
+            raise PolicySchemaError(
+                f"{path}: TOML policy files need Python 3.11+ (stdlib "
+                "tomllib); rewrite the file as JSON on this interpreter"
+            )
+        try:
+            data = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise PolicySchemaError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        raise PolicySchemaError(
+            f"{path}: unsupported extension {suffix!r} (use .json or .toml)"
+        )
+    return parse_policy_config(data, source=str(path))
+
+
+def config_to_dict(config: PolicyConfig) -> dict[str, object]:
+    """JSON-ready form; round-trips through :func:`parse_policy_config`."""
+    return config.as_dict()
+
+
+def dump_policy_config(config: PolicyConfig, path: Optional[Path] = None) -> str:
+    """Render a config as pretty JSON; optionally write it to ``path``."""
+    doc = config_to_dict(config)
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if path is not None:
+        path.write_text(text)
+    return text

@@ -1,0 +1,303 @@
+"""The declarative policy plane: policies are data, not code.
+
+The paper defers the EC scaling policy to future work (Section V.B.4);
+production autoscalers answered with a *convergence* model — policies
+set **desired capacity**, and a separate loop makes reality match. This
+module is the policy half of that split: :class:`ScalingPolicy` is a
+frozen value object describing *when* to act (trigger + sustain +
+cooldown) and *what* capacity to want (target or relative step), and a
+:class:`PolicySet` composes several with a deterministic winner rule
+(highest severity wins; registration order breaks ties).
+
+Policies never touch the cluster. Each converger tick builds one
+:class:`PolicyInput` snapshot (capacity observation, SLA attainment,
+billed spend, pending webhook signals), evaluates every policy against
+it, and hands the winning proposal to the convergence plane
+(:mod:`repro.policy.converge`). Everything here is a pure function of
+the snapshot, which is what makes policy-driven runs replayable: the
+``repro check`` policy pass double-runs the whole loop and compares
+audit-log hashes.
+
+Triggers (cf. Teylo et al.'s spot/burstable burst rules and Mäcker et
+al.'s machine-rental policies, PAPERS.md):
+
+* ``"always"`` — unconditional (steady-target policies);
+* ``"queue"`` — at least ``queue_at_least`` jobs waiting in the pool;
+* ``"idle"`` — empty queue and at least ``idle_at_least`` idle machines;
+* ``"sla"`` — SLA attainment fell below ``min_attainment_ratio``;
+* ``"cost"`` — billed spend reached ``budget_usd`` (reads the econ
+  ledger when one is attached);
+* ``"scheduled"`` — virtual-clock cron: fires on the first tick at or
+  after each ``period_s`` boundary (offset by ``phase_s``);
+* ``"webhook"`` — a named programmatic signal, armed via
+  :meth:`repro.policy.converge.Converger.fire_webhook` and consumed by
+  the next tick.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+__all__ = [
+    "TRIGGER_KINDS",
+    "ACTION_KINDS",
+    "CapacityObservation",
+    "PolicyInput",
+    "ScalingPolicy",
+    "PolicySet",
+]
+
+#: Recognised trigger kinds, in documentation order.
+TRIGGER_KINDS = (
+    "always", "queue", "idle", "sla", "cost", "scheduled", "webhook",
+)
+
+#: Recognised action kinds: absolute target or relative step.
+ACTION_KINDS = ("target", "step_up", "step_down")
+
+
+@dataclass(frozen=True, kw_only=True)
+class CapacityObservation:
+    """What the converger saw in the machine pool at one tick.
+
+    ``total`` counts every machine object in the pool whatever its
+    state; ``online`` only those eligible for dispatch (not offline,
+    not draining); ``pending`` counts launches the converger has issued
+    that have not yet joined the pool (``launch_delay_s`` in flight).
+    """
+
+    total: int
+    online: int
+    offline: int
+    draining: int
+    pending: int
+    busy: int
+    idle: int
+    queue_length: int
+
+    @property
+    def gross(self) -> int:
+        """Capacity being paid for: every pool machine plus launches
+        in flight — the basis the legacy queue-driven scaler used."""
+        return self.total + self.pending
+
+    @property
+    def effective(self) -> int:
+        """Capacity that can serve work: dispatchable machines plus
+        launches in flight — the basis a preemption-aware target
+        policy converges on."""
+        return self.online + self.pending
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "total": self.total,
+            "online": self.online,
+            "offline": self.offline,
+            "draining": self.draining,
+            "pending": self.pending,
+            "busy": self.busy,
+            "idle": self.idle,
+            "queue_length": self.queue_length,
+        }
+
+
+@dataclass(frozen=True, kw_only=True)
+class PolicyInput:
+    """One tick's evaluation snapshot, shared by every policy.
+
+    ``prev_tick_s`` is ``None`` on the first tick; scheduled triggers
+    use it to fire exactly once per period boundary. ``attainment_ratio``
+    and ``spend_usd`` are ``None`` when the run has no completions yet
+    or no econ ledger attached — triggers that need them simply stay
+    quiet, they never guess.
+    """
+
+    now_s: float
+    prev_tick_s: Optional[float]
+    interval_s: float
+    observation: CapacityObservation
+    attainment_ratio: Optional[float] = None
+    spend_usd: Optional[float] = None
+    webhooks: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ScalingPolicy:
+    """One declarative scaling rule: a trigger, an action, and damping.
+
+    ``severity`` ranks policies inside a :class:`PolicySet` (higher
+    wins); ``sustain_periods`` requires the trigger to hold for that
+    many consecutive ticks before the policy becomes eligible (the
+    legacy idle-streak rule, generalised); ``cooldown_s`` keeps a
+    policy that actually changed capacity quiet for a while (flapping
+    damper). Proposals are always clamped to
+    ``[min_capacity, max_capacity]``.
+    """
+
+    name: str
+    action: str
+    amount: int = 1
+    trigger: str = "always"
+    severity: int = 0
+    cooldown_s: float = 0.0
+    sustain_periods: int = 1
+    min_capacity: int = 1
+    max_capacity: int = 64
+    # -- trigger parameters (only the matching trigger reads its own) --
+    queue_at_least: int = 1
+    idle_at_least: int = 1
+    min_attainment_ratio: float = 0.95
+    budget_usd: float = math.inf
+    period_s: float = 3600.0
+    phase_s: float = 0.0
+    webhook: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("policy name must be non-empty")
+        if self.action not in ACTION_KINDS:
+            raise ValueError(
+                f"unknown action {self.action!r}; choose from {ACTION_KINDS}"
+            )
+        if self.trigger not in TRIGGER_KINDS:
+            raise ValueError(
+                f"unknown trigger {self.trigger!r}; choose from {TRIGGER_KINDS}"
+            )
+        if self.amount < 1:
+            raise ValueError("amount must be >= 1")
+        if not 1 <= self.min_capacity <= self.max_capacity:
+            raise ValueError("need 1 <= min_capacity <= max_capacity")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.sustain_periods < 1:
+            raise ValueError("sustain_periods must be >= 1")
+        if self.queue_at_least < 1:
+            raise ValueError("queue_at_least must be >= 1")
+        if self.idle_at_least < 1:
+            raise ValueError("idle_at_least must be >= 1")
+        if not 0.0 < self.min_attainment_ratio <= 1.0:
+            raise ValueError("min_attainment_ratio must be in (0, 1]")
+        if self.budget_usd <= 0:
+            raise ValueError("budget_usd must be positive")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.phase_s < 0:
+            raise ValueError("phase_s must be >= 0")
+        if self.trigger == "webhook" and not self.webhook:
+            raise ValueError("webhook trigger needs a non-empty webhook name")
+
+    # ------------------------------------------------------------------
+    def triggered(self, inp: PolicyInput) -> bool:
+        """Whether this tick's snapshot satisfies the trigger condition.
+
+        Pure: per-policy damping state (sustain streaks, cooldowns)
+        belongs to the converger, never to the policy object.
+        """
+        obs = inp.observation
+        if self.trigger == "always":
+            return True
+        if self.trigger == "queue":
+            return obs.queue_length >= self.queue_at_least
+        if self.trigger == "idle":
+            return obs.queue_length == 0 and obs.idle >= self.idle_at_least
+        if self.trigger == "sla":
+            return (
+                inp.attainment_ratio is not None
+                and inp.attainment_ratio < self.min_attainment_ratio
+            )
+        if self.trigger == "cost":
+            return inp.spend_usd is not None and inp.spend_usd >= self.budget_usd
+        if self.trigger == "scheduled":
+            boundary_index = math.floor(
+                (inp.now_s - self.phase_s) / self.period_s
+            )
+            if boundary_index < 0:
+                return False
+            boundary_s = self.phase_s + boundary_index * self.period_s
+            return inp.prev_tick_s is None or inp.prev_tick_s < boundary_s
+        # webhook — validated to be the only remaining kind
+        return self.webhook in inp.webhooks
+
+    def propose(self, basis: int) -> int:
+        """The desired capacity this policy wants, given the current
+        capacity ``basis`` (gross or effective — the converger's call)."""
+        if self.action == "target":
+            proposal = self.amount
+        elif self.action == "step_up":
+            proposal = basis + self.amount
+        else:  # step_down
+            proposal = basis - self.amount
+        return max(self.min_capacity, min(self.max_capacity, proposal))
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (round-trips through the loader)."""
+        out: dict[str, object] = {
+            "name": self.name,
+            "action": self.action,
+            "amount": self.amount,
+            "trigger": self.trigger,
+            "severity": self.severity,
+            "cooldown_s": self.cooldown_s,
+            "sustain_periods": self.sustain_periods,
+            "min_capacity": self.min_capacity,
+            "max_capacity": self.max_capacity,
+        }
+        if self.trigger == "queue":
+            out["queue_at_least"] = self.queue_at_least
+        if self.trigger == "idle":
+            out["idle_at_least"] = self.idle_at_least
+        if self.trigger == "sla":
+            out["min_attainment_ratio"] = self.min_attainment_ratio
+        if self.trigger == "cost":
+            out["budget_usd"] = self.budget_usd
+        if self.trigger == "scheduled":
+            out["period_s"] = self.period_s
+            out["phase_s"] = self.phase_s
+        if self.trigger == "webhook":
+            out["webhook"] = self.webhook
+        return out
+
+
+@dataclass(frozen=True)
+class PolicySet:
+    """An ordered, uniquely named collection of scaling policies.
+
+    Registration order is semantic: it is the deterministic tie-break
+    when two eligible policies share a severity. An empty set is legal —
+    the converger then observes and audits but never acts.
+    """
+
+    policies: tuple[ScalingPolicy, ...] = field(default=())
+
+    def __init__(self, policies: Sequence[ScalingPolicy] = ()) -> None:
+        seen: set[str] = set()
+        for policy in policies:
+            if policy.name in seen:
+                raise ValueError(f"duplicate policy name {policy.name!r}")
+            seen.add(policy.name)
+        object.__setattr__(self, "policies", tuple(policies))
+
+    def __iter__(self) -> Iterator[ScalingPolicy]:
+        return iter(self.policies)
+
+    def __len__(self) -> int:
+        return len(self.policies)
+
+    def policy(self, name: str) -> ScalingPolicy:
+        for candidate in self.policies:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.policies)
+
+    def resolution_order(
+        self, eligible: Sequence[ScalingPolicy]
+    ) -> list[ScalingPolicy]:
+        """Eligible policies sorted by the winner rule: severity
+        descending, then registration order. Element 0 wins."""
+        index = {p.name: i for i, p in enumerate(self.policies)}
+        return sorted(eligible, key=lambda p: (-p.severity, index[p.name]))

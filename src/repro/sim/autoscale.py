@@ -1,4 +1,4 @@
-"""Autonomic elastic scaling of the external cloud.
+"""Autonomic elastic scaling of the external cloud (legacy adapter).
 
 The paper's scenario space includes an *elastic* external cloud ("the
 capacity in the IC is fixed (static) while it may be varied in the EC
@@ -6,28 +6,31 @@ capacity in the IC is fixed (static) while it may be varied in the EC
 must be just enough to ensure saturation of the download bandwidth. Such
 scaling policies forms part of future work."
 
-:class:`ECAutoScaler` implements that policy as a periodic controller:
-
-* **scale up** while uploaded work queues in front of busy EC machines —
-  the pipe is delivering faster than the pool consumes;
-* **scale down** while machines idle and no work is queued — the pool
-  outruns the pipe and pay-as-you-go capacity is being wasted;
-* the pool is clamped to ``[min_instances, max_instances]`` and to the
-  analytic saturation knee when one is supplied.
-
-The controller observes only queue lengths and pool occupancy, never
-hidden ground truth, so it is as autonomic as the paper's other loops.
+:class:`ECAutoScaler` was the original imperative answer — a periodic
+queue-driven controller. The scaling machinery now lives in
+:mod:`repro.policy` (declarative policies + a convergence loop), and
+this class survives for one release as a thin adapter: the old
+queue-up / sustained-idle-down rule expressed as two
+:class:`~repro.policy.model.ScalingPolicy` values over a
+:class:`~repro.policy.converge.Converger` on the legacy *gross* basis.
+The constructor signature, the :class:`ScaleEvent` audit trail, and
+:meth:`summary` are unchanged (trace-pinned by
+``tests/test_autoscale.py``); constructing one raises a
+``DeprecationWarning`` pointing at the replacement.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Optional
 
+from ..policy.converge import ConvergenceDecision, Converger, ConvergerConfig
+from ..policy.model import PolicySet, ScalingPolicy
 from .cluster import Cluster
 from .engine import Simulator
 
-__all__ = ["ECAutoScaler"]
+__all__ = ["ECAutoScaler", "ScaleEvent"]
 
 
 @dataclass
@@ -40,7 +43,15 @@ class ScaleEvent:
 
 
 class ECAutoScaler:
-    """Periodic queue-driven scaler for an EC machine pool."""
+    """Periodic queue-driven scaler for an EC machine pool.
+
+    .. deprecated::
+        Use :func:`repro.policy.attach_policy` with a
+        :class:`~repro.policy.runtime.PolicyConfig` (or a JSON/TOML
+        policy file via :func:`repro.policy.load_policy_config`). This
+        adapter will be removed one release after the policy subsystem
+        lands.
+    """
 
     def __init__(
         self,
@@ -59,6 +70,12 @@ class ECAutoScaler:
             raise ValueError("interval must be positive")
         if scale_up_queue < 1:
             raise ValueError("scale_up_queue must be >= 1")
+        warnings.warn(
+            "ECAutoScaler is a compatibility adapter; build the same "
+            "behaviour declaratively with repro.policy.attach_policy",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.sim = sim
         self.cluster = cluster
         self.min_instances = min_instances
@@ -69,45 +86,60 @@ class ECAutoScaler:
         self.scale_up_queue = scale_up_queue
         self.idle_periods_before_down = idle_periods_before_down
         self.events: list[ScaleEvent] = []
-        self._idle_streak = 0
-        sim.schedule(interval_s, self._tick)
+        # The legacy rule as data: queue pressure outranks sustained
+        # idling; both step by one machine inside the legacy clamp.
+        bounds = {
+            "min_capacity": min_instances,
+            # Never let a knee below min_instances invert the clamp.
+            "max_capacity": max(self.max_instances, min_instances),
+        }
+        policies = PolicySet(
+            (
+                ScalingPolicy(
+                    name="queue-up", trigger="queue", action="step_up",
+                    queue_at_least=scale_up_queue, severity=10, **bounds,
+                ),
+                ScalingPolicy(
+                    name="idle-down", trigger="idle", action="step_down",
+                    sustain_periods=idle_periods_before_down, **bounds,
+                ),
+            )
+        )
+        self._converger = Converger(
+            sim,
+            cluster,
+            policies,
+            # Gross basis: the old controller counted draining machines
+            # (still billed) when deciding; offline reclaim is the new
+            # effective-basis behaviour, so it stays off here.
+            ConvergerConfig(
+                interval_s=interval_s, basis="gross", delete_offline=False
+            ),
+            on_decision=self._on_decision,
+        )
+        self._converger.start()
+
+    # ------------------------------------------------------------------
+    def _on_decision(self, decision: ConvergenceDecision) -> None:
+        """Mirror applied steps into the legacy audit trail."""
+        for step in decision.steps:
+            if not step.ok:
+                continue
+            action = "up" if step.kind == "launch" else "down"
+            self.events.append(
+                ScaleEvent(decision.time_s, action, decision.total_after)
+            )
 
     # ------------------------------------------------------------------
     @property
     def pool_size(self) -> int:
         return self.cluster.n_machines
 
-    def _tick(self) -> None:
-        self.sim.schedule(self.interval_s, self._tick)
-        cluster = self.cluster
-        queued = cluster.queue_length
-        idle = cluster.idle_machines
+    @property
+    def converger(self) -> Converger:
+        """The underlying convergence loop (new-style audit access)."""
+        return self._converger
 
-        if queued >= self.scale_up_queue and cluster.n_machines < self.max_instances:
-            # Work is waiting behind a fully busy pool: the pipe outruns
-            # the compute — add an instance.
-            cluster.add_machine()
-            self._idle_streak = 0
-            self.events.append(ScaleEvent(self.sim.now, "up", cluster.n_machines))
-            return
-
-        if queued == 0 and idle > 0:
-            self._idle_streak += 1
-        else:
-            self._idle_streak = 0
-
-        if (
-            self._idle_streak >= self.idle_periods_before_down
-            and cluster.n_machines > self.min_instances
-        ):
-            # Sustained idling: release pay-as-you-go capacity.
-            if cluster.retire_machine():
-                self._idle_streak = 0
-                self.events.append(
-                    ScaleEvent(self.sim.now, "down", cluster.n_machines)
-                )
-
-    # ------------------------------------------------------------------
     def summary(self) -> dict:
         ups = sum(1 for e in self.events if e.action == "up")
         downs = sum(1 for e in self.events if e.action == "down")

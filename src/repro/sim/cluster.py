@@ -301,3 +301,42 @@ class Cluster:
     @property
     def offline_machines(self) -> int:
         return len(self._offline)
+
+    @property
+    def draining_machines(self) -> int:
+        """Machines finishing their last job before deferred retirement."""
+        return len(self._draining)
+
+    @property
+    def online_machines(self) -> int:
+        """Machines eligible for dispatch: neither offline nor draining."""
+        return sum(
+            1 for m in self.machines
+            if m not in self._offline and m not in self._draining
+        )
+
+    def remove_offline_machine(self) -> bool:
+        """Delete one idle offline machine outright; never below one.
+
+        Offline capacity still sits on the rental meter; convergence on
+        *effective* capacity replaces it, and this reclaims the husk.
+        Busy or draining offline machines are left to finish (their exit
+        is the deferred-retirement path). Returns False when no machine
+        qualifies.
+        """
+        if len(self.machines) <= 1:
+            return False
+        victim = next(
+            (m for m in self.machines
+             if m in self._offline and not m.busy and m not in self._draining),
+            None,
+        )
+        if victim is None:
+            return False
+        self._accrue_pool_time()
+        self.machines.remove(victim)
+        self._offline.discard(victim)
+        self._retired_busy_time += victim.busy_time
+        if self.on_machine_removed is not None:
+            self.on_machine_removed(victim)
+        return True

@@ -290,6 +290,12 @@ class CloudBurstEnvironment:
         #: an observer: its hooks read simulation state, never steer it,
         #: and its output lands in unhashed ``trace.metadata["obs"]``.
         self.obs: Optional["ObsRuntime"] = None
+        #: Attached :class:`repro.policy.PolicyRuntime`, when a
+        #: declarative scaling policy drives the EC pool for this run
+        #: (:func:`repro.policy.attach_policy`). Unlike econ/obs it is
+        #: allowed to steer the simulation (it scales machines); its
+        #: audit log still lands in unhashed ``trace.metadata["policy"]``.
+        self.policy = None
         #: Runtime invariant checker, when installed
         #: (:func:`repro.analysis.invariants.install_invariants`); gets
         #: first-class lifecycle calls so observers above stay free for
@@ -564,6 +570,8 @@ class CloudBurstEnvironment:
             trace.metadata["econ"] = self.econ.finalize(trace)
         if self.obs is not None:
             trace.metadata["obs"] = self.obs.finalize(trace)
+        if self.policy is not None:
+            trace.metadata["policy"] = self.policy.finalize(trace)
         if self.invariants is not None:
             self.invariants.on_finish(trace)
         return trace

@@ -155,6 +155,8 @@ class TestBenchReportSchema:
             fleet_shards=2,
             fleet_reps=2,
             fleet_procs_jobs=60,
+            policy_jobs=40,
+            policy_reps=2,
         )
         report = run_bench(smoke=True, out_path=out, preset=preset)
         assert report.path == out
@@ -181,6 +183,13 @@ class TestBenchReportSchema:
         assert bursty["n_jobs"] == 12
         assert bursty["process"] == "bursty"
         assert bursty["jobs_per_s"] > 0
+        pc = scenarios["policy_convergence"]
+        assert pc["n_jobs"] == 40
+        assert pc["reps"] == 2
+        assert pc["ticks"] > 0
+        assert pc["steps_applied"] == 0
+        assert pc["plain_cpu_s"] > 0 and pc["policy_cpu_s"] > 0
+        assert len(pc["audit_sha256"]) == 64
         fleet = scenarios["fleet_loadgen"]
         assert fleet["n_jobs"] == 60
         assert fleet["n_shards"] == 2
@@ -208,6 +217,7 @@ class TestBenchReportSchema:
         report = run_bench(smoke=True, out_path=tmp_path / "b.json", preset=preset)
         assert "fleet_loadgen" not in report.scenarios
         assert "fleet_loadgen_procs" not in report.scenarios
+        assert "policy_convergence" not in report.scenarios
 
     def test_committed_bench_artifact_meets_fleet_target(self):
         """BENCH_core.json is the acceptance artifact: schema v4 with the
@@ -243,6 +253,20 @@ class TestBenchReportSchema:
         assert ov["spans_kept"] > 0
         assert ov["plain_cpu_s"] > 0 and ov["obs_cpu_s"] > 0
         assert ov["overhead_pct"] <= 5.0
+
+    def test_committed_bench_artifact_meets_policy_budget(self):
+        """ISSUE 10 acceptance: running the convergence autoscaler's full
+        observe/resolve/audit loop (steady-state policy, zero steps)
+        costs at most 5% of the broker hot path, and the control plane
+        is deterministic across bench reps."""
+        bench_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+        data = json.loads(bench_path.read_text())
+        pc = data["scenarios"]["policy_convergence"]
+        assert pc["ticks"] > 0
+        assert pc["steps_applied"] == 0
+        assert pc["plain_cpu_s"] > 0 and pc["policy_cpu_s"] > 0
+        assert pc["overhead_pct"] <= 5.0
+        assert len(pc["audit_sha256"]) == 64
 
     def test_bursty_scenario_skipped_when_zeroed(self, tmp_path):
         preset = BenchPreset(

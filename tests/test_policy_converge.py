@@ -1,0 +1,474 @@
+"""Convergence-plane tests: the loop that makes observed match desired."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policy import (
+    Converger,
+    ConvergerConfig,
+    PolicySet,
+    ScalingPolicy,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+
+
+def make_loop(policies, config=None, n_machines=2, **kwargs):
+    sim = Simulator()
+    cluster = Cluster(sim, "ec", n_machines)
+    conv = Converger(sim, cluster, PolicySet(policies), config, **kwargs)
+    conv.start()
+    return sim, cluster, conv
+
+
+class TestConvergence:
+    def test_target_policy_launches_up_to_desired(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="grow", action="target", amount=5)],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.run(until=11.0)
+        assert cluster.n_machines == 5
+        assert conv.step_totals()["launch"] == 3
+        assert conv.converged
+
+    def test_target_policy_drains_down_to_desired(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="shrink", action="target", amount=2)],
+            ConvergerConfig(interval_s=10.0),
+            n_machines=6,
+        )
+        sim.run(until=11.0)
+        assert cluster.n_machines == 2
+        assert conv.step_totals()["drain"] == 4
+
+    def test_launch_delay_counts_pending_and_never_double_launches(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="grow", action="target", amount=4)],
+            ConvergerConfig(interval_s=10.0, launch_delay_s=25.0),
+        )
+        # Tick 1 (t=10) launches two pending machines that join at t=35;
+        # ticks at t=20 and t=30 see effective = online + pending = 4
+        # and must not double-launch.
+        sim.run(until=36.0)
+        assert conv.step_totals()["launch"] == 2
+        assert cluster.n_machines == 4
+        launches_per_tick = [
+            sum(1 for s in d.steps if s.kind == "launch")
+            for d in conv.decisions
+        ]
+        assert launches_per_tick == [2, 0, 0]
+
+    def test_empty_policy_set_observes_and_audits_but_never_acts(self):
+        sim, cluster, conv = make_loop([], ConvergerConfig(interval_s=10.0))
+        sim.run(until=45.0)
+        assert conv.ticks == 4
+        assert cluster.n_machines == 2
+        assert all(d.winner is None and not d.steps for d in conv.decisions)
+        assert len(conv.audit_sha256()) == 64
+
+    def test_idempotent_start(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="hold", action="target", amount=2)],
+            ConvergerConfig(interval_s=10.0),
+        )
+        conv.start()
+        conv.start()
+        sim.run(until=11.0)
+        assert conv.ticks == 1  # one loop, not three
+
+
+class TestDamping:
+    def test_cooldown_suppresses_flapping(self):
+        # A step-up policy that always triggers would add 1 machine per
+        # tick; a 35s cooldown across 10s ticks limits it to one fire
+        # per 4 ticks.
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="flap", action="step_up", amount=1,
+                    trigger="always", cooldown_s=35.0, max_capacity=64,
+                )
+            ],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.run(until=81.0)  # ticks at 10..80
+        assert conv.ticks == 8
+        assert conv.step_totals()["launch"] == 2  # fired at t=10 and t=50
+        assert cluster.n_machines == 4
+
+    def test_sustain_periods_requires_consecutive_ticks(self):
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="lazy-shrink", action="step_down", amount=1,
+                    trigger="idle", idle_at_least=1, sustain_periods=3,
+                    min_capacity=1,
+                )
+            ],
+            ConvergerConfig(interval_s=10.0),
+            n_machines=3,
+        )
+        sim.run(until=31.0)
+        # Idle held for ticks 1-2 but only tick 3 passes the sustain bar.
+        per_tick = [
+            sum(1 for s in d.steps if s.kind == "drain")
+            for d in conv.decisions
+        ]
+        assert per_tick == [0, 0, 1]
+        assert cluster.n_machines == 2
+
+
+class TestTriggersInLoop:
+    def test_webhook_armed_then_consumed(self):
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="burst", action="step_up", amount=2,
+                    trigger="webhook", webhook="deploy", max_capacity=16,
+                )
+            ],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.schedule(15.0, lambda: conv.fire_webhook("deploy"))
+        sim.run(until=41.0)
+        per_tick = [
+            sum(1 for s in d.steps if s.kind == "launch")
+            for d in conv.decisions
+        ]
+        # Armed between ticks 1 and 2: consumed exactly once, by tick 2.
+        assert per_tick == [0, 2, 0, 0]
+
+    def test_scheduled_policy_fires_once_per_period(self):
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="cron", action="step_up", amount=1,
+                    trigger="scheduled", period_s=50.0, max_capacity=64,
+                )
+            ],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.run(until=101.0)
+        # Boundaries at t=0 (seen by the first tick), 50, 100.
+        assert conv.step_totals()["launch"] == 3
+
+
+def _noop(item, machine):
+    pass
+
+
+class TestRetryAndBackoff:
+    def test_failed_drains_retry_then_back_off(self):
+        # Under the gross basis a draining machine still counts, so a
+        # shrink target keeps emitting drains — but retire_machine
+        # refuses to touch the one non-draining machine left. After
+        # max_step_retries consecutive all-failed ticks the converger
+        # stops hammering the pool until the gap changes shape.
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="shrink", action="target", amount=1, min_capacity=1
+                )
+            ],
+            ConvergerConfig(
+                interval_s=10.0, basis="gross", max_step_retries=2
+            ),
+            n_machines=2,
+        )
+        cluster.submit(object(), 10_000.0, _noop)
+        cluster.submit(object(), 10_000.0, _noop)
+        sim.run(until=81.0)
+        notes = [d.note for d in conv.decisions]
+        assert "retries-exhausted" in notes
+        assert "backoff" in notes
+        backoff_ticks = [d for d in conv.decisions if d.note == "backoff"]
+        assert backoff_ticks and all(not d.steps for d in backoff_ticks)
+        assert conv.step_totals()["failed"] >= 3
+
+    def test_gap_change_resets_the_retry_budget(self):
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="shrink", action="target", amount=1, min_capacity=1
+                )
+            ],
+            ConvergerConfig(
+                interval_s=10.0, basis="gross", max_step_retries=1
+            ),
+            n_machines=2,
+        )
+        cluster.submit(object(), 45.0, _noop)
+        cluster.submit(object(), 45.0, _noop)
+        sim.run(until=41.0)
+        assert conv.decisions[-1].note == "backoff"
+        # At t=45 the jobs finish and the draining machine leaves; the
+        # gap closes and the converger comes out of backoff clean.
+        sim.run(until=61.0)
+        assert cluster.n_machines == 1
+        assert conv.converged
+        assert conv.decisions[-1].note != "backoff"
+
+
+class TestStepBounds:
+    def test_max_launch_per_tick_rations_growth(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="grow", action="target", amount=8)],
+            ConvergerConfig(interval_s=10.0, max_launch_per_tick=2),
+        )
+        sim.run(until=31.0)
+        per_tick = [
+            sum(1 for s in d.steps if s.kind == "launch")
+            for d in conv.decisions
+        ]
+        assert per_tick == [2, 2, 2]
+        assert cluster.n_machines == 8
+
+    def test_max_drain_per_tick_rations_shrink(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="shrink", action="target", amount=2)],
+            ConvergerConfig(interval_s=10.0, max_drain_per_tick=1),
+            n_machines=5,
+        )
+        sim.run(until=31.0)
+        assert cluster.n_machines == 2
+
+
+class TestOfflineReclaim:
+    def test_offline_husks_deleted_under_effective_basis(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="hold", action="target", amount=3)],
+            ConvergerConfig(interval_s=10.0),
+            n_machines=3,
+        )
+        # Provider takes one machine away: effective drops to 2, the
+        # next tick launches a replacement and deletes the idle husk.
+        sim.schedule(15.0, lambda: cluster.take_offline(cluster.machines[0]))
+        sim.run(until=21.0)
+        totals = conv.step_totals()
+        assert totals["launch"] == 1
+        assert totals["delete"] == 1
+        assert cluster.n_machines == 3
+        assert cluster.offline_machines == 0
+        assert conv.converged
+
+    def test_gross_basis_never_deletes(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="hold", action="target", amount=3)],
+            ConvergerConfig(interval_s=10.0, basis="gross"),
+            n_machines=3,
+        )
+        sim.schedule(15.0, lambda: cluster.take_offline(cluster.machines[0]))
+        sim.run(until=41.0)
+        # Gross capacity still counts the offline machine: no gap.
+        assert conv.step_totals() == {
+            "launch": 0, "drain": 0, "delete": 0, "failed": 0,
+        }
+        assert cluster.offline_machines == 1
+
+    def test_remove_offline_machine_spares_busy_and_last(self):
+        sim = Simulator()
+        cluster = Cluster(sim, "ec", 2)
+        cluster.machines[0].process(object(), 1000.0, _noop)
+        cluster.take_offline(cluster.machines[0])
+        assert not cluster.remove_offline_machine()  # busy husk: spared
+        cluster.take_offline(cluster.machines[1])
+        assert cluster.remove_offline_machine()  # the idle one goes
+        assert cluster.n_machines == 1
+        assert not cluster.remove_offline_machine()  # never below one
+
+
+class TestAuditLog:
+    def test_audit_hash_is_stable_and_order_sensitive(self):
+        def run():
+            sim, cluster, conv = make_loop(
+                [ScalingPolicy(name="grow", action="target", amount=4)],
+                ConvergerConfig(interval_s=10.0),
+            )
+            sim.run(until=31.0)
+            return conv
+
+        a, b = run(), run()
+        assert a.audit_sha256() == b.audit_sha256()
+        assert [d.canonical() for d in a.decisions] == [
+            d.canonical() for d in b.decisions
+        ]
+        # A different policy produces a different log.
+        sim, cluster, other = make_loop(
+            [ScalingPolicy(name="grow", action="target", amount=5)],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.run(until=31.0)
+        assert other.audit_sha256() != a.audit_sha256()
+
+    def test_summary_shape(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="grow", action="target", amount=3)],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.run(until=11.0)
+        summary = conv.summary()
+        assert summary["ticks"] == 1
+        assert summary["policies"] == ["grow"]
+        assert summary["desired"] == 3
+        assert summary["observed"] == 3
+        assert summary["converged"] is True
+        assert summary["last_winner"] == "grow"
+        assert len(summary["audit_sha256"]) == 64
+
+    def test_convergence_lag_reported_once_per_divergence(self):
+        sim, cluster, conv = make_loop(
+            [ScalingPolicy(name="hold", action="target", amount=3)],
+            ConvergerConfig(interval_s=10.0),
+            n_machines=3,
+        )
+        sim.run(until=11.0)
+        # Already at desired: tick 1 reports lag 0 and goes quiet.
+        assert conv.decisions[0].lag_s == 0.0
+        sim.run(until=21.0)
+        assert conv.decisions[1].lag_s is None
+        # Preemption re-diverges the held desired: the lag clock re-arms
+        # and the repairing tick reports its own convergence lag.
+        cluster.take_offline(cluster.machines[0])
+        sim.run(until=31.0)
+        assert conv.decisions[2].lag_s == 0.0
+        assert conv.decisions[2].note == "converged"
+
+
+class TestResolutionInLoop:
+    def test_highest_severity_wins_the_tick(self):
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="modest", action="target", amount=3, severity=1
+                ),
+                ScalingPolicy(
+                    name="urgent", action="target", amount=6, severity=9
+                ),
+            ],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.run(until=11.0)
+        d = conv.decisions[0]
+        assert d.winner == "urgent"
+        assert d.candidates == ("urgent", "modest")
+        assert cluster.n_machines == 6
+
+    def test_winner_cooldown_lets_runner_up_take_over(self):
+        sim, cluster, conv = make_loop(
+            [
+                ScalingPolicy(
+                    name="floor", action="target", amount=3, severity=1
+                ),
+                ScalingPolicy(
+                    name="spike", action="step_up", amount=4, severity=9,
+                    cooldown_s=100.0, max_capacity=16,
+                ),
+            ],
+            ConvergerConfig(interval_s=10.0),
+        )
+        sim.run(until=21.0)
+        # Tick 1: spike wins (2 -> 6). Tick 2: spike is cooling down,
+        # the floor policy drains back toward 3.
+        assert conv.decisions[0].winner == "spike"
+        assert conv.decisions[1].winner == "floor"
+        assert cluster.n_machines == 3
+
+
+class TestChurnDeterminism:
+    def test_double_run_under_spot_and_outage_churn(self):
+        """The tentpole determinism claim: spot preemptions tearing
+        capacity down *while* the converger replaces it, plus two
+        abutting link outages, and the whole thing double-runs to the
+        same trace hash and the same audit sha."""
+        from repro.analysis.determinism import hash_trace
+        from repro.econ import EconConfig, SpotMarketConfig, attach_econ
+        from repro.experiments.config import ExperimentSpec
+        from repro.experiments.runner import run_one
+        from repro.policy import PolicyConfig, attach_policy
+        from repro.sim.environment import SystemConfig
+        from repro.sim.faults import OutageInjector, OutageWindow
+
+        spec = ExperimentSpec(
+            n_batches=2, mean_jobs_per_batch=8,
+            system=SystemConfig(ic_machines=4, ec_machines=3, seed=81),
+        )
+        config = PolicyConfig(
+            policies=(
+                ScalingPolicy(
+                    name="hold", action="target", amount=4, max_capacity=16
+                ),
+            ),
+            converger=ConvergerConfig(interval_s=120.0, launch_delay_s=20.0),
+        )
+
+        def run_once():
+            captured = {}
+
+            def hook(env):
+                captured["econ"] = attach_econ(
+                    env,
+                    EconConfig(
+                        spot=SpotMarketConfig(
+                            bid_usd_per_hour=0.11, variation=0.4
+                        )
+                    ),
+                )
+                captured["policy"] = attach_policy(env, config)
+                captured["outages"] = OutageInjector(
+                    env.sim, [env.up_capacity, env.down_capacity],
+                    [
+                        OutageWindow(start_s=60.0, duration_s=120.0),
+                        OutageWindow(start_s=180.0, duration_s=120.0),
+                    ],
+                )
+
+            trace = run_one("Op", spec, env_hook=hook)
+            return trace, captured
+
+        trace_a, cap_a = run_once()
+        trace_b, cap_b = run_once()
+        assert cap_a["econ"].ledger.preemptions > 0
+        assert cap_a["policy"].converger.ticks > 0
+        assert hash_trace(trace_a) == hash_trace(trace_b)
+        audit_a = trace_a.metadata["policy"]["audit_sha256"]
+        audit_b = trace_b.metadata["policy"]["audit_sha256"]
+        assert audit_a == audit_b
+        assert audit_a == cap_a["policy"].converger.audit_sha256()
+
+    def test_idle_policy_run_is_bit_identical_to_no_policy_run(self):
+        """Attached-but-idle parity: a policy that never fires must not
+        move the trace hash at all (launches would perturb dispatch)."""
+        from repro.analysis.determinism import hash_trace
+        from repro.experiments.config import ExperimentSpec
+        from repro.experiments.runner import run_one
+        from repro.policy import PolicyConfig, attach_policy
+        from repro.sim.environment import SystemConfig
+
+        spec = ExperimentSpec(
+            n_batches=2, mean_jobs_per_batch=8,
+            system=SystemConfig(ic_machines=4, ec_machines=3, seed=81),
+        )
+        plain = run_one("Op", spec)
+        idle_config = PolicyConfig(
+            policies=(
+                ScalingPolicy(
+                    name="never", action="step_up", trigger="queue",
+                    queue_at_least=10**9,
+                ),
+            ),
+            converger=ConvergerConfig(interval_s=60.0),
+        )
+        captured = {}
+
+        def hook(env):
+            captured["policy"] = attach_policy(env, idle_config)
+
+        attached = run_one("Op", spec, env_hook=hook)
+        assert captured["policy"].converger.ticks > 0
+        assert hash_trace(plain) == hash_trace(attached)
+        assert "policy" not in plain.metadata
+        assert attached.metadata["policy"]["summary"]["steps"] == {
+            "launch": 0, "drain": 0, "delete": 0, "failed": 0,
+        }

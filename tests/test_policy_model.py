@@ -1,0 +1,327 @@
+"""Unit tests for the declarative policy plane (repro.policy.model/loader)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.policy import (
+    ACTION_KINDS,
+    TRIGGER_KINDS,
+    CapacityObservation,
+    PolicyConfig,
+    PolicyInput,
+    PolicySchemaError,
+    PolicySet,
+    ScalingPolicy,
+    config_to_dict,
+    dump_policy_config,
+    load_policy_config,
+    parse_policy_config,
+)
+
+
+def obs(**overrides) -> CapacityObservation:
+    base = dict(
+        total=4, online=4, offline=0, draining=0,
+        pending=0, busy=2, idle=2, queue_length=0,
+    )
+    base.update(overrides)
+    return CapacityObservation(**base)
+
+
+def snap(observation=None, **overrides) -> PolicyInput:
+    base = dict(
+        now_s=600.0,
+        prev_tick_s=540.0,
+        interval_s=60.0,
+        observation=observation if observation is not None else obs(),
+    )
+    base.update(overrides)
+    return PolicyInput(**base)
+
+
+class TestCapacityObservation:
+    def test_gross_counts_every_machine_plus_pending(self):
+        o = obs(total=6, online=3, offline=2, draining=1, pending=2)
+        assert o.gross == 8
+
+    def test_effective_counts_dispatchable_plus_pending(self):
+        o = obs(total=6, online=3, offline=2, draining=1, pending=2)
+        assert o.effective == 5
+
+    def test_as_dict_round_trips(self):
+        o = obs(total=5, busy=3, idle=1, online=4, offline=1)
+        assert CapacityObservation(**o.as_dict()) == o
+
+
+class TestTriggers:
+    def test_always_fires_unconditionally(self):
+        p = ScalingPolicy(name="p", action="target", amount=4)
+        assert p.triggered(snap())
+
+    def test_queue_needs_threshold(self):
+        p = ScalingPolicy(
+            name="p", action="step_up", trigger="queue", queue_at_least=3
+        )
+        assert not p.triggered(snap(obs(queue_length=2)))
+        assert p.triggered(snap(obs(queue_length=3)))
+
+    def test_idle_needs_empty_queue_and_idle_machines(self):
+        p = ScalingPolicy(
+            name="p", action="step_down", trigger="idle", idle_at_least=2
+        )
+        assert p.triggered(snap(obs(queue_length=0, idle=2)))
+        assert not p.triggered(snap(obs(queue_length=1, idle=4)))
+        assert not p.triggered(snap(obs(queue_length=0, idle=1)))
+
+    def test_sla_stays_quiet_without_attainment_data(self):
+        p = ScalingPolicy(
+            name="p", action="step_up", trigger="sla",
+            min_attainment_ratio=0.9,
+        )
+        assert not p.triggered(snap(attainment_ratio=None))
+        assert p.triggered(snap(attainment_ratio=0.8))
+        assert not p.triggered(snap(attainment_ratio=0.95))
+
+    def test_cost_stays_quiet_without_a_ledger(self):
+        p = ScalingPolicy(
+            name="p", action="step_down", trigger="cost", budget_usd=10.0
+        )
+        assert not p.triggered(snap(spend_usd=None))
+        assert not p.triggered(snap(spend_usd=9.99))
+        assert p.triggered(snap(spend_usd=10.0))
+
+    def test_scheduled_fires_once_per_period_boundary(self):
+        p = ScalingPolicy(
+            name="p", action="target", amount=8, trigger="scheduled",
+            period_s=1000.0,
+        )
+        # First tick ever: the boundary at t=0 has not been seen.
+        assert p.triggered(snap(now_s=60.0, prev_tick_s=None))
+        # Previous tick was before the t=1000 boundary, now is after.
+        assert p.triggered(snap(now_s=1020.0, prev_tick_s=960.0))
+        # Both ticks inside the same period: quiet.
+        assert not p.triggered(snap(now_s=1080.0, prev_tick_s=1020.0))
+
+    def test_scheduled_respects_phase(self):
+        p = ScalingPolicy(
+            name="p", action="target", amount=8, trigger="scheduled",
+            period_s=1000.0, phase_s=500.0,
+        )
+        # Before the first (phased) boundary nothing has happened yet.
+        assert not p.triggered(snap(now_s=400.0, prev_tick_s=300.0))
+        assert p.triggered(snap(now_s=520.0, prev_tick_s=460.0))
+
+    def test_webhook_consumes_named_signal_only(self):
+        p = ScalingPolicy(
+            name="p", action="step_up", trigger="webhook", webhook="burst"
+        )
+        assert not p.triggered(snap())
+        assert not p.triggered(snap(webhooks=frozenset({"other"})))
+        assert p.triggered(snap(webhooks=frozenset({"burst"})))
+
+
+class TestPropose:
+    def test_target_ignores_basis(self):
+        p = ScalingPolicy(name="p", action="target", amount=8)
+        assert p.propose(3) == 8
+
+    def test_steps_are_relative_to_basis(self):
+        up = ScalingPolicy(name="u", action="step_up", amount=2)
+        down = ScalingPolicy(name="d", action="step_down", amount=2)
+        assert up.propose(4) == 6
+        assert down.propose(4) == 2
+
+    def test_proposals_clamped_to_bounds(self):
+        p = ScalingPolicy(
+            name="p", action="step_up", amount=10,
+            min_capacity=2, max_capacity=6,
+        )
+        assert p.propose(5) == 6
+        down = ScalingPolicy(
+            name="d", action="step_down", amount=10,
+            min_capacity=2, max_capacity=6,
+        )
+        assert down.propose(5) == 2
+
+
+class TestValidation:
+    def test_rejects_unknown_action_and_trigger(self):
+        with pytest.raises(ValueError, match="unknown action"):
+            ScalingPolicy(name="p", action="shrink")
+        with pytest.raises(ValueError, match="unknown trigger"):
+            ScalingPolicy(name="p", action="target", trigger="sometimes")
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="min_capacity"):
+            ScalingPolicy(
+                name="p", action="target", min_capacity=5, max_capacity=2
+            )
+
+    def test_webhook_trigger_needs_a_name(self):
+        with pytest.raises(ValueError, match="webhook"):
+            ScalingPolicy(name="p", action="step_up", trigger="webhook")
+
+    def test_kind_tuples_are_stable(self):
+        assert ACTION_KINDS == ("target", "step_up", "step_down")
+        assert TRIGGER_KINDS[0] == "always" and "webhook" in TRIGGER_KINDS
+
+
+class TestPolicySet:
+    def test_duplicate_names_rejected(self):
+        a = ScalingPolicy(name="a", action="target", amount=2)
+        with pytest.raises(ValueError, match="duplicate policy name"):
+            PolicySet([a, ScalingPolicy(name="a", action="step_up")])
+
+    def test_winner_is_highest_severity(self):
+        lo = ScalingPolicy(name="lo", action="target", amount=2, severity=1)
+        hi = ScalingPolicy(name="hi", action="target", amount=8, severity=9)
+        ps = PolicySet([lo, hi])
+        assert ps.resolution_order([lo, hi])[0] is hi
+
+    def test_registration_order_breaks_ties(self):
+        first = ScalingPolicy(name="first", action="target", severity=5)
+        second = ScalingPolicy(name="second", action="target", severity=5)
+        ps = PolicySet([first, second])
+        assert [p.name for p in ps.resolution_order([second, first])] == [
+            "first", "second",
+        ]
+
+    def test_lookup_and_names(self):
+        a = ScalingPolicy(name="a", action="target")
+        ps = PolicySet([a])
+        assert ps.policy("a") is a
+        assert ps.names() == ("a",)
+        with pytest.raises(KeyError):
+            ps.policy("missing")
+
+
+class TestLoader:
+    def test_round_trip_is_identity(self):
+        config = PolicyConfig(
+            policies=(
+                ScalingPolicy(
+                    name="burst", action="step_up", amount=2,
+                    trigger="queue", queue_at_least=4, severity=10,
+                    cooldown_s=300.0, max_capacity=16,
+                ),
+                ScalingPolicy(
+                    name="cron", action="target", amount=12,
+                    trigger="scheduled", period_s=86400.0, phase_s=3600.0,
+                ),
+            ),
+        )
+        doc = config_to_dict(config)
+        assert parse_policy_config(doc) == config
+        # And through the JSON dump as well.
+        assert parse_policy_config(json.loads(dump_policy_config(config))) == config
+
+    def test_unknown_keys_rejected_with_path(self):
+        with pytest.raises(PolicySchemaError, match=r"policies\[0\].*'colour'"):
+            parse_policy_config(
+                {"policies": [{"name": "p", "action": "target", "colour": 1}]}
+            )
+
+    def test_missing_required_key(self):
+        with pytest.raises(PolicySchemaError, match="missing required key 'action'"):
+            parse_policy_config({"policies": [{"name": "p"}]})
+
+    def test_type_errors_are_path_qualified(self):
+        with pytest.raises(
+            PolicySchemaError, match=r"policies\[1\].cooldown_s"
+        ):
+            parse_policy_config(
+                {
+                    "policies": [
+                        {"name": "a", "action": "target"},
+                        {"name": "b", "action": "target", "cooldown_s": "long"},
+                    ]
+                }
+            )
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(PolicySchemaError, match="expected an integer"):
+            parse_policy_config(
+                {"policies": [{"name": "p", "action": "target", "amount": True}]}
+            )
+
+    def test_range_errors_surface_as_schema_errors(self):
+        with pytest.raises(PolicySchemaError, match=r"policies\[0\]: amount"):
+            parse_policy_config(
+                {"policies": [{"name": "p", "action": "target", "amount": 0}]}
+            )
+
+    def test_duplicate_policy_names_rejected(self):
+        with pytest.raises(PolicySchemaError, match="duplicate policy name"):
+            parse_policy_config(
+                {
+                    "policies": [
+                        {"name": "p", "action": "target"},
+                        {"name": "p", "action": "step_up"},
+                    ]
+                }
+            )
+
+    def test_converger_table_validated(self):
+        with pytest.raises(PolicySchemaError, match="converger.basis"):
+            parse_policy_config({"converger": {"basis": "sideways"}})
+        with pytest.raises(PolicySchemaError, match="interval must be positive"):
+            parse_policy_config({"converger": {"interval_s": 0.0}})
+
+    def test_json_file_loads(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(
+            json.dumps(
+                {"policies": [{"name": "p", "action": "target", "amount": 3}]}
+            )
+        )
+        config = load_policy_config(path)
+        assert config.policies[0].amount == 3
+
+    def test_invalid_json_reports_the_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(PolicySchemaError, match="invalid JSON"):
+            load_policy_config(path)
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "p.yaml"
+        path.write_text("policies: []")
+        with pytest.raises(PolicySchemaError, match="unsupported extension"):
+            load_policy_config(path)
+
+    def test_toml_file_loads_when_tomllib_present(self, tmp_path):
+        from repro.policy import loader as loader_mod
+
+        path = tmp_path / "p.toml"
+        path.write_text(
+            '[[policies]]\nname = "p"\naction = "target"\namount = 5\n'
+        )
+        if loader_mod.tomllib is None:
+            with pytest.raises(PolicySchemaError, match="Python 3.11"):
+                load_policy_config(path)
+        else:
+            assert load_policy_config(path).policies[0].amount == 5
+
+    def test_toml_gated_on_old_interpreters(self, tmp_path, monkeypatch):
+        from repro.policy import loader as loader_mod
+
+        monkeypatch.setattr(loader_mod, "tomllib", None)
+        path = tmp_path / "p.toml"
+        path.write_text('[[policies]]\nname = "p"\naction = "target"\n')
+        with pytest.raises(PolicySchemaError, match="rewrite the file as JSON"):
+            load_policy_config(path)
+
+    def test_example_files_validate(self):
+        from pathlib import Path
+
+        from repro.policy import loader as loader_mod
+
+        examples = Path(__file__).resolve().parent.parent / "examples" / "policies"
+        config = load_policy_config(examples / "burst-idle.json")
+        assert len(config.policies) == 3
+        if loader_mod.tomllib is not None:
+            toml_config = load_policy_config(examples / "office-hours.toml")
+            assert len(toml_config.policies) == 3
